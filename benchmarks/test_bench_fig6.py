@@ -1,0 +1,36 @@
+"""Bench: regenerate Fig. 6 (simulation waveforms, sync vs async).
+
+Prints the waveform-comparison table and ASCII V_load waveforms; checks
+the paper's qualitative claims: smaller ripple, smaller peak current and
+no extra OV episodes for the asynchronous controller.
+"""
+
+import pytest
+
+from repro.experiments import PAPER_FIG6, run_fig6
+from repro.experiments.fig6 import render_waveforms
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_waveforms(benchmark):
+    result = benchmark.pedantic(run_fig6, kwargs={"keep_systems": True},
+                                rounds=1, iterations=1)
+    print()
+    print(result.format())
+    for run in result.runs:
+        print()
+        print(render_waveforms(run, width=90))
+    print(f"paper: ripple {PAPER_FIG6['sync']['ripple_v']}V (sync) vs "
+          f"{PAPER_FIG6['async']['ripple_v']}V (async); peak "
+          f"{PAPER_FIG6['sync']['peak_a']}A vs {PAPER_FIG6['async']['peak_a']}A")
+
+    sync = result.run("sync")
+    async_ = result.run("async")
+    assert async_.ripple_v < sync.ripple_v, "async must show smaller ripple"
+    assert async_.peak_a <= sync.peak_a, "async must show lower peak current"
+    assert (async_.ov_events_startup + async_.ov_events_after_startup
+            <= sync.ov_events_startup + sync.ov_events_after_startup)
+    # both reach regulation and both traverse the HL region
+    for run in result.runs:
+        assert run.hl_events >= 1
+        assert run.v_min_high_load < 3.0

@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 7a (peak current vs coil inductance, 6 Ohm).
+
+Prints the five series over the full 1-10 uH catalogue plus the coil-size
+trade-off query; checks: peak decreases with L, slower clocks sit higher,
+async is the lowest curve, and the minimum workable coil shrinks with
+controller speed (paper: async 1.8 uH vs 333 MHz 6.8 uH vs 100 MHz 10 uH
+at the 300 mA budget).
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_FIG7A_TRADEOFF_UH,
+    coil_tradeoff,
+    format_tradeoff,
+    run_fig7a,
+)
+
+LIMIT_MA = 330.0
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_peak_vs_inductance(benchmark):
+    result = benchmark.pedantic(run_fig7a, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    print(result.chart())
+    tradeoff = coil_tradeoff(result, LIMIT_MA)
+    print(format_tradeoff(tradeoff, LIMIT_MA))
+    print("paper trade-off (300 mA):", PAPER_FIG7A_TRADEOFF_UH)
+
+    for label, pts in result.series.items():
+        ys = [y for _, y in sorted(pts)]
+        assert ys[0] > ys[-1], f"{label}: peak must fall with L"
+    for x, y in result.series["ASYNC"]:
+        assert y <= result.value("100MHz", x) + 1.0
+        assert y <= result.value("333MHz", x) + 1.0
+    # trade-off monotone in controller speed, as in the paper
+    assert (tradeoff["ASYNC"] <= tradeoff["333MHz"] <= tradeoff["100MHz"])

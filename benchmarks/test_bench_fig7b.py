@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 7b (peak current vs load resistance, 4.7 uH).
+
+"This trend persists for a wide range of load resistance that covers the
+typical computational load of mobile microprocessors" — the async curve
+stays the lowest across 3-15 Ohm.
+"""
+
+import pytest
+
+from repro.experiments import run_fig7b
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_peak_vs_load(benchmark):
+    result = benchmark.pedantic(run_fig7b, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    print(result.chart())
+
+    for x, y in result.series["ASYNC"]:
+        assert y <= result.value("100MHz", x) + 1.0
+        assert y <= result.value("333MHz", x) + 1.0
+    # heavier load (smaller R) must not lower the peak
+    for label, pts in result.series.items():
+        ordered = sorted(pts)
+        assert ordered[0][1] >= ordered[-1][1] - 5.0, label

@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig. 7c (inductor losses vs coil inductance, 6 Ohm).
+
+"The smaller coil inductance also translates into fewer losses" — DCR
+grows with L, so conduction losses grow with coil size; choosing the
+smallest coil the controller can afford (Fig. 7a) minimises losses, and
+the async controller affords the smallest coil.
+"""
+
+import pytest
+
+from repro.experiments import coil_tradeoff, run_fig7a, run_fig7c
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_losses_vs_inductance(benchmark):
+    result = benchmark.pedantic(run_fig7c, kwargs={"quick": False},
+                                rounds=1, iterations=1)
+    print()
+    print(result.format(y_format="{:.0f}"))
+    print(result.chart())
+
+    # losses grow strongly with inductance for every controller
+    for label, pts in result.series.items():
+        ordered = sorted(pts)
+        assert ordered[-1][1] > 3 * ordered[0][1], label
+
+    # the paper's system-level conclusion: the async controller can run
+    # the smallest coil (Fig. 7a trade-off), and the smallest coil has
+    # the smallest losses — quantify the combined benefit
+    fig7a = run_fig7a(quick=True)
+    tradeoff = coil_tradeoff(fig7a, 330.0)
+    loss_at = {label: dict(pts) for label, pts in result.series.items()}
+    async_loss = loss_at["ASYNC"][tradeoff["ASYNC"]]
+    sync_loss = loss_at["100MHz"][tradeoff["100MHz"]]
+    print(f"loss at each controller's smallest workable coil: "
+          f"async {async_loss:.0f} uW vs 100MHz {sync_loss:.0f} uW")
+    assert async_loss < sync_loss

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Head-to-head: synchronous vs asynchronous control of the same buck.
+
+Reproduces the paper's Fig. 6 experiment interactively: both controllers
+drive an identical 4-phase power stage through startup, normal load, a
+high-load step and recovery.  Prints the comparison table, per-controller
+waveforms, and exports VCD files viewable in GTKWave.
+
+Run:  python examples/sync_vs_async.py [--vcd]
+"""
+
+import sys
+
+from repro.experiments import run_fig6
+from repro.experiments.fig6 import export_vcd, render_waveforms
+
+
+def main() -> None:
+    print("running the Fig. 6 scenario for both controllers...")
+    result = run_fig6(keep_systems=True)
+    print()
+    print(result.format())
+    for run in result.runs:
+        print()
+        print(render_waveforms(run, width=90))
+
+    sync = result.run("sync")
+    async_ = result.run("async")
+    better = (1 - async_.ripple_v / sync.ripple_v) * 100
+    print(f"\nasync ripple is {better:.0f}% smaller "
+          f"({async_.ripple_v:.3f} V vs {sync.ripple_v:.3f} V); the paper "
+          f"reports 0.36 V vs 0.43 V on its 90 nm testbed")
+
+    if "--vcd" in sys.argv:
+        for run in result.runs:
+            path = f"fig6_{run.label.replace('@', '_')}.vcd"
+            export_vcd(run, path)
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Reproduction of Sokolov et al., "Benefits of Asynchronous Control for
+Analog Electronics: Multiphase Buck Case Study" (DATE 2017).
+
+Layers (see DESIGN.md):
+
+- :mod:`repro.sim` — discrete-event kernel (signals, processes, VCD);
+- :mod:`repro.analog` — buck power stage ODE, coils, sensors, gate drivers;
+- :mod:`repro.digital` — gates, C-elements, mutex, synchronizers, clocks;
+- :mod:`repro.a2a` — the WAIT-family analog-to-asynchronous interfaces;
+- :mod:`repro.stg` — STGs, verification, synthesis (the A4A flow backend);
+- :mod:`repro.control` — the synchronous and asynchronous controllers;
+- :mod:`repro.metrics` — waveform and reaction-time measurements;
+- :mod:`repro.experiments` — Table I / Fig. 6 / Fig. 7 reproduction;
+- :mod:`repro.system` — :class:`BuckSystem`, the assembled co-simulation.
+"""
+
+from .system import BuckSystem, RunResult, SystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["BuckSystem", "SystemConfig", "RunResult", "__version__"]

@@ -1,0 +1,38 @@
+"""A2A (analog-to-asynchronous) interface element library.
+
+The paper's Sec. III component library: elements that sanitise
+non-persistent comparator outputs into clean speed-independent handshakes,
+fully containing metastability.
+
+=========  ==============================================================
+element    behaviour
+=========  ==============================================================
+WAIT       latch the input's high level until the handshake releases
+WAIT0      symmetric: latch the low level
+WAIT2      wait high, then low, on alternating handshakes (2-phase)
+RWAIT      WAIT with persistent cancellation of the pending request
+RWAIT0     cancellable WAIT0
+WAIT01     wait for a rising edge (level-high is not enough)
+WAIT10     wait for a falling edge
+WAITX      arbitrate two inputs -> one-hot grant (mutex inside)
+WAITX2     WAITX that releases only after the winning input goes low
+=========  ==============================================================
+"""
+
+from .base import (
+    DEFAULT_FORWARD_DELAY,
+    DEFAULT_LATCH_WINDOW,
+    DEFAULT_TAU,
+    A2AElement,
+)
+from .merge import OpportunisticMerge
+from .wait import RWait, RWait0, Wait, Wait0, Wait01, Wait10, Wait2
+from .waitx import WaitX, WaitX2
+
+__all__ = [
+    "A2AElement",
+    "Wait", "Wait0", "Wait2", "RWait", "RWait0", "Wait01", "Wait10",
+    "WaitX", "WaitX2",
+    "OpportunisticMerge",
+    "DEFAULT_LATCH_WINDOW", "DEFAULT_FORWARD_DELAY", "DEFAULT_TAU",
+]

@@ -1,0 +1,119 @@
+"""Common machinery for analog-to-asynchronous (A2A) interface elements.
+
+Every A2A element bridges a **non-persistent** analog comparator output to
+a clean, speed-independent handshake.  The shared mechanics live here:
+
+- a request/acknowledge (return-to-zero) controller-side interface;
+- a *latch window*: the element needs the input condition to hold for
+  ``t_latch`` to capture it.  A marginal pulse (shorter than the window)
+  makes the internal latch metastable; the element **contains** this —
+  the latch resolves to a random but *clean* outcome after an
+  exponentially-distributed resolution time, and the handshake output
+  never glitches.  ``metastable_events`` counts these episodes.
+
+This is the behavioural contract of the WAIT-family elements of [16]
+(Sokolov et al., ASYNC 2015) that the paper's Sec. III summarises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Event, Simulator
+from ..sim.signal import Signal
+from ..sim.units import NS
+
+#: default input-capture window
+DEFAULT_LATCH_WINDOW = 0.2 * NS
+#: default request-to-acknowledge forward latency once the condition holds
+DEFAULT_FORWARD_DELAY = 0.15 * NS
+#: default metastability resolution time constant
+DEFAULT_TAU = 0.1 * NS
+
+
+class A2AElement:
+    """Base class: req/ack handshake + contained-metastability capture."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 t_latch: float = DEFAULT_LATCH_WINDOW,
+                 delay: float = DEFAULT_FORWARD_DELAY,
+                 tau: float = DEFAULT_TAU, trace: bool = True):
+        if t_latch < 0 or delay < 0 or tau < 0:
+            raise ValueError("timing parameters cannot be negative")
+        self.sim = sim
+        self.name = name
+        self.t_latch = t_latch
+        self.delay = delay
+        self.tau = tau
+        self.req = Signal(sim, f"{name}.req", trace=trace)
+        self.ack = Signal(sim, f"{name}.ack", trace=trace)
+        self.metastable_events = 0
+        self._armed = False
+        self._capture: Optional[Event] = None
+        self.req.subscribe(self._on_req)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _condition(self) -> bool:
+        """The analog condition being awaited (subclass-specific)."""
+        raise NotImplementedError
+
+    def _on_armed(self) -> None:
+        """Called when the element becomes armed (req rose)."""
+        if self._condition():
+            self._begin_capture()
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def _on_req(self, _sig: Signal, value: bool) -> None:
+        if value:
+            self._armed = True
+            self._on_armed()
+        else:
+            self._armed = False
+            self._cancel_capture()
+            if self.ack.value:
+                self.sim.schedule(self.delay, lambda: self.ack._apply(False))
+
+    def _cancel_capture(self) -> None:
+        if self._capture is not None:
+            self._capture.cancel()
+            self._capture = None
+
+    # ------------------------------------------------------------------
+    # Capture with contained metastability
+    # ------------------------------------------------------------------
+    def _begin_capture(self) -> None:
+        """Start the latch window; fires the ack if the condition survives."""
+        if not self._armed or self._capture is not None or self.ack.value:
+            return
+        self._capture = self.sim.schedule(self.t_latch, self._end_capture)
+
+    def _end_capture(self) -> None:
+        self._capture = None
+        if not self._armed:
+            return
+        if self._condition():
+            self._fire(self.delay)
+            return
+        # Marginal pulse: the latch went metastable.  Contained: resolve
+        # randomly after an exponential tail, output stays clean.
+        self.metastable_events += 1
+        if self.sim.rng.random() < 0.5:
+            resolution = (self.sim.rng.expovariate(1.0 / self.tau)
+                          if self.tau > 0 else 0.0)
+            self._fire(self.delay + resolution)
+        # else: the pulse was missed; keep waiting for the next one.
+
+    def _fire(self, delay: float) -> None:
+        self.sim.schedule(delay, self._commit)
+
+    def _commit(self) -> None:
+        if self._armed and not self.ack.value:
+            self.ack._apply(True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "armed" if self._armed else "idle"
+        return f"{type(self).__name__}({self.name!r}, {state})"

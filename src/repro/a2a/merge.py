@@ -1,0 +1,95 @@
+"""Opportunistic merge element (Mokhov et al., ASYNC 2015 — ref [17]).
+
+The multiphase controller's MERGE handles OR-causality between the two
+activation scenarios (ring token vs. HL condition, Sec. IV): the stage
+must activate when *either* request arrives, and if the second request
+shows up while the first is being served, it is *merged* into the same
+service — one output handshake acknowledges both.
+
+Interface (RTZ):
+
+- ``r1``, ``r2`` — request inputs;
+- ``ro`` / ``ai`` — the merged output channel (ro request out, ai ack in);
+- ``a1``, ``a2`` — per-requester acknowledgements, raised when the
+  service that covered that requester completes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..sim.core import Simulator
+from ..sim.signal import FALL, RISE, Signal
+from ..sim.units import NS
+
+
+class OpportunisticMerge:
+    """Two-input opportunistic merge with RTZ handshakes."""
+
+    def __init__(self, sim: Simulator, name: str, r1: Signal, r2: Signal,
+                 ai: Signal, delay: float = 0.25 * NS, trace: bool = True):
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self.sim = sim
+        self.name = name
+        self.r1 = r1
+        self.r2 = r2
+        self.ai = ai
+        self.delay = delay
+        self.ro = Signal(sim, f"{name}.ro", trace=trace)
+        self.a1 = Signal(sim, f"{name}.a1", trace=trace)
+        self.a2 = Signal(sim, f"{name}.a2", trace=trace)
+        #: requesters covered by the service currently in flight
+        self._covered: Set[int] = set()
+        self._serving = False
+        #: number of requests absorbed into an already-running service
+        self.merged_count = 0
+        r1.subscribe(lambda s, v: self._on_request(1, v))
+        r2.subscribe(lambda s, v: self._on_request(2, v))
+        ai.subscribe(self._on_ack_rise, RISE)
+        ai.subscribe(self._on_ack_fall, FALL)
+
+    # ------------------------------------------------------------------
+    def _on_request(self, side: int, value: bool) -> None:
+        if not value:
+            # request released after its ack: drop the per-side ack
+            ack = self.a1 if side == 1 else self.a2
+            if ack.value:
+                self.sim.schedule(self.delay, lambda: ack._apply(False))
+            return
+        if self._serving:
+            if not self.ai.value:
+                # opportunistic window: service requested but not yet
+                # acknowledged — absorb this requester into it
+                self._covered.add(side)
+                self.merged_count += 1
+            # else: too late, waits for the next service round
+            return
+        self._covered = {side}
+        self._serving = True
+        self.sim.schedule(self.delay, lambda: self.ro._apply(True))
+
+    def _on_ack_rise(self, _sig: Signal, _value: bool) -> None:
+        # service complete: acknowledge everyone covered, release ro
+        for side in sorted(self._covered):
+            ack = self.a1 if side == 1 else self.a2
+            self.sim.schedule(self.delay, lambda a=ack: a._apply(True))
+        self.sim.schedule(self.delay, lambda: self.ro._apply(False))
+
+    def _on_ack_fall(self, _sig: Signal, _value: bool) -> None:
+        self._serving = False
+        self._covered = set()
+        # a requester that missed the window retries now
+        pending = []
+        if self.r1.value and not self.a1.value:
+            pending.append(1)
+        if self.r2.value and not self.a2.value:
+            pending.append(2)
+        if pending:
+            self._covered = set(pending)
+            self._serving = True
+            self.sim.schedule(self.delay, lambda: self.ro._apply(True))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "serving" if self._serving else "idle"
+        return f"OpportunisticMerge({self.name!r}, {state})"

@@ -1,0 +1,161 @@
+"""WAITX / WAITX2: arbitrating A2A elements with dual-rail outputs.
+
+WAITX watches *two* non-persistent inputs and tells the controller which
+went high first, containing both kinds of metastability (marginal input
+pulses and the which-came-first decision) behind a clean dual-rail grant.
+The multiphase controller uses a WAITX2 to distinguish the mutually
+exclusive — but possibly fast-switching — UV and OV conditions (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Event, Simulator
+from ..sim.signal import FALL, RISE, Signal
+from .base import (
+    DEFAULT_FORWARD_DELAY,
+    DEFAULT_LATCH_WINDOW,
+    DEFAULT_TAU,
+)
+
+
+class WaitX:
+    """Arbitrate two non-persistent inputs into one-hot grants.
+
+    Protocol: raise ``req``; when input ``a`` or ``b`` is captured high,
+    exactly one of ``grant_a`` / ``grant_b`` rises.  Release ``req`` to
+    drop the grant.  Near-simultaneous inputs make the internal mutex
+    metastable; the winner is then random, the decision takes an extra
+    exponential resolution time, and the grants never glitch.
+    """
+
+    def __init__(self, sim: Simulator, name: str, a: Signal, b: Signal,
+                 t_latch: float = DEFAULT_LATCH_WINDOW,
+                 delay: float = DEFAULT_FORWARD_DELAY,
+                 tau: float = DEFAULT_TAU, trace: bool = True):
+        if t_latch < 0 or delay < 0 or tau < 0:
+            raise ValueError("timing parameters cannot be negative")
+        self.sim = sim
+        self.name = name
+        self.a = a
+        self.b = b
+        self.t_latch = t_latch
+        self.delay = delay
+        self.tau = tau
+        self.req = Signal(sim, f"{name}.req", trace=trace)
+        self.grant_a = Signal(sim, f"{name}.grant_a", trace=trace)
+        self.grant_b = Signal(sim, f"{name}.grant_b", trace=trace)
+        self.metastable_events = 0
+        #: 'a', 'b', or None — which grant is currently held
+        self.winner: Optional[str] = None
+        self._armed = False
+        self._decision: Optional[Event] = None
+        self._rise_time = {"a": -1.0, "b": -1.0}
+        self.req.subscribe(self._on_req)
+        a.subscribe(lambda s, v: self._on_input("a"), RISE)
+        b.subscribe(lambda s, v: self._on_input("b"), RISE)
+
+    # ------------------------------------------------------------------
+    def _on_req(self, _sig: Signal, value: bool) -> None:
+        if value:
+            self._armed = True
+            if self.a.value or self.b.value:
+                self._schedule_decision()
+        else:
+            self._armed = False
+            if self._decision is not None:
+                self._decision.cancel()
+                self._decision = None
+            self._release()
+
+    def _release(self) -> None:
+        if self.winner is not None:
+            grant = self.grant_a if self.winner == "a" else self.grant_b
+            self.winner = None
+            self.sim.schedule(self.delay, lambda: grant._apply(False))
+
+    def _on_input(self, tag: str) -> None:
+        self._rise_time[tag] = self.sim.now
+        if self._armed and self.winner is None:
+            self._schedule_decision()
+
+    def _schedule_decision(self) -> None:
+        if self._decision is not None or self.winner is not None:
+            return
+        self._decision = self.sim.schedule(self.t_latch, self._decide)
+
+    def _decide(self) -> None:
+        self._decision = None
+        if not self._armed or self.winner is not None:
+            return
+        va, vb = self.a.value, self.b.value
+        if not va and not vb:
+            # Both pulses vanished inside the capture window: marginal.
+            self.metastable_events += 1
+            return  # stay armed; wait for the next pulse
+        if va and vb:
+            gap = abs(self._rise_time["a"] - self._rise_time["b"])
+            if gap < self.t_latch:
+                self.metastable_events += 1
+                tag = "a" if self.sim.rng.random() < 0.5 else "b"
+                resolution = (self.sim.rng.expovariate(1.0 / self.tau)
+                              if self.tau > 0 else 0.0)
+            else:
+                tag = "a" if self._rise_time["a"] < self._rise_time["b"] else "b"
+                resolution = 0.0
+        else:
+            tag = "a" if va else "b"
+            resolution = 0.0
+        self.sim.schedule(self.delay + resolution, lambda t=tag: self._grant(t))
+
+    def _grant(self, tag: str) -> None:
+        if not self._armed or self.winner is not None:
+            return
+        self.winner = tag
+        (self.grant_a if tag == "a" else self.grant_b)._apply(True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r}, winner={self.winner})"
+
+
+class WaitX2(WaitX):
+    """WAITX in the rising phase, WAIT0 in the falling phase.
+
+    The grant is not released until the *winning input has gone low*, even
+    if the controller has already dropped ``req`` — the RTZ rendering of
+    the original 2-phase element.  MODE_CTRL relies on this to hold the
+    UV/OV mode decision for the whole charging cycle.
+    """
+
+    def __init__(self, sim: Simulator, name: str, a: Signal, b: Signal, **kwargs):
+        super().__init__(sim, name, a, b, **kwargs)
+        a.subscribe(lambda s, v: self._on_input_fall("a"), FALL)
+        b.subscribe(lambda s, v: self._on_input_fall("b"), FALL)
+
+    def _on_req(self, _sig: Signal, value: bool) -> None:
+        if value:
+            self._armed = True
+            if self.winner is None and (self.a.value or self.b.value):
+                self._schedule_decision()
+        else:
+            self._armed = False
+            if self._decision is not None:
+                self._decision.cancel()
+                self._decision = None
+            self._maybe_release()
+
+    def _on_input_fall(self, tag: str) -> None:
+        if self.winner == tag:
+            self._maybe_release()
+
+    def _maybe_release(self) -> None:
+        """Release only once the handshake is done (req low) *and* the
+        winning input has gone low — the element otherwise keeps the mode
+        decision latched across repeated handshakes while the condition
+        persists."""
+        if self.winner is None or self.req.value:
+            return
+        win_sig = self.a if self.winner == "a" else self.b
+        if not win_sig.value:
+            self._release()

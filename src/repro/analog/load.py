@@ -1,0 +1,71 @@
+"""Load profiles for the buck output.
+
+The paper's Fig. 6 scenario is: startup -> normal load -> high load ->
+normal load over 10 us.  :class:`LoadProfile` models the load as a
+piecewise-constant resistance over time (mobile-SoC load steps), which is
+how the high-load (HL) condition is provoked.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+
+class LoadProfile:
+    """Piecewise-constant load resistance R(t).
+
+    Parameters
+    ----------
+    steps:
+        Sequence of ``(start_time, resistance)`` pairs.  The first entry
+        must start at t=0.  Resistance values are in ohm.
+
+    Examples
+    --------
+    >>> load = LoadProfile([(0.0, 6.0), (6e-6, 2.0), (8e-6, 6.0)])
+    >>> load.resistance(7e-6)
+    2.0
+    """
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]):
+        if not steps:
+            raise ValueError("load profile needs at least one step")
+        times = [t for t, _ in steps]
+        if times[0] != 0.0:
+            raise ValueError("first load step must start at t=0")
+        if sorted(times) != times or len(set(times)) != len(times):
+            raise ValueError("load steps must have strictly increasing times")
+        for t, r in steps:
+            if r <= 0:
+                raise ValueError(f"load resistance must be positive (got {r} at t={t})")
+        self._times: List[float] = list(times)
+        self._values: List[float] = [r for _, r in steps]
+
+    @classmethod
+    def constant(cls, resistance: float) -> "LoadProfile":
+        """A load that never changes."""
+        return cls([(0.0, resistance)])
+
+    @classmethod
+    def fig6_scenario(cls, normal: float = 6.0, heavy: float = 2.0,
+                      step_at: float = 6e-6, recover_at: float = 8e-6) -> "LoadProfile":
+        """The paper's Fig. 6 load sequence (startup happens at t=0 because
+        the output capacitor starts discharged; the explicit step provokes
+        the high-load region)."""
+        return cls([(0.0, normal), (step_at, heavy), (recover_at, normal)])
+
+    def resistance(self, t: float) -> float:
+        """Load resistance at time ``t``; clamped before t=0."""
+        if t <= 0:
+            return self._values[0]
+        idx = bisect_right(self._times, t) - 1
+        return self._values[max(idx, 0)]
+
+    def change_times(self) -> List[float]:
+        """Times at which the load steps (excluding t=0)."""
+        return self._times[1:]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        pairs = ", ".join(f"({t:g}, {r:g})" for t, r in zip(self._times, self._values))
+        return f"LoadProfile([{pairs}])"

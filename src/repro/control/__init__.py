@@ -1,0 +1,16 @@
+"""Buck controllers: the paper's synchronous and asynchronous designs."""
+
+from .async_controller import (
+    AsyncMultiphaseController,
+    AsyncPhaseController,
+    AsyncTimings,
+)
+from .params import BuckControlParams, StubComparator, StubGates, StubSensors
+from .sync_controller import SyncMultiphaseController
+
+__all__ = [
+    "BuckControlParams",
+    "SyncMultiphaseController",
+    "AsyncMultiphaseController", "AsyncPhaseController", "AsyncTimings",
+    "StubSensors", "StubGates", "StubComparator",
+]

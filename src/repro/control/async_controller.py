@@ -1,0 +1,292 @@
+"""Asynchronous (token-ring) multiphase buck controller (paper Fig. 5b/5c).
+
+Each phase stage is the Fig. 5c decomposition rendered as event-driven
+behaviour on top of the A2A element library:
+
+- **MERGE** — activation by the ring token *or* the HL condition (the
+  OR-causality handled by the opportunistic merge element);
+- **TOKEN_CTRL + TOKEN_TIMER** — dwell the token for at least the phase
+  period, pass it on only after the mode controller's early ack;
+- **MODE_CTRL** — a WAITX2 arbitrates the (theoretically exclusive but
+  possibly fast-switching) UV and OV conditions and latches the decision
+  while the condition persists;
+- **CHARGE_CTRL** — one charging cycle per activation, with the OC and ZC
+  conditions sanitised by a WAIT2 and an RWAIT (cancellable when a new
+  activation supersedes the zero-crossing wait);
+- **PMOS/NMOS/EXT_DELAY_CTRL** — minimum-ON-time enforcement (PMIN/NMIN)
+  with the PEXT extension on the first cycle of a UV episode.
+
+There is no clock anywhere: reaction latency is a handful of element
+delays, path-dependent, calibrated against Table I's ASYNC row (see
+:class:`AsyncTimings`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..a2a.wait import RWait, Wait, Wait2
+from ..a2a.waitx import WaitX2
+from ..sim.core import Simulator
+from ..sim.process import (
+    Process,
+    delay,
+    wait_any,
+    wait_high,
+    wait_low,
+)
+from ..sim.signal import RISE, Signal
+from ..sim.units import NS
+from .params import BuckControlParams
+
+
+@dataclass
+class AsyncTimings:
+    """Element/hop delays of the asynchronous control paths.
+
+    Defaults are calibrated so the end-to-end reaction latencies measured
+    by the Table I bench land on the paper's ASYNC row:
+    HL 1.87 ns, UV 1.02 ns, OV 1.18 ns, OC 0.75 ns, ZC 0.31 ns.
+    """
+
+    hl_latch: float = 0.30 * NS    #: WAIT(hl) capture window
+    hl_fwd: float = 0.30 * NS      #: WAIT(hl) forward delay
+    merge_hop: float = 0.25 * NS   #: MERGE element forward hop
+    mode_latch: float = 0.25 * NS  #: WAITX2 capture window
+    mode_fwd: float = 0.20 * NS    #: WAITX2 grant delay
+    mode_to_charge: float = 0.20 * NS  #: MODE_CTRL -> CHARGE_CTRL hop
+    charge_to_gate: float = 0.37 * NS  #: CHARGE_CTRL -> gp/gn drive
+    ov_extra: float = 0.16 * NS    #: OV-mode reference swap overhead
+    oc_latch: float = 0.15 * NS    #: WAIT2(oc) capture window
+    oc_fwd: float = 0.10 * NS      #: WAIT2(oc) forward delay
+    oc_to_gate: float = 0.50 * NS  #: OC ack -> gp- drive
+    zc_latch: float = 0.08 * NS    #: RWAIT(zc) capture window
+    zc_fwd: float = 0.05 * NS      #: RWAIT(zc) forward delay
+    zc_to_gate: float = 0.18 * NS  #: ZC ack -> gn- drive
+    gn_handoff: float = 0.10 * NS  #: gn-off request at cycle start
+    token_hop: float = 0.20 * NS   #: DECOUPLER token hand-off
+
+
+class AsyncPhaseController:
+    """One stage of the ring (Fig. 5c).  Internal to the controller."""
+
+    def __init__(self, ctrl: "AsyncMultiphaseController", k: int,
+                 trace: bool = True):
+        self.ctrl = ctrl
+        self.k = k
+        sim = ctrl.sim
+        t = ctrl.timings
+        sensors = ctrl.sensors
+        self.hl_wait = Wait(sim, f"ph{k}.hl_wait", sensors.hl.output,
+                            t_latch=t.hl_latch, delay=t.hl_fwd, trace=trace)
+        self.mode = WaitX2(sim, f"ph{k}.mode", sensors.uv.output,
+                           sensors.ov.output, t_latch=t.mode_latch,
+                           delay=t.mode_fwd, trace=trace)
+        self.oc_wait = Wait2(sim, f"ph{k}.oc_wait", sensors.oc[k].output,
+                             t_latch=t.oc_latch, delay=t.oc_fwd, trace=trace)
+        self.zc_wait = RWait(sim, f"ph{k}.zc_wait", sensors.zc[k].output,
+                             t_latch=t.zc_latch, delay=t.zc_fwd, trace=trace)
+        self.token = ctrl.token_at[k]
+        self._pass_forked = False
+        self.cycles_started = 0
+        self._gn_on_time = -1e9
+        ctrl.gates.gn[k].subscribe(self._on_gn_rise, RISE)
+        Process(sim, self._main(), name=f"async_phase{k}")
+        Process(sim, self._rectifier_monitor(), name=f"zc_monitor{k}")
+
+    def _on_gn_rise(self, _sig: Signal, _value: bool) -> None:
+        self._gn_on_time = self.ctrl.sim.now
+
+    # ------------------------------------------------------------------
+    @property
+    def _gates(self):
+        return self.ctrl.gates
+
+    def _main(self):
+        sim = self.ctrl.sim
+        t = self.ctrl.timings
+        while True:
+            # ---- MERGE: token OR high-load -----------------------------
+            if not self.token.value:
+                self.hl_wait.req.set(True)
+                yield wait_any(wait_high(self.token),
+                               wait_high(self.hl_wait.ack))
+                self.hl_wait.req.set(False)
+            yield delay(t.merge_hop)
+
+            if self.token.value and not self.ctrl.token_timer[self.k].req.value:
+                # TOKEN_CTRL: dwell clock for this visit
+                self.ctrl.token_timer[self.k].req.set(True)
+                self._pass_forked = False
+
+            # ---- MODE_CTRL: what does the buck need? -------------------
+            self.mode.req.set(True)
+            yield wait_any(wait_high(self.mode.grant_a),
+                           wait_high(self.mode.grant_b))
+            ov_mode = self.mode.grant_b.value
+
+            # early ack to TOKEN_CTRL: the token may move on while we charge
+            if self.token.value and not self._pass_forked:
+                self._pass_forked = True
+                Process(sim, self.ctrl._token_pass(self.k),
+                        name=f"token_pass{self.k}")
+
+            # ---- CHARGE_CTRL: one charging cycle ----------------------
+            yield delay(t.mode_to_charge)
+            yield from self._charge_cycle(ov_mode)
+            self.mode.req.set(False)
+
+    def _rectifier_monitor(self):
+        """NMOS_DELAY_CTRL + RWAIT(zc): whenever the NMOS conducts, wait
+        for the zero-crossing and switch it off (respecting NMIN) — unless
+        a new charging cycle's break-before-make gets there first, in
+        which case the pending wait is cancelled (the RWAIT's purpose)."""
+        from ..sim.process import wait_fall, wait_rise
+        sim = self.ctrl.sim
+        t = self.ctrl.timings
+        k = self.k
+        gn = self._gates.gn[k]
+        while True:
+            if not gn.value:
+                yield wait_rise(gn)
+            self.zc_wait.req.set(True)
+            yield wait_any(wait_high(self.zc_wait.ack), wait_fall(gn))
+            if gn.value and self.zc_wait.ack.value and \
+                    self.zc_wait.fired_by_condition:
+                remaining = self._gn_on_time + self.ctrl.params.nmin - sim.now
+                if remaining > 0:
+                    yield delay(remaining)
+                if gn.value:  # not preempted by a new cycle meanwhile
+                    gn.set(False, t.zc_to_gate)
+                    yield wait_low(gn)
+            elif not self.zc_wait.ack.value:
+                # superseded by a new cycle: release the RWAIT via cancel
+                self.zc_wait.cancel.set(True)
+                yield wait_high(self.zc_wait.ack)
+                self.zc_wait.cancel.set(False)
+            self.zc_wait.req.set(False)
+
+    def _charge_cycle(self, ov_mode: bool):
+        sim = self.ctrl.sim
+        t = self.ctrl.timings
+        k = self.k
+        gates = self._gates
+        params = self.ctrl.params
+        sensors = self.ctrl.sensors
+
+        if ov_mode:
+            sensors.set_ov_mode(k, True)
+            yield delay(t.ov_extra)
+
+        # break-before-make: release the NMOS first if it conducts
+        # (respecting its minimum ON time)
+        if gates.gn[k].value:
+            remaining = self._gn_on_time + params.nmin - sim.now
+            if remaining > 0:
+                yield delay(remaining)
+            gates.gn[k].set(False, t.gn_handoff)
+            yield wait_low(gates.gn_ack[k])
+
+        hold = params.pmin
+        if self.ctrl._uv_fresh and not ov_mode:
+            hold += params.pext          # EXT_DELAY_CTRL / PEXT_TIMER
+            self.ctrl._uv_fresh = False
+        gates.gp[k].set(True, t.charge_to_gate)
+        yield delay(t.charge_to_gate)
+        t_gp_on = sim.now
+        self.cycles_started += 1
+
+        # wait for over-current (WAIT2, rising phase)
+        self.oc_wait.req.set(True)
+        yield wait_high(self.oc_wait.ack)
+        self.oc_wait.req.set(False)
+        # PMOS_DELAY_CTRL: enforce the minimum ON time
+        remaining = t_gp_on + hold - sim.now
+        if remaining > 0:
+            yield delay(remaining)
+        gates.gp[k].set(False, t.oc_to_gate)
+        yield wait_low(gates.gp_ack[k])
+
+        # rectify through the NMOS; the rectifier monitor owns the ZC wait
+        gates.gn[k].set(True, t.gn_handoff)
+        yield delay(t.gn_handoff)
+
+        # WAIT2 falling phase: confirm the OC condition released
+        self.oc_wait.req.set(True)
+        yield wait_high(self.oc_wait.ack)
+        self.oc_wait.req.set(False)
+
+        if ov_mode:
+            # hold the swapped references until the sink completes (the
+            # rectifier monitor drops gn at the I_neg crossing)
+            yield wait_low(gates.gn[k])
+            sensors.set_ov_mode(k, False)
+
+
+class AsyncMultiphaseController:
+    """Token-ring asynchronous controller for an N-phase buck."""
+
+    def __init__(self, sim: Simulator, sensors, gates, n_phases: int,
+                 params: Optional[BuckControlParams] = None,
+                 timings: Optional[AsyncTimings] = None, trace: bool = True):
+        if n_phases < 1:
+            raise ValueError("need at least one phase")
+        self.sim = sim
+        self.sensors = sensors
+        self.gates = gates
+        self.n_phases = n_phases
+        self.params = params or BuckControlParams()
+        self.timings = timings or AsyncTimings()
+        self._uv_fresh = False
+        sensors.uv.output.subscribe(self._on_uv_rise, RISE)
+
+        from ..digital.timer import HandshakeTimer
+        self.token_at: List[Signal] = [
+            Signal(sim, f"token{k}", init=(k == 0), trace=trace)
+            for k in range(n_phases)
+        ]
+        self.token_timer: List[HandshakeTimer] = [
+            HandshakeTimer(sim, f"token_timer{k}", self.params.phase_dwell,
+                           trace=trace)
+            for k in range(n_phases)
+        ]
+        self.phases: List[AsyncPhaseController] = [
+            AsyncPhaseController(self, k, trace=trace)
+            for k in range(n_phases)
+        ]
+
+    # ------------------------------------------------------------------
+    def _on_uv_rise(self, _sig: Signal, _value: bool) -> None:
+        self._uv_fresh = True
+
+    def _token_pass(self, k: int):
+        """DECOUPLER: move the token after the dwell timer expires."""
+        timer = self.token_timer[k]
+        yield wait_high(timer.ack)
+        timer.req.set(False)
+        yield delay(self.timings.token_hop)
+        nxt = (k + 1) % self.n_phases
+        self.token_at[k].set(False)
+        if nxt != k:
+            self.token_at[nxt].set(True)
+        else:
+            # single-phase ring: re-inject the token after a fresh edge
+            self.sim.schedule(0.0, lambda: self.token_at[k].set(True))
+
+    @property
+    def cycles_started(self) -> List[int]:
+        return [p.cycles_started for p in self.phases]
+
+    def metastable_events(self) -> int:
+        """A2A-contained metastability episodes (never visible outside)."""
+        total = 0
+        for p in self.phases:
+            total += p.hl_wait.metastable_events
+            total += p.mode.metastable_events
+            total += p.oc_wait.metastable_events
+            total += p.zc_wait.metastable_events
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AsyncMultiphaseController(n={self.n_phases})"

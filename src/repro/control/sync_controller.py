@@ -1,0 +1,190 @@
+"""Synchronous multiphase buck controller (paper Fig. 5a).
+
+Architecture:
+
+- ``fsm_clk`` — the fast clock (100 MHz … 1 GHz in Table I) clocking the
+  per-phase FSMs;
+- 2-flop synchronizers on every sensor input, clocked on the *opposite*
+  clock phase so the FSM reads freshly-settled values — this is the
+  paper's footnote trick that caps the reaction latency at 2.5 clock
+  periods (2 for synchronisation + 0.5 for the FSM);
+- a slow round-robin :class:`~repro.digital.clock.PhaseActivator`
+  producing the non-overlapping phase activation pulses;
+- high-load (HL) overrides the activator and enables all phases at once.
+
+The reaction latency is *emergent*: sensors change asynchronously, the
+synchronizers quantise them onto clock edges, and the Mealy-style FSM acts
+on the next active edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..digital.clock import Clock, PhaseActivator
+from ..digital.synchronizer import TwoFlopSynchronizer
+from ..sim.core import Simulator
+from ..sim.signal import RISE, Signal
+from ..sim.units import NS, period_of
+from .params import BuckControlParams
+
+# FSM states
+IDLE = "idle"
+GN_OFF = "gn_off"      # waiting for NMOS to release before charging
+CHARGE = "charge"      # PMOS on, waiting for OC (and PMIN)
+GP_OFF = "gp_off"      # waiting for PMOS to release before rectifying
+DISCHARGE = "discharge"  # NMOS on, waiting for ZC (and NMIN) or re-activation
+
+
+@dataclass
+class _PhaseState:
+    phase: str = IDLE
+    ov_mode: bool = False
+    pmin_deadline: float = 0.0
+    nmin_deadline: float = 0.0
+
+
+class SyncMultiphaseController:
+    """Clocked round-robin controller for an N-phase buck.
+
+    Parameters
+    ----------
+    sensors:
+        Sensor surface (see :mod:`repro.control.params`).
+    gates:
+        Gate-driver bank: ``gp``/``gn`` request signals, ``gp_ack``/
+        ``gn_ack`` conduction acknowledgements.
+    fsm_frequency:
+        The fast clock frequency in Hz.
+    """
+
+    def __init__(self, sim: Simulator, sensors, gates, n_phases: int,
+                 fsm_frequency: float,
+                 params: Optional[BuckControlParams] = None,
+                 t_clk_q: float = 0.3 * NS, trace: bool = True):
+        if n_phases < 1:
+            raise ValueError("need at least one phase")
+        self.sim = sim
+        self.sensors = sensors
+        self.gates = gates
+        self.n_phases = n_phases
+        self.params = params or BuckControlParams()
+        self.period = period_of(fsm_frequency)
+        self.t_clk_q = t_clk_q
+
+        self.fsm_clk = Clock(sim, "fsm_clk", self.period, trace=False)
+        # Synchronizer clock on the opposite phase (the 0.5-cycle trick).
+        self.sync_clk = Clock(sim, "sync_clk", self.period,
+                              phase=self.period / 2, trace=False)
+        self.activator = PhaseActivator(sim, "activator", n_phases,
+                                        self.params.phase_dwell, trace=trace)
+
+        sck = self.sync_clk.signal
+        self._sync: Dict[str, TwoFlopSynchronizer] = {
+            "hl": TwoFlopSynchronizer(sim, "sync_hl", sensors.hl.output, sck,
+                                      trace=trace),
+            "uv": TwoFlopSynchronizer(sim, "sync_uv", sensors.uv.output, sck,
+                                      trace=trace),
+            "ov": TwoFlopSynchronizer(sim, "sync_ov", sensors.ov.output, sck,
+                                      trace=trace),
+        }
+        for k in range(n_phases):
+            self._sync[f"oc{k}"] = TwoFlopSynchronizer(
+                sim, f"sync_oc{k}", sensors.oc[k].output, sck, trace=trace)
+            self._sync[f"zc{k}"] = TwoFlopSynchronizer(
+                sim, f"sync_zc{k}", sensors.zc[k].output, sck, trace=trace)
+
+        self._state = [_PhaseState() for _ in range(n_phases)]
+        self._uv_fresh = False
+        self._sync["uv"].output.subscribe(self._on_uv_rise, RISE)
+        self.fsm_clk.signal.subscribe(self._on_clk, RISE)
+        #: count of charging cycles started, per phase (observability)
+        self.cycles_started = [0] * n_phases
+
+    # ------------------------------------------------------------------
+    def _on_uv_rise(self, _sig: Signal, _value: bool) -> None:
+        self._uv_fresh = True  # next charging cycle gets the PEXT extension
+
+    def _sval(self, name: str) -> bool:
+        return self._sync[name].output.value
+
+    def _activated(self, k: int) -> bool:
+        return self.activator.act[k].value or self._sval("hl")
+
+    def _on_clk(self, _sig: Signal, _value: bool) -> None:
+        for k in range(self.n_phases):
+            self._step_phase(k)
+
+    # ------------------------------------------------------------------
+    def _drive(self, sig: Signal, value: bool) -> None:
+        sig.set(value, self.t_clk_q)
+
+    def _step_phase(self, k: int) -> None:
+        st = self._state[k]
+        now = self.sim.now
+        uv, ov = self._sval("uv"), self._sval("ov")
+        oc, zc = self._sval(f"oc{k}"), self._sval(f"zc{k}")
+        gates = self.gates
+
+        if st.phase == IDLE:
+            # never start a charge while the phase is still over-current
+            if self._activated(k) and (uv or ov) and not oc:
+                st.ov_mode = ov and not uv
+                self.sensors.set_ov_mode(k, st.ov_mode)
+                if not gates.gn_ack[k].value:
+                    self._begin_charge(k, st)
+                else:
+                    self._drive(gates.gn[k], False)
+                    st.phase = GN_OFF
+
+        elif st.phase == GN_OFF:
+            if not gates.gn_ack[k].value:
+                self._begin_charge(k, st)
+
+        elif st.phase == CHARGE:
+            if oc and now >= st.pmin_deadline:
+                self._drive(gates.gp[k], False)
+                st.phase = GP_OFF
+
+        elif st.phase == GP_OFF:
+            if not gates.gp_ack[k].value:
+                self._drive(gates.gn[k], True)
+                st.nmin_deadline = now + self.params.nmin
+                st.phase = DISCHARGE
+
+        elif st.phase == DISCHARGE:
+            if now < st.nmin_deadline:
+                return
+            if zc:
+                self._drive(gates.gn[k], False)
+                self._end_cycle(k, st)
+            elif self._activated(k) and (uv or (st.ov_mode and ov)) and not oc:
+                # back-to-back cycle: demand persists and current decayed
+                self._drive(gates.gn[k], False)
+                st.phase = GN_OFF
+
+    def _begin_charge(self, k: int, st: _PhaseState) -> None:
+        hold = self.params.pmin
+        if self._uv_fresh and not st.ov_mode:
+            hold += self.params.pext
+            self._uv_fresh = False
+        st.pmin_deadline = self.sim.now + hold
+        self._drive(self.gates.gp[k], True)
+        self.cycles_started[k] += 1
+        st.phase = CHARGE
+
+    def _end_cycle(self, k: int, st: _PhaseState) -> None:
+        if st.ov_mode:
+            self.sensors.set_ov_mode(k, False)
+            st.ov_mode = False
+        st.phase = IDLE
+
+    # ------------------------------------------------------------------
+    def metastable_events(self) -> int:
+        """Total synchronizer first-flop setup violations observed."""
+        return sum(s.metastable_events for s in self._sync.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SyncMultiphaseController(n={self.n_phases}, "
+                f"f={1.0 / self.period / 1e6:.0f}MHz)")

@@ -1,0 +1,134 @@
+"""Muller C-element and asymmetric variants.
+
+The C-element is the workhorse state-holding gate of speed-independent
+design (Muller & Bartky [7] in the paper): the output goes high when *all*
+inputs are high, low when *all* inputs are low, and holds otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sim.core import Event, Simulator
+from ..sim.signal import Signal
+from .gates import DEFAULT_GATE_DELAY
+
+
+class CElement:
+    """N-input Muller C-element with inertial delay.
+
+    Parameters
+    ----------
+    init:
+        Initial stored output value.
+    """
+
+    def __init__(self, sim: Simulator, name: str, inputs: Sequence[Signal],
+                 init: bool = False, delay: float = DEFAULT_GATE_DELAY,
+                 trace: bool = True):
+        if not inputs:
+            raise ValueError(f"C-element {name!r} needs at least one input")
+        self.sim = sim
+        self.name = name
+        self.inputs = list(inputs)
+        self.delay = delay
+        self.output = Signal(sim, name, init=init, trace=trace)
+        self._pending: Optional[Event] = None
+        self._pending_value: Optional[bool] = None
+        for sig in self.inputs:
+            sig.subscribe(self._on_input)
+
+    def _next_value(self) -> bool:
+        # Combinational-with-feedback form: out' = AND(in) + out * OR(in).
+        # On "hold" the excitation is gone, so a pending (not yet committed)
+        # transition must be withdrawn — that is what filters input glitches.
+        values = [s.value for s in self.inputs]
+        if all(values):
+            return True
+        if not any(values):
+            return False
+        return self.output.value
+
+    def _on_input(self, _sig: Signal, _value: bool) -> None:
+        new = self._next_value()
+        target = self._pending_value if self._pending is not None else self.output.value
+        if new == target:
+            return
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+            self._pending_value = None
+        if new == self.output.value:
+            return
+        self._pending_value = new
+        self._pending = self.sim.schedule(self.delay, lambda: self._commit(new))
+
+    def _commit(self, value: bool) -> None:
+        self._pending = None
+        self._pending_value = None
+        self.output._apply(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CElement({self.name!r}, out={int(self.output.value)})"
+
+
+class AsymmetricCElement:
+    """C-element with *plus-only* and *minus-only* inputs.
+
+    ``rise`` requires: all regular AND all plus inputs high.
+    ``fall`` requires: all regular inputs low AND all minus inputs low.
+
+    This is the generalised C-element (gC) that STG synthesis targets: the
+    set function is the rise condition, the reset function the fall
+    condition (see :mod:`repro.stg.synthesis`).
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 common: Sequence[Signal] = (),
+                 plus: Sequence[Signal] = (),
+                 minus: Sequence[Signal] = (),
+                 init: bool = False, delay: float = DEFAULT_GATE_DELAY,
+                 trace: bool = True):
+        if not (list(common) or list(plus) or list(minus)):
+            raise ValueError(f"gC {name!r} needs at least one input")
+        self.sim = sim
+        self.name = name
+        self.common = list(common)
+        self.plus = list(plus)
+        self.minus = list(minus)
+        self.delay = delay
+        self.output = Signal(sim, name, init=init, trace=trace)
+        self._pending: Optional[Event] = None
+        self._pending_value: Optional[bool] = None
+        for sig in self.common + self.plus + self.minus:
+            sig.subscribe(self._on_input)
+
+    def _next_value(self) -> bool:
+        set_cond = (all(s.value for s in self.common)
+                    and all(s.value for s in self.plus))
+        reset_cond = (not any(s.value for s in self.common)
+                      and not any(s.value for s in self.minus))
+        if set_cond and not reset_cond:
+            return True
+        if reset_cond and not set_cond:
+            return False
+        return self.output.value  # hold the committed value (glitch filter)
+
+    def _on_input(self, _sig: Signal, _value: bool) -> None:
+        new = self._next_value()
+        target = self._pending_value if self._pending is not None else self.output.value
+        if new == target:
+            return
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+            self._pending_value = None
+        if new == self.output.value:
+            return
+        self._pending_value = new
+        self._pending = self.sim.schedule(self.delay, lambda: self._commit(new))
+
+    def _commit(self, value: bool) -> None:
+        self._pending = None
+        self._pending_value = None
+        self.output._apply(value)

@@ -1,0 +1,95 @@
+"""Clock and non-overlapping pulse generators.
+
+The synchronous multiphase controller (paper Fig. 5a) uses two clocks:
+
+- ``fsm_clk`` — fast (hundreds of MHz), polling sensors and clocking FSMs;
+- ``phase_clk`` — slow (few MHz), from which the phase activator derives
+  non-overlapping activation pulses in a round-robin pattern.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.core import Simulator
+from ..sim.signal import Signal
+
+
+class Clock:
+    """Free-running clock signal.
+
+    Parameters
+    ----------
+    period:
+        Clock period in seconds.
+    duty:
+        High-time fraction.
+    phase:
+        Delay of the first rising edge.
+    """
+
+    def __init__(self, sim: Simulator, name: str, period: float,
+                 duty: float = 0.5, phase: float = 0.0, trace: bool = False):
+        if period <= 0:
+            raise ValueError("clock period must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty cycle must be in (0, 1)")
+        self.sim = sim
+        self.period = period
+        self.duty = duty
+        self.signal = Signal(sim, name, init=False, trace=trace)
+        self._high_time = period * duty
+        sim.schedule(phase, self._rise)
+
+    def _rise(self) -> None:
+        self.signal._apply(True)
+        self.sim.schedule(self._high_time, self._fall)
+
+    def _fall(self) -> None:
+        self.signal._apply(False)
+        self.sim.schedule(self.period - self._high_time, self._rise)
+
+
+class PhaseActivator:
+    """Round-robin generator of non-overlapping activation pulses.
+
+    Produces N ``act[k]`` signals; each is high for ``pulse_width`` once per
+    rotation, with guaranteed gaps (non-overlap) between consecutive
+    phases.  This is the synchronous design's phase selection mechanism;
+    the asynchronous design replaces it with a token ring whose per-stage
+    timer has the same dwell time.
+    """
+
+    def __init__(self, sim: Simulator, name: str, n_phases: int,
+                 dwell: float, gap_fraction: float = 0.05,
+                 trace: bool = True):
+        if n_phases < 1:
+            raise ValueError("need at least one phase")
+        if dwell <= 0:
+            raise ValueError("dwell time must be positive")
+        if not 0.0 <= gap_fraction < 1.0:
+            raise ValueError("gap fraction must be in [0, 1)")
+        self.sim = sim
+        self.n_phases = n_phases
+        self.dwell = dwell
+        self.gap = dwell * gap_fraction
+        self.act: List[Signal] = [
+            Signal(sim, f"{name}.act{k}", trace=trace) for k in range(n_phases)
+        ]
+        self._current = 0
+        sim.schedule(0.0, self._activate)
+
+    def _activate(self) -> None:
+        sig = self.act[self._current]
+        sig._apply(True)
+        self.sim.schedule(self.dwell - self.gap, lambda s=sig: self._deactivate(s))
+
+    def _deactivate(self, sig: Signal) -> None:
+        sig._apply(False)
+        self._current = (self._current + 1) % self.n_phases
+        self.sim.schedule(self.gap, self._activate)
+
+    @property
+    def rotation_period(self) -> float:
+        """Time for the activation token to make a full round."""
+        return self.dwell * self.n_phases

@@ -1,0 +1,116 @@
+"""Event-driven combinational gates with inertial delay.
+
+Gates re-evaluate whenever an input changes and schedule the new output
+value after their propagation delay.  A pending transition is cancelled if
+a newer evaluation supersedes it (inertial-delay semantics: pulses shorter
+than the gate delay are filtered — which is precisely why non-persistent
+comparator pulses are dangerous for ordinary logic and need A2A elements).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..sim.core import Event, Simulator
+from ..sim.signal import Signal
+from ..sim.units import NS
+
+#: default gate propagation delay (a TSMC 90 nm-ish FO4-scale figure)
+DEFAULT_GATE_DELAY = 0.1 * NS
+
+
+class Gate:
+    """A combinational gate: ``output = func(*input_values)``.
+
+    Parameters
+    ----------
+    func:
+        Boolean function of the input values (positional, in input order).
+    delay:
+        Propagation delay; evaluation is inertial.
+    """
+
+    def __init__(self, sim: Simulator, name: str, inputs: Sequence[Signal],
+                 func: Callable[..., bool], delay: float = DEFAULT_GATE_DELAY,
+                 trace: bool = True):
+        if not inputs:
+            raise ValueError(f"gate {name!r} needs at least one input")
+        self.sim = sim
+        self.name = name
+        self.inputs = list(inputs)
+        self.func = func
+        self.delay = delay
+        initial = bool(func(*(s.value for s in self.inputs)))
+        self.output = Signal(sim, name, init=initial, trace=trace)
+        self._pending: Optional[Event] = None
+        self._pending_value: Optional[bool] = None
+        for sig in self.inputs:
+            sig.subscribe(self._on_input)
+
+    def _on_input(self, _sig: Signal, _value: bool) -> None:
+        new = bool(self.func(*(s.value for s in self.inputs)))
+        target = self._pending_value if self._pending is not None else self.output.value
+        if new == target:
+            return
+        if self._pending is not None:
+            self._pending.cancel()  # inertial: supersede the queued transition
+            self._pending = None
+            self._pending_value = None
+        if new == self.output.value:
+            return
+        self._pending_value = new
+        self._pending = self.sim.schedule(self.delay, lambda: self._commit(new))
+
+    def _commit(self, value: bool) -> None:
+        self._pending = None
+        self._pending_value = None
+        self.output._apply(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gate({self.name!r}, out={int(self.output.value)})"
+
+
+# ---------------------------------------------------------------------------
+# Gate factories
+# ---------------------------------------------------------------------------
+
+def not_gate(sim: Simulator, name: str, a: Signal,
+             delay: float = DEFAULT_GATE_DELAY) -> Gate:
+    """Inverter."""
+    return Gate(sim, name, [a], lambda x: not x, delay)
+
+
+def and_gate(sim: Simulator, name: str, *inputs: Signal,
+             delay: float = DEFAULT_GATE_DELAY) -> Gate:
+    """N-input AND."""
+    return Gate(sim, name, inputs, lambda *vs: all(vs), delay)
+
+
+def or_gate(sim: Simulator, name: str, *inputs: Signal,
+            delay: float = DEFAULT_GATE_DELAY) -> Gate:
+    """N-input OR."""
+    return Gate(sim, name, inputs, lambda *vs: any(vs), delay)
+
+
+def nand_gate(sim: Simulator, name: str, *inputs: Signal,
+              delay: float = DEFAULT_GATE_DELAY) -> Gate:
+    """N-input NAND."""
+    return Gate(sim, name, inputs, lambda *vs: not all(vs), delay)
+
+
+def nor_gate(sim: Simulator, name: str, *inputs: Signal,
+             delay: float = DEFAULT_GATE_DELAY) -> Gate:
+    """N-input NOR."""
+    return Gate(sim, name, inputs, lambda *vs: not any(vs), delay)
+
+
+def xor_gate(sim: Simulator, name: str, a: Signal, b: Signal,
+             delay: float = DEFAULT_GATE_DELAY) -> Gate:
+    """2-input XOR."""
+    return Gate(sim, name, [a, b], lambda x, y: x != y, delay)
+
+
+def buf_gate(sim: Simulator, name: str, a: Signal,
+             delay: float = DEFAULT_GATE_DELAY) -> Gate:
+    """Non-inverting buffer (delay element)."""
+    return Gate(sim, name, [a], lambda x: x, delay)

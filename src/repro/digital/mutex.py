@@ -1,0 +1,115 @@
+"""Mutual-exclusion (mutex) element with an explicit metastability model.
+
+The mutex arbitrates two request inputs into two mutually-exclusive grant
+outputs.  When requests arrive almost simultaneously (within
+``window``), the internal cross-coupled pair goes metastable: the winner is
+random and the decision takes an extra exponentially-distributed resolution
+time.  Crucially — as in a real mutex — the *outputs stay clean*: no grant
+is issued until the metastability resolves.  This is the containment
+property the WAITX A2A element builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Simulator
+from ..sim.signal import Signal
+from ..sim.units import NS
+from .gates import DEFAULT_GATE_DELAY
+
+
+class Mutex:
+    """Two-way mutual exclusion element.
+
+    Protocol: raise ``r1``/``r2`` to request; exactly one of ``g1``/``g2``
+    rises.  Drop the request to release; the grant falls and a pending
+    opposite request (if any) is granted next.
+    """
+
+    def __init__(self, sim: Simulator, name: str, r1: Signal, r2: Signal,
+                 delay: float = DEFAULT_GATE_DELAY,
+                 window: float = 0.03 * NS, tau: float = 0.05 * NS,
+                 trace: bool = True):
+        self.sim = sim
+        self.name = name
+        self.r1 = r1
+        self.r2 = r2
+        self.delay = delay
+        self.window = window
+        self.tau = tau
+        self.g1 = Signal(sim, f"{name}.g1", trace=trace)
+        self.g2 = Signal(sim, f"{name}.g2", trace=trace)
+        #: which side currently holds the grant (None = free)
+        self._owner: Optional[int] = None
+        self._deciding = False
+        self._last_req_time = {1: -1.0, 2: -1.0}
+        self.metastable_events = 0
+        r1.subscribe(lambda s, v: self._on_request(1, v))
+        r2.subscribe(lambda s, v: self._on_request(2, v))
+
+    def _grant_signal(self, side: int) -> Signal:
+        return self.g1 if side == 1 else self.g2
+
+    def _request_signal(self, side: int) -> Signal:
+        return self.r1 if side == 1 else self.r2
+
+    def _on_request(self, side: int, value: bool) -> None:
+        if value:
+            self._last_req_time[side] = self.sim.now
+            self._try_grant()
+        else:
+            if self._owner == side:
+                # release: drop the grant, then consider the other side
+                self._owner = None
+                grant = self._grant_signal(side)
+                self.sim.schedule(self.delay, lambda: self._release(grant))
+
+    def _release(self, grant: Signal) -> None:
+        grant._apply(False)
+        self._try_grant()
+
+    def _try_grant(self) -> None:
+        if self._owner is not None or self._deciding:
+            return
+        if not (self.r1.value or self.r2.value):
+            return
+        # Sample both requests after the decision aperture: a request that
+        # lands inside the window of an earlier one races the cross-coupled
+        # pair and can flip the outcome (metastability).
+        self._deciding = True
+        self.sim.schedule(self.window, self._decide)
+
+    def _decide(self) -> None:
+        want1 = self.r1.value
+        want2 = self.r2.value
+        if not (want1 or want2):
+            self._deciding = False
+            return
+        if want1 and want2:
+            gap = abs(self._last_req_time[1] - self._last_req_time[2])
+            if gap < self.window:
+                self.metastable_events += 1
+                winner = 1 if self.sim.rng.random() < 0.5 else 2
+                resolution = (self.sim.rng.expovariate(1.0 / self.tau)
+                              if self.tau > 0 else 0.0)
+            else:
+                winner = 1 if self._last_req_time[1] < self._last_req_time[2] else 2
+                resolution = 0.0
+        else:
+            winner = 1 if want1 else 2
+            resolution = 0.0
+        self.sim.schedule(self.delay + resolution,
+                          lambda w=winner: self._commit_grant(w))
+
+    def _commit_grant(self, side: int) -> None:
+        self._deciding = False
+        if not self._request_signal(side).value:
+            # requester gave up while we were deciding; re-arbitrate
+            self._try_grant()
+            return
+        self._owner = side
+        self._grant_signal(side)._apply(True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Mutex({self.name!r}, owner={self._owner})"

@@ -1,0 +1,25 @@
+"""Experiment modules: one per table/figure of the paper's evaluation."""
+
+from .fig6 import Fig6Result, Fig6Run, PAPER_FIG6, run_fig6, run_one
+from .fig7 import (
+    CONTROLLERS,
+    PAPER_FIG7A_TRADEOFF_UH,
+    SweepResult,
+    coil_tradeoff,
+    format_tradeoff,
+    run_fig7a,
+    run_fig7b,
+    run_fig7c,
+)
+from .report import ascii_chart, format_series_table, format_table
+from .stg_verif import StgVerifResult, run_stg_verification
+from .table1 import PAPER_TABLE1, Table1Result, run_table1
+
+__all__ = [
+    "run_table1", "Table1Result", "PAPER_TABLE1",
+    "run_fig6", "run_one", "Fig6Result", "Fig6Run", "PAPER_FIG6",
+    "run_fig7a", "run_fig7b", "run_fig7c", "SweepResult", "CONTROLLERS",
+    "coil_tradeoff", "format_tradeoff", "PAPER_FIG7A_TRADEOFF_UH",
+    "run_stg_verification", "StgVerifResult",
+    "format_table", "format_series_table", "ascii_chart",
+]

@@ -1,0 +1,185 @@
+"""Fig. 7 — peak current and inductor losses across coils and loads.
+
+- **7a**: inductor peak current for 1-10 uH coils at 6 Ohm load, all five
+  controllers.  Slower control reacts later to OC during the startup/HL
+  transients, overshooting the current limit further — so it needs a
+  bigger coil to respect a given peak budget.  The paper's trade-off:
+  async holds 300 mA with a 1.8 uH coil where 333 MHz sync needs 6.8 uH
+  and 100 MHz needs 10 uH.
+- **7b**: the same comparison across 3-15 Ohm loads at 4.7 uH.
+- **7c**: inductor conduction losses for 1-10 uH at 6 Ohm — DCR grows
+  with L, so the smallest workable coil also loses the least.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analog.coil import library_values, make_coil, smallest_coil_for_peak
+from ..analog.load import LoadProfile
+from ..sim.units import MHZ, NS, UH, US
+from ..system import BuckSystem, SystemConfig
+from .report import Series, ascii_chart, format_series_table
+
+#: the five controller variants of the evaluation
+CONTROLLERS: List[Tuple[str, Optional[float]]] = [
+    ("100MHz", 100 * MHZ),
+    ("333MHz", 333 * MHZ),
+    ("666MHz", 666 * MHZ),
+    ("1GHz", 1000 * MHZ),
+    ("ASYNC", None),
+]
+
+#: paper's Fig. 7a coil-size trade-off (inductance needed to stay below
+#: the peak budget): async 1.8 uH, 666MHz 3.1 uH, 333MHz 6.8 uH,
+#: 100MHz 10 uH
+PAPER_FIG7A_TRADEOFF_UH = {
+    "ASYNC": 1.8, "666MHz": 3.1, "333MHz": 6.8, "100MHz": 10.0,
+}
+
+
+@dataclass
+class SweepResult:
+    """One figure's data: label -> [(x, y)] + the measurement meta."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: Series = field(default_factory=dict)
+
+    def ordered_at(self, x: float) -> List[str]:
+        """Series labels sorted by value at ``x`` (ascending)."""
+        vals = {}
+        for label, pts in self.series.items():
+            for px, py in pts:
+                if abs(px - x) < 1e-12:
+                    vals[label] = py
+        return sorted(vals, key=lambda l: vals[l])
+
+    def value(self, label: str, x: float) -> float:
+        for px, py in self.series[label]:
+            if abs(px - x) < 1e-12:
+                return py
+        raise KeyError(f"{label} has no point at {x}")
+
+    def format(self, x_format: str = "{:.3g}",
+               y_format: str = "{:.1f}") -> str:
+        return format_series_table(self.name, self.x_label, x_format,
+                                   y_format, self.series)
+
+    def chart(self) -> str:
+        return ascii_chart(self.series, title=self.name,
+                           x_label=self.x_label, y_label=self.y_label)
+
+
+def _run_point(label: str, frequency: Optional[float], inductance: float,
+               r_load: float, seed: int, dt: float):
+    config = SystemConfig(
+        controller="async" if frequency is None else "sync",
+        fsm_frequency=frequency or 333 * MHZ,
+        n_phases=4,
+        coil=make_coil(inductance),
+        load=LoadProfile.constant(r_load),
+        sim_time=10 * US,
+        dt=dt,
+        seed=seed,
+        trace=False,
+    )
+    system = BuckSystem(config)
+    return system, system.run()
+
+
+def default_l_values(quick: bool = False) -> List[float]:
+    values = library_values()
+    if quick:
+        values = [v for v in values
+                  if round(v / UH, 2) in (1.0, 2.25, 4.7, 10.0)]
+    return values
+
+
+def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
+              seed: int = 0, dt: float = 1 * NS, quick: bool = False
+              ) -> SweepResult:
+    """Fig. 7a: peak inductor current vs. coil inductance at 6 Ohm."""
+    l_values = l_values or default_l_values(quick)
+    result = SweepResult("Fig. 7a: inductor peak current, "
+                         f"{r_load:g} Ohm load",
+                         "L (uH)", "peak current (mA)")
+    for label, freq in CONTROLLERS:
+        pts = []
+        for l in l_values:
+            _, run = _run_point(label, freq, l, r_load, seed, dt)
+            pts.append((l / UH, run.peak_coil_current * 1e3))
+        result.series[label] = pts
+    return result
+
+
+def run_fig7b(r_values: Optional[List[float]] = None,
+              inductance: float = 4.7 * UH, seed: int = 0,
+              dt: float = 1 * NS, quick: bool = False) -> SweepResult:
+    """Fig. 7b: peak inductor current vs. load resistance at 4.7 uH."""
+    r_values = r_values or ([3.0, 6.0, 15.0] if quick
+                            else [3.0, 6.0, 9.0, 12.0, 15.0])
+    result = SweepResult("Fig. 7b: inductor peak current, "
+                         f"{inductance / UH:g} uH coil",
+                         "R_load (Ohm)", "peak current (mA)")
+    for label, freq in CONTROLLERS:
+        pts = []
+        for r in r_values:
+            _, run = _run_point(label, freq, inductance, r, seed, dt)
+            pts.append((r, run.peak_coil_current * 1e3))
+        result.series[label] = pts
+    return result
+
+
+def run_fig7c(l_values: Optional[List[float]] = None, r_load: float = 6.0,
+              seed: int = 0, dt: float = 1 * NS, quick: bool = False
+              ) -> SweepResult:
+    """Fig. 7c: inductor conduction losses vs. coil inductance at 6 Ohm."""
+    l_values = l_values or default_l_values(quick)
+    result = SweepResult("Fig. 7c: inductor losses, "
+                         f"{r_load:g} Ohm load",
+                         "L (uH)", "losses (uW)")
+    for label, freq in CONTROLLERS:
+        pts = []
+        for l in l_values:
+            _, run = _run_point(label, freq, l, r_load, seed, dt)
+            pts.append((l / UH, run.coil_loss_w * 1e6))
+        result.series[label] = pts
+    return result
+
+
+def coil_tradeoff(fig7a: SweepResult, limit_ma: float) -> Dict[str, float]:
+    """The paper's coil-size query: per controller, the smallest coil (uH)
+    whose peak current stays at or below ``limit_ma``; inf if none."""
+    out: Dict[str, float] = {}
+    for label, pts in fig7a.series.items():
+        peaks = {x * UH: y / 1e3 for x, y in pts}
+        try:
+            out[label] = smallest_coil_for_peak(peaks, limit_ma / 1e3) / UH
+        except ValueError:
+            out[label] = float("inf")
+    return out
+
+
+def format_tradeoff(tradeoff: Dict[str, float], limit_ma: float) -> str:
+    lines = [f"smallest coil keeping peak <= {limit_ma:.0f} mA:"]
+    for label in ("ASYNC", "1GHz", "666MHz", "333MHz", "100MHz"):
+        if label in tradeoff:
+            v = tradeoff[label]
+            lines.append(f"  {label:>7}: "
+                         + ("none in range" if v == float("inf")
+                            else f"{v:.3g} uH"))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    a = run_fig7a()
+    print(a.format())
+    print(a.chart())
+    print(format_tradeoff(coil_tradeoff(a, 310.0), 310.0))
+    b = run_fig7b()
+    print(b.format())
+    c = run_fig7c()
+    print(c.format())

@@ -1,0 +1,73 @@
+"""Text rendering shared by the experiment modules (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+
+def format_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width table with a title rule."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title), fmt(header), rule]
+    lines += [fmt(row) for row in rows]
+    return "\n".join(lines)
+
+
+def format_series_table(title: str, x_label: str, x_format: str,
+                        y_format: str, series: Series) -> str:
+    """One row per x value, one column per series (paper figure as table)."""
+    labels = list(series)
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    lookup = {label: dict(pts) for label, pts in series.items()}
+    header = [x_label] + labels
+    rows = []
+    for x in xs:
+        row = [x_format.format(x)]
+        for label in labels:
+            y = lookup[label].get(x)
+            row.append("-" if y is None else y_format.format(y))
+        rows.append(row)
+    return format_table(title, header, rows)
+
+
+def ascii_chart(series: Series, width: int = 70, height: int = 16,
+                title: str = "", x_label: str = "", y_label: str = "") -> str:
+    """Multi-series scatter chart; each series gets a distinct glyph."""
+    glyphs = "ox+*#@%&"
+    all_pts = [(x, y) for pts in series.values() for x, y in pts]
+    if not all_pts:
+        raise ValueError("no data")
+    xs, ys = zip(*all_pts)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (label, pts), glyph in zip(series.items(), glyphs):
+        for x, y in pts:
+            cx = int((x - x_lo) / x_span * (width - 1))
+            cy = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - cy][cx] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.4g} +" + "-" * width + "+")
+    lines.append(f"{'':11}{x_lo:<12.4g}{x_label:^{width - 24}}{x_hi:>12.4g}")
+    legend = "   ".join(f"{glyph}={label}"
+                        for (label, _), glyph in zip(series.items(), glyphs))
+    lines.append(f"{'':11}{legend}")
+    if y_label:
+        lines.append(f"{'':11}y: {y_label}")
+    return "\n".join(lines)

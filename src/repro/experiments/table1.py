@@ -1,0 +1,87 @@
+"""Table I — comparison of controller reaction times.
+
+Paper's table::
+
+    Controller   HL (ns)  UV (ns)  OV (ns)  OC (ns)  ZC (ns)
+    100MHz       25.00    25.00    25.00    25.00    25.00
+    333MHz        7.50     7.50     7.50     7.50     7.50
+    666MHz        3.75     3.75     3.75     3.75     3.75
+    1GHz          2.50     2.50     2.50     2.50     2.50
+    ASYNC         1.87     1.02     1.18     0.75     0.31
+    Improvement over 333MHz: 4x 7x 6x 10x 24x
+
+We *measure* every entry in simulation (sweeping the stimulus phase
+against the clock for the synchronous rows) rather than assuming the
+2.5-Tclk analytic bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.reaction import CONDITIONS, measure_all
+from ..sim.units import MHZ, NS
+from .report import format_table
+
+#: the paper's Table I, for paper-vs-measured reporting (nanoseconds)
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "100MHz": {c: 25.00 for c in CONDITIONS},
+    "333MHz": {c: 7.50 for c in CONDITIONS},
+    "666MHz": {c: 3.75 for c in CONDITIONS},
+    "1GHz": {c: 2.50 for c in CONDITIONS},
+    "ASYNC": {"HL": 1.87, "UV": 1.02, "OV": 1.18, "OC": 0.75, "ZC": 0.31},
+}
+
+SYNC_FREQUENCIES: List[Tuple[str, float]] = [
+    ("100MHz", 100 * MHZ),
+    ("333MHz", 333 * MHZ),
+    ("666MHz", 666 * MHZ),
+    ("1GHz", 1000 * MHZ),
+]
+
+
+@dataclass
+class Table1Result:
+    """Measured reaction times in nanoseconds: {row: {condition: ns}}."""
+
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def improvement_over_333(self) -> Dict[str, float]:
+        sync = self.rows["333MHz"]
+        a = self.rows["ASYNC"]
+        return {c: sync[c] / a[c] for c in CONDITIONS}
+
+    def format(self) -> str:
+        header = ["Controller"] + [f"{c} (ns)" for c in CONDITIONS]
+        body = []
+        for label in [name for name, _ in SYNC_FREQUENCIES] + ["ASYNC"]:
+            row = self.rows[label]
+            body.append([label] + [f"{row[c]:.2f}" for c in CONDITIONS])
+        imp = self.improvement_over_333
+        body.append(["Improvement over 333MHz"]
+                    + [f"{imp[c]:.0f}x" for c in CONDITIONS])
+        return format_table("Table I: reaction time comparison",
+                            header, body)
+
+
+def run_table1(n_offsets: int = 8,
+               frequencies: Optional[List[Tuple[str, float]]] = None
+               ) -> Table1Result:
+    """Measure the full table.
+
+    ``n_offsets`` controls how finely the stimulus phase is swept against
+    the synchronous clock (more offsets -> tighter worst case).
+    """
+    result = Table1Result()
+    for label, freq in (frequencies or SYNC_FREQUENCIES):
+        lat = measure_all("sync", frequency=freq, n_offsets=n_offsets)
+        result.rows[label] = {c: lat[c] / NS for c in CONDITIONS}
+    lat = measure_all("async")
+    result.rows["ASYNC"] = {c: lat[c] / NS for c in CONDITIONS}
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run_table1().format())

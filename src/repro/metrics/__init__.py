@@ -1,0 +1,26 @@
+"""Measurement utilities: waveform analysis and reaction-time harness."""
+
+from .reaction import (
+    CONDITIONS,
+    ReactionMeasurement,
+    measure_all,
+    measure_reaction,
+)
+from .waveform import (
+    ascii_waveform,
+    duty_in_window,
+    edge_count,
+    episodes,
+    overshoot,
+    ripple,
+    sample_series,
+    settling_time,
+    undershoot,
+)
+
+__all__ = [
+    "ripple", "overshoot", "undershoot", "settling_time",
+    "edge_count", "episodes", "duty_in_window",
+    "sample_series", "ascii_waveform",
+    "measure_reaction", "measure_all", "ReactionMeasurement", "CONDITIONS",
+]

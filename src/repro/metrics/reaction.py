@@ -1,0 +1,133 @@
+"""Reaction-time measurement harness (Table I).
+
+Measures, in simulation, the latency from a sensor condition edge to the
+corresponding gate-drive reaction, for each of the five conditions (HL,
+UV, OV, OC, ZC) and each controller.  The analog is replaced by drivable
+stubs so the measurement isolates the *controller* path, exactly like the
+paper's PrimeTime latency extraction on the digital netlist.
+
+For the synchronous controller the stimulus is swept across the clock
+period and the worst case reported (the paper quotes the deterministic
+2.5-Tclk bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..control.async_controller import AsyncMultiphaseController, AsyncTimings
+from ..control.params import BuckControlParams, StubGates, StubSensors
+from ..control.sync_controller import SyncMultiphaseController
+from ..sim.core import Simulator
+from ..sim.signal import Signal
+from ..sim.units import NS, US
+
+CONDITIONS = ("HL", "UV", "OV", "OC", "ZC")
+
+
+@dataclass
+class ReactionMeasurement:
+    condition: str
+    latency: float          #: stimulus edge -> gate-drive edge (seconds)
+
+
+def _mk(controller: str, frequency: Optional[float], n_phases: int,
+        seed: int, params: Optional[BuckControlParams] = None):
+    sim = Simulator(seed=seed)
+    sensors = StubSensors(sim, n_phases)
+    gates = StubGates(sim, n_phases)
+    params = params or BuckControlParams(phase_dwell=100 * US)  # park rotation
+    if controller == "sync":
+        assert frequency is not None
+        ctrl = SyncMultiphaseController(sim, sensors, gates, n_phases,
+                                        frequency, params=params, trace=True)
+    else:
+        ctrl = AsyncMultiphaseController(sim, sensors, gates, n_phases,
+                                         params=params, trace=True)
+    return sim, sensors, gates, ctrl
+
+
+def _measure_one(controller: str, frequency: Optional[float],
+                 condition: str, offset: float, seed: int = 0) -> float:
+    """One latency sample; ``offset`` staggers the stimulus against the
+    clock (irrelevant for async)."""
+    n = 2 if condition == "HL" else 1
+    sim, sensors, gates, ctrl = _mk(controller, frequency, n, seed)
+    t_setup = 200 * NS + offset
+
+    if condition in ("UV", "OV"):
+        sim.run_until(t_setup)
+        t0 = sim.now
+        (sensors.uv if condition == "UV" else sensors.ov).output.set(True)
+        watch, edge = gates.gp[0], "rise"
+
+    elif condition == "HL":
+        # HL reaction of a stage that is *not* token-active: phase 1.
+        sim.run_until(t_setup)
+        t0 = sim.now
+        sensors.uv.output.set(True)   # HL implies UV
+        sensors.hl.output.set(True)
+        watch, edge = gates.gp[1], "rise"
+
+    elif condition == "OC":
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run_until(t_setup)
+        if not gates.gp[0].value:
+            raise RuntimeError("charge cycle did not start")
+        t0 = sim.now
+        sensors.oc[0].output.set(True)
+        watch, edge = gates.gp[0], "fall"
+
+    elif condition == "ZC":
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run_until(120 * NS)
+        sensors.uv.output.set(False)
+        sensors.oc[0].output.set(True)
+        sim.run_until(170 * NS)
+        sensors.oc[0].output.set(False)
+        sim.run_until(t_setup + 60 * NS)
+        if not gates.gn[0].value:
+            raise RuntimeError("rectification did not start")
+        t0 = sim.now
+        sensors.zc[0].output.set(True)
+        watch, edge = gates.gn[0], "fall"
+    else:
+        raise ValueError(f"unknown condition {condition!r}")
+
+    sim.run(3 * US)
+    edges = [t for t in watch.edges(edge) if t >= t0]
+    if not edges:
+        raise RuntimeError(
+            f"{controller}/{condition}: no reaction observed")
+    return edges[0] - t0
+
+
+def measure_reaction(controller: str, condition: str,
+                     frequency: Optional[float] = None,
+                     n_offsets: int = 8) -> ReactionMeasurement:
+    """Worst-case reaction latency for one condition.
+
+    For the synchronous controller the stimulus phase is swept over one
+    clock period (the latency depends on where the edge lands); the async
+    controller is phase-free and a single sample suffices.
+    """
+    if controller == "sync":
+        if frequency is None:
+            raise ValueError("sync measurement needs a clock frequency")
+        period = 1.0 / frequency
+        offsets = [period * i / n_offsets for i in range(n_offsets)]
+    else:
+        offsets = [0.0]
+    worst = max(_measure_one(controller, frequency, condition, off)
+                for off in offsets)
+    return ReactionMeasurement(condition, worst)
+
+
+def measure_all(controller: str, frequency: Optional[float] = None,
+                n_offsets: int = 8) -> Dict[str, float]:
+    """Worst-case latency for all five conditions; {condition: seconds}."""
+    return {
+        c: measure_reaction(controller, c, frequency, n_offsets).latency
+        for c in CONDITIONS
+    }

@@ -1,0 +1,61 @@
+"""Discrete-event simulation kernel (signals, processes, tracing).
+
+This package is the substrate every other layer builds on:
+
+- :class:`~repro.sim.core.Simulator` — the event queue;
+- :class:`~repro.sim.signal.Signal` — boolean nets with edge callbacks;
+- :class:`~repro.sim.signal.AnalogProbe` — real-valued waveform recorders;
+- :class:`~repro.sim.process.Process` — generator-based concurrent processes
+  with ``delay`` / ``wait_rise`` / ``wait_any`` commands;
+- :func:`~repro.sim.vcd.dump_vcd` — VCD export for waveform viewers.
+"""
+
+from .core import Event, SimulationError, Simulator
+from .process import (
+    Command,
+    Process,
+    delay,
+    fork,
+    wait_any,
+    wait_edge,
+    wait_fall,
+    wait_high,
+    wait_low,
+    wait_rise,
+)
+from .signal import ANY, FALL, RISE, AnalogProbe, Signal
+from .units import (
+    A,
+    GHZ,
+    HZ,
+    KHZ,
+    MA,
+    MHZ,
+    MS,
+    MV,
+    NS,
+    OHM,
+    PS,
+    S,
+    UF,
+    UH,
+    US,
+    UW,
+    V,
+    fmt_si,
+    fmt_time,
+    frequency_of,
+    period_of,
+)
+from .vcd import dump_vcd, write_vcd
+
+__all__ = [
+    "Simulator", "Event", "SimulationError",
+    "Signal", "AnalogProbe", "RISE", "FALL", "ANY",
+    "Process", "Command", "fork", "delay",
+    "wait_rise", "wait_fall", "wait_edge", "wait_high", "wait_low", "wait_any",
+    "dump_vcd", "write_vcd",
+    "S", "MS", "US", "NS", "PS", "HZ", "KHZ", "MHZ", "GHZ",
+    "V", "MV", "A", "MA", "OHM", "UH", "UF", "UW",
+    "period_of", "frequency_of", "fmt_time", "fmt_si",
+]

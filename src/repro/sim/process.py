@@ -1,0 +1,252 @@
+"""Generator-based processes on top of the event kernel.
+
+A *process* is a Python generator that yields wait commands::
+
+    def handshake(sim, req, ack):
+        while True:
+            yield wait_rise(req)
+            ack.set(True, delay=1 * NS)   # not a command: plain driving
+            yield wait_fall(req)
+            yield delay(1 * NS)
+            ack.set(False)
+
+    Process(sim, handshake(sim, req, ack), name="hs")
+
+Supported commands
+------------------
+``delay(dt)``
+    Resume after ``dt`` seconds.
+``wait_rise(sig) / wait_fall(sig) / wait_edge(sig)``
+    Resume on the next matching edge.  The yield returns the signal.
+``wait_high(sig) / wait_low(sig)``
+    Level wait: resume immediately if the level already holds.
+``wait_any(cmd, cmd, ...)``
+    Resume when the first of several commands completes; the yield returns
+    the completed command (so a timeout race reads naturally).
+
+Processes are the modelling idiom for asynchronous control modules: each
+handshake component in the paper's Fig. 5c maps onto one process.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Optional, Sequence, Tuple
+
+from .core import Event, Simulator
+from .signal import ANY, FALL, RISE, Signal
+
+
+class Command:
+    """Base class for things a process may yield."""
+
+    __slots__ = ()
+
+    def arm(self, process: "Process") -> None:
+        raise NotImplementedError
+
+    def disarm(self) -> None:
+        raise NotImplementedError
+
+
+class delay(Command):
+    """Resume the process after ``dt`` seconds."""
+
+    __slots__ = ("dt", "_event")
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"delay must be non-negative, got {dt}")
+        self.dt = dt
+        self._event: Optional[Event] = None
+
+    def arm(self, process: "Process") -> None:
+        self._event = process.sim.schedule(self.dt, lambda: process._resume(self))
+
+    def disarm(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"delay({self.dt!r})"
+
+
+class _EdgeWait(Command):
+    """Wait for an edge of one signal."""
+
+    __slots__ = ("signal", "edge", "_handle", "_process")
+
+    def __init__(self, signal: Signal, edge: str):
+        self.signal = signal
+        self.edge = edge
+        self._handle = None
+        self._process: Optional["Process"] = None
+
+    def arm(self, process: "Process") -> None:
+        self._process = process
+        self._handle = self.signal.subscribe(self._fire, self.edge)
+
+    def _fire(self, _sig: Signal, _value: bool) -> None:
+        process = self._process
+        self.disarm()
+        if process is not None:
+            process._resume(self)
+
+    def disarm(self) -> None:
+        if self._handle is not None:
+            self.signal.unsubscribe(self._handle)
+            self._handle = None
+        self._process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"wait_{self.edge}({self.signal.name})"
+
+
+class _LevelWait(_EdgeWait):
+    """Wait for a signal level; completes immediately if it already holds."""
+
+    __slots__ = ("level",)
+
+    def __init__(self, signal: Signal, level: bool):
+        super().__init__(signal, RISE if level else FALL)
+        self.level = level
+
+    def arm(self, process: "Process") -> None:
+        if self.signal.value == self.level:
+            # Complete in a fresh kernel event to keep resume ordering fair.
+            process.sim.schedule(0.0, lambda: process._resume(self))
+            return
+        super().arm(process)
+
+
+def wait_rise(signal: Signal) -> Command:
+    """Wait for the next rising edge of ``signal``."""
+    return _EdgeWait(signal, RISE)
+
+
+def wait_fall(signal: Signal) -> Command:
+    """Wait for the next falling edge of ``signal``."""
+    return _EdgeWait(signal, FALL)
+
+
+def wait_edge(signal: Signal) -> Command:
+    """Wait for the next edge (either direction) of ``signal``."""
+    return _EdgeWait(signal, ANY)
+
+
+def wait_high(signal: Signal) -> Command:
+    """Wait until ``signal`` is high (immediately if it already is)."""
+    return _LevelWait(signal, True)
+
+
+def wait_low(signal: Signal) -> Command:
+    """Wait until ``signal`` is low (immediately if it already is)."""
+    return _LevelWait(signal, False)
+
+
+class wait_any(Command):
+    """Race several commands; completes with the first one that fires.
+
+    The yield expression evaluates to the *winning inner command*, so::
+
+        got = yield wait_any(wait_rise(req), delay(timeout))
+        if isinstance(got, delay): ...   # timed out
+    """
+
+    __slots__ = ("commands", "_process", "_winner")
+
+    def __init__(self, *commands: Command):
+        if not commands:
+            raise ValueError("wait_any needs at least one command")
+        self.commands: Tuple[Command, ...] = commands
+        self._process: Optional["Process"] = None
+        self._winner: Optional[Command] = None
+
+    def arm(self, process: "Process") -> None:
+        self._process = process
+        proxy = _AnyProxy(self)
+        for cmd in self.commands:
+            cmd.arm(proxy)  # type: ignore[arg-type]
+
+    def _child_fired(self, cmd: Command) -> None:
+        if self._winner is not None:
+            return  # a sibling already won this race
+        self._winner = cmd
+        self.disarm()
+        if self._process is not None:
+            self._process._resume(cmd)
+
+    def disarm(self) -> None:
+        for cmd in self.commands:
+            cmd.disarm()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"wait_any({', '.join(map(repr, self.commands))})"
+
+
+class _AnyProxy:
+    """Adapter letting inner commands report to the enclosing wait_any."""
+
+    __slots__ = ("_parent", "sim")
+
+    def __init__(self, parent: wait_any):
+        self._parent = parent
+        assert parent._process is not None
+        self.sim = parent._process.sim
+
+    def _resume(self, cmd: Command) -> None:
+        self._parent._child_fired(cmd)
+
+
+ProcessBody = Generator[Command, Optional[Command], None]
+
+
+class Process:
+    """Run a generator as a simulation process.
+
+    The generator starts at the current simulation time (in a zero-delay
+    kernel event) and runs until it returns or :meth:`kill` is called.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_pending", "done")
+
+    def __init__(self, sim: Simulator, gen: ProcessBody, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._pending: Optional[Command] = None
+        self.done = False
+        sim.schedule(0.0, lambda: self._resume(None))
+
+    def _resume(self, completed: Optional[Command]) -> None:
+        if self.done:
+            return
+        self._pending = None
+        try:
+            cmd = self._gen.send(completed)
+        except StopIteration:
+            self.done = True
+            return
+        if not isinstance(cmd, Command):
+            raise TypeError(
+                f"process {self.name!r} yielded {cmd!r}; expected a wait command"
+            )
+        self._pending = cmd
+        cmd.arm(self)
+
+    def kill(self) -> None:
+        """Stop the process; any armed wait is disarmed."""
+        if self._pending is not None:
+            self._pending.disarm()
+            self._pending = None
+        self.done = True
+        self._gen.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else f"waiting on {self._pending!r}"
+        return f"Process({self.name!r}, {state})"
+
+
+def fork(sim: Simulator, gen: ProcessBody, name: str = "proc") -> Process:
+    """Convenience alias: start ``gen`` as a new process."""
+    return Process(sim, gen, name)

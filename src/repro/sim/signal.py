@@ -1,0 +1,269 @@
+"""Digital signals and analog probes.
+
+:class:`Signal` is a single-driver boolean net.  Value changes are scheduled
+through the simulator (transport delay semantics — every scheduled edge is
+delivered, which is what non-persistent comparator outputs need), and edge
+subscribers are notified synchronously when the change applies.
+
+:class:`AnalogProbe` records a piecewise-linear real-valued waveform and keeps
+running statistics (min / max / RMS) even when full tracing is disabled, so
+parameter sweeps stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from .core import Event, Simulator
+
+#: edge kinds accepted by :meth:`Signal.subscribe`
+RISE = "rise"
+FALL = "fall"
+ANY = "any"
+
+Listener = Callable[["Signal", bool], None]
+
+
+class Signal:
+    """A boolean net with scheduled updates and edge notification.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Hierarchical name used in traces and error messages.
+    init:
+        Initial value at t=0.
+    trace:
+        When True, keep the full ``(time, value)`` history.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_listeners", "trace", "history")
+
+    def __init__(self, sim: Simulator, name: str, init: bool = False,
+                 trace: bool = True):
+        self.sim = sim
+        self.name = name
+        self._value = bool(init)
+        self._listeners: List[Tuple[str, Listener]] = []
+        self.trace = trace
+        self.history: List[Tuple[float, bool]] = [(sim.now, self._value)]
+
+    # ------------------------------------------------------------------
+    # Value access
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> bool:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def set(self, value: bool, delay: float = 0.0) -> Optional[Event]:
+        """Schedule the signal to take ``value`` after ``delay`` seconds.
+
+        Returns the kernel event (cancellable) or ``None`` for an immediate
+        update.  With ``delay == 0`` the update applies synchronously, in
+        the current event — asynchronous circuit models rely on this for
+        zero-delay forwarding inside composite elements.
+        """
+        value = bool(value)
+        if delay == 0.0:
+            self._apply(value)
+            return None
+        return self.sim.schedule(delay, lambda: self._apply(value))
+
+    def toggle(self, delay: float = 0.0) -> Optional[Event]:
+        """Schedule an inversion of the *current* value after ``delay``."""
+        return self.set(not self._value, delay)
+
+    def pulse(self, width: float, delay: float = 0.0) -> None:
+        """Drive a high pulse of ``width`` seconds starting after ``delay``."""
+        self.set(True, delay)
+        self.sim.schedule(delay + width, lambda: self._apply(False))
+
+    def _apply(self, value: bool) -> None:
+        if value == self._value:
+            return
+        self._value = value
+        if self.trace:
+            self.history.append((self.sim.now, value))
+        edge = RISE if value else FALL
+        # Copy: listeners may (un)subscribe during notification.
+        for kind, fn in list(self._listeners):
+            if kind == ANY or kind == edge:
+                fn(self, value)
+
+    def force(self, value: bool) -> None:
+        """Set the value without notifying listeners (testbench reset aid)."""
+        self._value = bool(value)
+        if self.trace:
+            self.history.append((self.sim.now, self._value))
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, fn: Listener, edge: str = ANY) -> Tuple[str, Listener]:
+        """Register ``fn(signal, new_value)`` on the given edge kind.
+
+        Returns a handle for :meth:`unsubscribe`.
+        """
+        if edge not in (RISE, FALL, ANY):
+            raise ValueError(f"unknown edge kind {edge!r}")
+        handle = (edge, fn)
+        self._listeners.append(handle)
+        return handle
+
+    def unsubscribe(self, handle: Tuple[str, Listener]) -> None:
+        try:
+            self._listeners.remove(handle)
+        except ValueError:
+            pass  # already removed (one-shot waiters race with cancellation)
+
+    # ------------------------------------------------------------------
+    # History helpers
+    # ------------------------------------------------------------------
+    def value_at(self, t: float) -> bool:
+        """Value the signal held at time ``t`` (requires tracing)."""
+        result = self.history[0][1]
+        for time, value in self.history:
+            if time > t:
+                break
+            result = value
+        return result
+
+    def edges(self, kind: str = ANY) -> List[float]:
+        """Timestamps of recorded edges of the requested kind."""
+        out: List[float] = []
+        prev = self.history[0][1]
+        for time, value in self.history[1:]:
+            if value != prev:
+                edge = RISE if value else FALL
+                if kind == ANY or kind == edge:
+                    out.append(time)
+            prev = value
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, value={int(self._value)})"
+
+
+class AnalogProbe:
+    """Recorder for a real-valued waveform with running statistics.
+
+    The analog solver calls :meth:`record` once per accepted integration
+    step.  Statistics (max, min, time-weighted RMS) accumulate regardless of
+    whether the full waveform is kept, so sweeps can disable tracing.
+    """
+
+    __slots__ = ("name", "trace", "times", "values", "_max", "_min",
+                 "_sq_integral", "_abs_integral", "_last_t", "_last_v",
+                 "_t0", "_started")
+
+    def __init__(self, name: str, trace: bool = True):
+        self.name = name
+        self.trace = trace
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self._max = float("-inf")
+        self._min = float("inf")
+        self._sq_integral = 0.0
+        self._abs_integral = 0.0
+        self._last_t = 0.0
+        self._last_v = 0.0
+        self._t0 = 0.0
+        self._started = False
+
+    def record(self, t: float, v: float) -> None:
+        if not self._started:
+            self._t0 = t
+            self._started = True
+        else:
+            dt = t - self._last_t
+            if dt > 0:
+                # trapezoidal accumulation of v^2 and |v|
+                v0, v1 = self._last_v, v
+                self._sq_integral += 0.5 * (v0 * v0 + v1 * v1) * dt
+                self._abs_integral += 0.5 * (abs(v0) + abs(v1)) * dt
+        self._last_t = t
+        self._last_v = v
+        if v > self._max:
+            self._max = v
+        if v < self._min:
+            self._min = v
+        if self.trace:
+            self.times.append(t)
+            self.values.append(v)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def peak_abs(self) -> float:
+        return max(abs(self._max), abs(self._min))
+
+    def rms(self) -> float:
+        """Time-weighted RMS over the recorded interval."""
+        span = self._last_t - self._t0
+        if span <= 0:
+            return abs(self._last_v)
+        return (self._sq_integral / span) ** 0.5
+
+    def mean_abs(self) -> float:
+        span = self._last_t - self._t0
+        if span <= 0:
+            return abs(self._last_v)
+        return self._abs_integral / span
+
+    def reset_stats(self) -> None:
+        """Restart statistic accumulation from the current point.
+
+        Waveform history (if traced) is preserved; used to measure e.g.
+        steady-state ripple excluding the startup transient.
+        """
+        self._max = float("-inf")
+        self._min = float("inf")
+        self._sq_integral = 0.0
+        self._abs_integral = 0.0
+        self._started = False
+
+    def value_at(self, t: float) -> float:
+        """Linear interpolation of the traced waveform at time ``t``."""
+        if not self.trace or not self.times:
+            raise ValueError(f"probe {self.name!r} has no traced waveform")
+        times, values = self.times, self.values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        import bisect
+        i = bisect.bisect_right(times, t)
+        t0, t1 = times[i - 1], times[i]
+        v0, v1 = values[i - 1], values[i]
+        if t1 == t0:
+            return v1
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def window(self, t_start: float, t_end: float) -> Tuple[List[float], List[float]]:
+        """Return the traced samples with ``t_start <= t <= t_end``."""
+        ts, vs = [], []
+        for t, v in zip(self.times, self.values):
+            if t_start <= t <= t_end:
+                ts.append(t)
+                vs.append(v)
+        return ts, vs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AnalogProbe({self.name!r}, n={len(self.times)})"

@@ -1,0 +1,92 @@
+"""Unit helpers for time, frequency, and electrical quantities.
+
+The simulator keeps time as a ``float`` number of **seconds**.  Experiments
+in the paper operate at nanosecond granularity over ~10 microsecond runs, so
+double precision leaves ample headroom (relative resolution ~1e-16).
+
+These helpers exist so that code reads like the paper::
+
+    sim.schedule(2.5 * NS, fire)
+    clk = Clock(sim, period=period_of(333 * MHZ))
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time units (seconds)
+# ---------------------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+
+# ---------------------------------------------------------------------------
+# Frequency units (hertz)
+# ---------------------------------------------------------------------------
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# ---------------------------------------------------------------------------
+# Electrical units (SI base)
+# ---------------------------------------------------------------------------
+V = 1.0
+MV = 1e-3
+A = 1.0
+MA = 1e-3
+OHM = 1.0
+UH = 1e-6  # microhenry
+UF = 1e-6  # microfarad
+NF = 1e-9
+PF = 1e-12
+UW = 1e-6  # microwatt
+MW = 1e-3
+
+
+def period_of(frequency_hz: float) -> float:
+    """Return the period (in seconds) of a clock of the given frequency."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return 1.0 / frequency_hz
+
+
+def frequency_of(period_s: float) -> float:
+    """Return the frequency (in hertz) of a clock of the given period."""
+    if period_s <= 0:
+        raise ValueError(f"period must be positive, got {period_s}")
+    return 1.0 / period_s
+
+
+def fmt_time(t: float) -> str:
+    """Format a time value with an engineering suffix for reports."""
+    at = abs(t)
+    if at >= 1e-3:
+        return f"{t * 1e3:.6g}ms"
+    if at >= 1e-6:
+        return f"{t * 1e6:.6g}us"
+    if at >= 1e-9:
+        return f"{t * 1e9:.6g}ns"
+    return f"{t * 1e12:.6g}ps"
+
+
+def fmt_si(value: float, unit: str) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``fmt_si(0.21, 'A') == '210mA'``."""
+    prefixes = [
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ]
+    if value == 0:
+        return f"0{unit}"
+    av = abs(value)
+    for scale, prefix in prefixes:
+        if av >= scale:
+            return f"{value / scale:.4g}{prefix}{unit}"
+    return f"{value:.4g}{unit}"

@@ -1,0 +1,265 @@
+"""Gate-level verification: conformance and hazard-freeness.
+
+Closes the A4A loop: after synthesis, the gate-level netlist is re-verified
+against its STG specification (the paper verifies "deadlock-free,
+hazard-free and conformant to their STG specifications", Sec. IV).
+
+The model is the classic *circuit Petri net* analysis [14]: the product of
+
+- the circuit under speed-independent semantics (any excited gate may fire
+  after an arbitrary delay), and
+- the specification state graph acting as the environment (driving inputs,
+  accepting outputs).
+
+Violations detected:
+
+- **conformance**: a gate fires an edge the specification does not allow;
+- **hazard** (semi-modularity violation): an excited gate gets
+  dis-excited by another transition before firing — in silicon this is a
+  runt pulse;
+- **deadlock** of the closed system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .reachability import StateGraph, State, V1
+from .stg import STG, SignalType
+from .synthesis import GCImplementation, SignalFunction, SynthesisResult
+
+GateFunction = Callable[[Dict[str, bool]], bool]
+
+
+@dataclass
+class CircuitGate:
+    """One gate: named output computed from the full signal valuation."""
+
+    output: str
+    function: GateFunction
+    description: str = ""
+
+
+class GateLevelCircuit:
+    """A closed-function netlist over named signals."""
+
+    def __init__(self, inputs: Sequence[str], gates: Sequence[CircuitGate]):
+        self.inputs = list(inputs)
+        self.gates = list(gates)
+        names = set(self.inputs)
+        for gate in self.gates:
+            if gate.output in names:
+                raise ValueError(f"multiple drivers for {gate.output!r}")
+            names.add(gate.output)
+        self.signals = self.inputs + [g.output for g in self.gates]
+
+    @classmethod
+    def from_synthesis(cls, stg: STG, result: SynthesisResult) -> "GateLevelCircuit":
+        """Build the netlist a :func:`repro.stg.synthesis.synthesize` run
+        describes (complex gates and/or gC latches with feedback)."""
+        gates: List[CircuitGate] = []
+        for signal, fn in result.complex_gates.items():
+            gates.append(CircuitGate(signal, _sop_closure(fn),
+                                     f"[{signal}] = {fn.expression()}"))
+        for signal, gc in result.gc_latches.items():
+            gates.append(CircuitGate(signal, _gc_closure(signal, gc),
+                                     gc.expression()))
+        return cls(stg.inputs, gates)
+
+
+def _sop_closure(fn: SignalFunction) -> GateFunction:
+    def evaluate(values: Dict[str, bool]) -> bool:
+        return fn.evaluate(values)
+    return evaluate
+
+
+def _gc_closure(signal: str, gc: GCImplementation) -> GateFunction:
+    def evaluate(values: Dict[str, bool]) -> bool:
+        set_v = gc.set_function.evaluate(values)
+        reset_v = gc.reset_function.evaluate(values)
+        return set_v or (values[signal] and not reset_v)
+    return evaluate
+
+
+@dataclass
+class CircuitViolation:
+    kind: str            # 'conformance' | 'hazard' | 'deadlock'
+    detail: str
+    trace: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CircuitViolation({self.kind}: {self.detail})"
+
+
+@dataclass
+class CircuitReport:
+    n_states: int
+    violations: List[CircuitViolation]
+
+    @property
+    def conformant(self) -> bool:
+        return not any(v.kind == "conformance" for v in self.violations)
+
+    @property
+    def hazard_free(self) -> bool:
+        return not any(v.kind == "hazard" for v in self.violations)
+
+    @property
+    def deadlock_free(self) -> bool:
+        return not any(v.kind == "deadlock" for v in self.violations)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.passed:
+            return (f"circuit verification PASS "
+                    f"({self.n_states} product states)")
+        lines = [f"circuit verification: {len(self.violations)} violation(s)"]
+        for v in self.violations[:10]:
+            lines.append(f"  {v.kind}: {v.detail}")
+            if v.trace:
+                lines.append(f"    trace: {' '.join(v.trace)}")
+        return "\n".join(lines)
+
+
+def verify_circuit(stg: STG, circuit: GateLevelCircuit,
+                   max_states: int = 500_000,
+                   stop_at_first: bool = False) -> CircuitReport:
+    """Check ``circuit`` against specification ``stg``.
+
+    The specification's state graph acts as the environment: its input
+    edges may fire at any time they are enabled, and every circuit output
+    edge must be enabled in the specification when the gate fires.
+    """
+    sg = StateGraph(stg)
+    spec_signals = set(stg.signal_types)
+    gate_by_name = {g.output: g for g in circuit.gates}
+
+    # Initial valuation: from the STG's initial code (inputs + spec
+    # signals), gates not in the spec start at their stable evaluation.
+    init_values: Dict[str, bool] = {}
+    assert sg.initial is not None
+    for name, v in zip(sg.signal_order, sg.initial.code):
+        init_values[name] = (v == V1)
+    for gate in circuit.gates:
+        if gate.output not in init_values:
+            init_values[gate.output] = False
+    # settle non-spec gates
+    for _ in range(len(circuit.gates) + 1):
+        changed = False
+        for gate in circuit.gates:
+            if gate.output in spec_signals:
+                continue
+            new = gate.function(init_values)
+            if new != init_values[gate.output]:
+                init_values[gate.output] = new
+                changed = True
+        if not changed:
+            break
+
+    order = circuit.signals
+    index = {s: i for i, s in enumerate(order)}
+
+    def key_of(values: Dict[str, bool], spec_state: State):
+        return (tuple(values[s] for s in order), spec_state.index)
+
+    violations: List[CircuitViolation] = []
+    seen: Set[Tuple] = set()
+    start = (dict(init_values), sg.initial, [])
+    queue = deque([start])
+    seen.add(key_of(init_values, sg.initial))
+    states_explored = 0
+
+    def excited_gates(values: Dict[str, bool]) -> List[CircuitGate]:
+        return [g for g in circuit.gates
+                if g.function(values) != values[g.output]]
+
+    while queue:
+        values, spec_state, trace = queue.popleft()
+        states_explored += 1
+        if states_explored > max_states:
+            raise RuntimeError("product state space exceeds max_states")
+
+        moves: List[Tuple[str, Dict[str, bool], State]] = []
+
+        # Environment moves: input transitions enabled in the spec.
+        for t, nxt in spec_state.successors:
+            lbl = stg.label_of(t)
+            if lbl is None:
+                moves.append((t, dict(values), nxt))
+                continue
+            if stg.signal_types[lbl.signal] != SignalType.INPUT:
+                continue
+            new_values = dict(values)
+            new_values[lbl.signal] = lbl.rising
+            moves.append((t, new_values, nxt))
+
+        # Circuit moves: excited gates fire.
+        excited_now = excited_gates(values)
+        for gate in excited_now:
+            new_val = gate.function(values)
+            edge = f"{gate.output}{'+' if new_val else '-'}"
+            new_values = dict(values)
+            new_values[gate.output] = new_val
+            if gate.output in spec_signals:
+                nxt_spec = None
+                for t, nxt in spec_state.successors:
+                    lbl = stg.label_of(t)
+                    if (lbl is not None and lbl.signal == gate.output
+                            and lbl.rising == new_val):
+                        nxt_spec = nxt
+                        break
+                if nxt_spec is None:
+                    violations.append(CircuitViolation(
+                        "conformance",
+                        f"gate fires {edge} not allowed by spec "
+                        f"(spec state #{spec_state.index})",
+                        trace + [edge]))
+                    if stop_at_first:
+                        return CircuitReport(states_explored, violations)
+                    continue
+                moves.append((edge, new_values, nxt_spec))
+            else:
+                moves.append((edge, new_values, spec_state))
+
+        if not moves:
+            # Closed-system deadlock is fine only if the spec also rests.
+            if spec_state.successors:
+                violations.append(CircuitViolation(
+                    "deadlock", f"circuit stuck, spec expects "
+                    f"{[t for t, _ in spec_state.successors]}", trace))
+                if stop_at_first:
+                    return CircuitReport(states_explored, violations)
+            continue
+
+        # Semi-modularity: firing any move must not dis-excite a pending
+        # gate (unless that move IS the gate firing).
+        for label, new_values, nxt_spec in moves:
+            for gate in excited_now:
+                if label.rstrip("+-") == gate.output:
+                    continue
+                target = gate.function(values)
+                still_excited = (gate.function(new_values)
+                                 != new_values[gate.output])
+                same_target = gate.function(new_values) == target
+                if not (still_excited and same_target):
+                    # the gate either got dis-excited or re-aimed: hazard
+                    if new_values[gate.output] == values[gate.output]:
+                        violations.append(CircuitViolation(
+                            "hazard",
+                            f"{label} dis-excites pending gate "
+                            f"{gate.output!r}", trace + [label]))
+                        if stop_at_first:
+                            return CircuitReport(states_explored, violations)
+
+        for label, new_values, nxt_spec in moves:
+            k = key_of(new_values, nxt_spec)
+            if k not in seen:
+                seen.add(k)
+                queue.append((new_values, nxt_spec, trace + [label]))
+
+    return CircuitReport(states_explored, violations)

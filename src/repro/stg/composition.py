@@ -1,0 +1,110 @@
+"""Parallel composition of STGs (the PComp step of the A4A flow).
+
+Composing a component STG with its environment (or sub-modules with each
+other) synchronises them on shared signals: a shared signal's edge fires
+in *all* nets that know the signal, simultaneously.  Following pcomp, a
+signal that is an output in one net and an input in another becomes an
+output of the composition (the producer wins); input-input stays input.
+
+The implementation takes the synchronous product at the *transition*
+level: every combination of same-label transitions (one per net that owns
+the signal) yields one composed transition.  Non-shared transitions are
+interleaved.  Dummies are never synchronised.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+from .petri import PetriNetError
+from .stg import STG, Label, SignalType
+
+
+class CompositionError(ValueError):
+    """Nets cannot be composed (conflicting declarations)."""
+
+
+def _merged_type(kinds: Sequence[SignalType]) -> SignalType:
+    outputs = sum(1 for k in kinds if k != SignalType.INPUT)
+    if outputs > 1:
+        raise CompositionError("signal driven by more than one component")
+    if outputs == 1:
+        for k in kinds:
+            if k != SignalType.INPUT:
+                return k
+    return SignalType.INPUT
+
+
+def compose(nets: Sequence[STG], name: str = "composition") -> STG:
+    """Parallel-compose ``nets`` into one STG."""
+    if not nets:
+        raise CompositionError("need at least one net")
+
+    result = STG(name)
+
+    # --- signals -----------------------------------------------------
+    owners: Dict[str, List[int]] = {}
+    for i, net in enumerate(nets):
+        for s in net.signal_types:
+            owners.setdefault(s, []).append(i)
+    for s, idxs in sorted(owners.items()):
+        kinds = [nets[i].signal_types[s] for i in idxs]
+        merged = _merged_type(kinds)
+        initials = {nets[i].initial_values[s] for i in idxs
+                    if s in nets[i].initial_values}
+        if len(initials) > 1:
+            raise CompositionError(f"conflicting initial values for {s!r}")
+        result.add_signal(s, merged, initial=initials.pop() if initials else None)
+
+    # --- places (namespaced per net) ----------------------------------
+    def pname(i: int, p: str) -> str:
+        return f"n{i}:{p}"
+
+    for i, net in enumerate(nets):
+        for p, tokens in net.places.items():
+            result.add_place(pname(i, p), tokens)
+
+    # --- transitions ---------------------------------------------------
+    # Group labelled transitions by (signal, direction) across nets.
+    groups: Dict[Tuple[str, str], Dict[int, List[str]]] = {}
+    for i, net in enumerate(nets):
+        for t, lbl in net.labels.items():
+            if lbl is None:
+                continue
+            groups.setdefault((lbl.signal, lbl.direction), {}).setdefault(
+                i, []).append(t)
+
+    instance_counter: Dict[str, int] = {}
+
+    def fresh_label(signal: str, direction: str) -> str:
+        base = f"{signal}{direction}"
+        n = instance_counter.get(base, 0)
+        instance_counter[base] = n + 1
+        return base if n == 0 else f"{base}/{n}"
+
+    for (signal, direction), per_net in sorted(groups.items()):
+        participating = sorted(per_net)
+        # All combinations of one transition per participating net.
+        for combo in product(*(per_net[i] for i in participating)):
+            t_name = fresh_label(signal, direction)
+            result.add_signal_transition(t_name)
+            for i, t in zip(participating, combo):
+                for p in nets[i].preset[t]:
+                    result.add_arc(pname(i, p), t_name)
+                for p in nets[i].postset[t]:
+                    result.add_arc(t_name, pname(i, p))
+
+    # Dummies: copied per net, never synchronised.
+    for i, net in enumerate(nets):
+        for t, lbl in net.labels.items():
+            if lbl is not None:
+                continue
+            t_name = f"n{i}:{t}"
+            result.add_dummy(t_name)
+            for p in net.preset[t]:
+                result.add_arc(pname(i, p), t_name)
+            for p in net.postset[t]:
+                result.add_arc(t_name, pname(i, p))
+
+    return result

@@ -1,0 +1,102 @@
+"""CSC conflict diagnosis (report-only state-signal insertion hints).
+
+When two reachable states share a binary code but demand different output
+behaviour, no speed-independent logic function can exist (Complete State
+Coding violation).  Petrify resolves this automatically by inserting
+internal state signals; our flow *diagnoses* the conflicts and suggests
+where an insertion would disambiguate — enough to guide a designer (the
+paper's `basic_buck` and `mode_ctrl` specs both need one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .reachability import State, StateGraph
+from .stg import STG, SignalType
+
+
+@dataclass
+class CSCConflict:
+    """One conflicting code pair."""
+
+    signal: str                      #: output whose excitation differs
+    code: Tuple[int, ...]
+    state_a: State
+    state_b: State
+    #: transitions on the path between the two conflicting states — an
+    #: inserted state signal must toggle somewhere along this separation
+    separating_events: List[str] = field(default_factory=list)
+
+    def describe(self, sg: StateGraph) -> str:
+        code_text = "".join(str(v) for v in self.code)
+        sep = " ".join(self.separating_events) or "(disjoint paths)"
+        return (f"CSC conflict on {self.signal!r}: states "
+                f"#{self.state_a.index} and #{self.state_b.index} share "
+                f"code {code_text}; separating events: {sep}")
+
+
+def _excitation_map(sg: StateGraph, signal: str) -> Dict[int, Tuple[bool, bool]]:
+    stg = sg.stg
+    out: Dict[int, Tuple[bool, bool]] = {}
+    for state in sg.all_states():
+        rising = falling = False
+        for t, _ in state.successors:
+            lbl = stg.label_of(t)
+            if lbl is not None and lbl.signal == signal:
+                if lbl.rising:
+                    rising = True
+                else:
+                    falling = True
+        out[state.index] = (rising, falling)
+    return out
+
+
+def _separating_events(a: State, b: State) -> List[str]:
+    """Events on the longer trace after the common prefix — candidates for
+    ordering against an inserted state signal."""
+    trace_a, trace_b = a.trace(), b.trace()
+    i = 0
+    while i < len(trace_a) and i < len(trace_b) and trace_a[i] == trace_b[i]:
+        i += 1
+    return trace_a[i:] + trace_b[i:]
+
+
+def find_csc_conflicts(stg: STG, max_states: int = 200_000) -> List[CSCConflict]:
+    """All CSC conflicts of ``stg``, with separating-event hints."""
+    sg = StateGraph(stg, max_states=max_states)
+    conflicts: List[CSCConflict] = []
+    seen_pairs: Set[Tuple[int, int]] = set()
+    for signal in stg.non_inputs:
+        excitation = _excitation_map(sg, signal)
+        by_code: Dict[Tuple[int, ...], State] = {}
+        for state in sg.all_states():
+            other = by_code.get(state.code)
+            if other is None:
+                by_code[state.code] = state
+                continue
+            if excitation[other.index] != excitation[state.index]:
+                key = (min(other.index, state.index),
+                       max(other.index, state.index))
+                if key in seen_pairs:
+                    continue
+                seen_pairs.add(key)
+                conflicts.append(CSCConflict(
+                    signal=signal, code=state.code,
+                    state_a=other, state_b=state,
+                    separating_events=_separating_events(other, state)))
+    return conflicts
+
+
+def csc_report(stg: STG) -> str:
+    """Human-readable CSC diagnosis (empty conflicts = synthesisable)."""
+    sg = StateGraph(stg)
+    conflicts = find_csc_conflicts(stg)
+    if not conflicts:
+        return f"{stg.name}: CSC holds — all non-input signals synthesisable"
+    lines = [f"{stg.name}: {len(conflicts)} CSC conflict(s); "
+             f"insert a state signal toggling among the separating events:"]
+    for c in conflicts:
+        lines.append("  " + c.describe(sg))
+    return "\n".join(lines)

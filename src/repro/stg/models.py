@@ -1,0 +1,371 @@
+"""STG model zoo: formal specifications of the buck controller modules.
+
+These are the specifications the A4A flow (Sec. III/IV) starts from.  Each
+builder returns a fresh :class:`~repro.stg.stg.STG`; the tests and the
+``stg-verif`` bench verify the paper's claims on them (consistency,
+deadlock-freeness, output persistence, and the PMOS/NMOS short-circuit
+safety invariant).
+
+Environment abstractions are documented per model; the main one: the
+*late-ZC* scenario of the basic buck collapses onto the no-ZC branch
+(the controller explicitly ignores ZC once UV has been served first), so
+the environment does not emit ``zc`` in that window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .stg import STG, SignalType
+
+IN = SignalType.INPUT
+OUT = SignalType.OUTPUT
+
+
+def celement_stg() -> STG:
+    """Muller C-element: canonical two-input speed-independent spec."""
+    stg = STG("celement")
+    stg.add_signal("a", IN, initial=False)
+    stg.add_signal("b", IN, initial=False)
+    stg.add_signal("c", OUT, initial=False)
+    for t in ("a+", "b+", "c+", "a-", "b-", "c-"):
+        stg.add_signal_transition(t)
+    stg.connect("a+", "c+", tokens=0)
+    stg.connect("b+", "c+", tokens=0)
+    stg.connect("c+", "a-", tokens=0)
+    stg.connect("c+", "b-", tokens=0)
+    stg.connect("a-", "c-", tokens=0)
+    stg.connect("b-", "c-", tokens=0)
+    stg.connect("c-", "a+", tokens=1)
+    stg.connect("c-", "b+", tokens=1)
+    return stg
+
+
+def handshake_buffer_stg() -> STG:
+    """One-place handshake buffer: ri/ai in, ro/ao out (pipeline stage)."""
+    stg = STG("hs_buffer")
+    stg.add_signal("ri", IN, initial=False)
+    stg.add_signal("ao", IN, initial=False)
+    stg.add_signal("ai", OUT, initial=False)
+    stg.add_signal("ro", OUT, initial=False)
+    for t in ("ri+", "ai+", "ri-", "ai-", "ro+", "ao+", "ro-", "ao-"):
+        stg.add_signal_transition(t)
+    stg.chain(["ri+", "ro+", "ao+", "ai+", "ri-", "ro-", "ao-", "ai-"],
+              cyclic=True, token_before="ri+")
+    return stg
+
+
+def wait_element_stg() -> STG:
+    """Abstract protocol of the WAIT A2A element.
+
+    ``sig`` is the sanitised view of the non-persistent input (the raw
+    glitching is contained inside the element and is *not* part of the
+    speed-independent interface — that is the element's whole point).
+
+    Environment abstraction: the cycle is serialised (``sig`` clears after
+    the ack, and the requester only releases afterwards).  Allowing
+    ``sig-`` to float freely against the release handshake creates a CSC
+    conflict — exactly the kind of issue the A4A flow surfaces — so the
+    synthesisable spec pins it down.
+    """
+    stg = STG("wait")
+    stg.add_signal("req", IN, initial=False)
+    stg.add_signal("sig", IN, initial=False)
+    stg.add_signal("ack", OUT, initial=False)
+    for t in ("req+", "sig+", "ack+", "req-", "ack-", "sig-"):
+        stg.add_signal_transition(t)
+    stg.chain(["req+", "sig+", "ack+", "sig-", "req-", "ack-"],
+              cyclic=True, token_before="req+")
+    return stg
+
+
+def mutex_stg() -> STG:
+    """Two-user mutual exclusion protocol (grants are outputs).
+
+    Requests are free-choice inputs; the grants must never overlap —
+    verified with the ``mutex(g1,g2)`` check.
+    """
+    stg = STG("mutex")
+    stg.add_signal("r1", IN, initial=False)
+    stg.add_signal("r2", IN, initial=False)
+    stg.add_signal("g1", OUT, initial=False)
+    stg.add_signal("g2", OUT, initial=False)
+    for t in ("r1+", "g1+", "r1-", "g1-", "r2+", "g2+", "r2-", "g2-"):
+        stg.add_signal_transition(t)
+    # request cycles
+    stg.chain(["r1+", "g1+", "r1-", "g1-"], cyclic=True, token_before="r1+")
+    stg.chain(["r2+", "g2+", "r2-", "g2-"], cyclic=True, token_before="r2+")
+    # critical-section token shared by both grants
+    stg.add_place("cs_free", 1)
+    stg.add_arc("cs_free", "g1+")
+    stg.add_arc("g1-", "cs_free")
+    stg.add_arc("cs_free", "g2+")
+    stg.add_arc("g2-", "cs_free")
+    return stg
+
+
+def basic_buck_stg() -> STG:
+    """The basic buck controller of Fig. 2b, all three current scenarios.
+
+    Signals: ``uv``, ``oc``, ``zc`` (inputs from the sensors), ``gp``,
+    ``gn`` (outputs driving the power transistors, gp=1 meaning PMOS
+    conducting — the non-overlap invariant is ``never (gp and gn)``).
+
+    Initial state: NMOS conducting (gn=1), coil current decaying —
+    the controller waits for either UV (charge again: *no ZC* scenario) or
+    ZC (current dried up first: *early ZC* scenario).  The *late ZC*
+    scenario is behaviourally identical to no-ZC (see module docstring).
+    """
+    stg = STG("basic_buck")
+    stg.add_signal("uv", IN, initial=False)
+    stg.add_signal("oc", IN, initial=False)
+    stg.add_signal("zc", IN, initial=False)
+    stg.add_signal("gp", OUT, initial=False)
+    stg.add_signal("gn", OUT, initial=True)
+
+    for t in ("uv+", "uv+/1", "uv-", "oc+", "oc-", "zc+", "zc-",
+              "gp+", "gp+/1", "gp-", "gn+", "gn-", "gn-/1"):
+        stg.add_signal_transition(t)
+
+    # Shared resources (environment readiness places).
+    stg.add_place("p_choice", 1)    # NMOS on, current falling: UV vs ZC race
+    stg.add_place("p_uv_ready", 1)
+    stg.add_place("p_oc_ready", 1)
+    stg.add_place("p_zc_ready", 1)
+    stg.add_place("p_charge", 0)    # PMOS on, current ramping
+    stg.add_place("p_bothoff", 0)   # discontinuous conduction
+    stg.add_place("p_uvfall", 0)
+
+    # --- branch A: UV first (no-ZC / late-ZC) -------------------------
+    stg.add_arc("p_choice", "uv+")
+    stg.add_arc("p_uv_ready", "uv+")
+    stg.connect("uv+", "gn-", tokens=0)
+    stg.connect("gn-", "gp+", tokens=0)
+    stg.add_arc("gp+", "p_charge")
+    stg.add_arc("gp+", "p_uvfall")
+
+    # --- branch B: ZC first (early ZC) ---------------------------------
+    stg.add_arc("p_choice", "zc+")
+    stg.add_arc("p_zc_ready", "zc+")
+    stg.connect("zc+", "gn-/1", tokens=0)
+    stg.add_arc("gn-/1", "p_bothoff")
+    stg.add_arc("p_bothoff", "uv+/1")
+    stg.add_arc("p_uv_ready", "uv+/1")
+    stg.connect("uv+/1", "gp+/1", tokens=0)
+    stg.connect("gp+/1", "zc-", tokens=0)   # current rises: ZC clears
+    stg.add_arc("zc-", "p_zc_ready")
+    stg.add_arc("zc-", "p_charge")
+    stg.add_arc("gp+/1", "p_uvfall")
+
+    # --- common charging tail ------------------------------------------
+    stg.add_arc("p_uvfall", "uv-")          # voltage recovers during charge
+    stg.add_arc("uv-", "p_uv_ready")
+    stg.add_arc("p_charge", "oc+")
+    stg.add_arc("p_oc_ready", "oc+")
+    stg.connect("oc+", "gp-", tokens=0)
+    stg.connect("gp-", "oc-", tokens=0)     # current below I_max again
+    stg.add_arc("oc-", "p_oc_ready")
+    stg.connect("gp-", "gn+", tokens=0)
+    stg.add_arc("gn+", "p_choice")
+    return stg
+
+
+def charge_ctrl_stg() -> STG:
+    """CHARGE_CTRL: one charging cycle per activation handshake.
+
+    ``ri``/``ao`` — activation channel from MODE_CTRL; ``oc``/``zc`` —
+    sanitised sensor indications (via WAIT2 / RWAIT); ``gp``/``gn`` —
+    transistor drives.  The PMIN/NMIN/PEXT minimum-ON delays are enforced
+    by the delay controllers downstream and abstracted here.
+    """
+    stg = STG("charge_ctrl")
+    stg.add_signal("ri", IN, initial=False)
+    stg.add_signal("oc", IN, initial=False)
+    stg.add_signal("zc", IN, initial=False)
+    stg.add_signal("gp", OUT, initial=False)
+    stg.add_signal("gn", OUT, initial=False)
+    stg.add_signal("ao", OUT, initial=False)
+    for t in ("ri+", "gp+", "oc+", "gp-", "gn+", "zc+", "gn-",
+              "ao+", "ri-", "ao-", "oc-", "zc-"):
+        stg.add_signal_transition(t)
+    # The sensor releases are interleaved where the analog actually
+    # produces them: oc falls once the NMOS takes over (current below
+    # I_max), zc releases when the RWAIT handshake completes.  This
+    # ordering also gives every state a distinct code (CSC holds), so the
+    # module synthesises directly.
+    stg.chain(
+        ["ri+", "gp+", "oc+", "gp-", "gn+", "oc-", "zc+", "gn-", "ao+",
+         "zc-", "ri-", "ao-"],
+        cyclic=True, token_before="ri+")
+    return stg
+
+
+def token_ctrl_stg() -> STG:
+    """TOKEN_CTRL: delay the ring token and trigger MODE_CTRL.
+
+    On activation (``get``), start TOKEN_TIMER (``rd``/``ad``) and activate
+    MODE_CTRL (``rm``/``am``) concurrently; pass the token (``pass_``) when
+    both the dwell elapsed and the mode controller gave its (early)
+    acknowledgement — the decoupling that lets charging continue while the
+    token moves on.
+    """
+    stg = STG("token_ctrl")
+    stg.add_signal("get", IN, initial=False)
+    stg.add_signal("ad", IN, initial=False)
+    stg.add_signal("am", IN, initial=False)
+    stg.add_signal("rd", OUT, initial=False)
+    stg.add_signal("rm", OUT, initial=False)
+    stg.add_signal("pass_", OUT, initial=False)
+    for t in ("get+", "rd+", "rm+", "ad+", "am+", "pass_+",
+              "get-", "rd-", "rm-", "ad-", "am-", "pass_-"):
+        stg.add_signal_transition(t)
+    stg.connect("get+", "rd+", tokens=0)
+    stg.connect("get+", "rm+", tokens=0)
+    stg.connect("rd+", "ad+", tokens=0)
+    stg.connect("rm+", "am+", tokens=0)
+    stg.connect("ad+", "pass_+", tokens=0)
+    stg.connect("am+", "pass_+", tokens=0)
+    stg.connect("pass_+", "get-", tokens=0)
+    stg.connect("get-", "rd-", tokens=0)
+    stg.connect("get-", "rm-", tokens=0)
+    stg.connect("rd-", "ad-", tokens=0)
+    stg.connect("rm-", "am-", tokens=0)
+    stg.connect("ad-", "pass_-", tokens=0)
+    stg.connect("am-", "pass_-", tokens=0)
+    stg.connect("pass_-", "get+", tokens=1)
+    return stg
+
+
+def mode_ctrl_stg() -> STG:
+    """MODE_CTRL: decide UV vs OV mode once activated.
+
+    ``r`` — activation from TOKEN_CTRL; ``uv``/``ov`` — one-hot grants from
+    the WAITX2 (mutually exclusive by construction); ``a`` — early
+    acknowledgement back to TOKEN_CTRL; ``rc``/``ac`` — charging channel to
+    CHARGE_CTRL.  The early ``a+`` right after the mode decision is the
+    paper's token/charging decoupling.
+    """
+    stg = STG("mode_ctrl")
+    stg.add_signal("r", IN, initial=False)
+    stg.add_signal("uv", IN, initial=False)
+    stg.add_signal("ov", IN, initial=False)
+    stg.add_signal("ac", IN, initial=False)
+    stg.add_signal("a", OUT, initial=False)
+    stg.add_signal("rc", OUT, initial=False)
+    for t in ("r+", "uv+", "ov+", "a+", "a+/1", "rc+", "rc+/1",
+              "ac+", "r-", "uv-", "ov-", "a-", "rc-", "ac-"):
+        stg.add_signal_transition(t)
+
+    stg.add_place("p_idle", 1)
+    stg.add_arc("p_idle", "r+")
+    stg.add_place("p_mode", 0)
+    stg.add_arc("r+", "p_mode")
+    # input choice: UV or OV mode
+    stg.add_arc("p_mode", "uv+")
+    stg.add_arc("p_mode", "ov+")
+    # UV branch: early ack + charge, concurrently
+    stg.connect("uv+", "a+", tokens=0)
+    stg.connect("uv+", "rc+", tokens=0)
+    # OV branch (instances)
+    stg.connect("ov+", "a+/1", tokens=0)
+    stg.connect("ov+", "rc+/1", tokens=0)
+    # branch memory: remember which condition started the cycle so the
+    # matching release fires (merging the branches before the releases
+    # would let e.g. uv- fire on the OV path — an inconsistency)
+    stg.add_place("p_took_uv", 0)
+    stg.add_place("p_took_ov", 0)
+    stg.add_arc("uv+", "p_took_uv")
+    stg.add_arc("ov+", "p_took_ov")
+    # charging completes
+    stg.add_place("p_rc_done", 0)
+    stg.add_arc("rc+", "p_rc_done")
+    stg.add_arc("rc+/1", "p_rc_done")
+    stg.add_arc("p_rc_done", "ac+")
+    # the mode condition clears once served
+    stg.add_place("p_cond_clear", 0)
+    stg.add_arc("ac+", "p_cond_clear")
+    stg.add_arc("p_cond_clear", "uv-")
+    stg.add_arc("p_took_uv", "uv-")
+    stg.add_arc("p_cond_clear", "ov-")
+    stg.add_arc("p_took_ov", "ov-")
+    # return-to-zero: release in a single tail (needs both early-ack path
+    # and the cleared condition)
+    stg.add_place("p_a_done", 0)
+    stg.add_arc("a+", "p_a_done")
+    stg.add_arc("a+/1", "p_a_done")
+    stg.add_place("p_uv_done", 0)
+    stg.add_arc("uv-", "p_uv_done")
+    stg.add_arc("ov-", "p_uv_done")
+    stg.add_arc("p_uv_done", "rc-")
+    stg.connect("rc-", "ac-", tokens=0)
+    stg.add_place("p_release", 0)
+    stg.add_arc("ac-", "p_release")
+    stg.add_arc("p_release", "r-")
+    stg.add_arc("p_a_done", "r-")
+    stg.connect("r-", "a-", tokens=0)
+    stg.add_arc("a-", "p_idle")
+    return stg
+
+
+def hl_ctrl_stg() -> STG:
+    """HL_CTRL: turn the high-load condition into an activation request.
+
+    ``hl`` — sanitised HL indication (via WAIT); ``rq``/``aq`` — the
+    activation channel into the MERGE element.
+    """
+    stg = STG("hl_ctrl")
+    stg.add_signal("hl", IN, initial=False)
+    stg.add_signal("aq", IN, initial=False)
+    stg.add_signal("rq", OUT, initial=False)
+    for t in ("hl+", "rq+", "aq+", "hl-", "rq-", "aq-"):
+        stg.add_signal_transition(t)
+    stg.chain(["hl+", "rq+", "aq+", "hl-", "rq-", "aq-"],
+              cyclic=True, token_before="hl+")
+    return stg
+
+
+def decoupler_stg() -> STG:
+    """DECOUPLER: ring-stage token handling.
+
+    Accept the token from the previous stage (``ti``), offer the stage
+    activation (``ro``/``ao``), and emit the token to the next stage
+    (``to``) — accepting a new token only after the previous hand-off
+    completed.
+    """
+    stg = STG("decoupler")
+    stg.add_signal("ti", IN, initial=False)
+    stg.add_signal("ao", IN, initial=False)
+    stg.add_signal("to", OUT, initial=False)
+    stg.add_signal("ro", OUT, initial=False)
+    for t in ("ti+", "ro+", "ao+", "to+", "ti-", "ro-", "ao-", "to-"):
+        stg.add_signal_transition(t)
+    stg.connect("ti+", "ro+", tokens=0)
+    stg.connect("ro+", "ao+", tokens=0)
+    stg.connect("ao+", "to+", tokens=0)
+    stg.connect("to+", "ti-", tokens=0)
+    stg.connect("ti-", "ro-", tokens=0)
+    stg.connect("ro-", "ao-", tokens=0)
+    stg.connect("ao-", "to-", tokens=0)
+    stg.connect("to-", "ti+", tokens=1)
+    return stg
+
+
+#: models whose STG deliberately contains an output choice: arbitration
+#: primitives (the mutex) resolve such choices internally via
+#: metastability and are library primitives, not SI-synthesisable specs,
+#: so the output-persistence check is expected to flag them.
+NON_SI_MODELS = frozenset({"mutex"})
+
+#: registry used by tests and the stg bench: name -> (builder, mutex pairs)
+ALL_MODELS: Dict[str, Tuple[Callable[[], STG], List[Tuple[str, str]]]] = {
+    "celement": (celement_stg, []),
+    "hs_buffer": (handshake_buffer_stg, []),
+    "wait": (wait_element_stg, []),
+    "mutex": (mutex_stg, [("g1", "g2")]),
+    "basic_buck": (basic_buck_stg, [("gp", "gn")]),
+    "charge_ctrl": (charge_ctrl_stg, [("gp", "gn")]),
+    "token_ctrl": (token_ctrl_stg, []),
+    "mode_ctrl": (mode_ctrl_stg, []),
+    "hl_ctrl": (hl_ctrl_stg, []),
+    "decoupler": (decoupler_stg, []),
+}

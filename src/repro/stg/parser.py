@@ -1,0 +1,191 @@
+""".g (astg) format reader/writer — the petrify/Workcraft STG dialect.
+
+Supported subset (covers everything the model zoo and tests need):
+
+- ``.model``, ``.inputs``, ``.outputs``, ``.internal``, ``.dummy``
+- ``.graph`` with transition->transition (implicit place),
+  transition->place and place->transition edges
+- ``.marking { p1 <a+,b+> }`` with implicit-place tokens
+- ``#`` comments, ``.end``
+
+Round-trip property: ``parse(write(stg))`` preserves signals, reachable
+behaviour, and marking (implicit place names are not preserved — they are
+structural).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .petri import PetriNetError
+from .stg import STG, Label, SignalType
+
+
+class ParseError(ValueError):
+    """Malformed .g input."""
+
+
+_MARK_TOKEN = re.compile(r"<[^>]*>|[^\s<>]+")
+
+
+def parse_g(text: str) -> STG:
+    """Parse a .g document into an :class:`STG`."""
+    stg = STG("stg")
+    dummies: List[str] = []
+    graph_lines: List[List[str]] = []
+    marking_tokens: List[str] = []
+    in_graph = False
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".model") or line.startswith(".name"):
+            parts = line.split()
+            if len(parts) > 1:
+                stg.name = parts[1]
+            in_graph = False
+        elif line.startswith(".inputs"):
+            for s in line.split()[1:]:
+                stg.add_signal(s, SignalType.INPUT)
+            in_graph = False
+        elif line.startswith(".outputs"):
+            for s in line.split()[1:]:
+                stg.add_signal(s, SignalType.OUTPUT)
+            in_graph = False
+        elif line.startswith(".internal"):
+            for s in line.split()[1:]:
+                stg.add_signal(s, SignalType.INTERNAL)
+            in_graph = False
+        elif line.startswith(".dummy"):
+            dummies.extend(line.split()[1:])
+            in_graph = False
+        elif line.startswith(".graph"):
+            in_graph = True
+        elif line.startswith(".marking"):
+            in_graph = False
+            body = line[len(".marking"):].strip()
+            if not (body.startswith("{") and body.endswith("}")):
+                raise ParseError(f"malformed marking line: {raw!r}")
+            marking_tokens.extend(_MARK_TOKEN.findall(body[1:-1]))
+        elif line.startswith(".end"):
+            break
+        elif line.startswith("."):
+            # unsupported directive (.capacity, .coords...) - ignore
+            in_graph = False
+        elif in_graph:
+            graph_lines.append(line.split())
+        else:
+            raise ParseError(f"unexpected line outside .graph: {raw!r}")
+
+    dummy_set = set(dummies)
+
+    def is_transition(node: str) -> bool:
+        if node in dummy_set:
+            return True
+        label = Label.parse(node)
+        return label is not None and label.signal in stg.signal_types
+
+    def ensure_node(node: str) -> None:
+        if is_transition(node):
+            if not stg.has_transition(node):
+                if node in dummy_set:
+                    stg.add_dummy(node)
+                else:
+                    stg.add_signal_transition(node)
+        else:
+            if node not in stg.places:
+                stg.add_place(node, 0)
+
+    implicit: Dict[Tuple[str, str], str] = {}
+    for parts in graph_lines:
+        source, targets = parts[0], parts[1:]
+        if not targets:
+            raise ParseError(f"graph line with no targets: {parts!r}")
+        ensure_node(source)
+        for target in targets:
+            ensure_node(target)
+            if is_transition(source) and is_transition(target):
+                place = stg.connect(source, target, tokens=0)
+                implicit[(source, target)] = place
+            else:
+                stg.add_arc(source, target)
+
+    for token in marking_tokens:
+        count = 1
+        if "=" in token and not token.startswith("<"):
+            token, count_text = token.split("=", 1)
+            count = int(count_text)
+        if token.startswith("<"):
+            inner = token[1:-1]
+            pair = tuple(x.strip() for x in inner.split(","))
+            if len(pair) != 2 or pair not in implicit:
+                raise ParseError(f"marking names unknown implicit place {token!r}")
+            stg.places[implicit[pair]] = count
+        else:
+            if token not in stg.places:
+                raise ParseError(f"marking names unknown place {token!r}")
+            stg.places[token] = count
+    return stg
+
+
+def write_g(stg: STG) -> str:
+    """Serialise an :class:`STG` to .g text."""
+    lines = [f".model {stg.name}"]
+    if stg.inputs:
+        lines.append(".inputs " + " ".join(stg.inputs))
+    if stg.outputs:
+        lines.append(".outputs " + " ".join(stg.outputs))
+    if stg.internals:
+        lines.append(".internal " + " ".join(stg.internals))
+    dummies = [t for t, lbl in stg.labels.items() if lbl is None]
+    if dummies:
+        lines.append(".dummy " + " ".join(dummies))
+    lines.append(".graph")
+
+    # Decide which places can be rendered implicitly (1 producer, 1
+    # consumer, auto-generated name, no duplicate pair).
+    pair_counts: Dict[Tuple[str, str], int] = {}
+    place_pair: Dict[str, Tuple[str, str]] = {}
+    for place in stg.places:
+        producers = sorted(stg.place_preset(place))
+        consumers = sorted(stg.place_post[place])
+        if (place.startswith("<") and len(producers) == 1
+                and len(consumers) == 1 and stg.places[place] <= 1):
+            pair = (producers[0], consumers[0])
+            place_pair[place] = pair
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+
+    implicit_places = {p: pair for p, pair in place_pair.items()
+                       if pair_counts[pair] == 1}
+
+    def emit_name(place: str) -> str:
+        # explicit place names must not contain whitespace or angle brackets
+        return place.replace("<", "p_").replace(">", "_").replace(",", "_") \
+                    .replace("#", "_")
+
+    for place, (src, dst) in sorted(implicit_places.items()):
+        lines.append(f"{src} {dst}")
+    for place in sorted(stg.places):
+        if place in implicit_places:
+            continue
+        name = emit_name(place)
+        for t in sorted(stg.place_preset(place)):
+            lines.append(f"{t} {name}")
+        for t in sorted(stg.place_post[place]):
+            lines.append(f"{name} {t}")
+
+    tokens = []
+    for place, count in sorted(stg.places.items()):
+        if count <= 0:
+            continue
+        if place in implicit_places:
+            src, dst = implicit_places[place]
+            tokens.append(f"<{src},{dst}>")
+        else:
+            name = emit_name(place)
+            tokens.append(name + (f"={count}" if count > 1 else ""))
+    lines.append(".marking { " + " ".join(tokens) + " }")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

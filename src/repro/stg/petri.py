@@ -1,0 +1,130 @@
+"""Petri net core: places, transitions, arcs, markings, firing.
+
+Signal transition graphs (:mod:`repro.stg.stg`) extend this net model with
+signal-labelled transitions.  Markings are multisets (``dict`` place ->
+token count); the verification layer checks 1-safeness explicitly rather
+than assuming it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+Marking = Tuple[Tuple[str, int], ...]  # canonical sorted (place, count) pairs
+
+
+def marking_key(tokens: Mapping[str, int]) -> Marking:
+    """Canonical hashable form of a marking (zero-count places dropped)."""
+    return tuple(sorted((p, c) for p, c in tokens.items() if c > 0))
+
+
+class PetriNetError(ValueError):
+    """Structural misuse of a net (unknown nodes, duplicate names, ...)."""
+
+
+class PetriNet:
+    """A place/transition net with unit-weight arcs.
+
+    Examples
+    --------
+    >>> net = PetriNet("hs")
+    >>> net.add_place("idle", tokens=1)
+    >>> net.add_transition("go")
+    >>> net.add_arc("idle", "go")
+    >>> net.enabled(net.initial_marking())
+    ['go']
+    """
+
+    def __init__(self, name: str = "net"):
+        self.name = name
+        self.places: Dict[str, int] = {}       # place -> initial tokens
+        self.transitions: List[str] = []
+        self._transition_set: Set[str] = set()
+        self.preset: Dict[str, Set[str]] = {}   # transition -> input places
+        self.postset: Dict[str, Set[str]] = {}  # transition -> output places
+        self.place_post: Dict[str, Set[str]] = {}  # place -> consuming transitions
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_place(self, place: str, tokens: int = 0) -> None:
+        if place in self.places:
+            raise PetriNetError(f"duplicate place {place!r}")
+        if place in self._transition_set:
+            raise PetriNetError(f"name {place!r} already used by a transition")
+        if tokens < 0:
+            raise PetriNetError("token count cannot be negative")
+        self.places[place] = tokens
+        self.place_post[place] = set()
+
+    def add_transition(self, transition: str) -> None:
+        if transition in self._transition_set:
+            raise PetriNetError(f"duplicate transition {transition!r}")
+        if transition in self.places:
+            raise PetriNetError(f"name {transition!r} already used by a place")
+        self.transitions.append(transition)
+        self._transition_set.add(transition)
+        self.preset[transition] = set()
+        self.postset[transition] = set()
+
+    def add_arc(self, source: str, target: str) -> None:
+        """Add an arc place->transition or transition->place."""
+        if source in self.places and target in self._transition_set:
+            self.preset[target].add(source)
+            self.place_post[source].add(target)
+        elif source in self._transition_set and target in self.places:
+            self.postset[source].add(target)
+        else:
+            raise PetriNetError(
+                f"arc {source!r} -> {target!r} must connect a place and a transition"
+            )
+
+    def has_transition(self, transition: str) -> bool:
+        return transition in self._transition_set
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def initial_marking(self) -> Dict[str, int]:
+        return {p: c for p, c in self.places.items() if c > 0}
+
+    def is_enabled(self, transition: str, marking: Mapping[str, int]) -> bool:
+        return all(marking.get(p, 0) >= 1 for p in self.preset[transition])
+
+    def enabled(self, marking: Mapping[str, int]) -> List[str]:
+        """Transitions enabled at ``marking``, in insertion order."""
+        return [t for t in self.transitions if self.is_enabled(t, marking)]
+
+    def fire(self, transition: str, marking: Mapping[str, int]) -> Dict[str, int]:
+        """Fire ``transition``; returns the successor marking (input unchanged)."""
+        if not self.is_enabled(transition, marking):
+            raise PetriNetError(f"transition {transition!r} is not enabled")
+        new: Dict[str, int] = dict(marking)
+        for p in self.preset[transition]:
+            new[p] = new.get(p, 0) - 1
+            if new[p] == 0:
+                del new[p]
+        for p in self.postset[transition]:
+            new[p] = new.get(p, 0) + 1
+        return new
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def place_preset(self, place: str) -> Set[str]:
+        """Transitions producing into ``place``."""
+        return {t for t in self.transitions if place in self.postset[t]}
+
+    def stats(self) -> Dict[str, int]:
+        n_arcs = sum(len(s) for s in self.preset.values())
+        n_arcs += sum(len(s) for s in self.postset.values())
+        return {
+            "places": len(self.places),
+            "transitions": len(self.transitions),
+            "arcs": n_arcs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats()
+        return (f"PetriNet({self.name!r}, |P|={s['places']}, "
+                f"|T|={s['transitions']}, |F|={s['arcs']})")

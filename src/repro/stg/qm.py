@@ -1,0 +1,140 @@
+"""Quine–McCluskey two-level boolean minimisation with don't-cares.
+
+Used by :mod:`repro.stg.synthesis` to turn next-state truth tables derived
+from the state graph into compact sum-of-products expressions (the
+complex-gate / gC implementations Petrify would emit).
+
+Terms are represented as strings over ``{'0','1','-'}`` (one character per
+variable), e.g. ``"1-0"`` = ``x0 & ~x2``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+
+def _bits(value: int, n: int) -> str:
+    return format(value, f"0{n}b")
+
+
+def _combine(a: str, b: str) -> str:
+    """Merge two implicants differing in exactly one defined bit, or ''."""
+    diff = 0
+    out = []
+    for x, y in zip(a, b):
+        if x == y:
+            out.append(x)
+        elif x != "-" and y != "-":
+            diff += 1
+            out.append("-")
+        else:
+            return ""
+    return "".join(out) if diff == 1 else ""
+
+
+def _covers(implicant: str, minterm: int, n: int) -> bool:
+    m = _bits(minterm, n)
+    return all(i == "-" or i == b for i, b in zip(implicant, m))
+
+
+def prime_implicants(minterms: Iterable[int], dont_cares: Iterable[int],
+                     n_vars: int) -> List[str]:
+    """All prime implicants of the function (ON-set + DC-set)."""
+    current: Set[str] = {_bits(m, n_vars) for m in set(minterms) | set(dont_cares)}
+    primes: Set[str] = set()
+    while current:
+        nxt: Set[str] = set()
+        merged: Set[str] = set()
+        items = sorted(current)
+        for a, b in combinations(items, 2):
+            c = _combine(a, b)
+            if c:
+                nxt.add(c)
+                merged.add(a)
+                merged.add(b)
+        primes |= current - merged
+        current = nxt
+    return sorted(primes)
+
+
+def minimize(minterms: Sequence[int], dont_cares: Sequence[int],
+             n_vars: int) -> List[str]:
+    """Minimal (greedy, essential-first) SOP cover of the ON-set.
+
+    Returns a list of implicant strings; empty list = constant 0, and a
+    single all-dash implicant = constant 1.
+    """
+    on = sorted(set(minterms))
+    if not on:
+        return []
+    if n_vars == 0:
+        return ["-" * 0] if on else []
+    dc = set(dont_cares) - set(on)
+    if len(on) + len(dc) == 2 ** n_vars:
+        return ["-" * n_vars]
+    primes = prime_implicants(on, dc, n_vars)
+
+    cover_map: Dict[int, List[str]] = {
+        m: [p for p in primes if _covers(p, m, n_vars)] for m in on
+    }
+    chosen: List[str] = []
+    remaining: Set[int] = set(on)
+
+    # Essential primes first.
+    for m in on:
+        if len(cover_map[m]) == 1:
+            p = cover_map[m][0]
+            if p not in chosen:
+                chosen.append(p)
+    for p in chosen:
+        remaining -= {m for m in remaining if _covers(p, m, n_vars)}
+
+    # Greedy cover of the rest.
+    while remaining:
+        best = max(primes, key=lambda p: (
+            sum(1 for m in remaining if _covers(p, m, n_vars)),
+            p.count("-"),
+        ))
+        gained = {m for m in remaining if _covers(best, m, n_vars)}
+        if not gained:  # pragma: no cover - cannot happen with true primes
+            raise RuntimeError("prime implicant table does not cover ON-set")
+        chosen.append(best)
+        remaining -= gained
+    return chosen
+
+
+def implicant_to_expr(implicant: str, names: Sequence[str]) -> str:
+    """Render one implicant, e.g. ``"1-0"`` with names [a,b,c] -> ``"a c'"``."""
+    parts = []
+    for ch, name in zip(implicant, names):
+        if ch == "1":
+            parts.append(name)
+        elif ch == "0":
+            parts.append(f"{name}'")
+    return " ".join(parts) if parts else "1"
+
+
+def sop_to_expr(implicants: Sequence[str], names: Sequence[str]) -> str:
+    """Render a cover as a sum-of-products string (``"0"`` for empty)."""
+    if not implicants:
+        return "0"
+    return " + ".join(implicant_to_expr(i, names) for i in implicants)
+
+
+def evaluate_sop(implicants: Sequence[str], assignment: Sequence[int]) -> bool:
+    """Evaluate a cover on a 0/1 assignment vector."""
+    for imp in implicants:
+        if all(ch == "-" or int(ch) == bit for ch, bit in zip(imp, assignment)):
+            return True
+    return False
+
+
+def support(implicants: Sequence[str]) -> FrozenSet[int]:
+    """Indices of variables the cover actually depends on."""
+    used = set()
+    for imp in implicants:
+        for i, ch in enumerate(imp):
+            if ch != "-":
+                used.add(i)
+    return frozenset(used)

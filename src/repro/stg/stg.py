@@ -1,0 +1,203 @@
+"""Signal transition graphs (STGs).
+
+An STG is a Petri net whose transitions are labelled with rising (``a+``)
+or falling (``a-``) edges of circuit signals (Chu [10] in the paper).
+Signals are classified as *input* (driven by the environment), *output* /
+*internal* (driven by the circuit), or *dummy* (unlabelled structural
+transitions).
+
+Transition naming follows the astg/petrify convention: ``a+``, ``a-``,
+and numbered instances ``a+/1``, ``a-/2`` when a signal edge occurs in
+several places of the net.
+"""
+
+from __future__ import annotations
+
+import re
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .petri import PetriNet, PetriNetError
+
+
+class SignalType(Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+    DUMMY = "dummy"
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_\[\].]*)([+\-~])(?:/(\d+))?$")
+
+
+class Label:
+    """Parsed transition label: signal, direction, instance number."""
+
+    __slots__ = ("signal", "direction", "instance")
+
+    def __init__(self, signal: str, direction: str, instance: int = 0):
+        if direction not in ("+", "-"):
+            raise ValueError(f"direction must be '+' or '-', got {direction!r}")
+        self.signal = signal
+        self.direction = direction
+        self.instance = instance
+
+    @classmethod
+    def parse(cls, text: str) -> Optional["Label"]:
+        """Parse ``a+``, ``b-/2`` ... ; returns None for dummy names."""
+        match = _LABEL_RE.match(text)
+        if match is None or match.group(2) == "~":
+            return None
+        return cls(match.group(1), match.group(2), int(match.group(3) or 0))
+
+    @property
+    def rising(self) -> bool:
+        return self.direction == "+"
+
+    def __str__(self) -> str:
+        suffix = f"/{self.instance}" if self.instance else ""
+        return f"{self.signal}{self.direction}{suffix}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Label({self!s})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Label) and self.signal == other.signal
+                and self.direction == other.direction
+                and self.instance == other.instance)
+
+    def __hash__(self) -> int:
+        return hash((self.signal, self.direction, self.instance))
+
+
+class STG(PetriNet):
+    """A signal transition graph.
+
+    Use :meth:`add_signal` to declare signals, then
+    :meth:`add_signal_transition` (or plain :meth:`add_transition` for
+    dummies).  ``initial_values`` may leave signals unset; the reachability
+    layer infers values on first use and flags contradictions.
+    """
+
+    def __init__(self, name: str = "stg"):
+        super().__init__(name)
+        self.signal_types: Dict[str, SignalType] = {}
+        self.labels: Dict[str, Optional[Label]] = {}
+        self.initial_values: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_signal(self, signal: str, kind: SignalType,
+                   initial: Optional[bool] = None) -> None:
+        if signal in self.signal_types:
+            raise PetriNetError(f"duplicate signal {signal!r}")
+        if kind == SignalType.DUMMY:
+            raise PetriNetError("dummy is a transition property, not a signal type")
+        self.signal_types[signal] = kind
+        if initial is not None:
+            self.initial_values[signal] = bool(initial)
+
+    def add_signal_transition(self, label_text: str) -> str:
+        """Add a transition labelled e.g. ``"uv+"`` or ``"gp-/1"``.
+
+        Returns the transition name (identical to the label text).
+        """
+        label = Label.parse(label_text)
+        if label is None:
+            raise PetriNetError(f"cannot parse signal label {label_text!r}")
+        if label.signal not in self.signal_types:
+            raise PetriNetError(f"unknown signal {label.signal!r} in {label_text!r}")
+        self.add_transition(label_text)
+        self.labels[label_text] = label
+        return label_text
+
+    def add_transition(self, transition: str) -> None:
+        super().add_transition(transition)
+        self.labels.setdefault(transition, None)
+
+    def add_dummy(self, name: str) -> str:
+        """Add an unlabelled (dummy) transition."""
+        self.add_transition(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def label_of(self, transition: str) -> Optional[Label]:
+        return self.labels.get(transition)
+
+    def signals(self, kind: Optional[SignalType] = None) -> List[str]:
+        if kind is None:
+            return sorted(self.signal_types)
+        return sorted(s for s, k in self.signal_types.items() if k == kind)
+
+    @property
+    def inputs(self) -> List[str]:
+        return self.signals(SignalType.INPUT)
+
+    @property
+    def outputs(self) -> List[str]:
+        return self.signals(SignalType.OUTPUT)
+
+    @property
+    def internals(self) -> List[str]:
+        return self.signals(SignalType.INTERNAL)
+
+    @property
+    def non_inputs(self) -> List[str]:
+        return sorted(self.outputs + self.internals)
+
+    def is_input_transition(self, transition: str) -> bool:
+        label = self.labels.get(transition)
+        return (label is not None
+                and self.signal_types[label.signal] == SignalType.INPUT)
+
+    def transitions_of(self, signal: str) -> List[str]:
+        return [t for t, lbl in self.labels.items()
+                if lbl is not None and lbl.signal == signal]
+
+    # ------------------------------------------------------------------
+    # Convenience construction: chains of transitions
+    # ------------------------------------------------------------------
+    _auto_place = 0
+
+    def connect(self, from_transition: str, to_transition: str,
+                tokens: int = 0, place: Optional[str] = None) -> str:
+        """Insert an implicit place between two transitions.
+
+        Returns the place name.  ``tokens`` sets its initial marking —
+        ``tokens=1`` creates the token that makes ``to_transition`` the
+        first to fire on that path.
+        """
+        if place is None:
+            STG._auto_place += 1
+            place = f"<{from_transition},{to_transition}>#{STG._auto_place}"
+        self.add_place(place, tokens)
+        self.add_arc(from_transition, place)
+        self.add_arc(place, to_transition)
+        return place
+
+    def chain(self, transitions: Iterable[str], cyclic: bool = True,
+              token_before: Optional[str] = None) -> None:
+        """Connect ``transitions`` in sequence with implicit places.
+
+        With ``cyclic=True`` the last transition is connected back to the
+        first.  ``token_before`` names the transition whose input place
+        carries the single initial token (default: the first one).
+        """
+        seq = list(transitions)
+        if len(seq) < 2:
+            raise PetriNetError("chain needs at least two transitions")
+        first = token_before if token_before is not None else seq[0]
+        if first not in seq:
+            raise PetriNetError(f"{first!r} is not in the chain")
+        for a, b in zip(seq, seq[1:]):
+            self.connect(a, b, tokens=1 if b == first else 0)
+        if cyclic:
+            self.connect(seq[-1], seq[0], tokens=1 if seq[0] == first else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats()
+        return (f"STG({self.name!r}, in={len(self.inputs)}, "
+                f"out={len(self.outputs)}, |T|={s['transitions']})")

@@ -1,0 +1,218 @@
+"""Speed-independent logic synthesis from STG state graphs.
+
+Derives, for every output/internal signal:
+
+- the **complex-gate** next-state function ``s' = F(code)``, or
+- the **generalised C-element (gC)** set/reset pair ``S(code)``/``R(code)``,
+
+minimised with Quine–McCluskey.  A CSC conflict (two reachable states with
+identical codes requiring different behaviour of a non-input signal) makes
+synthesis impossible and raises :class:`CSCConflictError` with the
+offending traces — this mirrors Petrify/MPSat behaviour in the A4A flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from . import qm
+from .reachability import State, StateGraph, V1, VUNKNOWN
+from .stg import STG, SignalType
+
+
+class SynthesisError(RuntimeError):
+    """Synthesis could not proceed (unknown codes, bad signal kind...)."""
+
+
+class CSCConflictError(SynthesisError):
+    """Complete State Coding violation for a specific signal."""
+
+    def __init__(self, signal: str, code: Tuple[int, ...],
+                 state_a: State, state_b: State):
+        self.signal = signal
+        self.code = code
+        self.state_a = state_a
+        self.state_b = state_b
+        super().__init__(
+            f"CSC conflict for {signal!r}: states #{state_a.index} and "
+            f"#{state_b.index} share code {''.join(map(str, code))}")
+
+
+@dataclass
+class SignalFunction:
+    """Synthesised logic for one signal."""
+
+    signal: str
+    variables: List[str]
+    implicants: List[str]          # SOP cover over ``variables``
+    style: str                     # 'complex-gate' | 'gc-set' | 'gc-reset'
+
+    def expression(self) -> str:
+        return qm.sop_to_expr(self.implicants, self.variables)
+
+    def evaluate(self, values: Dict[str, bool]) -> bool:
+        assignment = [int(values[v]) for v in self.variables]
+        return qm.evaluate_sop(self.implicants, assignment)
+
+    def literal_count(self) -> int:
+        return sum(len(i) - i.count("-") for i in self.implicants)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SignalFunction({self.signal} [{self.style}] = {self.expression()})"
+
+
+@dataclass
+class GCImplementation:
+    """Set/reset pair targeting an asymmetric C-element."""
+
+    signal: str
+    set_function: SignalFunction
+    reset_function: SignalFunction
+
+    def expression(self) -> str:
+        return (f"{self.signal}: set = {self.set_function.expression()}, "
+                f"reset = {self.reset_function.expression()}")
+
+
+def _excitation(sg: StateGraph, signal: str):
+    """Classify every reachable state for ``signal``.
+
+    Returns (codes, rising, falling, high) where ``rising``/``falling`` are
+    the sets of codes in which ``signal+``/``signal-`` is enabled and
+    ``high`` the codes where the signal is currently 1.  Raises on unknown
+    code bits or CSC conflicts.
+    """
+    stg = sg.stg
+    if signal not in stg.signal_types:
+        raise SynthesisError(f"unknown signal {signal!r}")
+    if stg.signal_types[signal] == SignalType.INPUT:
+        raise SynthesisError(f"cannot synthesise logic for input {signal!r}")
+    idx = sg.signal_order.index(signal)
+
+    seen: Dict[Tuple[int, ...], Tuple[State, bool, bool]] = {}
+    for state in sg.all_states():
+        if any(v == VUNKNOWN for v in state.code):
+            raise SynthesisError(
+                f"state #{state.index} has undetermined signal values; "
+                f"provide initial values for all signals of {stg.name!r}")
+        rising = falling = False
+        for t, _ in state.successors:
+            lbl = stg.label_of(t)
+            if lbl is not None and lbl.signal == signal:
+                if lbl.rising:
+                    rising = True
+                else:
+                    falling = True
+        prev = seen.get(state.code)
+        if prev is None:
+            seen[state.code] = (state, rising, falling)
+        elif (prev[1], prev[2]) != (rising, falling):
+            raise CSCConflictError(signal, state.code, prev[0], state)
+    codes = {}
+    for code, (state, rising, falling) in seen.items():
+        high = code[idx] == V1
+        codes[code] = (rising, falling, high)
+    return codes
+
+
+def _code_to_int(code: Tuple[int, ...]) -> int:
+    value = 0
+    for bit in code:
+        value = (value << 1) | bit
+    return value
+
+
+def synthesize_complex_gate(sg: StateGraph, signal: str) -> SignalFunction:
+    """Next-state function: 1 where the signal is (or is becoming) high.
+
+    ON-set: states where the signal is 1 and stable, or rising.
+    OFF-set: states where it is 0 and stable, or falling.
+    Unreachable codes are don't-cares.
+    """
+    codes = _excitation(sg, signal)
+    n = len(sg.signal_order)
+    on, off = [], []
+    for code, (rising, falling, high) in codes.items():
+        target = rising or (high and not falling)
+        (on if target else off).append(_code_to_int(code))
+    dc = [v for v in range(2 ** n) if v not in set(on) | set(off)]
+    cover = qm.minimize(on, dc, n)
+    return SignalFunction(signal, list(sg.signal_order), cover, "complex-gate")
+
+
+def synthesize_gc(sg: StateGraph, signal: str) -> GCImplementation:
+    """Set/reset pair for a gC latch implementation.
+
+    Set must hold in every rising-excited state and must not hold in any
+    stable-0 or falling state (don't-care while the signal is stable 1);
+    dually for reset.
+    """
+    codes = _excitation(sg, signal)
+    n = len(sg.signal_order)
+    set_on, set_off, reset_on, reset_off = [], [], [], []
+    for code, (rising, falling, high) in codes.items():
+        value = _code_to_int(code)
+        if rising:
+            set_on.append(value)
+            reset_off.append(value)
+        elif falling:
+            reset_on.append(value)
+            set_off.append(value)
+        elif high:
+            reset_off.append(value)   # must not spuriously reset
+        else:
+            set_off.append(value)     # must not spuriously set
+    all_codes = set(range(2 ** n))
+    set_dc = sorted(all_codes - set(set_on) - set(set_off))
+    reset_dc = sorted(all_codes - set(reset_on) - set(reset_off))
+    set_cover = qm.minimize(set_on, set_dc, n)
+    reset_cover = qm.minimize(reset_on, reset_dc, n)
+    names = list(sg.signal_order)
+    return GCImplementation(
+        signal,
+        SignalFunction(signal, names, set_cover, "gc-set"),
+        SignalFunction(signal, names, reset_cover, "gc-reset"),
+    )
+
+
+@dataclass
+class SynthesisResult:
+    """Complete synthesis of an STG: one function per non-input signal."""
+
+    stg_name: str
+    complex_gates: Dict[str, SignalFunction] = field(default_factory=dict)
+    gc_latches: Dict[str, GCImplementation] = field(default_factory=dict)
+
+    def netlist_summary(self) -> str:
+        lines = [f"synthesis of {self.stg_name!r}:"]
+        for s, fn in sorted(self.complex_gates.items()):
+            lines.append(f"  [{s}] = {fn.expression()}")
+        for s, gc in sorted(self.gc_latches.items()):
+            lines.append(f"  {gc.expression()}")
+        return "\n".join(lines)
+
+    def total_literals(self) -> int:
+        total = sum(f.literal_count() for f in self.complex_gates.values())
+        total += sum(g.set_function.literal_count() +
+                     g.reset_function.literal_count()
+                     for g in self.gc_latches.values())
+        return total
+
+
+def synthesize(stg: STG, style: str = "complex-gate",
+               max_states: int = 200_000) -> SynthesisResult:
+    """Synthesise every output/internal signal of ``stg``.
+
+    ``style`` is ``"complex-gate"`` or ``"gc"``.
+    """
+    if style not in ("complex-gate", "gc"):
+        raise SynthesisError(f"unknown synthesis style {style!r}")
+    sg = StateGraph(stg, max_states=max_states)
+    result = SynthesisResult(stg.name)
+    for signal in stg.non_inputs:
+        if style == "complex-gate":
+            result.complex_gates[signal] = synthesize_complex_gate(sg, signal)
+        else:
+            result.gc_latches[signal] = synthesize_gc(sg, signal)
+    return result

@@ -1,0 +1,222 @@
+"""STG verification: the A4A flow's sanity and correctness checks.
+
+The paper (Sec. IV) verifies, for every controller module: consistency,
+deadlock-freeness, output-persistence, plus design-specific invariants —
+most importantly *the absence of a short circuit* (PMOS and NMOS gate
+signals never both active).  This module implements those checks on the
+explicit state graph, each returning a :class:`CheckResult` carrying a
+counterexample trace when violated (Workcraft's "violation traces").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .reachability import State, StateGraph, V1, VUNKNOWN
+from .stg import STG, SignalType
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one verification check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    trace: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "PASS" if self.passed else f"FAIL ({self.detail})"
+        return f"CheckResult({self.name}: {status})"
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+def check_safeness(sg: StateGraph) -> CheckResult:
+    """Every place holds at most one token in every reachable marking."""
+    if sg.is_safe():
+        return CheckResult("safeness", True)
+    return CheckResult("safeness", False,
+                       f"unsafe places: {sorted(sg.unsafe_places)}")
+
+
+def check_consistency(sg: StateGraph) -> CheckResult:
+    """Signal edges strictly alternate (a+ only from a=0, a- from a=1)."""
+    if sg.is_consistent():
+        return CheckResult("consistency", True)
+    v = sg.consistency_violations[0]
+    return CheckResult("consistency", False, v.detail, v.trace)
+
+
+def check_deadlock_freeness(sg: StateGraph) -> CheckResult:
+    """Every reachable state enables at least one transition."""
+    if sg.is_deadlock_free():
+        return CheckResult("deadlock-freeness", True)
+    dead = sg.deadlocks[0]
+    return CheckResult("deadlock-freeness", False,
+                       f"deadlock in state #{dead.index}", dead.trace())
+
+
+def check_output_persistence(sg: StateGraph) -> CheckResult:
+    """An enabled non-input transition may not be disabled by another
+    transition firing — the hazard-freedom requirement for speed-
+    independent implementability.
+
+    Two enabled transitions of the *same signal and direction* are treated
+    as one commitment (firing either keeps the promise), as are mutually
+    exclusive choices between input transitions (environment's choice).
+    """
+    stg = sg.stg
+    for state in sg.all_states():
+        enabled = {t for t, _ in state.successors}
+        for t in enabled:
+            if stg.is_input_transition(t) or stg.label_of(t) is None:
+                continue
+            label = stg.label_of(t)
+            for u, nxt in state.successors:
+                if u == t:
+                    continue
+                still = {name for name, _ in nxt.successors}
+                if t in still:
+                    continue
+                # same signal+direction counts as the same commitment
+                same_promise = any(
+                    (lbl := stg.label_of(name)) is not None
+                    and lbl.signal == label.signal
+                    and lbl.direction == label.direction
+                    for name in still)
+                u_label = stg.label_of(u)
+                fired_same = (u_label is not None
+                              and u_label.signal == label.signal
+                              and u_label.direction == label.direction)
+                if not (same_promise or fired_same):
+                    return CheckResult(
+                        "output-persistence", False,
+                        f"{u} disables pending {t} in state #{state.index}",
+                        state.trace() + [u])
+    return CheckResult("output-persistence", True)
+
+
+def check_csc(sg: StateGraph) -> CheckResult:
+    """Complete State Coding: states with equal codes must enable the same
+    non-input signal edges (otherwise next-state logic is ambiguous)."""
+    stg = sg.stg
+    by_code: Dict[Tuple[int, ...], Tuple[State, frozenset]] = {}
+    for state in sg.all_states():
+        excited = frozenset(
+            (lbl.signal, lbl.direction)
+            for t, _ in state.successors
+            if (lbl := stg.label_of(t)) is not None
+            and stg.signal_types[lbl.signal] != SignalType.INPUT)
+        seen = by_code.get(state.code)
+        if seen is None:
+            by_code[state.code] = (state, excited)
+        elif seen[1] != excited:
+            return CheckResult(
+                "csc", False,
+                f"states #{seen[0].index} and #{state.index} share a code "
+                f"but enable different outputs", state.trace())
+    return CheckResult("csc", True)
+
+
+def check_usc(sg: StateGraph) -> CheckResult:
+    """Unique State Coding: distinct markings never share a signal code."""
+    seen: Dict[Tuple[int, ...], State] = {}
+    for state in sg.all_states():
+        other = seen.get(state.code)
+        if other is None:
+            seen[state.code] = state
+        elif other.marking != state.marking:
+            return CheckResult(
+                "usc", False,
+                f"markings of states #{other.index} and #{state.index} "
+                f"share code", state.trace())
+    return CheckResult("usc", True)
+
+
+def check_mutual_exclusion(sg: StateGraph, a: str, b: str) -> CheckResult:
+    """Signals ``a`` and ``b`` are never 1 simultaneously.
+
+    This is the paper's short-circuit check with ``a=gp``, ``b=gn``.
+    """
+    ia = sg.signal_order.index(a)
+    ib = sg.signal_order.index(b)
+    for state in sg.all_states():
+        if state.code[ia] == V1 and state.code[ib] == V1:
+            return CheckResult(
+                f"mutex({a},{b})", False,
+                f"both {a} and {b} high in state #{state.index}",
+                state.trace())
+    return CheckResult(f"mutex({a},{b})", True)
+
+
+def check_never_all(sg: StateGraph, signals: Sequence[str]) -> CheckResult:
+    """Generalised mutual exclusion over any signal set."""
+    idx = [sg.signal_order.index(s) for s in signals]
+    for state in sg.all_states():
+        if all(state.code[i] == V1 for i in idx):
+            return CheckResult(
+                f"never-all({','.join(signals)})", False,
+                f"all high in state #{state.index}", state.trace())
+    return CheckResult(f"never-all({','.join(signals)})", True)
+
+
+# ---------------------------------------------------------------------------
+# Combined report
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VerificationReport:
+    """All standard checks for one STG, Workcraft-style."""
+
+    stg_name: str
+    n_states: int
+    results: List[CheckResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def result(self, name: str) -> CheckResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        lines = [f"verification of {self.stg_name!r} ({self.n_states} states):"]
+        for r in self.results:
+            status = "PASS" if r.passed else f"FAIL - {r.detail}"
+            lines.append(f"  {r.name + ':':<25} {status}")
+            if not r.passed and r.trace:
+                lines.append(f"    trace: {' '.join(r.trace)}")
+        return "\n".join(lines)
+
+
+def verify(stg: STG, mutex_pairs: Sequence[Tuple[str, str]] = (),
+           require_csc: bool = False,
+           max_states: int = 200_000) -> VerificationReport:
+    """Run the A4A sanity suite on ``stg``.
+
+    ``mutex_pairs`` adds design-specific short-circuit checks;
+    ``require_csc`` includes CSC (needed before synthesis, but optional for
+    environment-facing specs).
+    """
+    sg = StateGraph(stg, max_states=max_states)
+    results = [
+        check_safeness(sg),
+        check_consistency(sg),
+        check_deadlock_freeness(sg),
+        check_output_persistence(sg),
+    ]
+    if require_csc:
+        results.append(check_csc(sg))
+    for a, b in mutex_pairs:
+        results.append(check_mutual_exclusion(sg, a, b))
+    return VerificationReport(stg.name, len(sg), results)

@@ -1,0 +1,113 @@
+"""Verilog netlist export for synthesised speed-independent circuits.
+
+The A4A flow's synthesis step hands "speed-independent components
+(Verilog netlist)" to standard EDA tools for place-and-route (paper
+Fig. 3).  This module renders a :class:`~repro.stg.synthesis.
+SynthesisResult` as structural/behavioural Verilog:
+
+- complex gates as continuous ``assign`` statements;
+- gC latches as set/reset expressions around a Muller-C style keeper
+  (``assign q = set | (q & ~reset)`` — the standard gC semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .stg import STG
+from .synthesis import GCImplementation, SignalFunction, SynthesisResult
+
+_KEYWORDS = {"input", "output", "wire", "assign", "module", "endmodule",
+             "reg", "always", "begin", "end", "not", "and", "or"}
+
+
+def _escape(name: str) -> str:
+    """Make a signal name Verilog-safe."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not safe or safe[0].isdigit() or safe in _KEYWORDS:
+        safe = "n_" + safe
+    return safe
+
+
+def _sop_verilog(fn: SignalFunction) -> str:
+    """Render a SOP cover as a Verilog expression."""
+    if not fn.implicants:
+        return "1'b0"
+    if fn.implicants == ["-" * len(fn.variables)]:
+        return "1'b1"
+    terms: List[str] = []
+    for imp in fn.implicants:
+        lits = []
+        for ch, var in zip(imp, fn.variables):
+            if ch == "1":
+                lits.append(_escape(var))
+            elif ch == "0":
+                lits.append(f"~{_escape(var)}")
+        terms.append(" & ".join(lits) if lits else "1'b1")
+    if len(terms) == 1:
+        return terms[0]
+    return " | ".join(f"({t})" for t in terms)
+
+
+def to_verilog(stg: STG, result: SynthesisResult,
+               module_name: str = "") -> str:
+    """Render the synthesis result as a Verilog module.
+
+    Inputs are the STG's input signals; outputs its outputs; internal
+    signals become wires.  gC latches use the combinational-feedback gC
+    form, which behaves as set-dominant storage under SI assumptions.
+    """
+    module = _escape(module_name or stg.name)
+    inputs = [_escape(s) for s in stg.inputs]
+    outputs = [_escape(s) for s in stg.outputs]
+    internals = [_escape(s) for s in stg.internals]
+
+    lines = [
+        f"// Speed-independent netlist synthesised from STG '{stg.name}'",
+        "// by the repro A4A flow (complex-gate / gC style).",
+        f"module {module} (",
+    ]
+    ports = [f"    input  wire {s}" for s in inputs]
+    ports += [f"    output wire {s}" for s in outputs]
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    for s in internals:
+        lines.append(f"    wire {s};")
+    lines.append("")
+
+    for signal in sorted(result.complex_gates):
+        fn = result.complex_gates[signal]
+        lines.append(f"    // [{signal}] = {fn.expression()}")
+        lines.append(f"    assign {_escape(signal)} = {_sop_verilog(fn)};")
+    for signal in sorted(result.gc_latches):
+        gc = result.gc_latches[signal]
+        s_expr = _sop_verilog(gc.set_function)
+        r_expr = _sop_verilog(gc.reset_function)
+        name = _escape(signal)
+        lines.append(f"    // gC: {gc.expression()}")
+        lines.append(f"    assign {name} = ({s_expr}) | "
+                     f"({name} & ~({r_expr}));")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def testbench_skeleton(stg: STG, module_name: str = "") -> str:
+    """Emit a minimal Verilog testbench instantiating the module (for
+    off-line simulation in a conventional flow)."""
+    module = _escape(module_name or stg.name)
+    inputs = [_escape(s) for s in stg.inputs]
+    outputs = [_escape(s) for s in stg.outputs]
+    lines = [f"module tb_{module};"]
+    for s in inputs:
+        lines.append(f"    reg {s} = 1'b0;")
+    for s in outputs:
+        lines.append(f"    wire {s};")
+    conns = ", ".join(f".{s}({s})" for s in inputs + outputs)
+    lines.append(f"    {module} dut ({conns});")
+    lines.append("    initial begin")
+    lines.append(f"        $dumpfile(\"tb_{module}.vcd\");")
+    lines.append(f"        $dumpvars(0, tb_{module});")
+    lines.append("        #1000 $finish;")
+    lines.append("    end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

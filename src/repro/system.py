@@ -1,0 +1,170 @@
+"""Top-level system assembly: a complete closed-loop buck simulation.
+
+:class:`BuckSystem` is the library's main entry point — it wires the
+analog power stage, sensor bank, gate drivers, the analog solver, and one
+of the two controllers into a single simulator, mirroring the paper's AMS
+testbench (Sec. V):
+
+>>> from repro import BuckSystem, SystemConfig
+>>> cfg = SystemConfig(controller="async", sim_time=10e-6)
+>>> system = BuckSystem(cfg)
+>>> result = system.run()
+>>> result.peak_coil_current < 1.0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .analog.buck import MultiphasePowerStage, make_power_stage
+from .analog.coil import Coil, make_coil
+from .analog.gate_driver import GateDriverBank
+from .analog.load import LoadProfile
+from .analog.sensors import BuckReferences, SensorBank
+from .analog.solver import AnalogSolver
+from .control.async_controller import AsyncMultiphaseController, AsyncTimings
+from .control.params import BuckControlParams
+from .control.sync_controller import SyncMultiphaseController
+from .sim.core import Simulator
+from .sim.units import MHZ, NS, UH, US
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to reproduce one simulation run of the paper."""
+
+    controller: str = "async"          #: 'async' or 'sync'
+    fsm_frequency: float = 333 * MHZ   #: sync controller clock (ignored for async)
+    n_phases: int = 4
+    inductance: float = 4.7 * UH
+    coil: Optional[Coil] = None        #: overrides ``inductance`` when given
+    v_in: float = 5.0
+    c_out: float = 0.47e-6
+    v_out0: float = 0.0                #: 0 = cold startup (Fig. 6)
+    load: Optional[LoadProfile] = None #: default: Fig. 6 scenario
+    refs: Optional[BuckReferences] = None
+    params: Optional[BuckControlParams] = None
+    timings: Optional[AsyncTimings] = None
+    dt: float = 1.0 * NS               #: analog solver micro-step
+    sensor_delay: float = 1.0 * NS
+    sensor_noise: float = 0.0
+    t_gate: float = 1.0 * NS
+    sim_time: float = 10 * US
+    seed: int = 0
+    trace: bool = True                 #: keep waveforms (turn off for sweeps)
+
+    def __post_init__(self) -> None:
+        if self.controller not in ("async", "sync"):
+            raise ValueError("controller must be 'async' or 'sync'")
+        if self.n_phases < 1:
+            raise ValueError("need at least one phase")
+
+
+@dataclass
+class RunResult:
+    """Headline measurements of one run (Fig. 6 / Fig. 7 quantities)."""
+
+    controller: str
+    v_final: float
+    peak_coil_current: float        #: max |i_L| over any phase (Fig. 7a/b)
+    ripple: float                   #: steady-state V_out peak-to-peak (Fig. 6)
+    coil_loss_w: float              #: mean coil conduction loss (Fig. 7c)
+    efficiency: float
+    ov_events: int                  #: over-voltage episodes observed
+    cycles: List[int] = field(default_factory=list)
+    metastable_events: int = 0
+
+
+class BuckSystem:
+    """A fully wired buck + controller co-simulation."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        coil = config.coil or make_coil(config.inductance)
+        load = config.load or LoadProfile.fig6_scenario()
+        self.stage: MultiphasePowerStage = make_power_stage(
+            config.n_phases, coil, v_in=config.v_in, c_out=config.c_out,
+            load=load, v_out0=config.v_out0)
+        self.sensors = SensorBank(self.sim, self.stage,
+                                  refs=config.refs,
+                                  delay=config.sensor_delay,
+                                  noise=config.sensor_noise,
+                                  trace=config.trace)
+        self.gates = GateDriverBank(self.sim, self.stage,
+                                    t_gate=config.t_gate, trace=config.trace)
+        self.solver = AnalogSolver(self.sim, self.stage, self.sensors,
+                                   dt=config.dt, trace=config.trace)
+        params = config.params or BuckControlParams()
+        if config.controller == "sync":
+            self.controller = SyncMultiphaseController(
+                self.sim, self.sensors, self.gates, config.n_phases,
+                config.fsm_frequency, params=params, trace=config.trace)
+        else:
+            self.controller = AsyncMultiphaseController(
+                self.sim, self.sensors, self.gates, config.n_phases,
+                params=params, timings=config.timings, trace=config.trace)
+        self.solver.start()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self, duration: Optional[float] = None,
+            settle: Optional[float] = None) -> RunResult:
+        """Run the simulation and collect the headline measurements.
+
+        ``settle``: statistics (ripple, peak current, losses) are measured
+        only *after* this time, excluding the startup transient — defaults
+        to 20% of the run.
+        """
+        duration = duration if duration is not None else self.config.sim_time
+        settle = settle if settle is not None else 0.2 * duration
+        t0 = self.sim.now
+        loss0 = self.stage.coil_losses_j()
+        peak_startup = 0.0
+        if settle > 0:
+            self.sim.run_until(t0 + settle)
+            # Ripple and losses exclude the startup transient, but the
+            # peak current must not (Fig. 7's peaks are set by the
+            # startup/HL transients, where reaction latency bites).
+            peak_startup = self.solver.peak_coil_current()
+            self.solver.reset_measurements()
+            loss0 = self.stage.coil_losses_j()
+        self.sim.run_until(t0 + duration)
+        self._ran = True
+
+        vp = self.solver.v_probe
+        ripple = (vp.maximum - vp.minimum) if vp.maximum >= vp.minimum else 0.0
+        span = duration - settle
+        loss_w = (self.stage.coil_losses_j() - loss0) / span if span > 0 else 0.0
+        return RunResult(
+            controller=self.config.controller,
+            v_final=self.stage.v_out,
+            peak_coil_current=max(peak_startup,
+                                  self.solver.peak_coil_current()),
+            ripple=ripple,
+            coil_loss_w=loss_w,
+            efficiency=self.stage.efficiency(),
+            ov_events=len(self.sensors.ov.output.edges("rise")),
+            cycles=list(self.controller.cycles_started),
+            metastable_events=self.controller.metastable_events(),
+        )
+
+    # ------------------------------------------------------------------
+    def waveform_signals(self):
+        """The Fig. 6 trace set (for VCD export / plotting)."""
+        sensors = self.sensors
+        signals = [sensors.hl.output, sensors.uv.output, sensors.ov.output]
+        signals += [c.output for c in sensors.oc]
+        signals += [c.output for c in sensors.zc]
+        signals += self.gates.gp + self.gates.gn
+        if self.config.controller == "async":
+            signals += self.controller.token_at
+        else:
+            signals += self.controller.activator.act
+        return signals
+
+    def probes(self):
+        """Analog probes: load voltage and per-coil currents."""
+        return [self.solver.v_probe] + self.solver.i_probes

@@ -1,0 +1,88 @@
+"""Unit tests for the opportunistic merge element."""
+
+import pytest
+
+from repro.a2a import OpportunisticMerge
+from repro.sim import NS, US, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=9)
+
+
+def _setup(sim, responder_delay=5):
+    r1, r2 = Signal(sim, "r1"), Signal(sim, "r2")
+    ai = Signal(sim, "ai")
+    merge = OpportunisticMerge(sim, "m", r1, r2, ai)
+    # auto-responder on the merged channel
+    merge.ro.subscribe(lambda s, v: ai.set(v, responder_delay * NS))
+    return r1, r2, ai, merge
+
+
+class TestSingleRequest:
+    def test_r1_served_and_acked(self, sim):
+        r1, r2, ai, merge = _setup(sim)
+        r1.set(True, 1 * NS)
+        sim.run(20 * NS)
+        assert merge.a1.value
+        assert not merge.a2.value
+        r1.set(False)
+        sim.run(20 * NS)
+        assert not merge.a1.value
+        assert not merge.ro.value
+
+    def test_r2_served(self, sim):
+        r1, r2, ai, merge = _setup(sim)
+        r2.set(True, 1 * NS)
+        sim.run(20 * NS)
+        assert merge.a2.value and not merge.a1.value
+
+    def test_repeated_handshakes(self, sim):
+        r1, r2, ai, merge = _setup(sim)
+        for _ in range(3):
+            r1.set(True)
+            sim.run(20 * NS)
+            assert merge.a1.value
+            r1.set(False)
+            sim.run(20 * NS)
+            assert not merge.a1.value
+        assert merge.merged_count == 0
+
+
+class TestOrCausality:
+    def test_second_request_merged_into_running_service(self, sim):
+        """r2 arrives while r1's service is in flight (before ai+): one
+        output handshake acknowledges both — the OR-causality of Sec. IV."""
+        r1, r2, ai, merge = _setup(sim, responder_delay=10)
+        r1.set(True, 1 * NS)
+        r2.set(True, 4 * NS)   # inside the service window
+        sim.run(30 * NS)
+        assert merge.a1.value and merge.a2.value
+        assert merge.merged_count == 1
+        assert len(merge.ro.edges("rise")) == 1  # single service
+
+    def test_late_request_gets_next_service(self, sim):
+        r1, r2, ai, merge = _setup(sim, responder_delay=3)
+        r1.set(True, 1 * NS)
+        sim.run(20 * NS)       # r1 fully served (ai went high)
+        assert merge.a1.value
+        r2.set(True)
+        r1.set(False)
+        sim.run(40 * NS)
+        assert merge.a2.value
+        assert len(merge.ro.edges("rise")) == 2  # two services
+
+    def test_simultaneous_requests_single_service(self, sim):
+        r1, r2, ai, merge = _setup(sim, responder_delay=10)
+        r1.set(True, 1 * NS)
+        r2.set(True, 1 * NS)
+        sim.run(40 * NS)
+        assert merge.a1.value and merge.a2.value
+        assert len(merge.ro.edges("rise")) == 1
+
+    def test_negative_delay_rejected(self, sim):
+        r1, r2 = Signal(sim, "r1"), Signal(sim, "r2")
+        ai = Signal(sim, "ai")
+        with pytest.raises(ValueError):
+            OpportunisticMerge(sim, "m", r1, r2, ai, delay=-1.0)

@@ -1,0 +1,251 @@
+"""Unit tests for the WAIT-family A2A elements."""
+
+import pytest
+
+from repro.a2a import RWait, RWait0, Wait, Wait0, Wait01, Wait10, Wait2
+from repro.sim import NS, US, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+class TestWait:
+    def test_ack_after_input_high(self, sim):
+        inp = Signal(sim, "inp")
+        w = Wait(sim, "w", inp)
+        w.req.set(True, 1 * NS)
+        sim.run(5 * NS)
+        assert not w.ack.value
+        inp.set(True)
+        sim.run(2 * NS)
+        assert w.ack.value
+
+    def test_level_already_high_when_armed(self, sim):
+        inp = Signal(sim, "inp", init=True)
+        w = Wait(sim, "w", inp)
+        w.req.set(True, 1 * NS)
+        sim.run(3 * NS)
+        assert w.ack.value
+
+    def test_latched_despite_input_glitching_away(self, sim):
+        inp = Signal(sim, "inp")
+        w = Wait(sim, "w", inp)
+        w.req.set(True, 1 * NS)
+        inp.set(True, 2 * NS)
+        inp.set(False, 10 * NS)  # non-persistent input drops again
+        sim.run(20 * NS)
+        assert w.ack.value  # stays latched until req released
+
+    def test_release_handshake(self, sim):
+        inp = Signal(sim, "inp", init=True)
+        w = Wait(sim, "w", inp)
+        w.req.set(True, 1 * NS)
+        sim.run(5 * NS)
+        w.req.set(False)
+        sim.run(5 * NS)
+        assert not w.ack.value
+
+    def test_input_before_arming_is_level_sensitive(self, sim):
+        inp = Signal(sim, "inp")
+        w = Wait(sim, "w", inp)
+        inp.set(True, 1 * NS)   # input rises before req
+        w.req.set(True, 10 * NS)
+        sim.run(15 * NS)
+        assert w.ack.value
+
+    def test_marginal_pulse_contained(self):
+        """A pulse shorter than the latch window either latches or is
+        missed — randomly — but the ack output never glitches."""
+        latched = 0
+        for seed in range(30):
+            sim = Simulator(seed=seed)
+            inp = Signal(sim, "inp")
+            w = Wait(sim, "w", inp, t_latch=1 * NS)
+            w.req.set(True, 1 * NS)
+            inp.pulse(width=0.3 * NS, delay=5 * NS)  # marginal
+            sim.run(1 * US)
+            assert w.metastable_events == 1
+            assert len(w.ack.edges()) in (0, 1)  # clean output either way
+            if w.ack.value:
+                latched += 1
+        assert 0 < latched < 30  # genuinely random outcome
+
+    def test_no_ack_without_req(self, sim):
+        inp = Signal(sim, "inp")
+        w = Wait(sim, "w", inp)
+        inp.set(True, 1 * NS)
+        sim.run(10 * NS)
+        assert not w.ack.value
+
+    def test_negative_timing_rejected(self, sim):
+        inp = Signal(sim, "inp")
+        with pytest.raises(ValueError):
+            Wait(sim, "w", inp, t_latch=-1.0)
+
+
+class TestWait0:
+    def test_waits_for_low(self, sim):
+        inp = Signal(sim, "inp", init=True)
+        w = Wait0(sim, "w0", inp)
+        w.req.set(True, 1 * NS)
+        sim.run(5 * NS)
+        assert not w.ack.value
+        inp.set(False)
+        sim.run(2 * NS)
+        assert w.ack.value
+
+    def test_already_low(self, sim):
+        inp = Signal(sim, "inp")
+        w = Wait0(sim, "w0", inp)
+        w.req.set(True, 1 * NS)
+        sim.run(3 * NS)
+        assert w.ack.value
+
+
+class TestWait01:
+    def test_requires_edge_not_level(self, sim):
+        inp = Signal(sim, "inp", init=True)  # already high
+        w = Wait01(sim, "w01", inp)
+        w.req.set(True, 1 * NS)
+        sim.run(10 * NS)
+        assert not w.ack.value  # high level does not satisfy WAIT01
+        inp.set(False)
+        inp.set(True, 5 * NS)  # a genuine rising edge
+        sim.run(10 * NS)
+        assert w.ack.value
+
+    def test_edge_after_arming_fires(self, sim):
+        inp = Signal(sim, "inp")
+        w = Wait01(sim, "w01", inp)
+        w.req.set(True, 1 * NS)
+        inp.set(True, 5 * NS)
+        sim.run(10 * NS)
+        assert w.ack.value
+
+
+class TestWait10:
+    def test_falling_edge(self, sim):
+        inp = Signal(sim, "inp")
+        w = Wait10(sim, "w10", inp)
+        w.req.set(True, 1 * NS)
+        sim.run(3 * NS)
+        assert not w.ack.value  # low level does not satisfy WAIT10
+        inp.set(True, 5 * NS)
+        inp.set(False, 8 * NS)
+        sim.run(15 * NS)
+        assert w.ack.value
+
+
+class TestRWait:
+    def test_fires_on_condition(self, sim):
+        inp = Signal(sim, "inp")
+        w = RWait(sim, "rw", inp)
+        w.req.set(True, 1 * NS)
+        inp.set(True, 5 * NS)
+        sim.run(10 * NS)
+        assert w.ack.value
+        assert w.fired_by_condition
+
+    def test_cancel_releases_without_condition(self, sim):
+        inp = Signal(sim, "inp")
+        w = RWait(sim, "rw", inp)
+        w.req.set(True, 1 * NS)
+        w.cancel.set(True, 5 * NS)
+        sim.run(10 * NS)
+        assert w.ack.value
+        assert not w.fired_by_condition
+
+    def test_condition_after_cancel_ignored(self, sim):
+        inp = Signal(sim, "inp")
+        w = RWait(sim, "rw", inp)
+        w.req.set(True, 1 * NS)
+        w.cancel.set(True, 5 * NS)
+        inp.set(True, 6 * NS)
+        sim.run(20 * NS)
+        assert w.ack.value
+        assert not w.fired_by_condition
+
+    def test_next_request_after_cancel_works(self, sim):
+        inp = Signal(sim, "inp")
+        w = RWait(sim, "rw", inp)
+        w.req.set(True, 1 * NS)
+        w.cancel.set(True, 5 * NS)
+        sim.run(10 * NS)
+        w.req.set(False)
+        w.cancel.set(False)
+        sim.run(5 * NS)
+        w.req.set(True)
+        inp.set(True, 2 * NS)
+        sim.run(10 * NS)
+        assert w.ack.value
+        assert w.fired_by_condition
+
+
+class TestRWait0:
+    def test_waits_low_and_cancellable(self, sim):
+        inp = Signal(sim, "inp", init=True)
+        w = RWait0(sim, "rw0", inp)
+        w.req.set(True, 1 * NS)
+        sim.run(5 * NS)
+        assert not w.ack.value
+        inp.set(False)
+        sim.run(3 * NS)
+        assert w.ack.value
+        assert w.fired_by_condition
+
+    def test_cancel(self, sim):
+        inp = Signal(sim, "inp", init=True)
+        w = RWait0(sim, "rw0", inp)
+        w.req.set(True, 1 * NS)
+        w.cancel.set(True, 3 * NS)
+        sim.run(10 * NS)
+        assert w.ack.value
+        assert not w.fired_by_condition
+
+
+class TestWait2:
+    def test_alternates_high_then_low(self, sim):
+        inp = Signal(sim, "inp")
+        w = Wait2(sim, "w2", inp)
+        assert w.awaiting == "high"
+        # handshake 1: waits for high
+        w.req.set(True, 1 * NS)
+        inp.set(True, 3 * NS)
+        sim.run(6 * NS)
+        assert w.ack.value
+        assert w.awaiting == "low"
+        w.req.set(False)
+        sim.run(2 * NS)
+        assert not w.ack.value
+        # handshake 2: waits for low
+        w.req.set(True)
+        sim.run(3 * NS)
+        assert not w.ack.value  # input still high
+        inp.set(False)
+        sim.run(3 * NS)
+        assert w.ack.value
+        assert w.awaiting == "high"
+
+    def test_oc_monitoring_pattern(self, sim):
+        """The paper uses WAIT2 to monitor OC: detect assert, then deassert."""
+        oc = Signal(sim, "oc")
+        w = Wait2(sim, "w2", oc)
+        events = []
+        for cycle in range(3):
+            w.req.set(True)
+            oc.set(True, 2 * NS)
+            sim.run(5 * NS)
+            assert w.ack.value
+            events.append(("oc_on", sim.now))
+            w.req.set(False)
+            sim.run(1 * NS)
+            w.req.set(True)
+            oc.set(False, 2 * NS)
+            sim.run(5 * NS)
+            assert w.ack.value
+            events.append(("oc_off", sim.now))
+            w.req.set(False)
+            sim.run(1 * NS)
+        assert len(events) == 6

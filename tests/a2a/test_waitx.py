@@ -1,0 +1,163 @@
+"""Unit tests for WAITX / WAITX2 arbitrating elements."""
+
+import pytest
+
+from repro.a2a import WaitX, WaitX2
+from repro.sim import NS, US, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=5)
+
+
+class TestWaitX:
+    def test_single_input_grants_that_side(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        wx = WaitX(sim, "wx", a, b)
+        wx.req.set(True, 1 * NS)
+        a.set(True, 5 * NS)
+        sim.run(10 * NS)
+        assert wx.grant_a.value
+        assert not wx.grant_b.value
+        assert wx.winner == "a"
+
+    def test_other_side(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        wx = WaitX(sim, "wx", a, b)
+        wx.req.set(True, 1 * NS)
+        b.set(True, 5 * NS)
+        sim.run(10 * NS)
+        assert wx.grant_b.value
+        assert wx.winner == "b"
+
+    def test_clearly_earlier_input_wins(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        wx = WaitX(sim, "wx", a, b, t_latch=0.2 * NS)
+        wx.req.set(True, 1 * NS)
+        b.set(True, 5 * NS)
+        a.set(True, 8 * NS)
+        sim.run(12 * NS)
+        assert wx.winner == "b"
+
+    def test_one_hot_invariant_across_races(self):
+        """Exactly one grant, never both, whatever the race outcome."""
+        winners = set()
+        for seed in range(30):
+            sim = Simulator(seed=seed)
+            a, b = Signal(sim, "a"), Signal(sim, "b")
+            wx = WaitX(sim, "wx", a, b, t_latch=0.5 * NS)
+            violations = []
+
+            def check(_s, _v):
+                if wx.grant_a.value and wx.grant_b.value:
+                    violations.append(sim.now)
+
+            wx.grant_a.subscribe(check)
+            wx.grant_b.subscribe(check)
+            wx.req.set(True, 1 * NS)
+            a.set(True, 5 * NS)
+            b.set(True, 5.01 * NS)  # inside the capture window: race
+            sim.run(1 * US)
+            assert violations == []
+            assert (wx.grant_a.value != wx.grant_b.value)
+            winners.add(wx.winner)
+            assert wx.metastable_events == 1
+        assert winners == {"a", "b"}  # both outcomes occur
+
+    def test_release_on_req_fall(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        wx = WaitX(sim, "wx", a, b)
+        wx.req.set(True, 1 * NS)
+        a.set(True, 3 * NS)
+        sim.run(8 * NS)
+        wx.req.set(False)
+        sim.run(5 * NS)
+        assert not wx.grant_a.value
+        assert wx.winner is None
+
+    def test_input_high_before_arming(self, sim):
+        a, b = Signal(sim, "a", init=True), Signal(sim, "b")
+        wx = WaitX(sim, "wx", a, b)
+        wx.req.set(True, 1 * NS)
+        sim.run(5 * NS)
+        assert wx.grant_a.value
+
+    def test_vanished_pulses_keep_waiting(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        wx = WaitX(sim, "wx", a, b, t_latch=1 * NS)
+        wx.req.set(True, 1 * NS)
+        a.pulse(width=0.2 * NS, delay=3 * NS)  # vanishes inside window
+        sim.run(10 * NS)
+        # If the marginal pulse was missed the element keeps waiting and a
+        # later solid input still wins.
+        if not wx.grant_a.value:
+            b.set(True)
+            sim.run(5 * NS)
+            assert wx.grant_b.value
+
+    def test_negative_timing_rejected(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        with pytest.raises(ValueError):
+            WaitX(sim, "wx", a, b, tau=-1.0)
+
+
+class TestWaitX2:
+    def test_grant_held_until_winner_low(self, sim):
+        uv, ov = Signal(sim, "uv"), Signal(sim, "ov")
+        wx = WaitX2(sim, "wx2", uv, ov)
+        wx.req.set(True, 1 * NS)
+        uv.set(True, 3 * NS)
+        sim.run(8 * NS)
+        assert wx.grant_a.value
+        wx.req.set(False)  # controller done — but UV still asserted
+        sim.run(5 * NS)
+        assert wx.grant_a.value  # held: winner input still high
+        uv.set(False)
+        sim.run(5 * NS)
+        assert not wx.grant_a.value  # released on winner-low
+
+    def test_release_immediate_if_winner_already_low(self, sim):
+        uv, ov = Signal(sim, "uv"), Signal(sim, "ov")
+        wx = WaitX2(sim, "wx2", uv, ov)
+        wx.req.set(True, 1 * NS)
+        uv.set(True, 3 * NS)
+        uv.set(False, 6 * NS)
+        sim.run(8 * NS)
+        assert wx.grant_a.value  # latched despite input dropping
+        wx.req.set(False)
+        sim.run(5 * NS)
+        assert not wx.grant_a.value
+
+    def test_next_cycle_can_pick_other_input(self, sim):
+        uv, ov = Signal(sim, "uv"), Signal(sim, "ov")
+        wx = WaitX2(sim, "wx2", uv, ov)
+        # cycle 1: UV
+        wx.req.set(True, 1 * NS)
+        uv.set(True, 3 * NS)
+        sim.run(8 * NS)
+        assert wx.winner == "a"
+        uv.set(False)
+        wx.req.set(False)
+        sim.run(5 * NS)
+        # cycle 2: OV
+        wx.req.set(True)
+        ov.set(True, 2 * NS)
+        sim.run(8 * NS)
+        assert wx.winner == "b"
+        assert wx.grant_b.value
+
+    def test_mutual_exclusion_under_fast_switching(self):
+        """UV and OV are theoretically exclusive but can switch fast
+        (paper Sec. IV) — the element must still give a one-hot answer."""
+        for seed in range(10):
+            sim = Simulator(seed=seed)
+            uv, ov = Signal(sim, "uv"), Signal(sim, "ov")
+            wx = WaitX2(sim, "wx2", uv, ov, t_latch=0.5 * NS)
+            wx.req.set(True, 1 * NS)
+            uv.set(True, 5 * NS)
+            uv.set(False, 5.3 * NS)
+            ov.set(True, 5.35 * NS)
+            sim.run(1 * US)
+            assert not (wx.grant_a.value and wx.grant_b.value)
+            assert wx.grant_a.value or wx.grant_b.value

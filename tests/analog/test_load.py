@@ -1,0 +1,57 @@
+"""Unit tests for load profiles."""
+
+import pytest
+
+from repro.analog import LoadProfile
+from repro.sim import US
+
+
+class TestLoadProfile:
+    def test_constant(self):
+        load = LoadProfile.constant(6.0)
+        assert load.resistance(0.0) == 6.0
+        assert load.resistance(1.0) == 6.0
+
+    def test_steps(self):
+        load = LoadProfile([(0.0, 6.0), (6 * US, 2.0), (8 * US, 6.0)])
+        assert load.resistance(0.0) == 6.0
+        assert load.resistance(5.9 * US) == 6.0
+        assert load.resistance(6 * US) == 2.0
+        assert load.resistance(7 * US) == 2.0
+        assert load.resistance(8.1 * US) == 6.0
+
+    def test_before_zero_clamps(self):
+        load = LoadProfile.constant(4.0)
+        assert load.resistance(-1.0) == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LoadProfile([])
+
+    def test_first_step_must_be_zero(self):
+        with pytest.raises(ValueError):
+            LoadProfile([(1.0, 6.0)])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            LoadProfile([(0.0, 6.0), (2.0, 3.0), (1.0, 4.0)])
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ValueError):
+            LoadProfile([(0.0, 6.0), (1.0, 3.0), (1.0, 4.0)])
+
+    def test_nonpositive_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            LoadProfile([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            LoadProfile([(0.0, 6.0), (1.0, -2.0)])
+
+    def test_change_times(self):
+        load = LoadProfile([(0.0, 6.0), (6 * US, 2.0), (8 * US, 6.0)])
+        assert load.change_times() == [6 * US, 8 * US]
+
+    def test_fig6_scenario_shape(self):
+        load = LoadProfile.fig6_scenario()
+        assert load.resistance(1 * US) == 6.0
+        assert load.resistance(7 * US) == 2.0
+        assert load.resistance(9 * US) == 6.0

@@ -1,0 +1,158 @@
+"""Property-based tests: physical invariants of the analog substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog import (
+    BuckReferences,
+    Comparator,
+    LoadProfile,
+    ShortCircuitError,
+    make_coil,
+    make_power_stage,
+)
+from repro.analog.sensors import ABOVE, BELOW
+from repro.sim import NS, UH, Simulator
+
+# a random but legal switching schedule: per phase, a sequence of
+# (duration_ns, state) with state in {'p', 'n', '-'}
+_STATE = st.sampled_from(["p", "n", "-"])
+_SEGMENT = st.tuples(st.floats(min_value=5, max_value=200), _STATE)
+
+
+def _apply(phase, state):
+    if state == "p":
+        phase.set_nmos(False)
+        phase.set_pmos(True)
+    elif state == "n":
+        phase.set_pmos(False)
+        phase.set_nmos(True)
+    else:
+        phase.set_pmos(False)
+        phase.set_nmos(False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_SEGMENT, min_size=1, max_size=12),
+       st.floats(min_value=0.5, max_value=10.0),
+       st.floats(min_value=0.0, max_value=4.0))
+def test_energy_accounting_is_conservative(schedule, l_uh, v0):
+    """Input energy + initially stored energy must cover delivered energy
+    plus tracked coil losses plus finally stored energy (the difference is
+    the untracked switch/diode dissipation, which is non-negative)."""
+    coil = make_coil(l_uh * UH)
+    stage = make_power_stage(1, coil, load=LoadProfile.constant(6.0),
+                             v_out0=v0)
+    phase = stage.phases[0]
+
+    def stored():
+        return (0.5 * stage.c_out * stage.v_out ** 2
+                + coil.stored_energy(phase.current))
+
+    e0 = stored()
+    t = 0.0
+    dt = 1 * NS
+    for duration_ns, state in schedule:
+        _apply(phase, state)
+        for _ in range(int(duration_ns)):
+            stage.step(t, dt)
+            t += dt
+    budget = stage.energy_in_j + e0
+    spent = stage.energy_out_j + stage.coil_losses_j() + stored()
+    # numerical integration tolerance: 5% of the larger side + epsilon
+    tol = 0.05 * max(budget, spent) + 1e-12
+    assert spent <= budget + tol
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_SEGMENT, min_size=1, max_size=12),
+       st.floats(min_value=0.5, max_value=10.0))
+def test_output_voltage_bounded_by_rails(schedule, l_uh):
+    """The buck output can never exceed V_in plus a diode drop, nor dive
+    below minus a diode drop, whatever the switching schedule."""
+    stage = make_power_stage(1, make_coil(l_uh * UH),
+                             load=LoadProfile.constant(6.0), v_out0=0.0)
+    phase = stage.phases[0]
+    t, dt = 0.0, 1 * NS
+    for duration_ns, state in schedule:
+        _apply(phase, state)
+        for _ in range(int(duration_ns)):
+            stage.step(t, dt)
+            t += dt
+            assert -phase.v_diode - 0.1 <= stage.v_out <= stage.v_in + phase.v_diode + 0.1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_SEGMENT, min_size=1, max_size=10))
+def test_discontinuous_conduction_never_reverses(schedule):
+    """With both switches off, coil current decays monotonically in
+    magnitude and sticks at zero — the body-diode clamp can never pump
+    current back up."""
+    stage = make_power_stage(1, make_coil(2 * UH),
+                             load=LoadProfile.constant(6.0), v_out0=3.3)
+    phase = stage.phases[0]
+    t, dt = 0.0, 1 * NS
+    for duration_ns, state in schedule:
+        _apply(phase, state)
+        for _ in range(int(duration_ns)):
+            stage.step(t, dt)
+            t += dt
+    # now freewheel: current magnitude must not grow
+    _apply(phase, "-")
+    prev = abs(phase.current)
+    for _ in range(2000):
+        stage.step(t, dt)
+        t += dt
+        cur = abs(phase.current)
+        assert cur <= prev + 1e-9
+        prev = cur
+    assert phase.current == pytest.approx(0.0, abs=5e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.permutations(["p", "n", "-", "p", "n"]))
+def test_short_circuit_guard_is_order_independent(order):
+    """Whatever switching order, commanding PMOS while NMOS conducts (or
+    vice versa) raises — and legal orders never do."""
+    stage = make_power_stage(1, make_coil(1 * UH))
+    phase = stage.phases[0]
+    for state in order:
+        _apply(phase, state)  # _apply always breaks before making
+        assert not (phase.pmos_on and phase.nmos_on)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.05, max_value=0.5),
+       st.lists(st.floats(min_value=-1.0, max_value=1.0),
+                min_size=4, max_size=40))
+def test_comparator_hysteresis_bounds_edges(hyst, samples):
+    """With hysteresis h, the number of output edges cannot exceed the
+    number of times the input swings across the full band."""
+    sim = Simulator(seed=0)
+    value = {"x": 0.0}
+    comp = Comparator(sim, "c", lambda: value["x"], threshold=0.0,
+                      direction=ABOVE, delay=0.0, hysteresis=hyst)
+    crossings = 0
+    armed_low = True
+    for i, x in enumerate(samples):
+        value["x"] = x
+        comp.sample(i * NS)
+        if armed_low and x > 0.0:
+            crossings += 1
+            armed_low = False
+        elif not armed_low and x < -hyst:
+            crossings += 1
+            armed_low = True
+    sim.run_until(len(samples) * NS + 10 * NS)
+    assert len(comp.output.edges()) <= crossings
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.1, max_value=5.0),
+       st.floats(min_value=2.0, max_value=12.0))
+def test_references_scale_consistently(i_scale, r_load):
+    """BuckReferences validation holds under scaling of current levels."""
+    refs = BuckReferences(i_max=0.3 * i_scale, i_0=0.005 * i_scale,
+                          i_neg=-0.08 * i_scale)
+    assert refs.i_neg < refs.i_0 < refs.i_max

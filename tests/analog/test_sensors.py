@@ -1,0 +1,241 @@
+"""Unit tests for comparators and the sensor bank."""
+
+import pytest
+
+from repro.analog import (
+    ABOVE,
+    BELOW,
+    BuckReferences,
+    Comparator,
+    LoadProfile,
+    SensorBank,
+    make_coil,
+    make_power_stage,
+)
+from repro.sim import NS, UH, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+class _Ramp:
+    """Analog value controllable from the test."""
+
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def __call__(self):
+        return self.value
+
+
+class TestComparator:
+    def test_above_comparator_trips(self, sim):
+        x = _Ramp(0.0)
+        comp = Comparator(sim, "oc", x, threshold=1.0, direction=ABOVE,
+                          delay=1 * NS)
+        comp.sample(0.0)
+        assert not comp.output.value
+        x.value = 1.5
+        comp.sample(10 * NS)
+        sim.run_until(20 * NS)
+        assert comp.output.value
+
+    def test_below_comparator_trips(self, sim):
+        x = _Ramp(5.0)
+        comp = Comparator(sim, "uv", x, threshold=3.3, direction=BELOW,
+                          delay=1 * NS)
+        comp.sample(0.0)
+        x.value = 3.0
+        comp.sample(10 * NS)
+        sim.run_until(20 * NS)
+        assert comp.output.value
+
+    def test_release_with_hysteresis(self, sim):
+        x = _Ramp(2.0)
+        comp = Comparator(sim, "oc", x, threshold=1.0, direction=ABOVE,
+                          delay=0.0, hysteresis=0.2)
+        comp.sample(0.0)
+        sim.run_until(1 * NS)
+        assert comp.output.value
+        # Inside the hysteresis band: stays high.
+        x.value = 0.9
+        comp.sample(2 * NS)
+        sim.run_until(3 * NS)
+        assert comp.output.value
+        # Below threshold - hysteresis: releases.
+        x.value = 0.7
+        comp.sample(4 * NS)
+        sim.run_until(5 * NS)
+        assert not comp.output.value
+
+    def test_crossing_interpolation_reduces_quantisation(self, sim):
+        # value crosses threshold 1.0 at 75% of the 10 ns step (t=7.5 ns);
+        # with a 5 ns comparator delay the edge must land at 12.5 ns, not
+        # at sample-time + delay = 15 ns.
+        x = _Ramp(0.4)
+        comp = Comparator(sim, "c", x, threshold=1.0, direction=ABOVE,
+                          delay=5 * NS)
+        comp.sample(0.0)
+        x.value = 1.2
+        comp.sample(10 * NS)
+        sim.run_until(20 * NS)
+        edges = comp.output.edges()
+        assert len(edges) == 1
+        assert edges[0] == pytest.approx(12.5 * NS, abs=0.01 * NS)
+
+    def test_edge_never_scheduled_before_sample_time(self, sim):
+        # crossing + delay landing before "now" clamps to the sample time
+        x = _Ramp(0.0)
+        comp = Comparator(sim, "c", x, threshold=0.5, direction=ABOVE,
+                          delay=0.0)
+        comp.sample(0.0)
+        x.value = 100.0  # crossed almost immediately after t=0
+        comp.sample(10 * NS)
+        sim.run_until(20 * NS)
+        assert comp.output.edges()[0] == pytest.approx(10 * NS, abs=0.01 * NS)
+
+    def test_propagation_delay_added_to_crossing(self, sim):
+        x = _Ramp(0.0)
+        comp = Comparator(sim, "c", x, threshold=1.0, direction=ABOVE,
+                          delay=5 * NS)
+        comp.sample(0.0)
+        x.value = 2.0
+        comp.sample(10 * NS)
+        sim.run_until(30 * NS)
+        edges = comp.output.edges()
+        # crossing at 5 ns + 5 ns delay = 10 ns
+        assert edges[0] == pytest.approx(10 * NS, abs=0.01 * NS)
+
+    def test_threshold_change_reevaluated_next_sample(self, sim):
+        x = _Ramp(0.5)
+        comp = Comparator(sim, "oc", x, threshold=1.0, direction=ABOVE,
+                          delay=0.0)
+        comp.sample(0.0)
+        comp.threshold = 0.2  # OV-mode style re-referencing
+        comp.sample(1 * NS)
+        sim.run_until(2 * NS)
+        assert comp.output.value
+
+    def test_noise_produces_chatter_near_threshold(self, sim):
+        x = _Ramp(1.0)
+        comp = Comparator(sim, "noisy", x, threshold=1.0, direction=ABOVE,
+                          delay=0.0, noise=0.05)
+        for k in range(200):
+            comp.sample(k * NS)
+        sim.run_until(300 * NS)
+        # A noisy comparator sitting on its threshold must glitch repeatedly.
+        assert len(comp.output.edges()) > 4
+
+    def test_invalid_direction_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Comparator(sim, "c", _Ramp(), 1.0, direction="sideways")
+
+    def test_negative_hysteresis_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Comparator(sim, "c", _Ramp(), 1.0, hysteresis=-0.1)
+
+
+class TestBuckReferences:
+    def test_defaults_are_consistent(self):
+        refs = BuckReferences()
+        assert refs.v_min < refs.v_ref < refs.v_max
+        assert refs.i_neg < refs.i_0 < refs.i_max
+
+    def test_hl_implies_uv_enforced(self):
+        with pytest.raises(ValueError):
+            BuckReferences(v_min=3.4, v_ref=3.3)
+
+    def test_current_order_enforced(self):
+        with pytest.raises(ValueError):
+            BuckReferences(i_neg=0.1, i_0=0.0)
+
+    def test_ov_above_ref_enforced(self):
+        with pytest.raises(ValueError):
+            BuckReferences(v_ref=3.3, v_max=3.2)
+
+
+class TestSensorBank:
+    def _bank(self, sim, n=2, v_out0=0.0):
+        stage = make_power_stage(n, make_coil(4.7 * UH),
+                                 load=LoadProfile.constant(6.0),
+                                 v_out0=v_out0)
+        return stage, SensorBank(sim, stage, delay=1 * NS)
+
+    def test_startup_conditions(self, sim):
+        # discharged output: HL and UV must assert, OV must not
+        stage, bank = self._bank(sim, v_out0=0.0)
+        bank.sample_all(0.0)
+        sim.run_until(5 * NS)
+        assert bank.hl.output.value
+        assert bank.uv.output.value
+        assert not bank.ov.output.value
+
+    def test_regulated_conditions(self, sim):
+        stage, bank = self._bank(sim, v_out0=3.4)
+        bank.sample_all(0.0)
+        sim.run_until(5 * NS)
+        assert not bank.hl.output.value
+        assert not bank.uv.output.value
+        assert not bank.ov.output.value
+
+    def test_overvoltage_condition(self, sim):
+        stage, bank = self._bank(sim, v_out0=3.7)
+        bank.sample_all(0.0)
+        sim.run_until(5 * NS)
+        assert bank.ov.output.value
+
+    def test_hl_implies_uv(self, sim):
+        """Whenever HL is active UV must be too (V_min < V_ref)."""
+        for v in (0.0, 1.0, 2.9, 3.1, 3.4):
+            stage, bank = self._bank(sim, v_out0=v)
+            bank.sample_all(sim.now)
+            sim.run(5 * NS)
+            if bank.hl.output.value:
+                assert bank.uv.output.value
+
+    def test_per_phase_oc(self, sim):
+        stage, bank = self._bank(sim, n=2, v_out0=3.3)
+        stage.phases[0].current = 0.35  # above I_max=0.30
+        bank.sample_all(0.0)
+        sim.run_until(5 * NS)
+        assert bank.oc[0].output.value
+        assert not bank.oc[1].output.value
+
+    def test_zc_high_at_zero_current(self, sim):
+        stage, bank = self._bank(sim, v_out0=3.3)
+        bank.sample_all(0.0)
+        sim.run_until(5 * NS)
+        assert bank.zc[0].output.value  # i=0 < I_0 threshold
+
+    def test_ov_mode_swaps_references(self, sim):
+        stage, bank = self._bank(sim, n=2, v_out0=3.3)
+        refs = bank.refs
+        bank.set_ov_mode(0, True)
+        assert bank.oc[0].threshold == refs.i_0
+        assert bank.zc[0].threshold == refs.i_neg
+        # other phase untouched
+        assert bank.oc[1].threshold == refs.i_max
+        bank.set_ov_mode(0, False)
+        assert bank.oc[0].threshold == refs.i_max
+        assert bank.zc[0].threshold == refs.i_0
+
+    def test_ov_mode_idempotent(self, sim):
+        stage, bank = self._bank(sim)
+        bank.set_ov_mode(0, True)
+        bank.set_ov_mode(0, True)
+        assert bank.ov_mode(0)
+
+    def test_ov_mode_oc_trips_on_small_positive_current(self, sim):
+        stage, bank = self._bank(sim, v_out0=3.3)
+        bank.set_ov_mode(0, True)
+        stage.phases[0].current = 0.02  # > I_0 but << I_max
+        bank.sample_all(0.0)
+        sim.run_until(5 * NS)
+        assert bank.oc[0].output.value
+
+    def test_all_comparators_enumeration(self, sim):
+        stage, bank = self._bank(sim, n=3)
+        comps = bank.all_comparators()
+        assert len(comps) == 3 + 2 * 3  # hl, uv, ov + per-phase oc, zc

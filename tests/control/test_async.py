@@ -1,0 +1,274 @@
+"""Unit tests for the asynchronous token-ring controller (stubbed analog)."""
+
+import pytest
+
+from repro.control import (
+    AsyncMultiphaseController,
+    AsyncTimings,
+    BuckControlParams,
+    StubGates,
+    StubSensors,
+)
+from repro.sim import NS, US, Simulator
+
+
+def _setup(n=1, params=None, seed=4):
+    sim = Simulator(seed=seed)
+    sensors = StubSensors(sim, n)
+    gates = StubGates(sim, n)
+    ctrl = AsyncMultiphaseController(sim, sensors, gates, n,
+                                     params=params or BuckControlParams())
+    return sim, sensors, gates, ctrl
+
+
+class TestChargingCycle:
+    def test_uv_triggers_pmos_on(self):
+        sim, sensors, gates, ctrl = _setup()
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        assert gates.gp[0].value
+        assert ctrl.cycles_started[0] == 1
+
+    def test_uv_reaction_is_nanosecond_scale(self):
+        """The token-holding stage is armed: UV to gp+ should take ~1 ns
+        (Table I: 1.02 ns), far below any sync clock period."""
+        sim, sensors, gates, ctrl = _setup()
+        sim.run(50 * NS)  # let the stage arm
+        sensors.uv.output.set(True)
+        sim.run(20 * NS)
+        rises = gates.gp[0].edges("rise")
+        assert rises
+        latency = rises[0] - 50 * NS
+        assert 0.5 * NS < latency < 2.0 * NS
+
+    def test_oc_switches_to_nmos(self):
+        sim, sensors, gates, ctrl = _setup()
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        sensors.oc[0].output.set(True)
+        sim.run(100 * NS)
+        assert not gates.gp[0].value
+        assert gates.gn[0].value
+
+    def test_zc_ends_cycle(self):
+        params = BuckControlParams(nmin=5 * NS)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        sensors.uv.output.set(False)
+        sensors.oc[0].output.set(True)
+        sim.run(50 * NS)
+        sensors.oc[0].output.set(False)
+        sensors.zc[0].output.set(True, 10 * NS)
+        sim.run(300 * NS)
+        assert not gates.gn[0].value
+        assert not gates.gp[0].value
+
+    def test_never_both_transistors_on(self):
+        sim, sensors, gates, ctrl = _setup()
+        overlap = []
+
+        def check(_s, _v):
+            if gates.gp[0].value and gates.gn[0].value:
+                overlap.append(sim.now)
+
+        gates.gp[0].subscribe(check)
+        gates.gn[0].subscribe(check)
+        sensors.uv.output.set(True, 20 * NS)
+        sensors.oc[0].output.set(True, 80 * NS)
+        sensors.oc[0].output.set(False, 120 * NS)
+        sensors.zc[0].output.set(True, 250 * NS)
+        sim.run(1 * US)
+        assert overlap == []
+
+    def test_glitchy_uv_contained(self):
+        """A marginal UV pulse may or may not start a cycle, but gp/gn
+        must stay clean (no runt drive pulses)."""
+        for seed in range(8):
+            sim, sensors, gates, ctrl = _setup(seed=seed)
+            sim.run(50 * NS)
+            sensors.uv.output.pulse(width=0.1 * NS)  # sub-window glitch
+            sim.run(300 * NS)
+            # any gp rise must be a complete, ordered charging cycle
+            rises = gates.gp[0].edges("rise")
+            falls = gates.gp[0].edges("fall")
+            assert len(rises) - len(falls) in (0, 1)
+
+
+class TestMinimumOnTimes:
+    def test_pmin_enforced(self):
+        params = BuckControlParams(pmin=60 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.uv.output.set(True, 20 * NS)
+        sensors.oc[0].output.set(True, 25 * NS)
+        sim.run(500 * NS)
+        rises = gates.gp[0].edges("rise")
+        falls = gates.gp[0].edges("fall")
+        assert rises and falls
+        assert falls[0] - rises[0] >= 60 * NS
+
+    def test_pext_first_cycle_of_uv_episode(self):
+        params = BuckControlParams(pmin=30 * NS, pext=100 * NS, nmin=5 * NS,
+                                   phase_dwell=10 * NS)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.uv.output.set(True, 20 * NS)
+
+        def auto_oc(_s, v):
+            sensors.oc[0].output.set(v, 5 * NS)
+
+        gates.gp[0].subscribe(auto_oc)
+        sim.run(2 * US)
+        rises = gates.gp[0].edges("rise")
+        falls = gates.gp[0].edges("fall")
+        assert len(rises) >= 2
+        first = falls[0] - rises[0]
+        second = falls[1] - rises[1]
+        assert first >= 130 * NS
+        assert second < first
+
+    def test_nmin_enforced(self):
+        params = BuckControlParams(pmin=10 * NS, nmin=80 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(60 * NS)
+        sensors.uv.output.set(False)
+        sensors.oc[0].output.set(True)
+        sensors.zc[0].output.set(True, 15 * NS)
+        sim.run(1 * US)
+        rises = gates.gn[0].edges("rise")
+        falls = gates.gn[0].edges("fall")
+        assert rises and falls
+        assert falls[0] - rises[0] >= 80 * NS
+
+
+class TestTokenRing:
+    def test_token_passes_after_dwell_and_mode_ack(self):
+        params = BuckControlParams(phase_dwell=100 * NS, pmin=5 * NS,
+                                   nmin=5 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        assert ctrl.token_at[0].value
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(250 * NS)
+        # after dwell + hops the token has moved to stage 1
+        assert ctrl.token_at[1].value or ctrl.token_at[2].value
+        assert not ctrl.token_at[0].value
+
+    def test_token_parks_without_demand(self):
+        """No UV/OV -> the ring does not rotate (event-driven idling)."""
+        params = BuckControlParams(phase_dwell=50 * NS)
+        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sim.run(2 * US)
+        assert ctrl.token_at[0].value
+        assert not any(ctrl.token_at[k].value for k in (1, 2, 3))
+
+    def test_persistent_uv_rotates_and_all_phases_charge(self):
+        params = BuckControlParams(phase_dwell=80 * NS, pmin=5 * NS,
+                                   nmin=5 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sensors.uv.output.set(True, 10 * NS)
+        for k in range(4):
+            def auto_oc(_s, v, k=k):
+                sensors.oc[k].output.set(v, 8 * NS)
+            gates.gp[k].subscribe(auto_oc)
+        sim.run(2 * US)
+        assert all(c >= 1 for c in ctrl.cycles_started)
+
+    def test_hl_activates_all_phases(self):
+        params = BuckControlParams(phase_dwell=100_000 * NS)
+        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sim.run(50 * NS)
+        sensors.uv.output.set(True)   # HL implies UV: both rise
+        sensors.hl.output.set(True)
+        sim.run(100 * NS)
+        assert all(gates.gp[k].value for k in range(4))
+
+
+class TestOVMode:
+    def test_ov_engages_and_releases_mode(self):
+        params = BuckControlParams(pmin=5 * NS, nmin=5 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sim.run(50 * NS)
+        sensors.ov.output.set(True)
+        sim.run(50 * NS)
+        assert sensors.ov_mode(0)
+        sensors.oc[0].output.set(True)
+        sim.run(50 * NS)
+        sensors.ov.output.set(False)
+        sensors.oc[0].output.set(False)
+        sensors.zc[0].output.set(True)
+        sim.run(300 * NS)
+        assert not sensors.ov_mode(0)
+
+    def test_ov_cycle_counts(self):
+        sim, sensors, gates, ctrl = _setup()
+        sim.run(50 * NS)
+        sensors.ov.output.set(True)
+        sim.run(100 * NS)
+        assert ctrl.cycles_started[0] == 1
+
+
+class TestZcCancellation:
+    def test_new_token_activation_cancels_zc_wait(self):
+        """Continuous conduction: UV persists, ZC never fires; the stage
+        must not deadlock — the returning token supersedes the ZC wait."""
+        params = BuckControlParams(phase_dwell=60 * NS, pmin=5 * NS,
+                                   nmin=5 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(n=2, params=params)
+        sensors.uv.output.set(True, 10 * NS)
+        for k in range(2):
+            def auto_oc(_s, v, k=k):
+                sensors.oc[k].output.set(v, 8 * NS)
+            gates.gp[k].subscribe(auto_oc)
+        sim.run(3 * US)
+        # several cycles per phase despite zc never firing
+        assert all(c >= 2 for c in ctrl.cycles_started)
+
+    def test_construction_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            AsyncMultiphaseController(sim, StubSensors(sim, 1),
+                                      StubGates(sim, 1), 0)
+
+
+class TestLatencyCalibration:
+    """End-to-end reaction latencies against Table I's ASYNC row."""
+
+    def test_oc_latency(self):
+        sim, sensors, gates, ctrl = _setup()
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        assert gates.gp[0].value
+        sensors.oc[0].output.set(True)
+        t0 = sim.now
+        sim.run(20 * NS)
+        falls = gates.gp[0].edges("fall")
+        latency = falls[0] - t0
+        assert latency == pytest.approx(0.75 * NS, abs=0.15 * NS)
+
+    def test_zc_latency(self):
+        params = BuckControlParams(nmin=0.0, pmin=5 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        sensors.uv.output.set(False)
+        sensors.oc[0].output.set(True)
+        sim.run(50 * NS)
+        sensors.oc[0].output.set(False)
+        sim.run(50 * NS)
+        t0 = sim.now
+        sensors.zc[0].output.set(True)
+        sim.run(20 * NS)
+        falls = gates.gn[0].edges("fall")
+        assert falls
+        latency = falls[-1] - t0
+        assert latency == pytest.approx(0.31 * NS, abs=0.15 * NS)
+
+    def test_uv_latency(self):
+        sim, sensors, gates, ctrl = _setup()
+        sim.run(50 * NS)  # armed, idle, gn off
+        t0 = sim.now
+        sensors.uv.output.set(True)
+        sim.run(20 * NS)
+        rises = gates.gp[0].edges("rise")
+        latency = rises[0] - t0
+        assert latency == pytest.approx(1.02 * NS, abs=0.2 * NS)

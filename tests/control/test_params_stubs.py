@@ -1,0 +1,48 @@
+"""Unit tests for shared controller parameters and test stubs."""
+
+import pytest
+
+from repro.control import BuckControlParams, StubGates, StubSensors
+from repro.sim import NS, Simulator
+
+
+class TestBuckControlParams:
+    def test_defaults_valid(self):
+        p = BuckControlParams()
+        assert p.pmin >= 0 and p.nmin >= 0 and p.pext >= 0
+        assert p.phase_dwell > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BuckControlParams(pmin=-1.0)
+        with pytest.raises(ValueError):
+            BuckControlParams(phase_dwell=-1.0)
+
+
+class TestStubs:
+    def test_stub_sensors_shape(self):
+        sim = Simulator()
+        sensors = StubSensors(sim, 3)
+        assert len(sensors.oc) == 3
+        assert len(sensors.zc) == 3
+        assert not sensors.hl.output.value
+
+    def test_stub_mode_tracking(self):
+        sim = Simulator()
+        sensors = StubSensors(sim, 2)
+        sensors.set_ov_mode(1, True)
+        assert sensors.ov_mode(1)
+        assert not sensors.ov_mode(0)
+        assert sensors.mode_changes == [(1, True)]
+
+    def test_stub_gates_ack_follows_request(self):
+        sim = Simulator()
+        gates = StubGates(sim, 1, t_gate=2 * NS)
+        gates.gp[0].set(True)
+        sim.run(1 * NS)
+        assert not gates.gp_ack[0].value
+        sim.run(2 * NS)
+        assert gates.gp_ack[0].value
+        gates.gp[0].set(False)
+        sim.run(3 * NS)
+        assert not gates.gp_ack[0].value

@@ -1,0 +1,205 @@
+"""Unit tests for the synchronous multiphase controller (stubbed analog)."""
+
+import pytest
+
+from repro.control import BuckControlParams, StubGates, StubSensors, SyncMultiphaseController
+from repro.sim import MHZ, NS, US, Simulator
+
+
+def _setup(n=1, freq=333 * MHZ, params=None):
+    sim = Simulator(seed=2)
+    sensors = StubSensors(sim, n)
+    gates = StubGates(sim, n)
+    ctrl = SyncMultiphaseController(sim, sensors, gates, n, freq,
+                                    params=params or BuckControlParams())
+    return sim, sensors, gates, ctrl
+
+
+def _first_act_window(sim):
+    """Advance into the first activation pulse of phase 0."""
+    sim.run(5 * NS)
+
+
+class TestChargingCycle:
+    def test_uv_triggers_pmos_on(self):
+        sim, sensors, gates, ctrl = _setup()
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        assert gates.gp[0].value
+        assert ctrl.cycles_started[0] == 1
+
+    def test_no_charge_without_uv(self):
+        sim, sensors, gates, ctrl = _setup()
+        sim.run(200 * NS)
+        assert not gates.gp[0].value
+        assert ctrl.cycles_started[0] == 0
+
+    def test_reaction_latency_within_2p5_clock_periods(self):
+        """Table I claim: synchronous response is up to 2.5 Tclk (plus the
+        output flop delay)."""
+        for offset_ns in (20.0, 21.3, 22.1, 23.7, 24.9):
+            sim, sensors, gates, ctrl = _setup(freq=333 * MHZ)
+            sensors.uv.output.set(True, offset_ns * NS)
+            sim.run(200 * NS)
+            rises = gates.gp[0].edges("rise")
+            assert rises, f"no charge for offset {offset_ns}"
+            latency = rises[0] - offset_ns * NS
+            assert latency <= 2.5 * ctrl.period + 1 * NS
+            assert latency >= 0.5 * ctrl.period * 0.9
+
+    def test_oc_switches_to_nmos(self):
+        sim, sensors, gates, ctrl = _setup()
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        assert gates.gp[0].value
+        sensors.oc[0].output.set(True)
+        sim.run(100 * NS)
+        assert not gates.gp[0].value
+        assert gates.gn[0].value
+
+    def test_zc_ends_cycle(self):
+        sim, sensors, gates, ctrl = _setup()
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        sensors.uv.output.set(False)
+        sensors.oc[0].output.set(True)
+        sim.run(50 * NS)
+        sensors.oc[0].output.set(False)
+        sensors.zc[0].output.set(True, 30 * NS)
+        sim.run(200 * NS)
+        assert not gates.gn[0].value
+        assert not gates.gp[0].value
+
+    def test_never_both_transistors_on(self):
+        sim, sensors, gates, ctrl = _setup()
+        overlap = []
+
+        def check(_s, _v):
+            if gates.gp[0].value and gates.gn[0].value:
+                overlap.append(sim.now)
+
+        gates.gp[0].subscribe(check)
+        gates.gn[0].subscribe(check)
+        sensors.uv.output.set(True, 20 * NS)
+        sensors.oc[0].output.set(True, 150 * NS)
+        sensors.oc[0].output.set(False, 200 * NS)
+        sensors.zc[0].output.set(True, 300 * NS)
+        sim.run(1 * US)
+        assert overlap == []
+
+
+class TestMinimumOnTimes:
+    def test_pmin_enforced(self):
+        params = BuckControlParams(pmin=60 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.uv.output.set(True, 20 * NS)
+        sensors.oc[0].output.set(True, 30 * NS)  # OC almost immediately
+        sim.run(500 * NS)
+        rises = gates.gp[0].edges("rise")
+        falls = gates.gp[0].edges("fall")
+        assert rises and falls
+        assert falls[0] - rises[0] >= 60 * NS
+
+    def test_pext_extends_first_cycle_only(self):
+        params = BuckControlParams(pmin=30 * NS, pext=100 * NS,
+                                   nmin=5 * NS)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.uv.output.set(True, 20 * NS)
+        sensors.oc[0].output.set(True, 40 * NS)
+        sim.run(400 * NS)
+        sensors.oc[0].output.set(False)
+        # second cycle within the same UV episode
+        sim.run(100 * NS)
+        sensors.oc[0].output.set(True)
+        sim.run(500 * NS)
+        rises = gates.gp[0].edges("rise")
+        falls = gates.gp[0].edges("fall")
+        assert len(rises) >= 2
+        first = falls[0] - rises[0]
+        second = falls[1] - rises[1]
+        assert first >= 130 * NS                 # PMIN + PEXT
+        assert second < first                    # extension not repeated
+        assert second >= 30 * NS
+
+    def test_nmin_enforced(self):
+        params = BuckControlParams(pmin=10 * NS, nmin=80 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.uv.output.set(True, 20 * NS)
+        sim.run(60 * NS)
+        sensors.uv.output.set(False)
+        sensors.oc[0].output.set(True)
+        sensors.zc[0].output.set(True, 10 * NS)  # ZC immediately after
+        sim.run(1 * US)
+        rises = gates.gn[0].edges("rise")
+        falls = gates.gn[0].edges("fall")
+        assert rises and falls
+        assert falls[0] - rises[0] >= 80 * NS
+
+
+class TestMultiphase:
+    def test_round_robin_distributes_cycles(self):
+        params = BuckControlParams(phase_dwell=100 * NS, pmin=5 * NS,
+                                   nmin=5 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        # persistent UV with prompt OC per phase: every activation charges
+        sensors.uv.output.set(True, 10 * NS)
+
+        def auto_oc(k):
+            def on_gp(_s, v):
+                sensors.oc[k].output.set(v, 10 * NS)
+            return on_gp
+
+        for k in range(4):
+            gates.gp[k].subscribe(auto_oc(k))
+        sim.run(2 * US)
+        assert all(c >= 1 for c in ctrl.cycles_started)
+
+    def test_hl_activates_all_phases_at_once(self):
+        params = BuckControlParams(phase_dwell=10_000 * NS)  # rotation slow
+        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sensors.hl.output.set(True, 20 * NS)
+        sensors.uv.output.set(True, 20 * NS)  # HL implies UV
+        sim.run(200 * NS)
+        assert all(gates.gp[k].value for k in range(4))
+
+
+class TestOVMode:
+    def test_ov_engages_mode_swap(self):
+        sim, sensors, gates, ctrl = _setup()
+        sensors.ov.output.set(True, 20 * NS)
+        sim.run(100 * NS)
+        assert sensors.ov_mode(0)
+        assert gates.gp[0].value  # OV cycle also starts with a PMOS blip
+
+    def test_ov_mode_released_after_cycle(self):
+        params = BuckControlParams(pmin=5 * NS, nmin=5 * NS, pext=0.0)
+        sim, sensors, gates, ctrl = _setup(params=params)
+        sensors.ov.output.set(True, 20 * NS)
+        sim.run(60 * NS)
+        sensors.oc[0].output.set(True)   # positive current in OV mode
+        sim.run(60 * NS)
+        sensors.ov.output.set(False)
+        sensors.oc[0].output.set(False)
+        sensors.zc[0].output.set(True)   # hit I_neg
+        sim.run(300 * NS)
+        assert not sensors.ov_mode(0)
+        assert not gates.gn[0].value
+
+
+class TestClockFrequencyScaling:
+    @pytest.mark.parametrize("freq_mhz", [100, 333, 666, 1000])
+    def test_latency_scales_with_clock(self, freq_mhz):
+        sim, sensors, gates, ctrl = _setup(freq=freq_mhz * MHZ)
+        sensors.uv.output.set(True, 20.1 * NS)
+        sim.run(200 * NS)
+        rises = gates.gp[0].edges("rise")
+        assert rises
+        latency = rises[0] - 20.1 * NS
+        assert latency <= 2.5 / (freq_mhz * 1e6) + 1.5 * NS
+
+    def test_construction_validation(self):
+        sim = Simulator()
+        sensors = StubSensors(sim, 1)
+        gates = StubGates(sim, 1)
+        with pytest.raises(ValueError):
+            SyncMultiphaseController(sim, sensors, gates, 0, 333 * MHZ)

@@ -1,0 +1,190 @@
+"""Unit tests for combinational gates and C-elements."""
+
+import pytest
+
+from repro.digital import (
+    AsymmetricCElement,
+    CElement,
+    Gate,
+    and_gate,
+    buf_gate,
+    nand_gate,
+    nor_gate,
+    not_gate,
+    or_gate,
+    xor_gate,
+)
+from repro.sim import NS, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def _sig(sim, name, init=False):
+    return Signal(sim, name, init=init)
+
+
+class TestCombinationalGates:
+    def test_initial_output_evaluated(self, sim):
+        a = _sig(sim, "a", True)
+        g = not_gate(sim, "n", a)
+        assert g.output.value is False
+
+    def test_not_gate(self, sim):
+        a = _sig(sim, "a")
+        g = not_gate(sim, "n", a, delay=1 * NS)
+        a.set(True)
+        sim.run(2 * NS)
+        assert g.output.value is False is not True  # inverted
+        assert not g.output.value
+
+    def test_and_gate_truth(self, sim):
+        a, b = _sig(sim, "a"), _sig(sim, "b")
+        g = and_gate(sim, "and", a, b, delay=1 * NS)
+        a.set(True)
+        sim.run(2 * NS)
+        assert not g.output.value
+        b.set(True)
+        sim.run(2 * NS)
+        assert g.output.value
+
+    def test_or_gate_truth(self, sim):
+        a, b = _sig(sim, "a"), _sig(sim, "b")
+        g = or_gate(sim, "or", a, b, delay=1 * NS)
+        a.set(True)
+        sim.run(2 * NS)
+        assert g.output.value
+        a.set(False)
+        sim.run(2 * NS)
+        assert not g.output.value
+
+    def test_nand_nor_xor(self, sim):
+        a, b = _sig(sim, "a"), _sig(sim, "b")
+        gnand = nand_gate(sim, "nand", a, b, delay=1 * NS)
+        gnor = nor_gate(sim, "nor", a, b, delay=1 * NS)
+        gxor = xor_gate(sim, "xor", a, b, delay=1 * NS)
+        assert gnand.output.value and gnor.output.value and not gxor.output.value
+        a.set(True)
+        sim.run(2 * NS)
+        assert gnand.output.value
+        assert not gnor.output.value
+        assert gxor.output.value
+        b.set(True)
+        sim.run(2 * NS)
+        assert not gnand.output.value
+        assert not gxor.output.value
+
+    def test_buf_passes_through_with_delay(self, sim):
+        a = _sig(sim, "a")
+        g = buf_gate(sim, "buf", a, delay=3 * NS)
+        a.set(True)
+        sim.run(2 * NS)
+        assert not g.output.value
+        sim.run(2 * NS)
+        assert g.output.value
+
+    def test_inertial_delay_filters_short_pulse(self, sim):
+        a = _sig(sim, "a")
+        g = buf_gate(sim, "buf", a, delay=5 * NS)
+        a.pulse(width=2 * NS)  # shorter than the gate delay
+        sim.run(20 * NS)
+        assert g.output.edges() == []  # glitch swallowed
+
+    def test_pulse_longer_than_delay_propagates(self, sim):
+        a = _sig(sim, "a")
+        g = buf_gate(sim, "buf", a, delay=2 * NS)
+        a.pulse(width=5 * NS)
+        sim.run(20 * NS)
+        assert len(g.output.edges()) == 2
+
+    def test_three_input_and(self, sim):
+        sigs = [_sig(sim, f"s{i}") for i in range(3)]
+        g = and_gate(sim, "and3", *sigs, delay=1 * NS)
+        for s in sigs:
+            s.set(True)
+        sim.run(2 * NS)
+        assert g.output.value
+
+    def test_gate_requires_inputs(self, sim):
+        with pytest.raises(ValueError):
+            Gate(sim, "g", [], lambda: True)
+
+
+class TestCElement:
+    def test_rises_only_when_all_high(self, sim):
+        a, b = _sig(sim, "a"), _sig(sim, "b")
+        c = CElement(sim, "c", [a, b], delay=1 * NS)
+        a.set(True)
+        sim.run(2 * NS)
+        assert not c.output.value
+        b.set(True)
+        sim.run(2 * NS)
+        assert c.output.value
+
+    def test_holds_until_all_low(self, sim):
+        a, b = _sig(sim, "a", True), _sig(sim, "b", True)
+        c = CElement(sim, "c", [a, b], init=True, delay=1 * NS)
+        a.set(False)
+        sim.run(2 * NS)
+        assert c.output.value  # holds
+        b.set(False)
+        sim.run(2 * NS)
+        assert not c.output.value
+
+    def test_init_value(self, sim):
+        a, b = _sig(sim, "a"), _sig(sim, "b")
+        c = CElement(sim, "c", [a, b], init=True)
+        assert c.output.value
+
+    def test_requires_inputs(self, sim):
+        with pytest.raises(ValueError):
+            CElement(sim, "c", [])
+
+    def test_glitch_on_one_input_filtered(self, sim):
+        a, b = _sig(sim, "a"), _sig(sim, "b", True)
+        c = CElement(sim, "c", [a, b], delay=5 * NS)
+        a.pulse(width=2 * NS)  # all-high condition holds only 2 ns
+        sim.run(20 * NS)
+        assert c.output.edges() == []
+
+
+class TestAsymmetricCElement:
+    def test_plus_input_only_gates_rise(self, sim):
+        com = _sig(sim, "com")
+        plus = _sig(sim, "p")
+        gc = AsymmetricCElement(sim, "gc", common=[com], plus=[plus],
+                                delay=1 * NS)
+        com.set(True)
+        sim.run(2 * NS)
+        assert not gc.output.value  # plus input still low
+        plus.set(True)
+        sim.run(2 * NS)
+        assert gc.output.value
+        # fall requires only the common input low
+        plus.set(False)
+        sim.run(2 * NS)
+        assert gc.output.value
+        com.set(False)
+        sim.run(2 * NS)
+        assert not gc.output.value
+
+    def test_minus_input_only_gates_fall(self, sim):
+        com = _sig(sim, "com")
+        minus = _sig(sim, "m", True)
+        gc = AsymmetricCElement(sim, "gc", common=[com], minus=[minus],
+                                delay=1 * NS)
+        com.set(True)
+        sim.run(2 * NS)
+        assert gc.output.value  # minus irrelevant for rise
+        com.set(False)
+        sim.run(2 * NS)
+        assert gc.output.value  # fall blocked: minus still high
+        minus.set(False)
+        sim.run(2 * NS)
+        assert not gc.output.value
+
+    def test_requires_any_input(self, sim):
+        with pytest.raises(ValueError):
+            AsymmetricCElement(sim, "gc")

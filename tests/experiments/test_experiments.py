@@ -1,0 +1,175 @@
+"""Tests for the experiment modules (quick configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    CONTROLLERS,
+    PAPER_FIG6,
+    PAPER_TABLE1,
+    coil_tradeoff,
+    format_tradeoff,
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+    run_fig7c,
+    run_stg_verification,
+    run_table1,
+)
+from repro.experiments.fig6 import render_waveforms, run_one
+from repro.experiments.report import ascii_chart, format_series_table, format_table
+from repro.metrics.reaction import CONDITIONS
+from repro.sim import MHZ, UH
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(n_offsets=4)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(keep_systems=True)
+
+
+@pytest.fixture(scope="module")
+def fig7a():
+    return run_fig7a(quick=True)
+
+
+class TestTable1(object):
+    def test_all_rows_present(self, table1):
+        assert set(table1.rows) == set(PAPER_TABLE1)
+
+    def test_sync_latency_tracks_2p5_periods(self, table1):
+        for label, freq in (("100MHz", 100.0), ("333MHz", 333.0),
+                            ("666MHz", 666.0), ("1GHz", 1000.0)):
+            bound_ns = 2.5 / freq * 1e3
+            for c in CONDITIONS:
+                measured = table1.rows[label][c]
+                assert measured <= bound_ns + 1.2   # + output stage delay
+                assert measured >= 0.4 * bound_ns
+
+    def test_async_row_matches_paper(self, table1):
+        for c in CONDITIONS:
+            assert table1.rows["ASYNC"][c] == pytest.approx(
+                PAPER_TABLE1["ASYNC"][c], abs=0.1)
+
+    def test_improvement_over_333(self, table1):
+        imp = table1.improvement_over_333
+        # paper: 4x 7x 6x 10x 24x — ordering and rough magnitudes
+        assert imp["ZC"] > imp["OC"] > imp["UV"] > imp["HL"] >= 3.0
+        assert imp["ZC"] == pytest.approx(24, rel=0.2)
+
+    def test_format_contains_all_conditions(self, table1):
+        text = table1.format()
+        for c in CONDITIONS:
+            assert c in text
+        assert "Improvement" in text
+
+
+class TestFig6:
+    def test_async_smaller_ripple(self, fig6):
+        sync = fig6.run("sync")
+        async_ = fig6.run("async")
+        assert async_.ripple_v < sync.ripple_v
+
+    def test_async_smaller_peak_current(self, fig6):
+        assert fig6.run("async").peak_a <= fig6.run("sync").peak_a
+
+    def test_async_no_more_ov_events(self, fig6):
+        sync = fig6.run("sync")
+        async_ = fig6.run("async")
+        assert (async_.ov_events_startup + async_.ov_events_after_startup
+                <= sync.ov_events_startup + sync.ov_events_after_startup)
+
+    def test_high_load_dips_below_vmin(self, fig6):
+        for r in fig6.runs:
+            assert r.v_min_high_load < 3.0   # the HL region engages
+            assert r.hl_events >= 1
+
+    def test_format_and_render(self, fig6):
+        text = fig6.format()
+        assert "ripple" in text
+        art = render_waveforms(fig6.run("async"), width=60)
+        assert "V_load" in art and "*" in art
+
+    def test_render_requires_kept_system(self):
+        run = run_one("async", keep_system=False)
+        with pytest.raises(ValueError):
+            render_waveforms(run)
+
+
+class TestFig7a:
+    def test_five_series(self, fig7a):
+        assert set(fig7a.series) == {label for label, _ in CONTROLLERS}
+
+    def test_peak_decreases_with_inductance(self, fig7a):
+        for label, pts in fig7a.series.items():
+            ys = [y for _, y in sorted(pts)]
+            assert ys[0] > ys[-1], label
+
+    def test_async_lowest_curve(self, fig7a):
+        for x, y_async in fig7a.series["ASYNC"]:
+            for label in ("100MHz", "333MHz"):
+                assert y_async <= fig7a.value(label, x) + 1.0
+
+    def test_slowest_clock_highest_curve(self, fig7a):
+        for x, y100 in fig7a.series["100MHz"]:
+            for label in ("666MHz", "1GHz", "ASYNC"):
+                assert y100 >= fig7a.value(label, x) - 1.0
+
+    def test_coil_tradeoff_monotone_in_speed(self, fig7a):
+        tr = coil_tradeoff(fig7a, limit_ma=330.0)
+        assert tr["ASYNC"] <= tr["333MHz"] <= tr["100MHz"]
+        text = format_tradeoff(tr, 330.0)
+        assert "ASYNC" in text
+
+    def test_format_and_chart(self, fig7a):
+        assert "L (uH)" in fig7a.format()
+        chart = fig7a.chart()
+        assert "o=" in chart  # legend glyphs
+
+
+class TestFig7bc:
+    def test_fig7b_async_lowest(self):
+        res = run_fig7b(quick=True)
+        for x, y in res.series["ASYNC"]:
+            assert y <= res.value("100MHz", x) + 1.0
+
+    def test_fig7c_losses_grow_with_inductance(self):
+        res = run_fig7c(quick=True)
+        for label, pts in res.series.items():
+            ys = [y for _, y in sorted(pts)]
+            assert ys[-1] > 2 * ys[0], label
+
+
+class TestStgVerification:
+    def test_everything_passes(self):
+        result = run_stg_verification()
+        assert result.all_ok
+        text = result.format()
+        assert "basic_buck" in text
+        assert "FAIL" not in text.replace("PASS", "")  # no FAIL cells
+
+    def test_synthesised_modules_close_the_loop(self):
+        result = run_stg_verification()
+        synthesised = [r for r in result.reports if r.synthesised]
+        assert len(synthesised) >= 6
+        assert all(r.gate_level_ok for r in synthesised)
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all("|" in l for l in lines[2:] if "-+-" not in l)
+
+    def test_series_table_missing_points(self):
+        text = format_series_table("S", "x", "{:.0f}", "{:.1f}",
+                                   {"a": [(1, 2.0)], "b": [(2, 3.0)]})
+        assert "-" in text
+
+    def test_ascii_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})

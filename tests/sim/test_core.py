@@ -1,0 +1,152 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import NS, US, SimulationError, Simulator
+
+
+def test_schedule_and_run_until_fires_in_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3 * NS, lambda: fired.append("c"))
+    sim.schedule(1 * NS, lambda: fired.append("a"))
+    sim.schedule(2 * NS, lambda: fired.append("b"))
+    sim.run_until(1 * US)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in "abcde":
+        sim.schedule(5 * NS, lambda tag=tag: fired.append(tag))
+    sim.run(1 * US)
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time_then_t_end():
+    sim = Simulator()
+    seen = []
+    sim.schedule(7 * NS, lambda: seen.append(sim.now))
+    sim.run_until(100 * NS)
+    assert seen == [pytest.approx(7 * NS)]
+    assert sim.now == pytest.approx(100 * NS)
+
+
+def test_run_until_excludes_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50 * NS, lambda: fired.append("late"))
+    sim.run_until(10 * NS)
+    assert fired == []
+    sim.run_until(60 * NS)
+    assert fired == ["late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1 * NS, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.run_until(10 * NS)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5 * NS, lambda: None)
+
+
+def test_run_until_backwards_rejected():
+    sim = Simulator()
+    sim.run_until(10 * NS)
+    with pytest.raises(SimulationError):
+        sim.run_until(5 * NS)
+
+
+def test_event_cancellation():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(5 * NS, lambda: fired.append("x"))
+    event.cancel()
+    sim.run(1 * US)
+    assert fired == []
+
+
+def test_events_scheduled_during_run_fire_same_pass():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1 * NS, lambda: fired.append("second"))
+
+    sim.schedule(1 * NS, first)
+    sim.run_until(10 * NS)
+    assert fired == ["first", "second"]
+
+
+def test_zero_delay_event_from_within_event_fires_at_same_time():
+    sim = Simulator()
+    times = []
+
+    def outer():
+        sim.schedule(0.0, lambda: times.append(sim.now))
+
+    sim.schedule(2 * NS, outer)
+    sim.run(1 * US)
+    assert times == [pytest.approx(2 * NS)]
+
+
+def test_pending_events_counts_live_only():
+    sim = Simulator()
+    e1 = sim.schedule(1 * NS, lambda: None)
+    sim.schedule(2 * NS, lambda: None)
+    assert sim.pending_events() == 2
+    e1.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1 * NS, lambda: None)
+    sim.schedule(2 * NS, lambda: None)
+    e1.cancel()
+    assert sim.peek_next_time() == pytest.approx(2 * NS)
+
+
+def test_peek_next_time_empty_queue():
+    sim = Simulator()
+    assert sim.peek_next_time() is None
+
+
+def test_run_all_drains_queue():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1 * NS, lambda: fired.append(1))
+    sim.schedule(9 * NS, lambda: fired.append(2))
+    sim.run_all()
+    assert fired == [1, 2]
+    assert sim.pending_events() == 0
+
+
+def test_run_all_livelock_guard():
+    sim = Simulator()
+
+    def respawn():
+        sim.schedule(1 * NS, respawn)
+
+    sim.schedule(1 * NS, respawn)
+    with pytest.raises(SimulationError):
+        sim.run_all(max_events=100)
+
+
+def test_rng_determinism():
+    a = Simulator(seed=42)
+    b = Simulator(seed=42)
+    assert [a.rng.random() for _ in range(5)] == [b.rng.random() for _ in range(5)]
+
+
+def test_rng_seed_variation():
+    a = Simulator(seed=1)
+    b = Simulator(seed=2)
+    assert a.rng.random() != b.rng.random()

@@ -1,0 +1,271 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import (
+    NS,
+    US,
+    Process,
+    Signal,
+    Simulator,
+    delay,
+    fork,
+    wait_any,
+    wait_edge,
+    wait_fall,
+    wait_high,
+    wait_low,
+    wait_rise,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_delay_sequence(sim):
+    times = []
+
+    def body():
+        times.append(sim.now)
+        yield delay(5 * NS)
+        times.append(sim.now)
+        yield delay(3 * NS)
+        times.append(sim.now)
+
+    Process(sim, body())
+    sim.run(1 * US)
+    assert times == [pytest.approx(0.0), pytest.approx(5 * NS), pytest.approx(8 * NS)]
+
+
+def test_wait_rise(sim):
+    s = Signal(sim, "s")
+    seen = []
+
+    def body():
+        yield wait_rise(s)
+        seen.append(sim.now)
+
+    Process(sim, body())
+    s.set(True, 7 * NS)
+    sim.run(1 * US)
+    assert seen == [pytest.approx(7 * NS)]
+
+
+def test_wait_fall(sim):
+    s = Signal(sim, "s", init=True)
+    seen = []
+
+    def body():
+        yield wait_fall(s)
+        seen.append(sim.now)
+
+    Process(sim, body())
+    s.set(False, 4 * NS)
+    sim.run(1 * US)
+    assert seen == [pytest.approx(4 * NS)]
+
+
+def test_wait_edge_any_direction(sim):
+    s = Signal(sim, "s")
+    count = []
+
+    def body():
+        while True:
+            yield wait_edge(s)
+            count.append(sim.now)
+
+    Process(sim, body())
+    s.set(True, 1 * NS)
+    s.set(False, 2 * NS)
+    sim.run(1 * US)
+    assert len(count) == 2
+
+
+def test_wait_high_completes_immediately_when_already_high(sim):
+    s = Signal(sim, "s", init=True)
+    seen = []
+
+    def body():
+        yield wait_high(s)
+        seen.append(sim.now)
+
+    Process(sim, body())
+    sim.run(1 * NS)
+    assert seen == [pytest.approx(0.0)]
+
+
+def test_wait_high_waits_for_rise_when_low(sim):
+    s = Signal(sim, "s")
+    seen = []
+
+    def body():
+        yield wait_high(s)
+        seen.append(sim.now)
+
+    Process(sim, body())
+    s.set(True, 9 * NS)
+    sim.run(1 * US)
+    assert seen == [pytest.approx(9 * NS)]
+
+
+def test_wait_low(sim):
+    s = Signal(sim, "s", init=True)
+    seen = []
+
+    def body():
+        yield wait_low(s)
+        seen.append(sim.now)
+
+    Process(sim, body())
+    s.set(False, 6 * NS)
+    sim.run(1 * US)
+    assert seen == [pytest.approx(6 * NS)]
+
+
+def test_wait_any_signal_beats_timeout(sim):
+    s = Signal(sim, "s")
+    result = []
+
+    def body():
+        timer = delay(100 * NS)
+        got = yield wait_any(wait_rise(s), timer)
+        result.append(got is timer)
+
+    Process(sim, body())
+    s.set(True, 10 * NS)
+    sim.run(1 * US)
+    assert result == [False]
+
+
+def test_wait_any_timeout_beats_signal(sim):
+    s = Signal(sim, "s")
+    result = []
+
+    def body():
+        timer = delay(5 * NS)
+        got = yield wait_any(wait_rise(s), timer)
+        result.append(got is timer)
+
+    Process(sim, body())
+    s.set(True, 50 * NS)
+    sim.run(1 * US)
+    assert result == [True]
+
+
+def test_wait_any_losers_are_disarmed(sim):
+    """After the race resolves, the losing edge wait must not resume later."""
+    s = Signal(sim, "s")
+    resumptions = []
+
+    def body():
+        timer = delay(5 * NS)
+        yield wait_any(wait_rise(s), timer)
+        resumptions.append(sim.now)
+        yield delay(500 * NS)
+        resumptions.append(sim.now)
+
+    Process(sim, body())
+    s.set(True, 50 * NS)  # fires after the timeout won; must be ignored
+    sim.run(1 * US)
+    assert resumptions == [pytest.approx(5 * NS), pytest.approx(505 * NS)]
+
+
+def test_handshake_between_two_processes(sim):
+    req = Signal(sim, "req")
+    ack = Signal(sim, "ack")
+    log = []
+
+    def client():
+        for _ in range(3):
+            req.set(True, 1 * NS)
+            yield wait_rise(ack)
+            log.append(("ack+", sim.now))
+            req.set(False, 1 * NS)
+            yield wait_fall(ack)
+
+    def server():
+        while True:
+            yield wait_rise(req)
+            ack.set(True, 2 * NS)
+            yield wait_fall(req)
+            ack.set(False, 2 * NS)
+
+    Process(sim, client())
+    Process(sim, server())
+    sim.run(1 * US)
+    assert len(log) == 3
+    assert log[0][1] == pytest.approx(3 * NS)
+
+
+def test_process_completion_sets_done(sim):
+    def body():
+        yield delay(1 * NS)
+
+    p = Process(sim, body())
+    assert not p.done
+    sim.run(10 * NS)
+    assert p.done
+
+
+def test_kill_stops_process(sim):
+    ticks = []
+
+    def body():
+        while True:
+            yield delay(1 * NS)
+            ticks.append(sim.now)
+
+    p = Process(sim, body())
+    sim.run(3.5 * NS)
+    p.kill()
+    sim.run(10 * NS)
+    assert len(ticks) == 3
+    assert p.done
+
+
+def test_yielding_non_command_raises(sim):
+    def body():
+        yield 42  # type: ignore
+
+    Process(sim, body())
+    with pytest.raises(TypeError):
+        sim.run(1 * NS)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        delay(-1.0)
+
+
+def test_empty_wait_any_rejected():
+    with pytest.raises(ValueError):
+        wait_any()
+
+
+def test_fork_helper(sim):
+    seen = []
+
+    def body():
+        yield delay(1 * NS)
+        seen.append(True)
+
+    fork(sim, body(), name="forked")
+    sim.run(2 * NS)
+    assert seen == [True]
+
+
+def test_two_processes_waiting_same_edge_both_resume(sim):
+    s = Signal(sim, "s")
+    seen = []
+
+    def waiter(tag):
+        yield wait_rise(s)
+        seen.append(tag)
+
+    Process(sim, waiter("a"))
+    Process(sim, waiter("b"))
+    s.set(True, 5 * NS)
+    sim.run(1 * US)
+    assert sorted(seen) == ["a", "b"]

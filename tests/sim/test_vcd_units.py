@@ -1,0 +1,58 @@
+"""Unit tests for units helpers and VCD dump-to-file."""
+
+import os
+
+import pytest
+
+from repro.sim import (
+    GHZ,
+    MHZ,
+    NS,
+    Signal,
+    Simulator,
+    US,
+    dump_vcd,
+    fmt_si,
+    fmt_time,
+    frequency_of,
+    period_of,
+)
+
+
+class TestUnits:
+    def test_period_frequency_inverse(self):
+        assert period_of(333 * MHZ) == pytest.approx(3.003e-9, rel=1e-3)
+        assert frequency_of(1 * NS) == pytest.approx(1 * GHZ)
+        assert frequency_of(period_of(42 * MHZ)) == pytest.approx(42 * MHZ)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            period_of(0.0)
+        with pytest.raises(ValueError):
+            frequency_of(-1.0)
+
+    def test_fmt_time(self):
+        assert fmt_time(2.5e-9) == "2.5ns"
+        assert fmt_time(3e-6) == "3us"
+        assert fmt_time(1.5e-3) == "1.5ms"
+        assert fmt_time(5e-12) == "5ps"
+
+    def test_fmt_si(self):
+        assert fmt_si(0.21, "A") == "210mA"
+        assert fmt_si(4.7e-6, "H") == "4.7uH"
+        assert fmt_si(0.0, "V") == "0V"
+        assert fmt_si(3.3, "V") == "3.3V"
+        assert fmt_si(2.5e6, "Hz") == "2.5MHz"
+
+
+class TestDumpVcd:
+    def test_dump_to_file(self, tmp_path):
+        sim = Simulator()
+        s = Signal(sim, "x")
+        s.set(True, 3 * NS)
+        sim.run(1 * US)
+        path = tmp_path / "out.vcd"
+        dump_vcd(str(path), [s])
+        text = path.read_text()
+        assert "$enddefinitions" in text
+        assert "1" in text

@@ -1,0 +1,98 @@
+"""Verification of the whole STG model zoo — the paper's Sec. IV claims.
+
+"We verified that all STGs are consistent, deadlock-free, and
+output-persistent.  We also verified specific buck converter properties,
+such as the absence of a short circuit in PMOS/NMOS transistors."
+"""
+
+import pytest
+
+from repro.stg import StateGraph, check_usc, synthesize, verify
+from repro.stg.models import (
+    ALL_MODELS,
+    NON_SI_MODELS,
+    basic_buck_stg,
+    mode_ctrl_stg,
+)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MODELS))
+def test_model_passes_a4a_sanity_suite(name):
+    builder, mutex_pairs = ALL_MODELS[name]
+    report = verify(builder(), mutex_pairs=mutex_pairs)
+    for result in report.results:
+        if name in NON_SI_MODELS and result.name == "output-persistence":
+            # arbitration primitives contain a deliberate output choice
+            assert not result.passed
+            continue
+        assert result.passed, report.summary()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MODELS))
+def test_model_state_space_is_modest(name):
+    """The paper partitions the controller into sub-modules precisely to
+    keep specification/synthesis/verification tractable."""
+    builder, _ = ALL_MODELS[name]
+    sg = StateGraph(builder())
+    assert 2 <= len(sg) < 5000
+
+
+class TestBasicBuckSpecifics:
+    def test_short_circuit_impossible(self):
+        report = verify(basic_buck_stg(), mutex_pairs=[("gp", "gn")])
+        assert report.result("mutex(gp,gn)").passed
+
+    def test_all_three_scenarios_reachable(self):
+        """no-ZC, early-ZC paths both exist: uv+ and zc+ both fire
+        somewhere in the state graph."""
+        sg = StateGraph(basic_buck_stg())
+        fired = set()
+        for state in sg.all_states():
+            for t, _ in state.successors:
+                fired.add(t)
+        assert "uv+" in fired      # no-ZC branch
+        assert "zc+" in fired      # early-ZC branch
+        assert "uv+/1" in fired    # charge after discontinuous idle
+
+    def test_gn_initially_high(self):
+        stg = basic_buck_stg()
+        assert stg.initial_values["gn"] is True
+        assert stg.initial_values["gp"] is False
+
+    def test_charging_follows_uv(self):
+        """In every state where gp+ is enabled, uv must be 1 (we only
+        charge on demand)."""
+        sg = StateGraph(basic_buck_stg())
+        uv_idx = sg.signal_order.index("uv")
+        for state in sg.all_states():
+            for t, _ in state.successors:
+                lbl = sg.stg.label_of(t)
+                if lbl is not None and lbl.signal == "gp" and lbl.rising:
+                    assert state.code[uv_idx] == 1, sg.code_str(state)
+
+
+class TestModeCtrlSpecifics:
+    def test_uv_and_ov_modes_both_reachable(self):
+        sg = StateGraph(mode_ctrl_stg())
+        fired = {t for s in sg.all_states() for t, _ in s.successors}
+        assert "uv+" in fired and "ov+" in fired
+
+    def test_early_ack_precedes_charge_completion(self):
+        """The decoupling property: a state exists where the early ack
+        ``a`` is already high while the charge handshake ``ac`` is not."""
+        sg = StateGraph(mode_ctrl_stg())
+        a_idx = sg.signal_order.index("a")
+        ac_idx = sg.signal_order.index("ac")
+        assert any(s.code[a_idx] == 1 and s.code[ac_idx] == 0
+                   for s in sg.all_states())
+
+
+class TestSynthesisability:
+    @pytest.mark.parametrize("name", ["celement", "hs_buffer", "wait",
+                                      "token_ctrl", "charge_ctrl",
+                                      "decoupler", "hl_ctrl"])
+    def test_csc_clean_models_synthesise(self, name):
+        builder, _ = ALL_MODELS[name]
+        stg = builder()
+        result = synthesize(stg)
+        assert set(result.complex_gates) == set(stg.non_inputs)

@@ -1,0 +1,150 @@
+"""Unit tests for the .g format parser/writer."""
+
+import pytest
+
+from repro.stg import STG, ParseError, SignalType, StateGraph, parse_g, write_g
+from repro.stg.models import ALL_MODELS, celement_stg
+
+CELEMENT_G = """
+# Muller C-element
+.model celement
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+"""
+
+
+class TestParse:
+    def test_parse_celement(self):
+        stg = parse_g(CELEMENT_G)
+        assert stg.name == "celement"
+        assert stg.inputs == ["a", "b"]
+        assert stg.outputs == ["c"]
+        sg = StateGraph(stg)
+        assert len(sg) == 8
+        assert sg.is_consistent()
+
+    def test_parse_explicit_places(self):
+        text = """
+.model two
+.inputs a
+.outputs x
+.graph
+p0 a+
+a+ p1
+p1 x+
+x+ p2
+p2 a-
+a- p3
+p3 x-
+x- p0
+.marking { p0 }
+.end
+"""
+        stg = parse_g(text)
+        assert "p0" in stg.places
+        assert stg.places["p0"] == 1
+        sg = StateGraph(stg)
+        assert sg.is_deadlock_free()
+        assert len(sg) == 4
+
+    def test_parse_dummy(self):
+        text = """
+.model d
+.inputs a
+.dummy skip
+.graph
+a+ skip
+skip a-
+a- a+
+.marking { <a-,a+> }
+.end
+"""
+        stg = parse_g(text)
+        assert stg.label_of("skip") is None
+        sg = StateGraph(stg)
+        assert len(sg) == 3
+
+    def test_parse_internal_signals(self):
+        text = """
+.model i
+.inputs a
+.internal csc0
+.outputs x
+.graph
+a+ csc0+
+csc0+ x+
+x+ a-
+a- csc0-
+csc0- x-
+x- a+
+.marking { <x-,a+> }
+.end
+"""
+        stg = parse_g(text)
+        assert stg.internals == ["csc0"]
+        assert stg.signal_types["csc0"] == SignalType.INTERNAL
+
+    def test_comments_and_blank_lines_ignored(self):
+        stg = parse_g("# top comment\n\n.model m\n.inputs a\n.graph\n"
+                      "a+ a-  # inline\na- a+\n.marking { <a-,a+> }\n.end\n")
+        assert stg.name == "m"
+
+    def test_unknown_marking_place_rejected(self):
+        with pytest.raises(ParseError):
+            parse_g(".model m\n.inputs a\n.graph\na+ a-\na- a+\n"
+                    ".marking { bogus }\n.end\n")
+
+    def test_unknown_implicit_marking_rejected(self):
+        with pytest.raises(ParseError):
+            parse_g(".model m\n.inputs a\n.graph\na+ a-\na- a+\n"
+                    ".marking { <a+,a+> }\n.end\n")
+
+    def test_malformed_marking_rejected(self):
+        with pytest.raises(ParseError):
+            parse_g(".model m\n.inputs a\n.graph\na+ a-\na- a+\n"
+                    ".marking <a-,a+>\n.end\n")
+
+    def test_stray_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_g(".model m\nnot_a_directive here\n.end\n")
+
+    def test_end_stops_parsing(self):
+        stg = parse_g(".model m\n.inputs a\n.graph\na+ a-\na- a+\n"
+                      ".marking { <a-,a+> }\n.end\ngarbage after end\n")
+        assert stg.inputs == ["a"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(ALL_MODELS))
+    def test_roundtrip_preserves_behaviour(self, name):
+        builder, _ = ALL_MODELS[name]
+        original = builder()
+        text = write_g(original)
+        restored = parse_g(text)
+        # initial values are not part of .g; supply them for comparison
+        restored.initial_values = dict(original.initial_values)
+        sg_a = StateGraph(original)
+        sg_b = StateGraph(restored)
+        assert len(sg_a) == len(sg_b)
+        assert sg_a.is_consistent() == sg_b.is_consistent()
+        assert sorted(original.signal_types) == sorted(restored.signal_types)
+        assert (sorted(t for t in original.transitions)
+                == sorted(t for t in restored.transitions))
+
+    def test_written_text_has_sections(self):
+        text = write_g(celement_stg())
+        assert ".model celement" in text
+        assert ".inputs a b" in text
+        assert ".outputs c" in text
+        assert ".graph" in text
+        assert ".marking" in text
+        assert text.rstrip().endswith(".end")

@@ -1,0 +1,125 @@
+"""Unit tests for the Petri net core."""
+
+import pytest
+
+from repro.stg import PetriNet, PetriNetError, marking_key
+
+
+def _simple_net():
+    net = PetriNet("n")
+    net.add_place("p0", tokens=1)
+    net.add_place("p1")
+    net.add_transition("t0")
+    net.add_transition("t1")
+    net.add_arc("p0", "t0")
+    net.add_arc("t0", "p1")
+    net.add_arc("p1", "t1")
+    net.add_arc("t1", "p0")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(PetriNetError):
+            net.add_place("p")
+
+    def test_duplicate_transition_rejected(self):
+        net = PetriNet()
+        net.add_transition("t")
+        with pytest.raises(PetriNetError):
+            net.add_transition("t")
+
+    def test_name_clash_place_transition(self):
+        net = PetriNet()
+        net.add_place("x")
+        with pytest.raises(PetriNetError):
+            net.add_transition("x")
+        net.add_transition("y")
+        with pytest.raises(PetriNetError):
+            net.add_place("y")
+
+    def test_negative_tokens_rejected(self):
+        net = PetriNet()
+        with pytest.raises(PetriNetError):
+            net.add_place("p", tokens=-1)
+
+    def test_arc_must_be_bipartite(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_transition("u")
+        with pytest.raises(PetriNetError):
+            net.add_arc("p", "q")
+        with pytest.raises(PetriNetError):
+            net.add_arc("t", "u")
+
+    def test_stats(self):
+        net = _simple_net()
+        assert net.stats() == {"places": 2, "transitions": 2, "arcs": 4}
+
+
+class TestSemantics:
+    def test_initial_marking(self):
+        net = _simple_net()
+        assert net.initial_marking() == {"p0": 1}
+
+    def test_enabled(self):
+        net = _simple_net()
+        assert net.enabled(net.initial_marking()) == ["t0"]
+
+    def test_fire_moves_token(self):
+        net = _simple_net()
+        m1 = net.fire("t0", net.initial_marking())
+        assert m1 == {"p1": 1}
+        m2 = net.fire("t1", m1)
+        assert m2 == {"p0": 1}
+
+    def test_fire_disabled_raises(self):
+        net = _simple_net()
+        with pytest.raises(PetriNetError):
+            net.fire("t1", net.initial_marking())
+
+    def test_fire_does_not_mutate_input(self):
+        net = _simple_net()
+        m = net.initial_marking()
+        net.fire("t0", m)
+        assert m == {"p0": 1}
+
+    def test_synchronisation(self):
+        net = PetriNet()
+        net.add_place("a", 1)
+        net.add_place("b", 0)
+        net.add_transition("t")
+        net.add_arc("a", "t")
+        net.add_arc("b", "t")
+        assert net.enabled({"a": 1}) == []
+        assert net.enabled({"a": 1, "b": 1}) == ["t"]
+
+    def test_token_accumulation(self):
+        net = PetriNet()
+        net.add_place("p", 1)
+        net.add_place("sink", 0)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "sink")
+        net.add_arc("t", "p")  # self-replenishing: sink accumulates
+        m = net.initial_marking()
+        for _ in range(3):
+            m = net.fire("t", m)
+        assert m["sink"] == 3
+
+    def test_place_preset(self):
+        net = _simple_net()
+        assert net.place_preset("p1") == {"t0"}
+        assert net.place_preset("p0") == {"t1"}
+
+
+class TestMarkingKey:
+    def test_canonical_and_zero_dropped(self):
+        assert marking_key({"b": 1, "a": 2, "c": 0}) == (("a", 2), ("b", 1))
+
+    def test_equal_markings_equal_keys(self):
+        assert marking_key({"x": 1}) == marking_key({"x": 1, "y": 0})

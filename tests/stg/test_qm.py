@@ -1,0 +1,109 @@
+"""Unit tests for Quine–McCluskey minimisation, incl. property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stg.qm import (
+    evaluate_sop,
+    implicant_to_expr,
+    minimize,
+    prime_implicants,
+    sop_to_expr,
+    support,
+)
+
+
+def _truth(implicants, n):
+    return {m for m in range(2 ** n)
+            if evaluate_sop(implicants, [int(b) for b in format(m, f"0{n}b")])}
+
+
+class TestMinimizeKnownCases:
+    def test_constant_zero(self):
+        assert minimize([], [], 3) == []
+
+    def test_constant_one(self):
+        assert minimize(list(range(8)), [], 3) == ["---"]
+
+    def test_constant_one_via_dont_cares(self):
+        assert minimize([0, 3], [1, 2], 2) == ["--"]
+
+    def test_single_minterm(self):
+        assert minimize([5], [], 3) == ["101"]
+
+    def test_adjacent_pair_merges(self):
+        # minterms 6 (110) and 7 (111) -> 11-
+        assert minimize([6, 7], [], 3) == ["11-"]
+
+    def test_xor_cannot_merge(self):
+        cover = sorted(minimize([1, 2], [], 2))
+        assert cover == ["01", "10"]
+
+    def test_classic_textbook_example(self):
+        # f(a,b,c,d) = sum(4,8,10,11,12,15) + dc(9,14)
+        cover = minimize([4, 8, 10, 11, 12, 15], [9, 14], 4)
+        truth = _truth(cover, 4)
+        for m in (4, 8, 10, 11, 12, 15):
+            assert m in truth
+        for m in (0, 1, 2, 3, 5, 6, 7, 13):
+            assert m not in truth
+        assert len(cover) <= 3  # known minimal cover size
+
+    def test_dont_cares_not_required_in_cover(self):
+        cover = minimize([0], [1, 2, 3], 2)
+        assert cover == ["--"] or _truth(cover, 2) >= {0}
+
+
+class TestPrimeImplicants:
+    def test_full_cube(self):
+        assert prime_implicants([0, 1, 2, 3], [], 2) == ["--"]
+
+    def test_no_merge(self):
+        assert sorted(prime_implicants([0, 3], [], 2)) == ["00", "11"]
+
+    def test_overlapping_primes(self):
+        # f = sum(0,1,3): primes are 0- and -1... bits: 00,01,11
+        primes = set(prime_implicants([0, 1, 3], [], 2))
+        assert primes == {"0-", "-1"}
+
+
+class TestRendering:
+    def test_implicant_to_expr(self):
+        assert implicant_to_expr("1-0", ["a", "b", "c"]) == "a c'"
+        assert implicant_to_expr("---", ["a", "b", "c"]) == "1"
+
+    def test_sop_to_expr(self):
+        assert sop_to_expr([], ["a"]) == "0"
+        assert sop_to_expr(["1-", "-0"], ["a", "b"]) == "a + b'"
+
+    def test_support(self):
+        assert support(["1-0", "-1-"]) == frozenset({0, 1, 2})
+        assert support(["---"]) == frozenset()
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.data())
+def test_minimize_preserves_function(n, data):
+    """Property: the minimised cover equals the spec on the ON/OFF sets
+    (don't-cares may go either way)."""
+    universe = list(range(2 ** n))
+    on = data.draw(st.sets(st.sampled_from(universe)))
+    rest = [m for m in universe if m not in on]
+    dc = data.draw(st.sets(st.sampled_from(rest))) if rest else set()
+    cover = minimize(sorted(on), sorted(dc), n)
+    truth = _truth(cover, n)
+    for m in on:
+        assert m in truth, f"ON minterm {m} not covered"
+    for m in universe:
+        if m not in on and m not in dc:
+            assert m not in truth, f"OFF minterm {m} wrongly covered"
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.data())
+def test_minimize_no_worse_than_minterm_count(n, data):
+    universe = list(range(2 ** n))
+    on = sorted(data.draw(st.sets(st.sampled_from(universe), min_size=1)))
+    cover = minimize(on, [], n)
+    assert len(cover) <= len(on)

@@ -1,0 +1,197 @@
+"""Unit tests for STG construction, labels, and reachability analysis."""
+
+import pytest
+
+from repro.stg import STG, Label, PetriNetError, SignalType, StateGraph
+from repro.stg.models import celement_stg, handshake_buffer_stg
+from repro.stg.reachability import ReachabilityError
+
+
+class TestLabel:
+    def test_parse_simple(self):
+        lbl = Label.parse("a+")
+        assert lbl.signal == "a" and lbl.direction == "+" and lbl.instance == 0
+        assert lbl.rising
+
+    def test_parse_instance(self):
+        lbl = Label.parse("gp-/2")
+        assert lbl.signal == "gp" and lbl.direction == "-" and lbl.instance == 2
+        assert not lbl.rising
+
+    def test_parse_dummy_returns_none(self):
+        assert Label.parse("dum1") is None
+        assert Label.parse("a~") is None
+
+    def test_str_roundtrip(self):
+        assert str(Label.parse("x+/3")) == "x+/3"
+        assert str(Label.parse("y-")) == "y-"
+
+    def test_equality_and_hash(self):
+        assert Label.parse("a+") == Label.parse("a+")
+        assert Label.parse("a+") != Label.parse("a-")
+        assert hash(Label.parse("b+/1")) == hash(Label.parse("b+/1"))
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            Label("a", "*")
+
+
+class TestSTGConstruction:
+    def test_signal_declaration(self):
+        stg = STG()
+        stg.add_signal("a", SignalType.INPUT, initial=False)
+        stg.add_signal("b", SignalType.OUTPUT, initial=True)
+        assert stg.inputs == ["a"]
+        assert stg.outputs == ["b"]
+        assert stg.initial_values == {"a": False, "b": True}
+
+    def test_duplicate_signal_rejected(self):
+        stg = STG()
+        stg.add_signal("a", SignalType.INPUT)
+        with pytest.raises(PetriNetError):
+            stg.add_signal("a", SignalType.OUTPUT)
+
+    def test_dummy_signal_type_rejected(self):
+        stg = STG()
+        with pytest.raises(PetriNetError):
+            stg.add_signal("a", SignalType.DUMMY)
+
+    def test_transition_requires_declared_signal(self):
+        stg = STG()
+        with pytest.raises(PetriNetError):
+            stg.add_signal_transition("ghost+")
+
+    def test_is_input_transition(self):
+        stg = STG()
+        stg.add_signal("a", SignalType.INPUT)
+        stg.add_signal("x", SignalType.OUTPUT)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("x+")
+        stg.add_dummy("d")
+        assert stg.is_input_transition("a+")
+        assert not stg.is_input_transition("x+")
+        assert not stg.is_input_transition("d")
+
+    def test_transitions_of(self):
+        stg = STG()
+        stg.add_signal("a", SignalType.INPUT)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("a-")
+        stg.add_signal_transition("a+/1")
+        assert sorted(stg.transitions_of("a")) == ["a+", "a+/1", "a-"]
+
+    def test_chain_needs_two(self):
+        stg = STG()
+        stg.add_signal("a", SignalType.INPUT)
+        stg.add_signal_transition("a+")
+        with pytest.raises(PetriNetError):
+            stg.chain(["a+"])
+
+    def test_connect_returns_place(self):
+        stg = STG()
+        stg.add_signal("a", SignalType.INPUT)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("a-")
+        p = stg.connect("a+", "a-", tokens=0)
+        assert p in stg.places
+
+
+class TestStateGraph:
+    def test_celement_state_count(self):
+        # C-element spec: 2 concurrent inputs + output = 8 reachable states
+        sg = StateGraph(celement_stg())
+        assert len(sg) == 8
+        assert sg.is_safe()
+        assert sg.is_consistent()
+        assert sg.is_deadlock_free()
+
+    def test_handshake_buffer_is_a_cycle(self):
+        sg = StateGraph(handshake_buffer_stg())
+        assert len(sg) == 8  # 8-transition cycle, fully sequential
+        for state in sg.all_states():
+            assert len(state.successors) == 1
+
+    def test_trace_reconstruction(self):
+        sg = StateGraph(handshake_buffer_stg())
+        deep = max(sg.all_states(), key=lambda s: len(s.trace()))
+        trace = deep.trace()
+        assert trace[0] == "ri+"
+        assert len(trace) == 7
+
+    def test_inconsistent_stg_detected(self):
+        stg = STG("bad")
+        stg.add_signal("a", SignalType.INPUT, initial=False)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("a+/1")
+        stg.chain(["a+", "a+/1"], cyclic=True)  # a+ twice in a row
+        sg = StateGraph(stg)
+        assert not sg.is_consistent()
+        assert sg.consistency_violations[0].kind == "edge"
+
+    def test_initial_value_inference(self):
+        # No initial values given: a+ first implies a starts at 0.
+        stg = STG("infer")
+        stg.add_signal("a", SignalType.INPUT)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("a-")
+        stg.chain(["a+", "a-"], cyclic=True)
+        sg = StateGraph(stg)
+        assert sg.is_consistent()
+        assert len(sg) == 2
+
+    def test_deadlock_detection(self):
+        stg = STG("dead")
+        stg.add_signal("a", SignalType.INPUT, initial=False)
+        stg.add_signal_transition("a+")
+        stg.add_place("p", 1)
+        stg.add_place("q", 0)
+        stg.add_arc("p", "a+")
+        stg.add_arc("a+", "q")  # q has no consumers: deadlock after a+
+        sg = StateGraph(stg)
+        assert not sg.is_deadlock_free()
+        assert sg.deadlocks[0].trace() == ["a+"]
+
+    def test_unsafe_net_detected(self):
+        stg = STG("unsafe")
+        stg.add_signal("a", SignalType.INPUT, initial=False)
+        stg.add_signal("b", SignalType.INPUT, initial=False)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("a-")
+        stg.add_signal_transition("b+")
+        stg.add_place("acc", 0)
+        stg.chain(["a+", "a-"], cyclic=True)
+        stg.add_arc("a+", "acc")   # accumulates a token per cycle
+        stg.add_arc("acc", "b+")
+        stg.add_place("pb", 0)
+        stg.add_arc("b+", "pb")
+        sg = StateGraph(stg)
+        assert not sg.is_safe()
+        assert "acc" in sg.unsafe_places
+
+    def test_explosion_guard(self):
+        stg = STG("big")
+        # 20 independent toggles -> >1M states
+        for i in range(20):
+            s = f"s{i}"
+            stg.add_signal(s, SignalType.INPUT, initial=False)
+            stg.add_signal_transition(f"{s}+")
+            stg.add_signal_transition(f"{s}-")
+            stg.chain([f"{s}+", f"{s}-"], cyclic=True)
+        with pytest.raises(ReachabilityError):
+            StateGraph(stg, max_states=1000)
+
+    def test_dummy_transitions_preserve_code(self):
+        stg = STG("dummy")
+        stg.add_signal("a", SignalType.INPUT, initial=False)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("a-")
+        stg.add_dummy("skip")
+        stg.chain(["a+", "skip", "a-"], cyclic=True)
+        sg = StateGraph(stg)
+        assert sg.is_consistent()
+        assert len(sg) == 3
+
+    def test_code_str(self):
+        sg = StateGraph(celement_stg())
+        text = sg.code_str(sg.initial)
+        assert "a=0" in text and "c=0" in text

@@ -1,0 +1,155 @@
+"""Unit tests for speed-independent synthesis."""
+
+import pytest
+
+from repro.stg import (
+    CSCConflictError,
+    STG,
+    SignalType,
+    StateGraph,
+    SynthesisError,
+    synthesize,
+    synthesize_complex_gate,
+    synthesize_gc,
+)
+from repro.stg.models import celement_stg, handshake_buffer_stg, wait_element_stg
+
+IN, OUT = SignalType.INPUT, SignalType.OUTPUT
+
+
+class TestComplexGate:
+    def test_celement_yields_majority_function(self):
+        sg = StateGraph(celement_stg())
+        fn = synthesize_complex_gate(sg, "c")
+        # Muller C: c' = ab + c(a+b). Check by evaluation.
+        cases = {
+            (0, 0, 0): 0, (1, 0, 0): 0, (0, 1, 0): 0, (1, 1, 0): 1,
+            (0, 0, 1): 0, (1, 0, 1): 1, (0, 1, 1): 1, (1, 1, 1): 1,
+        }
+        for (a, b, c), expected in cases.items():
+            got = fn.evaluate({"a": bool(a), "b": bool(b), "c": bool(c)})
+            # unreachable codes are don't-care; only check reachable ones
+            reachable = {(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0),
+                         (1, 1, 1), (0, 1, 1), (1, 0, 1), (0, 0, 1)}
+            if (a, b, c) in reachable:
+                assert got == bool(expected), f"({a},{b},{c})"
+
+    def test_buffer_synthesis(self):
+        result = synthesize(handshake_buffer_stg())
+        assert set(result.complex_gates) == {"ai", "ro"}
+        # every function must be non-trivial
+        for fn in result.complex_gates.values():
+            assert fn.implicants
+
+    def test_wait_element_synthesis(self):
+        result = synthesize(wait_element_stg())
+        fn = result.complex_gates["ack"]
+        # ack rises when req and sig are both high: evaluation check
+        assert fn.evaluate({"req": True, "sig": True, "ack": False})
+        assert not fn.evaluate({"req": False, "sig": False, "ack": False})
+
+    def test_input_signal_rejected(self):
+        sg = StateGraph(celement_stg())
+        with pytest.raises(SynthesisError):
+            synthesize_complex_gate(sg, "a")
+
+    def test_unknown_signal_rejected(self):
+        sg = StateGraph(celement_stg())
+        with pytest.raises(SynthesisError):
+            synthesize_complex_gate(sg, "nope")
+
+    def test_csc_conflict_raises(self):
+        stg = STG("csc")
+        stg.add_signal("a", IN, initial=False)
+        stg.add_signal("x", OUT, initial=False)
+        for t in ("a+", "a-", "x+", "x-"):
+            stg.add_signal_transition(t)
+        stg.chain(["a+", "a-", "x+", "x-"], cyclic=True)
+        sg = StateGraph(stg)
+        with pytest.raises(CSCConflictError) as err:
+            synthesize_complex_gate(sg, "x")
+        assert err.value.signal == "x"
+
+    def test_undetermined_initial_values_rejected(self):
+        stg = STG("unk")
+        stg.add_signal("a", IN)           # no initial value anywhere
+        stg.add_signal("x", OUT)
+        stg.add_signal("ghost", IN)       # never fires: stays unknown
+        for t in ("a+", "a-", "x+", "x-"):
+            stg.add_signal_transition(t)
+        stg.chain(["a+", "x+", "a-", "x-"], cyclic=True)
+        sg = StateGraph(stg)
+        with pytest.raises(SynthesisError):
+            synthesize_complex_gate(sg, "x")
+
+
+class TestGC:
+    def test_celement_gc(self):
+        sg = StateGraph(celement_stg())
+        gc = synthesize_gc(sg, "c")
+        values = {"a": True, "b": True, "c": False}
+        assert gc.set_function.evaluate(values)
+        assert not gc.reset_function.evaluate(values)
+        values = {"a": False, "b": False, "c": True}
+        assert gc.reset_function.evaluate(values)
+        assert not gc.set_function.evaluate(values)
+
+    def test_set_reset_never_both_on_reachable(self):
+        sg = StateGraph(handshake_buffer_stg())
+        for signal in ("ai", "ro"):
+            gc = synthesize_gc(sg, signal)
+            for state in sg.all_states():
+                values = {s: v == 1 for s, v in
+                          zip(sg.signal_order, state.code)}
+                s_v = gc.set_function.evaluate(values)
+                r_v = gc.reset_function.evaluate(values)
+                assert not (s_v and r_v), f"S and R both on for {signal}"
+
+    def test_gc_style_via_synthesize(self):
+        result = synthesize(celement_stg(), style="gc")
+        assert "c" in result.gc_latches
+        assert "set" in result.gc_latches["c"].expression()
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize(celement_stg(), style="nmos")
+
+
+class TestResultReporting:
+    def test_netlist_summary(self):
+        result = synthesize(celement_stg())
+        text = result.netlist_summary()
+        assert "[c]" in text
+
+    def test_literal_count_positive(self):
+        result = synthesize(handshake_buffer_stg())
+        assert result.total_literals() > 0
+
+    def test_gc_literal_count(self):
+        result = synthesize(celement_stg(), style="gc")
+        assert result.total_literals() > 0
+
+
+class TestSynthesisedBehaviour:
+    def test_next_state_function_tracks_state_graph(self):
+        """For every reachable state, the complex-gate function must agree
+        with the state graph's excitation (invariant over the whole SG)."""
+        stg = wait_element_stg()
+        sg = StateGraph(stg)
+        for signal in stg.non_inputs:
+            fn = synthesize_complex_gate(sg, signal)
+            idx = sg.signal_order.index(signal)
+            for state in sg.all_states():
+                values = {s: v == 1 for s, v in
+                          zip(sg.signal_order, state.code)}
+                rising = any(
+                    (lbl := stg.label_of(t)) is not None
+                    and lbl.signal == signal and lbl.rising
+                    for t, _ in state.successors)
+                falling = any(
+                    (lbl := stg.label_of(t)) is not None
+                    and lbl.signal == signal and not lbl.rising
+                    for t, _ in state.successors)
+                current = state.code[idx] == 1
+                expected = rising or (current and not falling)
+                assert fn.evaluate(values) == expected

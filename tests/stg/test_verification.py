@@ -1,0 +1,193 @@
+"""Unit tests for the STG verification checks."""
+
+import pytest
+
+from repro.stg import (
+    STG,
+    SignalType,
+    StateGraph,
+    check_consistency,
+    check_csc,
+    check_deadlock_freeness,
+    check_mutual_exclusion,
+    check_never_all,
+    check_output_persistence,
+    check_safeness,
+    check_usc,
+    verify,
+)
+from repro.stg.models import basic_buck_stg, celement_stg, mutex_stg
+
+IN, OUT = SignalType.INPUT, SignalType.OUTPUT
+
+
+def _toggle(stg, name, kind, init=False):
+    stg.add_signal(name, kind, initial=init)
+
+
+class TestBasicChecks:
+    def test_celement_passes_everything(self):
+        sg = StateGraph(celement_stg())
+        assert check_safeness(sg).passed
+        assert check_consistency(sg).passed
+        assert check_deadlock_freeness(sg).passed
+        assert check_output_persistence(sg).passed
+        assert check_csc(sg).passed
+
+    def test_deadlock_reported_with_trace(self):
+        stg = STG("dead")
+        _toggle(stg, "a", IN)
+        stg.add_signal_transition("a+")
+        stg.add_place("p", 1)
+        stg.add_arc("p", "a+")
+        stg.add_place("end", 0)
+        stg.add_arc("a+", "end")
+        result = check_deadlock_freeness(StateGraph(stg))
+        assert not result.passed
+        assert result.trace == ["a+"]
+
+    def test_output_persistence_violation(self):
+        # Output x+ enabled, but input a+ firing disables it (shared place).
+        stg = STG("np")
+        _toggle(stg, "a", IN)
+        _toggle(stg, "x", OUT)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("x+")
+        stg.add_place("p", 1)
+        stg.add_arc("p", "a+")
+        stg.add_arc("p", "x+")
+        stg.add_place("qa", 0)
+        stg.add_place("qx", 0)
+        stg.add_arc("a+", "qa")
+        stg.add_arc("x+", "qx")
+        result = check_output_persistence(StateGraph(stg))
+        assert not result.passed
+        assert "disables" in result.detail
+
+    def test_input_choice_is_allowed(self):
+        # A free choice between two INPUT transitions is fine.
+        stg = STG("choice")
+        _toggle(stg, "a", IN)
+        _toggle(stg, "b", IN)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("b+")
+        stg.add_place("p", 1)
+        stg.add_arc("p", "a+")
+        stg.add_arc("p", "b+")
+        stg.add_place("qa", 0)
+        stg.add_place("qb", 0)
+        stg.add_arc("a+", "qa")
+        stg.add_arc("b+", "qb")
+        result = check_output_persistence(StateGraph(stg))
+        assert result.passed
+
+    def test_same_signal_same_direction_instances_not_a_violation(self):
+        # Two x+ instances racing for one token: firing either keeps the
+        # promise "x will rise" — not a persistence violation.
+        stg = STG("inst")
+        _toggle(stg, "x", OUT)
+        stg.add_signal_transition("x+")
+        stg.add_signal_transition("x+/1")
+        stg.add_signal_transition("x-")
+        stg.add_place("p", 1)
+        stg.add_arc("p", "x+")
+        stg.add_arc("p", "x+/1")
+        stg.add_place("q", 0)
+        stg.add_arc("x+", "q")
+        stg.add_arc("x+/1", "q")
+        stg.add_arc("q", "x-")
+        stg.add_arc("x-", "p")
+        result = check_output_persistence(StateGraph(stg))
+        assert result.passed
+
+
+class TestCodingChecks:
+    def test_csc_conflict_detected(self):
+        # x+ -> a+ -> x- -> a- with output y observing nothing: classic
+        # conflict needs two states sharing a code with different outputs.
+        stg = STG("csc")
+        _toggle(stg, "a", IN)
+        _toggle(stg, "x", OUT)
+        stg.add_signal_transition("a+")
+        stg.add_signal_transition("a-")
+        stg.add_signal_transition("x+")
+        stg.add_signal_transition("x-")
+        # cycle: a+ x+ a- x- ; states (a,x): 00 ->10 ->11 ->01 ->00 fine.
+        # Make a conflict instead: a+ a- x+ x- (x+ fires from 00 after the
+        # a pulse; initial state 00 also has no x+ enabled... so code 00
+        # appears twice with different enabled outputs).
+        stg.chain(["a+", "a-", "x+", "x-"], cyclic=True)
+        result = check_csc(StateGraph(stg))
+        assert not result.passed
+
+    def test_usc_holds_for_celement(self):
+        assert check_usc(StateGraph(celement_stg())).passed
+
+    def test_usc_violation(self):
+        stg = STG("usc")
+        _toggle(stg, "a", IN)
+        _toggle(stg, "x", OUT)
+        for t in ("a+", "a-", "x+", "x-"):
+            stg.add_signal_transition(t)
+        stg.chain(["a+", "a-", "x+", "x-"], cyclic=True)
+        result = check_usc(StateGraph(stg))
+        assert not result.passed
+
+
+class TestInvariantChecks:
+    def test_mutex_model_grants_exclusive(self):
+        sg = StateGraph(mutex_stg())
+        assert check_mutual_exclusion(sg, "g1", "g2").passed
+
+    def test_buck_short_circuit_safety(self):
+        """The paper's headline safety property: gp and gn never both on."""
+        sg = StateGraph(basic_buck_stg())
+        assert check_mutual_exclusion(sg, "gp", "gn").passed
+
+    def test_mutual_exclusion_violation_detected(self):
+        stg = STG("bad")
+        _toggle(stg, "p", OUT)
+        _toggle(stg, "q", OUT)
+        for t in ("p+", "q+", "p-", "q-"):
+            stg.add_signal_transition(t)
+        stg.chain(["p+", "q+", "p-", "q-"], cyclic=True)  # overlap p&q
+        sg = StateGraph(stg)
+        result = check_mutual_exclusion(sg, "p", "q")
+        assert not result.passed
+        assert result.trace == ["p+", "q+"]
+
+    def test_never_all_three(self):
+        stg = STG("three")
+        for s in ("x", "y", "z"):
+            _toggle(stg, s, OUT)
+        for t in ("x+", "y+", "z+", "x-", "y-", "z-"):
+            stg.add_signal_transition(t)
+        stg.chain(["x+", "x-", "y+", "y-", "z+", "z-"], cyclic=True)
+        sg = StateGraph(stg)
+        assert check_never_all(sg, ["x", "y", "z"]).passed
+        assert check_never_all(sg, ["x"]).passed is False  # x does go high
+
+
+class TestVerifyReport:
+    def test_full_report_on_buck(self):
+        report = verify(basic_buck_stg(), mutex_pairs=[("gp", "gn")])
+        assert report.passed
+        assert report.result("mutex(gp,gn)").passed
+        assert "PASS" in report.summary()
+
+    def test_report_failure_summary(self):
+        stg = STG("dead")
+        _toggle(stg, "a", IN)
+        stg.add_signal_transition("a+")
+        stg.add_place("p", 1)
+        stg.add_arc("p", "a+")
+        stg.add_place("q", 0)
+        stg.add_arc("a+", "q")
+        report = verify(stg)
+        assert not report.passed
+        assert "FAIL" in report.summary()
+
+    def test_result_lookup_unknown_raises(self):
+        report = verify(celement_stg())
+        with pytest.raises(KeyError):
+            report.result("nonexistent")

@@ -1,0 +1,96 @@
+"""Unit tests for Verilog export and CSC diagnosis."""
+
+import pytest
+
+from repro.stg import testbench_skeleton as make_tb
+from repro.stg import (
+    csc_report,
+    find_csc_conflicts,
+    synthesize,
+    to_verilog,
+)
+from repro.stg.models import (
+    basic_buck_stg,
+    celement_stg,
+    charge_ctrl_stg,
+    handshake_buffer_stg,
+    mode_ctrl_stg,
+    wait_element_stg,
+)
+
+
+class TestVerilogExport:
+    def test_celement_module(self):
+        stg = celement_stg()
+        text = to_verilog(stg, synthesize(stg))
+        assert "module celement" in text
+        assert "input  wire a" in text
+        assert "input  wire b" in text
+        assert "output wire c" in text
+        assert "assign c =" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_gc_style_emits_keeper(self):
+        stg = celement_stg()
+        text = to_verilog(stg, synthesize(stg, style="gc"))
+        assert "c & ~(" in text  # the gC feedback keeper
+
+    def test_complex_gate_expression_correct(self):
+        """The emitted expression must mirror the synthesised cover."""
+        stg = wait_element_stg()
+        result = synthesize(stg)
+        text = to_verilog(stg, result)
+        for signal, fn in result.complex_gates.items():
+            assert f"// [{signal}] = {fn.expression()}" in text
+
+    def test_charge_ctrl_full_module(self):
+        stg = charge_ctrl_stg()
+        text = to_verilog(stg, synthesize(stg))
+        for port in ("oc", "ri", "zc", "ao", "gn", "gp"):
+            assert port in text
+
+    def test_name_escaping(self):
+        stg = handshake_buffer_stg()
+        stg.name = "buffer-1.0 stage"   # hostile module name
+        text = to_verilog(stg, synthesize(stg))
+        assert "module buffer_1_0_stage" in text
+
+    def test_testbench_skeleton(self):
+        stg = celement_stg()
+        tb = make_tb(stg)
+        assert "module tb_celement" in tb
+        assert "reg a" in tb and "wire c" in tb
+        assert "$dumpvars" in tb
+
+
+class TestCSCDiagnosis:
+    def test_clean_model_has_no_conflicts(self):
+        assert find_csc_conflicts(celement_stg()) == []
+        assert "CSC holds" in csc_report(celement_stg())
+
+    def test_basic_buck_conflicts_diagnosed(self):
+        conflicts = find_csc_conflicts(basic_buck_stg())
+        assert conflicts
+        signals = {c.signal for c in conflicts}
+        assert signals <= {"gp", "gn"}
+
+    def test_mode_ctrl_conflicts_diagnosed(self):
+        conflicts = find_csc_conflicts(mode_ctrl_stg())
+        assert conflicts
+
+    def test_report_mentions_separating_events(self):
+        text = csc_report(basic_buck_stg())
+        assert "CSC conflict" in text
+        assert "separating events" in text
+
+    def test_conflict_pairs_not_duplicated(self):
+        conflicts = find_csc_conflicts(basic_buck_stg())
+        pairs = [(min(c.state_a.index, c.state_b.index),
+                  max(c.state_a.index, c.state_b.index))
+                 for c in conflicts]
+        assert len(pairs) == len(set(pairs))
+
+    def test_conflicting_states_share_code(self):
+        for c in find_csc_conflicts(mode_ctrl_stg()):
+            assert c.state_a.code == c.state_b.code
+            assert c.state_a.marking != c.state_b.marking
