@@ -13,42 +13,46 @@ Not in the paper's tables, but quantifying its design decisions:
    drives stay clean; the system never short-circuits.
 4. **Token dwell** — the async ring's dwell mirrors the sync design's
    phase clock; shorter dwell spreads charging across phases faster.
+
+All four studies run through the batched scenario engine
+(:func:`repro.scenarios.run_sweep`): each ablation is a
+:class:`~repro.scenarios.Sweep` grid executed by the vectorized backend
+(noisy comparator study included — per-lane seeded NumPy jitter).
 """
 
 import pytest
 
-from repro.analog import LoadProfile, make_coil
-from repro.control import BuckControlParams
 from repro.experiments.report import format_table
-from repro.sim import NS, UH, US
-from repro.system import BuckSystem, SystemConfig
+from repro.scenarios import Sweep, run_sweep
+from repro.sim import NS, US
+
+pytestmark = pytest.mark.bench
+
+#: sync-vs-async controller axis used by the ablation grids
+ASYNC_100MHZ = [
+    ("ASYNC", {"controller": "async"}),
+    ("100MHz", {"controller": "sync", "fsm_frequency": 100e6}),
+]
 
 
-def _run(controller, freq, params, l_uh=1.0, noise=0.0, seed=0,
-         sim_time=8 * US, load=None):
-    cfg = SystemConfig(
-        controller=controller, fsm_frequency=freq, n_phases=4,
-        coil=make_coil(l_uh * UH),
-        load=load or LoadProfile.constant(6.0),
-        sim_time=sim_time, seed=seed, trace=False, params=params,
-        sensor_noise=noise)
-    return BuckSystem(cfg), None
-
-
-def _peak(controller, freq, params, **kw):
-    system, _ = _run(controller, freq, params, **kw)
-    return system.run().peak_coil_current * 1e3
+def _base(l_uh=1.0, sim_time=8 * US, **extra):
+    base = {"n_phases": 4, "l_uh": l_uh, "r_load": 6.0,
+            "sim_time": sim_time, "seed": 0}
+    base.update(extra)
+    return base
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_pmin_masks_latency_benefit(benchmark):
     def study():
+        sweep = (Sweep(base=_base(nmin=3 * NS), name="pmin")
+                 .grid(pmin=[2 * NS, 20 * NS], ctrl=ASYNC_100MHZ))
+        points = run_sweep(sweep, track_energy=False)
         rows = {}
-        for pmin_ns in (2, 20):
-            params = BuckControlParams(pmin=pmin_ns * NS, nmin=3 * NS)
+        for i, pmin_ns in enumerate((2, 20)):
             rows[pmin_ns] = {
-                "ASYNC": _peak("async", 333e6, params),
-                "100MHz": _peak("sync", 100e6, params),
+                "ASYNC": points[2 * i].result.peak_coil_current * 1e3,
+                "100MHz": points[2 * i + 1].result.peak_coil_current * 1e3,
             }
         return rows
 
@@ -67,16 +71,17 @@ def test_ablation_pmin_masks_latency_benefit(benchmark):
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_pext_first_cycle(benchmark):
     def study():
+        sweep = (Sweep(base=_base(l_uh=4.7, sim_time=4 * US,
+                                  controller="async"), name="pext")
+                 .grid(pext=[0 * NS, 40 * NS]))
+        points = run_sweep(sweep, settle=0.0, trace=True, keep=True,
+                           track_energy=False)
         out = {}
-        for pext_ns in (0, 40):
-            params = BuckControlParams(pext=pext_ns * NS)
-            system, _ = _run("async", None, params, l_uh=4.7,
-                             sim_time=4 * US)
-            result = system.run(settle=0.0)
-            hl_edges = system.sensors.hl.output.edges("fall")
+        for pext_ns, point in zip((0, 40), points):
+            hl_edges = point.handle.sensors.hl.output.edges("fall")
             out[pext_ns] = {
                 "hl_clear_us": (hl_edges[0] * 1e6 if hl_edges else float("inf")),
-                "peak_ma": result.peak_coil_current * 1e3,
+                "peak_ma": point.result.peak_coil_current * 1e3,
             }
         return out
 
@@ -94,16 +99,19 @@ def test_ablation_pext_first_cycle(benchmark):
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_a2a_contains_noise(benchmark):
     def study():
-        out = {}
-        for controller in ("async", "sync"):
-            system, _ = _run(controller, 333e6, BuckControlParams(),
-                             l_uh=4.7, noise=0.004, seed=5)
-            result = system.run()   # raises ShortCircuitError on violation
-            out[controller] = {
-                "metastable": result.metastable_events,
-                "v_final": result.v_final,
+        sweep = (Sweep(base=_base(l_uh=4.7, sensor_noise=0.004, seed=5),
+                       name="noise")
+                 .grid(ctrl=[("async", {"controller": "async"}),
+                             ("sync", {"controller": "sync",
+                                       "fsm_frequency": 333e6})]))
+        points = run_sweep(sweep)   # raises ShortCircuitError on violation
+        return {
+            point.config.controller: {
+                "metastable": point.result.metastable_events,
+                "v_final": point.result.v_final,
             }
-        return out
+            for point in points
+        }
 
     out = benchmark.pedantic(study, rounds=1, iterations=1)
     print()
@@ -120,12 +128,12 @@ def test_ablation_a2a_contains_noise(benchmark):
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_token_dwell(benchmark):
     def study():
+        sweep = (Sweep(base=_base(l_uh=4.7, controller="async"), name="dwell")
+                 .grid(phase_dwell=[75 * NS, 150 * NS, 300 * NS]))
+        points = run_sweep(sweep, track_energy=False)
         out = {}
-        for dwell_ns in (75, 150, 300):
-            params = BuckControlParams(phase_dwell=dwell_ns * NS)
-            system, _ = _run("async", None, params, l_uh=4.7,
-                             sim_time=8 * US)
-            result = system.run()
+        for dwell_ns, point in zip((75, 150, 300), points):
+            result = point.result
             spread = max(result.cycles) - min(result.cycles)
             out[dwell_ns] = {"ripple_mv": result.ripple * 1e3,
                              "cycle_spread": spread,

@@ -11,6 +11,8 @@ from repro.experiments import PAPER_FIG6, run_fig6
 from repro.experiments.fig6 import render_waveforms
 
 
+pytestmark = pytest.mark.bench
+
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_waveforms(benchmark):
     result = benchmark.pedantic(run_fig6, kwargs={"keep_systems": True},

@@ -16,6 +16,8 @@ from repro.experiments import (
     run_fig7a,
 )
 
+pytestmark = pytest.mark.bench
+
 LIMIT_MA = 330.0
 
 

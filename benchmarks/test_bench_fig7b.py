@@ -10,6 +10,8 @@ import pytest
 from repro.experiments import run_fig7b
 
 
+pytestmark = pytest.mark.bench
+
 @pytest.mark.benchmark(group="fig7")
 def test_fig7b_peak_vs_load(benchmark):
     result = benchmark.pedantic(run_fig7b, rounds=1, iterations=1)

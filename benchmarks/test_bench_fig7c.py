@@ -11,6 +11,8 @@ import pytest
 from repro.experiments import coil_tradeoff, run_fig7a, run_fig7c
 
 
+pytestmark = pytest.mark.bench
+
 @pytest.mark.benchmark(group="fig7")
 def test_fig7c_losses_vs_inductance(benchmark):
     result = benchmark.pedantic(run_fig7c, kwargs={"quick": False},

@@ -11,6 +11,8 @@ import pytest
 from repro.experiments import run_stg_verification
 
 
+pytestmark = pytest.mark.bench
+
 @pytest.mark.benchmark(group="stg")
 def test_stg_verification_pipeline(benchmark):
     result = benchmark.pedantic(run_stg_verification, rounds=1, iterations=1)

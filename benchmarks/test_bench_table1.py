@@ -11,6 +11,8 @@ from repro.experiments import PAPER_TABLE1, run_table1
 from repro.metrics.reaction import CONDITIONS
 
 
+pytestmark = pytest.mark.bench
+
 @pytest.mark.benchmark(group="table1")
 def test_table1_reaction_times(benchmark):
     result = benchmark.pedantic(run_table1, kwargs={"n_offsets": 6},

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Batched scenario sweeps: grids and random tolerance studies.
+
+Two sweeps through the batched scenario engine:
+
+1. a controller-vs-coil *grid* (a miniature Fig. 7a) — every combination
+   runs as one vectorized batch instead of sequential simulations;
+2. a *random tolerance study* — coil inductance and load resistance drawn
+   per lane from seeded distributions, answering "how bad can the peak
+   current get across component spread?".
+
+Run:  python examples/sweep.py
+"""
+
+from repro.scenarios import Sweep, log_uniform, run_sweep, uniform
+from repro.sim import NS, US, fmt_si
+
+
+def grid_demo() -> None:
+    sweep = (Sweep(base={"n_phases": 4, "r_load": 6.0, "sim_time": 10 * US,
+                         "dt": 1 * NS},
+                   name="mini-fig7a")
+             .grid(ctrl=[("ASYNC", {"controller": "async"}),
+                         ("333MHz", {"controller": "sync",
+                                     "fsm_frequency": 333e6})],
+                   l_uh=[1.0, 4.7, 10.0]))
+    points = run_sweep(sweep, track_energy=False)
+
+    print("grid sweep: peak coil current (controller x inductance)")
+    for point in points:
+        peak = fmt_si(point.result.peak_coil_current, "A")
+        print(f"  {point.spec.name:<40} peak = {peak}")
+    print()
+
+
+def random_demo() -> None:
+    sweep = (Sweep(base={"controller": "async", "n_phases": 4,
+                         "sim_time": 10 * US, "dt": 1 * NS},
+                   seed=2024, name="tolerance")
+             .random(8,
+                     l_uh=log_uniform(1.0, 10.0),
+                     r_load=uniform(3.0, 15.0)))
+    points = run_sweep(sweep, track_energy=False)
+
+    print("random tolerance study (8 seeded draws, async controller)")
+    worst = max(points, key=lambda p: p.result.peak_coil_current)
+    for point in points:
+        o = point.spec.overrides
+        marker = "  <-- worst" if point is worst else ""
+        print(f"  L={o['l_uh']:5.2f} uH  R={o['r_load']:5.2f} Ohm  "
+              f"peak={point.result.peak_coil_current * 1e3:6.1f} mA  "
+              f"v_final={point.result.v_final:.3f} V{marker}")
+    print()
+    print("re-running the same sweep spec reproduces these numbers exactly "
+          "(per-lane seeds are derived from the sweep seed).")
+
+
+def main() -> None:
+    grid_demo()
+    random_demo()
+
+
+if __name__ == "__main__":
+    main()

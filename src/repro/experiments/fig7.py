@@ -14,12 +14,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..analog.coil import library_values, make_coil, smallest_coil_for_peak
-from ..analog.load import LoadProfile
+from ..scenarios.engine import run_sweep
+from ..scenarios.spec import Sweep
 from ..sim.units import MHZ, NS, UH, US
-from ..system import BuckSystem, SystemConfig
 from .report import Series, ascii_chart, format_series_table
 
 #: the five controller variants of the evaluation
@@ -73,21 +73,17 @@ class SweepResult:
                            x_label=self.x_label, y_label=self.y_label)
 
 
-def _run_point(label: str, frequency: Optional[float], inductance: float,
-               r_load: float, seed: int, dt: float):
-    config = SystemConfig(
-        controller="async" if frequency is None else "sync",
-        fsm_frequency=frequency or 333 * MHZ,
-        n_phases=4,
-        coil=make_coil(inductance),
-        load=LoadProfile.constant(r_load),
-        sim_time=10 * US,
-        dt=dt,
-        seed=seed,
-        trace=False,
-    )
-    system = BuckSystem(config)
-    return system, system.run()
+def controller_axis() -> List[Tuple[str, Mapping[str, Any]]]:
+    """The five controller variants as a labelled sweep axis."""
+    return [
+        (label, {"controller": "async"} if freq is None
+         else {"controller": "sync", "fsm_frequency": freq})
+        for label, freq in CONTROLLERS
+    ]
+
+
+def _coil_axis(l_values: List[float]) -> List[Tuple[str, Mapping[str, Any]]]:
+    return [(f"{l / UH:g}uH", {"coil": make_coil(l)}) for l in l_values]
 
 
 def default_l_values(quick: bool = False) -> List[float]:
@@ -98,55 +94,81 @@ def default_l_values(quick: bool = False) -> List[float]:
     return values
 
 
+def _sweep_figure(name: str, base: Dict[str, Any], inner_axis,
+                  backend: str, track_energy: bool = True):
+    """Controller x inner-axis grid through the batched scenario engine.
+
+    Returns the results grouped per controller label, inner axis fastest —
+    the same nesting the sequential loops used, so series ordering (and,
+    with the vectorized backend's bit-matched arithmetic, every number)
+    is unchanged.
+    """
+    sweep = Sweep(base=base, name=name)
+    sweep.grid(ctrl=controller_axis(), pt=inner_axis)
+    points = run_sweep(sweep, backend=backend, track_energy=track_energy)
+    n_inner = len(inner_axis)
+    grouped = {}
+    for row, (label, _) in enumerate(CONTROLLERS):
+        start = row * n_inner
+        grouped[label] = [p.result for p in points[start:start + n_inner]]
+    return grouped
+
+
 def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
-              seed: int = 0, dt: float = 1 * NS, quick: bool = False
-              ) -> SweepResult:
+              seed: int = 0, dt: float = 1 * NS, quick: bool = False,
+              backend: str = "vector") -> SweepResult:
     """Fig. 7a: peak inductor current vs. coil inductance at 6 Ohm."""
     l_values = l_values or default_l_values(quick)
     result = SweepResult("Fig. 7a: inductor peak current, "
                          f"{r_load:g} Ohm load",
                          "L (uH)", "peak current (mA)")
-    for label, freq in CONTROLLERS:
-        pts = []
-        for l in l_values:
-            _, run = _run_point(label, freq, l, r_load, seed, dt)
-            pts.append((l / UH, run.peak_coil_current * 1e3))
-        result.series[label] = pts
+    base = {"n_phases": 4, "r_load": r_load, "sim_time": 10 * US,
+            "dt": dt, "seed": seed}
+    grouped = _sweep_figure("fig7a", base, _coil_axis(l_values), backend,
+                            track_energy=False)
+    for label, runs in grouped.items():
+        result.series[label] = [
+            (l / UH, run.peak_coil_current * 1e3)
+            for l, run in zip(l_values, runs)]
     return result
 
 
 def run_fig7b(r_values: Optional[List[float]] = None,
               inductance: float = 4.7 * UH, seed: int = 0,
-              dt: float = 1 * NS, quick: bool = False) -> SweepResult:
+              dt: float = 1 * NS, quick: bool = False,
+              backend: str = "vector") -> SweepResult:
     """Fig. 7b: peak inductor current vs. load resistance at 4.7 uH."""
     r_values = r_values or ([3.0, 6.0, 15.0] if quick
                             else [3.0, 6.0, 9.0, 12.0, 15.0])
     result = SweepResult("Fig. 7b: inductor peak current, "
                          f"{inductance / UH:g} uH coil",
                          "R_load (Ohm)", "peak current (mA)")
-    for label, freq in CONTROLLERS:
-        pts = []
-        for r in r_values:
-            _, run = _run_point(label, freq, inductance, r, seed, dt)
-            pts.append((r, run.peak_coil_current * 1e3))
-        result.series[label] = pts
+    base = {"n_phases": 4, "coil": make_coil(inductance),
+            "sim_time": 10 * US, "dt": dt, "seed": seed}
+    axis = [(f"{r:g}Ohm", {"r_load": r}) for r in r_values]
+    grouped = _sweep_figure("fig7b", base, axis, backend, track_energy=False)
+    for label, runs in grouped.items():
+        result.series[label] = [
+            (r, run.peak_coil_current * 1e3)
+            for r, run in zip(r_values, runs)]
     return result
 
 
 def run_fig7c(l_values: Optional[List[float]] = None, r_load: float = 6.0,
-              seed: int = 0, dt: float = 1 * NS, quick: bool = False
-              ) -> SweepResult:
+              seed: int = 0, dt: float = 1 * NS, quick: bool = False,
+              backend: str = "vector") -> SweepResult:
     """Fig. 7c: inductor conduction losses vs. coil inductance at 6 Ohm."""
     l_values = l_values or default_l_values(quick)
     result = SweepResult("Fig. 7c: inductor losses, "
                          f"{r_load:g} Ohm load",
                          "L (uH)", "losses (uW)")
-    for label, freq in CONTROLLERS:
-        pts = []
-        for l in l_values:
-            _, run = _run_point(label, freq, l, r_load, seed, dt)
-            pts.append((l / UH, run.coil_loss_w * 1e6))
-        result.series[label] = pts
+    base = {"n_phases": 4, "r_load": r_load, "sim_time": 10 * US,
+            "dt": dt, "seed": seed}
+    grouped = _sweep_figure("fig7c", base, _coil_axis(l_values), backend)
+    for label, runs in grouped.items():
+        result.series[label] = [
+            (l / UH, run.coil_loss_w * 1e6)
+            for l, run in zip(l_values, runs)]
     return result
 
 

@@ -103,6 +103,10 @@ def _measure_one(controller: str, frequency: Optional[float],
     return edges[0] - t0
 
 
+#: public name for the single-sample measurement (used by the Table I sweep)
+measure_one = _measure_one
+
+
 def measure_reaction(controller: str, condition: str,
                      frequency: Optional[float] = None,
                      n_offsets: int = 8) -> ReactionMeasurement:

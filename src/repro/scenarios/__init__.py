@@ -1,0 +1,46 @@
+"""Batched scenario engine: sweeps of buck scenarios in lock-step.
+
+The scaling substrate of the reproduction (see README, "Scenario
+engine"): declare a parameter space with :class:`Sweep` /
+:class:`ScenarioSpec`, execute it with :func:`run_sweep`, and the
+vectorized backend advances all scenarios together —
+:class:`VectorizedPowerStage` integrates every lane's ODE as NumPy array
+operations while each lane's discrete-event controller runs on its own
+seeded :class:`~repro.sim.core.Simulator`, reacting to per-lane
+comparator crossings.
+
+- :mod:`repro.scenarios.spec` — specs, grid/random sweeps, seeding rules;
+- :mod:`repro.scenarios.vector_stage` — the N-lane power-stage arrays;
+- :mod:`repro.scenarios.vector_solver` — lock-step solver + comparators;
+- :mod:`repro.scenarios.engine` — batching, results, cross-validation.
+"""
+
+from .engine import (
+    CrossValidation,
+    EdgeComparison,
+    ScenarioLane,
+    SweepPoint,
+    VectorBatch,
+    cross_validate,
+    run_sweep,
+)
+from .spec import (
+    Distribution,
+    ScenarioSpec,
+    Sweep,
+    choice,
+    lane_seed,
+    log_uniform,
+    uniform,
+)
+from .vector_solver import LaneSensors, VectorComparatorBank, VectorizedSolver
+from .vector_stage import LanePhase, LaneStage, VectorizedPowerStage
+
+__all__ = [
+    "ScenarioSpec", "Sweep", "Distribution", "uniform", "log_uniform",
+    "choice", "lane_seed",
+    "run_sweep", "SweepPoint", "VectorBatch", "ScenarioLane",
+    "cross_validate", "CrossValidation", "EdgeComparison",
+    "VectorizedPowerStage", "LaneStage", "LanePhase",
+    "VectorizedSolver", "VectorComparatorBank", "LaneSensors",
+]

@@ -1,0 +1,338 @@
+"""Batched scenario engine: run many buck scenarios in lock-step.
+
+:func:`run_sweep` is the front door: hand it a :class:`~repro.scenarios.
+spec.Sweep` (or a list of :class:`ScenarioSpec`), pick a backend, and get
+one :class:`~repro.system.RunResult` per scenario — the same headline
+measurements :meth:`repro.system.BuckSystem.run` produces, in the same
+order as the specs.
+
+Backends
+--------
+``vector`` (default)
+    Scenarios are grouped into batches that share ``(n_phases, dt,
+    sim_time, trace)`` and each batch advances through the
+    :class:`~repro.scenarios.vector_solver.VectorizedSolver`: one NumPy
+    RK2 step per micro-step for *all* lanes, with per-lane discrete-event
+    controllers reacting to comparator crossings exactly as in the scalar
+    co-simulation.
+``scalar``
+    One sequential :class:`~repro.system.BuckSystem` per scenario — the
+    reference path, used by the cross-validation tests and available as a
+    fallback.
+
+:func:`cross_validate` runs one spec through both backends with full
+tracing and reports waveform and comparator-edge deviations; the
+equivalence tests keep these within documented tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..analog.gate_driver import GateDriverBank
+from ..control.async_controller import AsyncMultiphaseController
+from ..control.params import BuckControlParams
+from ..control.sync_controller import SyncMultiphaseController
+from ..sim.core import Simulator
+from ..system import BuckSystem, RunResult, SystemConfig
+from .spec import ScenarioSpec, Sweep
+from .vector_solver import LaneSensors, VectorComparatorBank, VectorizedSolver
+from .vector_stage import VectorizedPowerStage
+
+Specs = Union[Sweep, Sequence[ScenarioSpec]]
+
+
+class ScenarioLane:
+    """Handle to one lane of a running batch (testbench access: sensors,
+    gates, controller, simulator, and traced waveforms)."""
+
+    def __init__(self, index: int, spec: ScenarioSpec, config: SystemConfig,
+                 sim: Simulator, stage, sensors: LaneSensors,
+                 gates: GateDriverBank, controller, solver: VectorizedSolver):
+        self.index = index
+        self.spec = spec
+        self.config = config
+        self.sim = sim
+        self.stage = stage
+        self.sensors = sensors
+        self.gates = gates
+        self.controller = controller
+        self.solver = solver
+
+    def v_waveform(self) -> np.ndarray:
+        return self.solver.v_waveform(self.index)
+
+    def i_waveform(self, phase: int) -> np.ndarray:
+        return self.solver.i_waveform(self.index, phase)
+
+    def waveform_times(self) -> np.ndarray:
+        return self.solver.waveform_times()
+
+
+class VectorBatch:
+    """A set of scenarios advanced together by one vectorized solver.
+
+    All lanes must share ``n_phases``, ``dt`` and ``sim_time`` (the
+    lock-step constraints); everything else — controller kind and clock,
+    coil, load, rails, timing parameters, seeds — varies per lane.
+    Construction mirrors :class:`~repro.system.BuckSystem` wiring so the
+    per-lane event schedules line up with the scalar path.
+    """
+
+    def __init__(self, specs: Sequence[ScenarioSpec],
+                 configs: Sequence[SystemConfig], track_energy: bool = True):
+        if len(specs) != len(configs):
+            raise ValueError("specs and configs must pair up")
+        if not configs:
+            raise ValueError("batch needs at least one scenario")
+        first = configs[0]
+        for cfg in configs:
+            if cfg.n_phases != first.n_phases:
+                raise ValueError("batch lanes must share n_phases")
+            if cfg.dt != first.dt:
+                raise ValueError("batch lanes must share dt")
+            if cfg.sim_time != first.sim_time:
+                raise ValueError("batch lanes must share sim_time")
+        self.configs = list(configs)
+        self.sim_time = first.sim_time
+        self.dt = first.dt
+        n_phases = first.n_phases
+
+        self.sims = [Simulator(seed=cfg.seed) for cfg in configs]
+        self.stage = VectorizedPowerStage(configs, track_energy=track_energy)
+        self.bank = VectorComparatorBank(self.sims, configs, n_phases)
+        self.solver = VectorizedSolver(
+            self.sims, self.stage, self.bank, dt=self.dt,
+            trace=any(cfg.trace for cfg in configs))
+        self.lanes: List[ScenarioLane] = []
+        for i, (spec, cfg) in enumerate(zip(specs, configs)):
+            sim = self.sims[i]
+            sensors = LaneSensors(self.bank, i)
+            gates = GateDriverBank(sim, self.stage.lanes[i],
+                                   t_gate=cfg.t_gate, trace=cfg.trace)
+            params = cfg.params or BuckControlParams()
+            if cfg.controller == "sync":
+                controller = SyncMultiphaseController(
+                    sim, sensors, gates, n_phases, cfg.fsm_frequency,
+                    params=params, trace=cfg.trace)
+            else:
+                controller = AsyncMultiphaseController(
+                    sim, sensors, gates, n_phases, params=params,
+                    timings=cfg.timings, trace=cfg.trace)
+            self.lanes.append(ScenarioLane(i, spec, cfg, sim,
+                                           self.stage.lanes[i], sensors,
+                                           gates, controller, self.solver))
+        self.solver.start()
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lanes)
+
+    def run(self, duration: Optional[float] = None,
+            settle: Optional[float] = None) -> List[RunResult]:
+        """Advance every lane and collect per-lane headline measurements.
+
+        Settle semantics match :meth:`BuckSystem.run`: statistics except
+        the peak current exclude the startup transient (first ``settle``
+        seconds, default 20% of the run).
+        """
+        duration = duration if duration is not None else self.sim_time
+        settle = settle if settle is not None else 0.2 * duration
+        solver, stage = self.solver, self.stage
+        t0 = solver.now
+        loss0 = stage.coil_loss_j.sum(axis=1).copy()
+        peak_startup = np.zeros(self.n_lanes)
+        if settle > 0:
+            solver.advance_to(t0 + settle)
+            peak_startup = solver.peak_coil_current()
+            solver.reset_measurements()
+            loss0 = stage.coil_loss_j.sum(axis=1).copy()
+        solver.advance_to(t0 + duration)
+
+        span = duration - settle
+        loss_w = ((stage.coil_loss_j.sum(axis=1) - loss0) / span
+                  if span > 0 else np.zeros(self.n_lanes))
+        ripple = solver.ripple()
+        peak = np.maximum(peak_startup, solver.peak_coil_current())
+        results = []
+        for i, lane in enumerate(self.lanes):
+            e_in = float(stage.energy_in_j[i])
+            results.append(RunResult(
+                controller=lane.config.controller,
+                v_final=float(stage.v_out[i]),
+                peak_coil_current=float(peak[i]),
+                ripple=float(ripple[i]),
+                coil_loss_w=float(loss_w[i]),
+                efficiency=(float(stage.energy_out_j[i]) / e_in
+                            if e_in > 0 else 0.0),
+                ov_events=len(self.bank.outputs[i][2].edges("rise")),
+                cycles=list(lane.controller.cycles_started),
+                metastable_events=lane.controller.metastable_events(),
+            ))
+        return results
+
+
+@dataclass
+class SweepPoint:
+    """One scenario's spec, expanded config, result, and (optionally) the
+    live lane/system handle for waveform-level inspection."""
+
+    spec: ScenarioSpec
+    config: SystemConfig
+    result: RunResult
+    handle: Optional[object] = None   #: ScenarioLane or BuckSystem when kept
+
+
+def _as_specs(specs: Specs) -> List[ScenarioSpec]:
+    if isinstance(specs, Sweep):
+        return specs.specs()
+    return list(specs)
+
+
+def run_sweep(specs: Specs, backend: str = "vector",
+              defaults: Optional[Mapping[str, Any]] = None,
+              settle: Optional[float] = None, trace: bool = False,
+              keep: bool = False, track_energy: bool = True) -> List[SweepPoint]:
+    """Run every scenario and return one :class:`SweepPoint` per spec.
+
+    Parameters
+    ----------
+    specs:
+        A :class:`Sweep` or an explicit list of :class:`ScenarioSpec`.
+    backend:
+        ``"vector"`` (batched lock-step, default) or ``"scalar"``
+        (sequential reference path).
+    defaults:
+        Config fields applied below every spec's overrides.
+    settle:
+        Passed through to the run (seconds of startup transient excluded
+        from statistics); ``None`` means the 20% default.
+    trace:
+        Keep waveforms and signal histories (needed for ``keep`` handles
+        to expose edges/waveforms).
+    keep:
+        Attach the live lane / system to each point for inspection.
+    track_energy:
+        Vector backend only: set False to skip energy/loss accumulation
+        for sweeps that don't report ``coil_loss_w`` / ``efficiency``
+        (waveforms and peaks are unaffected; those two fields read zero).
+    """
+    if backend not in ("vector", "scalar"):
+        raise ValueError("backend must be 'vector' or 'scalar'")
+    spec_list = _as_specs(specs)
+    defaults = dict(defaults or {})
+    configs = [spec.to_config(trace=trace, **defaults) for spec in spec_list]
+
+    points: List[Optional[SweepPoint]] = [None] * len(spec_list)
+    if backend == "scalar":
+        for i, (spec, cfg) in enumerate(zip(spec_list, configs)):
+            system = BuckSystem(cfg)
+            result = system.run(settle=settle)
+            points[i] = SweepPoint(spec, cfg, result,
+                                   system if keep else None)
+        return points  # type: ignore[return-value]
+
+    groups: Dict[Tuple, List[int]] = {}
+    for i, cfg in enumerate(configs):
+        key = (cfg.n_phases, cfg.dt, cfg.sim_time, cfg.trace)
+        groups.setdefault(key, []).append(i)
+    for indices in groups.values():
+        batch = VectorBatch([spec_list[i] for i in indices],
+                            [configs[i] for i in indices],
+                            track_energy=track_energy)
+        results = batch.run(settle=settle)
+        for lane_no, i in enumerate(indices):
+            points[i] = SweepPoint(spec_list[i], configs[i], results[lane_no],
+                                   batch.lanes[lane_no] if keep else None)
+    return points  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation: vectorized vs scalar
+# ---------------------------------------------------------------------------
+@dataclass
+class EdgeComparison:
+    """Edge-time agreement for one comparator output."""
+
+    name: str
+    count_scalar: int
+    count_vector: int
+    max_dt: float        #: worst |t_scalar - t_vector| over paired edges
+
+    @property
+    def counts_match(self) -> bool:
+        return self.count_scalar == self.count_vector
+
+
+@dataclass
+class CrossValidation:
+    """Waveform/event agreement report for one scenario run both ways."""
+
+    spec: ScenarioSpec
+    v_err: float                     #: max |V_out difference| over all samples
+    i_err: float                     #: max |coil current difference|
+    n_samples: int                   #: compared samples (the shared prefix)
+    n_samples_scalar: int = 0
+    n_samples_vector: int = 0
+    edges: List[EdgeComparison] = field(default_factory=list)
+    result_scalar: Optional[RunResult] = None
+    result_vector: Optional[RunResult] = None
+
+    @property
+    def max_edge_dt(self) -> float:
+        return max((e.max_dt for e in self.edges), default=0.0)
+
+    @property
+    def edge_counts_match(self) -> bool:
+        return all(e.counts_match for e in self.edges)
+
+    @property
+    def sample_counts_match(self) -> bool:
+        """Both backends took the same number of micro-steps."""
+        return self.n_samples_scalar == self.n_samples_vector
+
+
+def cross_validate(spec: ScenarioSpec,
+                   defaults: Optional[Mapping[str, Any]] = None,
+                   settle: Optional[float] = None) -> CrossValidation:
+    """Run ``spec`` through both backends with tracing and compare."""
+    defaults = dict(defaults or {})
+    cfg_s = spec.to_config(trace=True, **defaults)
+    system = BuckSystem(cfg_s)
+    result_s = system.run(settle=settle)
+
+    cfg_v = spec.to_config(trace=True, **defaults)
+    batch = VectorBatch([spec], [cfg_v])
+    result_v = batch.run(settle=settle)[0]
+
+    times_s = np.array(system.solver.v_probe.times)
+    times_v = batch.solver.waveform_times()
+    n = min(len(times_s), len(times_v))
+    v_err = float(np.max(np.abs(
+        np.array(system.solver.v_probe.values[:n]) - batch.solver.v_waveform(0)[:n])))
+    i_err = 0.0
+    for k in range(cfg_s.n_phases):
+        scal = np.array(system.solver.i_probes[k].values[:n])
+        vect = batch.solver.i_waveform(0, k)[:n]
+        i_err = max(i_err, float(np.max(np.abs(scal - vect))))
+
+    names = (["hl", "uv", "ov"]
+             + [f"oc{k}" for k in range(cfg_s.n_phases)]
+             + [f"zc{k}" for k in range(cfg_s.n_phases)])
+    scalar_comps = system.sensors.all_comparators()
+    edges = []
+    for col, (name, comp) in enumerate(zip(names, scalar_comps)):
+        e_s = comp.output.edges()
+        e_v = batch.bank.outputs[0][col].edges()
+        paired = min(len(e_s), len(e_v))
+        max_dt = max((abs(a - b) for a, b in zip(e_s[:paired], e_v[:paired])),
+                     default=0.0)
+        edges.append(EdgeComparison(name, len(e_s), len(e_v), max_dt))
+
+    return CrossValidation(spec=spec, v_err=v_err, i_err=i_err,
+                           n_samples=n, n_samples_scalar=len(times_s),
+                           n_samples_vector=len(times_v), edges=edges,
+                           result_scalar=result_s, result_vector=result_v)

@@ -1,0 +1,439 @@
+"""Vectorized analog solver: lock-step micro-stepping of N lanes.
+
+:class:`VectorizedSolver` replaces N per-lane solver tick events (the hot
+path of the scalar :class:`~repro.analog.solver.AnalogSolver`) with one
+array step per ``dt``: advance the :class:`VectorizedPowerStage`, update
+per-lane waveform statistics, and evaluate every lane's comparators as
+one array comparison.  Only actual threshold crossings fall back to
+per-lane Python work — the crossing instant is interpolated inside the
+step (exactly like the scalar :class:`~repro.analog.sensors.Comparator`)
+and the output edge is scheduled on *that lane's* discrete-event
+simulator, where the lane's controller reacts through the ordinary
+event-driven machinery.
+
+Vectorized-vs-scalar caveats
+----------------------------
+- With noiseless sensors the arithmetic is operation-for-operation
+  identical to the scalar path, so waveforms and comparator edge times
+  agree to floating-point accuracy (enforced by the equivalence tests).
+- With ``sensor_noise > 0`` the comparator jitter is drawn from a batch
+  NumPy generator instead of each lane's ``Simulator.rng``: runs remain
+  deterministic and per-lane reproducible, but the noise *realization*
+  differs from the scalar path's.
+- Events that land on the exact same timestamp as a solver micro-step
+  are delivered before the array step, while the scalar kernel orders
+  same-time events by scheduling sequence.  With the default sub-step
+  sensor/gate delays the orderings coincide; pathological zero-delay
+  configurations may reorder same-instant events between backends.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..analog.sensors import BuckReferences
+from ..sim.core import Simulator
+from ..sim.signal import Signal
+from ..system import SystemConfig
+
+#: fixed comparator column order: voltage monitors, then per-phase OC/ZC
+#: (matches :meth:`repro.analog.sensors.SensorBank.all_comparators`)
+V_COLS = 3  # hl, uv, ov
+
+
+class _LaneComparatorView:
+    """Controller-facing stand-in for one scalar ``Comparator``: just the
+    output signal (plus the live threshold, for introspection)."""
+
+    __slots__ = ("bank", "lane", "col", "output")
+
+    def __init__(self, bank: "VectorComparatorBank", lane: int, col: int,
+                 output: Signal):
+        self.bank = bank
+        self.lane = lane
+        self.col = col
+        self.output = output
+
+    @property
+    def threshold(self) -> float:
+        return float(self.bank.threshold[self.lane, self.col])
+
+
+class LaneSensors:
+    """Per-lane sensor surface (hl/uv/ov/oc/zc + OV-mode swap), backed by
+    the shared :class:`VectorComparatorBank` arrays.  Implements the
+    contract of :class:`repro.analog.sensors.SensorBank` that both
+    controllers consume (see :mod:`repro.control.params`)."""
+
+    def __init__(self, bank: "VectorComparatorBank", lane: int):
+        self._bank = bank
+        self.lane = lane
+        self.refs = bank.refs[lane]
+        n_phases = bank.n_phases
+        self.hl = bank.view(lane, 0)
+        self.uv = bank.view(lane, 1)
+        self.ov = bank.view(lane, 2)
+        self.oc = [bank.view(lane, V_COLS + k) for k in range(n_phases)]
+        self.zc = [bank.view(lane, V_COLS + n_phases + k)
+                   for k in range(n_phases)]
+        self._ov_mode = [False] * n_phases
+
+    def set_ov_mode(self, phase_index: int, on: bool) -> None:
+        """Swap phase ``phase_index``'s OC/ZC references for OV operation."""
+        if self._ov_mode[phase_index] == on:
+            return
+        self._ov_mode[phase_index] = on
+        r = self.refs
+        bank, i = self._bank, self.lane
+        bank.threshold[i, V_COLS + phase_index] = r.i_0 if on else r.i_max
+        bank.threshold[i, V_COLS + bank.n_phases + phase_index] = \
+            r.i_neg if on else r.i_0
+        bank.mark_thresholds_dirty()
+
+    def ov_mode(self, phase_index: int) -> bool:
+        return self._ov_mode[phase_index]
+
+    def all_comparators(self) -> List[_LaneComparatorView]:
+        return [self.hl, self.uv, self.ov] + self.oc + self.zc
+
+
+class VectorComparatorBank:
+    """All comparators of all lanes as ``(N, C)`` arrays.
+
+    ``C = 3 + 2 * n_phases`` columns: ``hl, uv, ov, oc_0..oc_{P-1},
+    zc_0..zc_{P-1}``.  Thresholds, hysteresis, state, and previous samples
+    live in arrays; output edges are scheduled on each lane's simulator
+    with the scalar model's sub-step crossing interpolation.
+    """
+
+    def __init__(self, sims: Sequence[Simulator],
+                 configs: Sequence[SystemConfig], n_phases: int):
+        n = len(sims)
+        c = V_COLS + 2 * n_phases
+        self.sims = list(sims)
+        self.n_lanes = n
+        self.n_phases = n_phases
+        self.n_cols = c
+        self.refs: List[BuckReferences] = [
+            cfg.refs or BuckReferences() for cfg in configs]
+
+        self.threshold = np.empty((n, c))
+        self.hysteresis = np.empty((n, c))
+        #: polarity per column: output high while quantity above threshold
+        self.dir_above = np.zeros(c, dtype=bool)
+        self.dir_above[2] = True                      # ov
+        self.dir_above[V_COLS:V_COLS + n_phases] = True   # oc
+        for i, r in enumerate(self.refs):
+            self.threshold[i, :V_COLS] = (r.v_min, r.v_ref, r.v_max)
+            self.threshold[i, V_COLS:V_COLS + n_phases] = r.i_max
+            self.threshold[i, V_COLS + n_phases:] = r.i_0
+            self.hysteresis[i, :V_COLS] = r.v_hyst
+            self.hysteresis[i, V_COLS:] = r.i_hyst
+
+        self.delay = np.array([cfg.sensor_delay for cfg in configs])
+        self.noise = np.array([cfg.sensor_noise for cfg in configs])
+        # Per-lane noise generators, seeded from each lane's config seed:
+        # a lane's jitter stream never depends on its batch neighbours.
+        self._noise_lanes = [int(i) for i in np.nonzero(self.noise != 0.0)[0]]
+        self._noise_rngs = {
+            i: np.random.Generator(np.random.PCG64(configs[i].seed))
+            for i in self._noise_lanes
+        }
+
+        self.state = np.zeros((n, c), dtype=bool)
+        self._prev_t: Optional[float] = None
+        # double-buffered sample matrices with pre-created views (column
+        # blocks for the fill and the per-polarity comparisons)
+        self._bufs = [np.empty((n, c)), np.empty((n, c))]
+        p = n_phases
+        self._buf_views = [
+            (b, b[:, :V_COLS], b[:, V_COLS:V_COLS + p], b[:, V_COLS + p:],
+             b[:, :2], b[:, 2:V_COLS + p])
+            for b in self._bufs
+        ]
+        self._cur = 0
+        self._prev_x = self._bufs[1]
+        # hysteresis always widens the high region: the latched trip level
+        # is threshold-hyst for ABOVE comparators, threshold+hyst for BELOW
+        self._hyst_eff = np.where(self.dir_above[None, :],
+                                  -self.hysteresis, self.hysteresis)
+        self._level_on = self.threshold + self._hyst_eff
+        # The scalar hold decision is non-strict (``x >= level`` for ABOVE,
+        # ``x <= level`` for BELOW) while the trip decision is strict.  A
+        # single strict comparison serves both by nudging the latched
+        # level one ulp toward the held region: x >= L  <=>  x > pred(L).
+        self._adj_dir = np.where(self.dir_above[None, :], -np.inf, np.inf)
+        self._adj_on = np.nextafter(self._level_on, self._adj_dir)
+        self._dirty = False
+        # active strict-comparison level per comparator; maintained
+        # incrementally (changes only on state flips and threshold swaps)
+        self._level = self.threshold.copy()
+        self._cmp = np.empty((n, c), dtype=bool)
+        self._b2 = np.empty((n, c), dtype=bool)
+        self._lvl_low = self._level[:, :2]
+        self._lvl_abv = self._level[:, 2:V_COLS + p]
+        self._lvl_zc = self._level[:, V_COLS + p:]
+        self._cmp_low = self._cmp[:, :2]
+        self._cmp_abv = self._cmp[:, 2:V_COLS + p]
+        self._cmp_zc = self._cmp[:, V_COLS + p:]
+
+        #: callback(lane_index, fire_time) invoked on every scheduled edge
+        #: (the lock-step solver uses it to keep its event heap current)
+        self.on_schedule = None
+
+        names = (["hl", "uv", "ov"]
+                 + [f"oc{k}" for k in range(n_phases)]
+                 + [f"zc{k}" for k in range(n_phases)])
+        self.outputs: List[List[Signal]] = [
+            [Signal(sims[i], name, init=False, trace=configs[i].trace)
+             for name in names]
+            for i in range(n)
+        ]
+        self._views = {}
+
+    def view(self, lane: int, col: int) -> _LaneComparatorView:
+        key = (lane, col)
+        if key not in self._views:
+            self._views[key] = _LaneComparatorView(
+                self, lane, col, self.outputs[lane][col])
+        return self._views[key]
+
+    def mark_thresholds_dirty(self) -> None:
+        """Re-derive the cached trip levels after a threshold swap."""
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def sample(self, t: float, v_out: np.ndarray, currents: np.ndarray) -> None:
+        """Evaluate every comparator at time ``t`` (one solver step)."""
+        cur = self._cur
+        x, xv, xoc, xzc, xlow, xabv = self._buf_views[cur]
+        xv[:] = v_out[:, None]
+        xoc[:] = currents
+        xzc[:] = currents
+
+        state = self.state
+        if self._noise_lanes:
+            th = self.threshold.copy()
+            for i in self._noise_lanes:
+                th[i] += (self.noise[i]
+                          * self._noise_rngs[i].standard_normal(self.n_cols))
+            # write through self._level so the block views stay coherent
+            level = self._level
+            np.copyto(level, th)
+            np.copyto(level, np.nextafter(th + self._hyst_eff, self._adj_dir),
+                      where=state)
+        elif self._dirty:
+            np.add(self.threshold, self._hyst_eff, out=self._level_on)
+            np.nextafter(self._level_on, self._adj_dir, out=self._adj_on)
+            level = self._level
+            np.copyto(level, self.threshold)
+            np.copyto(level, self._adj_on, where=state)
+            self._dirty = False
+        else:
+            level = self._level
+        # One strict comparison per polarity block decides trip AND hold
+        # (held entries compare against the ulp-nudged level; the ABOVE
+        # columns ov, oc_0..oc_{P-1} are contiguous by construction).
+        cmp_ = self._cmp
+        np.less(xlow, self._lvl_low, out=self._cmp_low)          # hl, uv
+        np.greater(xabv, self._lvl_abv, out=self._cmp_abv)       # ov, oc
+        np.less(xzc, self._lvl_zc, out=self._cmp_zc)             # zc
+        new_state = cmp_
+
+        changed = np.not_equal(new_state, state, out=self._b2)
+        if changed.any():
+            self._schedule_edges(t, x, new_state, changed)
+            if not self._noise_lanes:
+                adj_on, th_ = self._adj_on, self.threshold
+                lvl = self._level
+                for i, c in np.argwhere(changed):
+                    lvl[i, c] = adj_on[i, c] if new_state[i, c] else th_[i, c]
+            np.copyto(state, new_state)
+        self._prev_x = x
+        self._cur = 1 - cur
+        self._prev_t = t
+
+    def _schedule_edges(self, t: float, x: np.ndarray, new_state: np.ndarray,
+                        changed: np.ndarray) -> None:
+        prev_t = self._prev_t
+        for i, c in np.argwhere(changed):
+            xv = float(x[i, c])
+            cross_t = t
+            if prev_t is not None:
+                prev_x = float(self._prev_x[i, c])
+                if prev_x != xv:
+                    # interpolate against the clean threshold, like the
+                    # scalar comparator
+                    frac = (float(self.threshold[i, c]) - prev_x) / (xv - prev_x)
+                    if 0.0 <= frac <= 1.0:
+                        cross_t = prev_t + frac * (t - prev_t)
+            fire_at = max(t, cross_t + float(self.delay[i]))
+            out = self.outputs[i][c]
+            value = bool(new_state[i, c])
+            self.sims[i].schedule_at(fire_at, lambda o=out, v=value: o._apply(v))
+            if self.on_schedule is not None:
+                self.on_schedule(int(i), fire_at)
+
+
+@dataclass
+class _TraceBuffers:
+    times: list
+    v: list        # per-step (N,) copies
+    i: list        # per-step (N, P) copies
+
+
+class VectorizedSolver:
+    """Lock-step co-simulation driver for a batch of scenarios.
+
+    Parameters
+    ----------
+    sims:
+        One :class:`Simulator` per lane (each owns that lane's controller
+        and gate-driver events).
+    stage:
+        The shared :class:`VectorizedPowerStage`.
+    bank:
+        The shared :class:`VectorComparatorBank` (may be ``None`` for
+        open-loop integration).
+    dt:
+        Micro-step, identical for every lane (batching constraint).
+    trace:
+        Keep full waveforms (per-step ``(N,)`` voltage and ``(N, P)``
+        current snapshots) in addition to the running statistics.
+    """
+
+    def __init__(self, sims: Sequence[Simulator], stage, bank, dt: float,
+                 trace: bool = False):
+        if dt <= 0:
+            raise ValueError("solver step must be positive")
+        self.sims = list(sims)
+        self.stage = stage
+        self.bank = bank
+        self.dt = dt
+        self.trace = trace
+        n, p = stage.n_lanes, stage.n_phases
+        self.v_max = np.full(n, -np.inf)
+        self.v_min = np.full(n, np.inf)
+        self.i_max = np.full((n, p), -np.inf)
+        self.i_min = np.full((n, p), np.inf)
+        self._buffers = _TraceBuffers([], [], []) if trace else None
+        self.now = 0.0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Record the initial state and take the t=0 comparator sample."""
+        if self._started:
+            raise RuntimeError("solver already started")
+        self._started = True
+        self._record(self.now)
+        if self.bank is not None:
+            self.bank.sample(self.now, self.stage.v_out, self.stage.current)
+
+    def advance_to(self, t_end: float) -> None:
+        """Run all lanes in lock-step until ``t_end``.
+
+        Tick times accumulate as repeated float additions of ``dt`` —
+        matching the scalar solver's self-rescheduling — so the two
+        backends execute the same number of micro-steps.
+        """
+        if not self._started:
+            raise RuntimeError("call start() first")
+        t = self.now
+        dt = self.dt
+        stage = self.stage
+        bank = self.bank
+        step = stage.step
+        record = self._record
+        sample = bank.sample if bank is not None else None
+        sims = self.sims
+        queues = [sim._queue for sim in sims]
+
+        # Lazy min-heap of (next event time, lane): one comparison per tick
+        # instead of a scan over every lane.  Entries may be stale (events
+        # fire or get cancelled); each pop re-checks the lane's real queue.
+        # Lanes only gain events while their own handlers run or when the
+        # comparator bank schedules an edge — the on_schedule hook covers
+        # the latter, the post-run re-push the former.
+        heads = [(q[0][0], i) for i, q in enumerate(queues) if q]
+        heapq.heapify(heads)
+        push = heapq.heappush
+        pop = heapq.heappop
+        if bank is not None:
+            bank.on_schedule = lambda lane, when: push(heads, (when, lane))
+        try:
+            while True:
+                t_next = t + dt
+                if t_next > t_end:
+                    break
+                while heads and heads[0][0] <= t_next:
+                    _, lane = pop(heads)
+                    q = queues[lane]
+                    if q and q[0][0] <= t_next:
+                        sims[lane].run_until(t_next)
+                    if q:
+                        push(heads, (q[0][0], lane))
+                step(t, dt)
+                record(t_next)
+                if sample is not None:
+                    sample(t_next, stage.v_out, stage.current)
+                t = t_next
+            self.now = t
+            for sim in sims:
+                sim.run_until(t_end)
+        finally:
+            if bank is not None:
+                bank.on_schedule = None
+
+    def _record(self, t: float) -> None:
+        v, i = self.stage.v_out, self.stage.current
+        np.maximum(self.v_max, v, out=self.v_max)
+        np.minimum(self.v_min, v, out=self.v_min)
+        np.maximum(self.i_max, i, out=self.i_max)
+        np.minimum(self.i_min, i, out=self.i_min)
+        if self._buffers is not None:
+            self._buffers.times.append(t)
+            self._buffers.v.append(v.copy())
+            self._buffers.i.append(i.copy())
+
+    # ------------------------------------------------------------------
+    # Measurements (vector counterparts of AnalogSolver's helpers)
+    # ------------------------------------------------------------------
+    def peak_coil_current(self) -> np.ndarray:
+        """Per-lane largest instantaneous |coil current| on any phase."""
+        peak = np.maximum(np.abs(self.i_max), np.abs(self.i_min))
+        return peak.max(axis=1)
+
+    def ripple(self) -> np.ndarray:
+        """Per-lane recorded V_out peak-to-peak (0 where nothing recorded)."""
+        return np.where(self.v_max >= self.v_min, self.v_max - self.v_min, 0.0)
+
+    def reset_measurements(self) -> None:
+        """Restart the running statistics (e.g. after the startup
+        transient); traced waveforms are preserved."""
+        self.v_max.fill(-np.inf)
+        self.v_min.fill(np.inf)
+        self.i_max.fill(-np.inf)
+        self.i_min.fill(np.inf)
+
+    # ------------------------------------------------------------------
+    # Traced waveforms
+    # ------------------------------------------------------------------
+    def waveform_times(self) -> np.ndarray:
+        if self._buffers is None:
+            raise ValueError("solver ran with trace=False")
+        return np.array(self._buffers.times)
+
+    def v_waveform(self, lane: int) -> np.ndarray:
+        if self._buffers is None:
+            raise ValueError("solver ran with trace=False")
+        return np.array([row[lane] for row in self._buffers.v])
+
+    def i_waveform(self, lane: int, phase: int) -> np.ndarray:
+        if self._buffers is None:
+            raise ValueError("solver ran with trace=False")
+        return np.array([row[lane, phase] for row in self._buffers.i])

@@ -82,7 +82,11 @@ class Simulator:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn)
+        # hot path: inlined schedule_at (same semantics, one call less)
+        event = Event(self.now + delay, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, (event.time, self._seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run at absolute simulation time ``time``."""
@@ -103,9 +107,11 @@ class Simulator:
         if t_end < self.now:
             raise SimulationError(f"t_end={t_end} is before current time {self.now}")
         self._running = True
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue and self._queue[0][0] <= t_end:
-                time, _seq, event = heapq.heappop(self._queue)
+            while queue and queue[0][0] <= t_end:
+                time, _seq, event = pop(queue)
                 if event.cancelled:
                     continue
                 self.now = time

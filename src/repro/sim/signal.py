@@ -92,9 +92,19 @@ class Signal:
         self._value = value
         if self.trace:
             self.history.append((self.sim.now, value))
+        listeners = self._listeners
+        if not listeners:
+            return
         edge = RISE if value else FALL
-        # Copy: listeners may (un)subscribe during notification.
-        for kind, fn in list(self._listeners):
+        if len(listeners) == 1:
+            # Fast path: the snapshot below exists because listeners may
+            # (un)subscribe during notification; with a single listener a
+            # local reference gives the same semantics without the copy.
+            kind, fn = listeners[0]
+            if kind == ANY or kind == edge:
+                fn(self, value)
+            return
+        for kind, fn in list(listeners):
             if kind == ANY or kind == edge:
                 fn(self, value)
 

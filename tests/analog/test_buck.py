@@ -1,4 +1,8 @@
-"""Unit tests for the buck power stage ODE model."""
+"""Unit tests for the buck power stage ODE model.
+
+Stage construction and stepping come from the shared ``stage_factory`` /
+``run_stage`` fixtures in ``tests/conftest.py``.
+"""
 
 import pytest
 
@@ -11,21 +15,6 @@ from repro.analog import (
     make_power_stage,
 )
 from repro.sim import NS, UH, US
-
-
-def _stage(n=1, l_uh=4.7, v_in=5.0, c_out=0.47e-6, r_load=6.0, v_out0=0.0):
-    coil = make_coil(l_uh * UH)
-    return make_power_stage(n, coil, v_in=v_in, c_out=c_out,
-                            load=LoadProfile.constant(r_load), v_out0=v_out0)
-
-
-def _run(stage, duration, dt=1 * NS, t0=0.0):
-    t = t0
-    steps = int(round(duration / dt))
-    for _ in range(steps):
-        stage.step(t, dt)
-        t += dt
-    return t
 
 
 class TestBuckPhaseSwitching:
@@ -58,129 +47,129 @@ class TestBuckPhaseSwitching:
 
 
 class TestPhaseDynamics:
-    def test_pmos_on_current_slew_matches_formula(self):
-        stage = _stage(l_uh=1.0, v_out0=3.3)
+    def test_pmos_on_current_slew_matches_formula(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=1.0, v_out0=3.3)
         phase = stage.phases[0]
         phase.set_pmos(True)
-        _run(stage, 100 * NS)
+        run_stage(stage, 100 * NS)
         # di/dt ~= (V_in - V_out)/L = (5-3.3)/1uH = 1.7 A/us -> 0.17 A in 100ns
         assert phase.current == pytest.approx(0.17, rel=0.1)
 
-    def test_nmos_on_current_falls(self):
-        stage = _stage(l_uh=1.0, v_out0=3.3)
+    def test_nmos_on_current_falls(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=1.0, v_out0=3.3)
         phase = stage.phases[0]
         phase.current = 0.2
         phase.set_nmos(True)
-        _run(stage, 50 * NS)
+        run_stage(stage, 50 * NS)
         # di/dt ~= -3.3/1uH = -3.3 A/us -> fell ~0.165 A in 50 ns
         assert phase.current == pytest.approx(0.2 - 0.165, rel=0.15)
 
-    def test_both_off_positive_current_freewheels_down(self):
-        stage = _stage(l_uh=1.0, v_out0=3.3)
+    def test_both_off_positive_current_freewheels_down(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=1.0, v_out0=3.3)
         phase = stage.phases[0]
         phase.current = 0.1
-        _run(stage, 10 * NS)
+        run_stage(stage, 10 * NS)
         assert phase.current < 0.1
 
-    def test_discontinuous_clamp_to_zero(self):
-        stage = _stage(l_uh=1.0, v_out0=3.3)
+    def test_discontinuous_clamp_to_zero(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=1.0, v_out0=3.3)
         phase = stage.phases[0]
         phase.current = 0.01
-        _run(stage, 500 * NS)
+        run_stage(stage, 500 * NS)
         assert phase.current == 0.0
 
-    def test_current_stays_zero_when_open(self):
-        stage = _stage(v_out0=3.3)
-        _run(stage, 100 * NS)
+    def test_current_stays_zero_when_open(self, stage_factory, run_stage):
+        stage = stage_factory(v_out0=3.3)
+        run_stage(stage, 100 * NS)
         assert stage.phases[0].current == 0.0
 
-    def test_negative_current_returns_to_zero_via_pmos_diode(self):
-        stage = _stage(l_uh=1.0, v_out0=3.3)
+    def test_negative_current_returns_to_zero_via_pmos_diode(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=1.0, v_out0=3.3)
         phase = stage.phases[0]
         phase.current = -0.05
-        _run(stage, 500 * NS)
+        run_stage(stage, 500 * NS)
         assert phase.current == 0.0
 
-    def test_nmos_conducts_negative_current(self):
+    def test_nmos_conducts_negative_current(self, stage_factory, run_stage):
         # synchronous rectifier: in OV mode the NMOS pulls current negative
-        stage = _stage(l_uh=1.0, v_out0=3.6)
+        stage = stage_factory(l_uh=1.0, v_out0=3.6)
         phase = stage.phases[0]
         phase.set_nmos(True)
-        _run(stage, 200 * NS)
+        run_stage(stage, 200 * NS)
         assert phase.current < 0.0
 
 
 class TestOutputDynamics:
-    def test_cap_discharges_through_load(self):
-        stage = _stage(v_out0=3.3, c_out=0.47e-6, r_load=6.0)
-        _run(stage, 1 * US)
+    def test_cap_discharges_through_load(self, stage_factory, run_stage):
+        stage = stage_factory(v_out0=3.3, c_out=0.47e-6, r_load=6.0)
+        run_stage(stage, 1 * US)
         # RC = 2.82 us -> v = 3.3*exp(-1/2.82) = 2.31 V
         import math
         expected = 3.3 * math.exp(-1e-6 / (6.0 * 0.47e-6))
         assert stage.v_out == pytest.approx(expected, rel=0.01)
 
-    def test_charging_raises_voltage(self):
-        stage = _stage(l_uh=4.7, v_out0=3.0)
+    def test_charging_raises_voltage(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=4.7, v_out0=3.0)
         stage.phases[0].set_pmos(True)
-        _run(stage, 2 * US)
+        run_stage(stage, 2 * US)
         assert stage.v_out > 3.0
 
-    def test_load_step_changes_discharge_rate(self):
+    def test_load_step_changes_discharge_rate(self, stage_factory, run_stage):
         load = LoadProfile([(0.0, 6.0), (1 * US, 2.0)])
         coil = make_coil(4.7 * UH)
         stage = make_power_stage(1, coil, load=load, v_out0=3.3)
-        _run(stage, 1 * US)
+        run_stage(stage, 1 * US)
         v_mid = stage.v_out
-        _run(stage, 1 * US, t0=1 * US)
+        run_stage(stage, 1 * US, t0=1 * US)
         v_end = stage.v_out
         # Discharge during the heavy-load microsecond must be faster.
         assert (v_mid - v_end) > (3.3 - v_mid)
 
-    def test_total_current_sums_phases(self):
-        stage = _stage(n=4, v_out0=3.3)
+    def test_total_current_sums_phases(self, stage_factory):
+        stage = stage_factory(n=4, v_out0=3.3)
         for k, phase in enumerate(stage.phases):
             phase.current = 0.01 * (k + 1)
         assert stage.total_current() == pytest.approx(0.1)
 
 
 class TestEnergyAccounting:
-    def test_energy_in_accumulates_only_with_pmos_on(self):
-        stage = _stage(l_uh=1.0, v_out0=3.3)
-        _run(stage, 100 * NS)
+    def test_energy_in_accumulates_only_with_pmos_on(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=1.0, v_out0=3.3)
+        run_stage(stage, 100 * NS)
         assert stage.energy_in_j == 0.0
         stage.phases[0].set_pmos(True)
-        _run(stage, 100 * NS, t0=100 * NS)
+        run_stage(stage, 100 * NS, t0=100 * NS)
         assert stage.energy_in_j > 0.0
 
-    def test_energy_out_accumulates(self):
-        stage = _stage(v_out0=3.3)
-        _run(stage, 100 * NS)
+    def test_energy_out_accumulates(self, stage_factory, run_stage):
+        stage = stage_factory(v_out0=3.3)
+        run_stage(stage, 100 * NS)
         assert stage.energy_out_j > 0.0
 
-    def test_coil_loss_accumulates_with_current(self):
-        stage = _stage(l_uh=1.0, v_out0=3.3)
+    def test_coil_loss_accumulates_with_current(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=1.0, v_out0=3.3)
         stage.phases[0].set_pmos(True)
-        _run(stage, 200 * NS)
+        run_stage(stage, 200 * NS)
         assert stage.coil_losses_j() > 0.0
 
-    def test_efficiency_bounded(self):
-        stage = _stage(l_uh=4.7, v_out0=3.3)
+    def test_efficiency_bounded(self, stage_factory, run_stage):
+        stage = stage_factory(l_uh=4.7, v_out0=3.3)
         stage.phases[0].set_pmos(True)
-        _run(stage, 1 * US)
+        run_stage(stage, 1 * US)
         assert 0.0 < stage.efficiency() <= 1.5  # crude bound, open loop
 
-    def test_efficiency_zero_before_any_input_energy(self):
-        stage = _stage()
+    def test_efficiency_zero_before_any_input_energy(self, stage_factory):
+        stage = stage_factory()
         assert stage.efficiency() == 0.0
 
 
 class TestConstruction:
-    def test_make_power_stage_phase_indices(self):
-        stage = _stage(n=4)
+    def test_make_power_stage_phase_indices(self, stage_factory):
+        stage = stage_factory(n=4)
         assert [p.index for p in stage.phases] == [0, 1, 2, 3]
         assert stage.n_phases == 4
 
-    def test_zero_phases_rejected(self):
+    def test_zero_phases_rejected(self, stage_factory):
         with pytest.raises(ValueError):
             make_power_stage(0, make_coil(1 * UH))
 

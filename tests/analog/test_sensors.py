@@ -12,13 +12,9 @@ from repro.analog import (
     make_coil,
     make_power_stage,
 )
-from repro.sim import NS, UH, Simulator
+from repro.sim import NS, UH
 
-
-@pytest.fixture
-def sim():
-    return Simulator(seed=1)
-
+# the shared seeded ``sim`` fixture comes from tests/conftest.py
 
 class _Ramp:
     """Analog value controllable from the test."""

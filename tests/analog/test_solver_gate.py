@@ -1,146 +1,125 @@
-"""Integration tests: gate driver + solver + sensors closing the loop."""
+"""Integration tests: gate driver + solver + sensors closing the loop.
+
+Setup comes from the shared ``analog_rig`` fixture in ``tests/conftest.py``.
+"""
 
 import pytest
 
-from repro.analog import (
-    AnalogSolver,
-    GateDriverBank,
-    LoadProfile,
-    SensorBank,
-    ShortCircuitError,
-    make_coil,
-    make_power_stage,
-)
-from repro.sim import NS, UH, US, Simulator
-
-
-@pytest.fixture
-def sim():
-    return Simulator(seed=3)
-
-
-def _setup(sim, n=1, v_out0=0.0, l_uh=4.7, dt=1 * NS, trace=True):
-    stage = make_power_stage(n, make_coil(l_uh * UH),
-                             load=LoadProfile.constant(6.0), v_out0=v_out0)
-    bank = SensorBank(sim, stage, delay=1 * NS, trace=trace)
-    gates = GateDriverBank(sim, stage, t_gate=1 * NS, trace=trace)
-    solver = AnalogSolver(sim, stage, bank, dt=dt, trace=trace)
-    solver.start()
-    return stage, bank, gates, solver
+from repro.analog import AnalogSolver, ShortCircuitError, make_coil, make_power_stage
+from repro.sim import NS, UH, US
 
 
 class TestGateDriver:
-    def test_gate_delay_and_ack(self, sim):
-        stage, bank, gates, solver = _setup(sim)
-        gates.gp[0].set(True, 5 * NS)
-        sim.run_until(5.5 * NS)
-        assert not stage.phases[0].pmos_on
-        sim.run_until(7 * NS)
-        assert stage.phases[0].pmos_on
-        assert gates.gp_ack[0].value
+    def test_gate_delay_and_ack(self, analog_rig):
+        rig = analog_rig()
+        rig.gates.gp[0].set(True, 5 * NS)
+        rig.sim.run_until(5.5 * NS)
+        assert not rig.stage.phases[0].pmos_on
+        rig.sim.run_until(7 * NS)
+        assert rig.stage.phases[0].pmos_on
+        assert rig.gates.gp_ack[0].value
 
-    def test_ack_follows_turn_off(self, sim):
-        stage, bank, gates, solver = _setup(sim)
-        gates.gp[0].set(True, 1 * NS)
-        gates.gp[0].set(False, 10 * NS)
-        sim.run_until(12 * NS)
-        assert not stage.phases[0].pmos_on
-        assert not gates.gp_ack[0].value
+    def test_ack_follows_turn_off(self, analog_rig):
+        rig = analog_rig()
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.gates.gp[0].set(False, 10 * NS)
+        rig.sim.run_until(12 * NS)
+        assert not rig.stage.phases[0].pmos_on
+        assert not rig.gates.gp_ack[0].value
 
-    def test_overlapping_commands_raise_short_circuit(self, sim):
-        stage, bank, gates, solver = _setup(sim)
-        gates.gp[0].set(True, 1 * NS)
-        gates.gn[0].set(True, 1.5 * NS)
+    def test_overlapping_commands_raise_short_circuit(self, analog_rig):
+        rig = analog_rig()
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.gates.gn[0].set(True, 1.5 * NS)
         with pytest.raises(ShortCircuitError):
-            sim.run_until(5 * NS)
+            rig.sim.run_until(5 * NS)
 
-    def test_break_before_make_through_acks_is_safe(self, sim):
-        stage, bank, gates, solver = _setup(sim)
-        gates.gp[0].set(True, 1 * NS)
-        gates.gp[0].set(False, 10 * NS)
-        gates.gn[0].set(True, 12 * NS)  # after gp_ack falls at 11 ns
-        sim.run_until(20 * NS)
-        assert stage.phases[0].nmos_on
-        assert gates.gn_ack[0].value
+    def test_break_before_make_through_acks_is_safe(self, analog_rig):
+        rig = analog_rig()
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.gates.gp[0].set(False, 10 * NS)
+        rig.gates.gn[0].set(True, 12 * NS)  # after gp_ack falls at 11 ns
+        rig.sim.run_until(20 * NS)
+        assert rig.stage.phases[0].nmos_on
+        assert rig.gates.gn_ack[0].value
 
 
 class TestClosedLoopOpenController:
     """Drive the gates by hand and watch the analog react through sensors."""
 
-    def test_charging_cycle_raises_voltage_vs_baseline(self, sim):
-        stage, bank, gates, solver = _setup(sim, v_out0=3.0, l_uh=1.0)
-        sim.run_until(5 * NS)
-        assert bank.uv.output.value
+    def test_charging_cycle_raises_voltage_vs_baseline(self, analog_rig,
+                                                       make_sim):
+        rig = analog_rig(v_out0=3.0, l_uh=1.0)
+        rig.sim.run_until(5 * NS)
+        assert rig.sensors.uv.output.value
         # manual charging: PMOS on for 300 ns
-        gates.gp[0].set(True)
-        sim.run(300 * NS)
-        gates.gp[0].set(False)
-        sim.run(200 * NS)
-        v_charged = stage.v_out
+        rig.gates.gp[0].set(True)
+        rig.sim.run(300 * NS)
+        rig.gates.gp[0].set(False)
+        rig.sim.run(200 * NS)
+        v_charged = rig.stage.v_out
 
         # baseline: identical setup, no charging at all
-        sim2 = Simulator(seed=3)
-        stage2, _, _, _ = _setup(sim2, v_out0=3.0, l_uh=1.0)
-        sim2.run(505 * NS)
-        assert v_charged > stage2.v_out
+        baseline = analog_rig(v_out0=3.0, l_uh=1.0, on=make_sim())
+        baseline.sim.run(505 * NS)
+        assert v_charged > baseline.stage.v_out
 
-    def test_oc_fires_during_charge(self, sim):
-        stage, bank, gates, solver = _setup(sim, v_out0=3.3, l_uh=1.0)
-        gates.gp[0].set(True, 1 * NS)
-        sim.run_until(2 * US)
+    def test_oc_fires_during_charge(self, analog_rig):
+        rig = analog_rig(v_out0=3.3, l_uh=1.0)
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.sim.run_until(2 * US)
         # slew 1.7 A/us crosses I_max=0.30 A at ~178 ns; oc must have fired
-        assert bank.oc[0].output.value
-        rises = bank.oc[0].output.edges("rise")
+        assert rig.sensors.oc[0].output.value
+        rises = rig.sensors.oc[0].output.edges("rise")
         assert len(rises) >= 1
         assert rises[0] == pytest.approx(180 * NS, abs=20 * NS)
 
-    def test_zc_detects_current_decay(self, sim):
-        stage, bank, gates, solver = _setup(sim, v_out0=3.3, l_uh=1.0)
+    def test_zc_detects_current_decay(self, analog_rig):
+        rig = analog_rig(v_out0=3.3, l_uh=1.0)
         # charge then freewheel: current decays back to zero -> zc rises
-        gates.gp[0].set(True, 1 * NS)
-        gates.gp[0].set(False, 100 * NS)
-        sim.run_until(2 * US)
-        assert stage.phases[0].current == 0.0
-        assert bank.zc[0].output.value
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.gates.gp[0].set(False, 100 * NS)
+        rig.sim.run_until(2 * US)
+        assert rig.stage.phases[0].current == 0.0
+        assert rig.sensors.zc[0].output.value
 
-    def test_probes_record_waveforms(self, sim):
-        stage, bank, gates, solver = _setup(sim, v_out0=3.3)
-        gates.gp[0].set(True, 1 * NS)
-        sim.run_until(100 * NS)
-        assert len(solver.v_probe.times) > 50
-        assert solver.i_probes[0].maximum > 0.0
+    def test_probes_record_waveforms(self, analog_rig):
+        rig = analog_rig(v_out0=3.3)
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.sim.run_until(100 * NS)
+        assert len(rig.solver.v_probe.times) > 50
+        assert rig.solver.i_probes[0].maximum > 0.0
 
-    def test_peak_coil_current_measurement(self, sim):
-        stage, bank, gates, solver = _setup(sim, v_out0=3.3, l_uh=1.0)
-        gates.gp[0].set(True, 1 * NS)
-        gates.gp[0].set(False, 101 * NS)
-        sim.run_until(1 * US)
-        peak = solver.peak_coil_current()
+    def test_peak_coil_current_measurement(self, analog_rig):
+        rig = analog_rig(v_out0=3.3, l_uh=1.0)
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.gates.gp[0].set(False, 101 * NS)
+        rig.sim.run_until(1 * US)
+        peak = rig.solver.peak_coil_current()
         # 1.7 A/us for ~100 ns -> ~0.17 A
         assert peak == pytest.approx(0.17, rel=0.15)
 
-    def test_reset_measurements(self, sim):
-        stage, bank, gates, solver = _setup(sim, v_out0=3.3, l_uh=1.0)
-        gates.gp[0].set(True, 1 * NS)
-        gates.gp[0].set(False, 101 * NS)
-        sim.run_until(500 * NS)
-        solver.reset_measurements()
-        sim.run_until(1 * US)
+    def test_reset_measurements(self, analog_rig):
+        rig = analog_rig(v_out0=3.3, l_uh=1.0)
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.gates.gp[0].set(False, 101 * NS)
+        rig.sim.run_until(500 * NS)
+        rig.solver.reset_measurements()
+        rig.sim.run_until(1 * US)
         # after reset, with the coil idle, peak is ~0
-        assert solver.peak_coil_current() < 0.02
+        assert rig.solver.peak_coil_current() < 0.02
 
-    def test_untraced_mode_keeps_stats(self, sim):
-        stage, bank, gates, solver = _setup(sim, v_out0=3.3, l_uh=1.0,
-                                            trace=False)
-        gates.gp[0].set(True, 1 * NS)
-        sim.run_until(100 * NS)
-        assert solver.i_probes[0].maximum > 0.0
-        assert solver.i_probes[0].times == []
+    def test_untraced_mode_keeps_stats(self, analog_rig):
+        rig = analog_rig(v_out0=3.3, l_uh=1.0, trace=False)
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.sim.run_until(100 * NS)
+        assert rig.solver.i_probes[0].maximum > 0.0
+        assert rig.solver.i_probes[0].times == []
 
-    def test_solver_rejects_double_start(self, sim):
-        stage, bank, gates, solver = _setup(sim)
+    def test_solver_rejects_double_start(self, analog_rig):
+        rig = analog_rig()
         with pytest.raises(RuntimeError):
-            solver.start()
+            rig.solver.start()
 
     def test_solver_rejects_bad_dt(self, sim):
         stage = make_power_stage(1, make_coil(1 * UH))
@@ -149,19 +128,19 @@ class TestClosedLoopOpenController:
 
 
 class TestMultiphaseInteraction:
-    def test_two_phases_share_load(self, sim):
-        stage, bank, gates, solver = _setup(sim, n=2, v_out0=3.0, l_uh=2.25)
-        gates.gp[0].set(True, 1 * NS)
-        gates.gp[1].set(True, 1 * NS)
-        sim.run_until(200 * NS)
-        assert stage.phases[0].current > 0
-        assert stage.phases[1].current > 0
-        assert stage.total_current() == pytest.approx(
-            stage.phases[0].current + stage.phases[1].current)
+    def test_two_phases_share_load(self, analog_rig):
+        rig = analog_rig(n=2, v_out0=3.0, l_uh=2.25)
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.gates.gp[1].set(True, 1 * NS)
+        rig.sim.run_until(200 * NS)
+        assert rig.stage.phases[0].current > 0
+        assert rig.stage.phases[1].current > 0
+        assert rig.stage.total_current() == pytest.approx(
+            rig.stage.phases[0].current + rig.stage.phases[1].current)
 
-    def test_per_phase_oc_independent(self, sim):
-        stage, bank, gates, solver = _setup(sim, n=2, v_out0=3.3, l_uh=1.0)
-        gates.gp[0].set(True, 1 * NS)
-        sim.run_until(300 * NS)
-        assert bank.oc[0].output.value
-        assert not bank.oc[1].output.value
+    def test_per_phase_oc_independent(self, analog_rig):
+        rig = analog_rig(n=2, v_out0=3.3, l_uh=1.0)
+        rig.gates.gp[0].set(True, 1 * NS)
+        rig.sim.run_until(300 * NS)
+        assert rig.sensors.oc[0].output.value
+        assert not rig.sensors.oc[1].output.value

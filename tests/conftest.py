@@ -1,0 +1,148 @@
+"""Shared fixtures for the test suite.
+
+The analog and control test modules used to carry copy-pasted setup
+helpers (a seeded simulator, a small power stage, stub-sensor controller
+rigs).  They live here now:
+
+- ``sim`` / ``make_sim`` — a seeded :class:`Simulator` (and a factory for
+  tests that need a specific seed or a second kernel);
+- ``stage_factory`` / ``power_stage`` — :class:`MultiphasePowerStage`
+  builders (``power_stage`` is the paper-default 4-phase 4.7 uH stage);
+- ``run_stage`` — fixed-step integration helper for open-loop stage tests;
+- ``paper_params`` — the paper-default :class:`BuckControlParams`;
+- ``analog_rig`` — stage + sensor bank + gate drivers + solver wired to a
+  simulator (the closed-loop-without-controller rig);
+- ``controller_rig`` — a controller over stub sensors/gates (the unit rig
+  used by the reaction-latency style tests).
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analog import (
+    AnalogSolver,
+    GateDriverBank,
+    LoadProfile,
+    MultiphasePowerStage,
+    SensorBank,
+    make_coil,
+    make_power_stage,
+)
+from repro.control import (
+    AsyncMultiphaseController,
+    BuckControlParams,
+    StubGates,
+    StubSensors,
+    SyncMultiphaseController,
+)
+from repro.sim import MHZ, NS, UH, Simulator
+
+
+@pytest.fixture
+def make_sim():
+    """Factory for seeded simulators (default seed 0)."""
+    def build(seed: int = 0) -> Simulator:
+        return Simulator(seed=seed)
+    return build
+
+
+@pytest.fixture
+def sim(make_sim) -> Simulator:
+    """A fresh simulator with the default seed."""
+    return make_sim()
+
+
+@pytest.fixture
+def stage_factory():
+    """Factory for small power stages with constant loads."""
+    def build(n: int = 1, l_uh: float = 4.7, v_in: float = 5.0,
+              c_out: float = 0.47e-6, r_load: float = 6.0,
+              v_out0: float = 0.0) -> MultiphasePowerStage:
+        return make_power_stage(n, make_coil(l_uh * UH), v_in=v_in,
+                                c_out=c_out,
+                                load=LoadProfile.constant(r_load),
+                                v_out0=v_out0)
+    return build
+
+
+@pytest.fixture
+def power_stage(stage_factory) -> MultiphasePowerStage:
+    """The paper-default stage: 4 phases, 4.7 uH coils, 6 Ohm load."""
+    return stage_factory(n=4)
+
+
+@pytest.fixture
+def run_stage():
+    """Open-loop fixed-step integrator: ``run_stage(stage, duration)``."""
+    def run(stage: MultiphasePowerStage, duration: float,
+            dt: float = 1 * NS, t0: float = 0.0) -> float:
+        t = t0
+        for _ in range(int(round(duration / dt))):
+            stage.step(t, dt)
+            t += dt
+        return t
+    return run
+
+
+@pytest.fixture
+def paper_params() -> BuckControlParams:
+    """Paper-default controller timing constants."""
+    return BuckControlParams()
+
+
+@dataclass
+class AnalogRig:
+    """A power stage wired to sensors, gate drivers, and the solver."""
+
+    sim: Simulator
+    stage: MultiphasePowerStage
+    sensors: SensorBank
+    gates: GateDriverBank
+    solver: AnalogSolver
+
+
+@pytest.fixture
+def analog_rig(sim, stage_factory):
+    """Factory: closed-loop analog rig (no controller) on ``sim``."""
+    def build(n: int = 1, v_out0: float = 0.0, l_uh: float = 4.7,
+              dt: float = 1 * NS, trace: bool = True,
+              on: Simulator = None) -> AnalogRig:
+        owner = on or sim
+        stage = stage_factory(n=n, l_uh=l_uh, v_out0=v_out0)
+        sensors = SensorBank(owner, stage, delay=1 * NS, trace=trace)
+        gates = GateDriverBank(owner, stage, t_gate=1 * NS, trace=trace)
+        solver = AnalogSolver(owner, stage, sensors, dt=dt, trace=trace)
+        solver.start()
+        return AnalogRig(owner, stage, sensors, gates, solver)
+    return build
+
+
+@dataclass
+class ControllerRig:
+    """A controller driving stub gates from stub sensors."""
+
+    sim: Simulator
+    sensors: StubSensors
+    gates: StubGates
+    ctrl: object
+
+
+@pytest.fixture
+def controller_rig():
+    """Factory: controller unit rig over drivable sensor stubs."""
+    def build(controller: str = "sync", n: int = 1,
+              freq: float = 333 * MHZ, params: BuckControlParams = None,
+              seed: int = 0) -> ControllerRig:
+        sim = Simulator(seed=seed)
+        sensors = StubSensors(sim, n)
+        gates = StubGates(sim, n)
+        params = params or BuckControlParams()
+        if controller == "sync":
+            ctrl = SyncMultiphaseController(sim, sensors, gates, n, freq,
+                                            params=params)
+        else:
+            ctrl = AsyncMultiphaseController(sim, sensors, gates, n,
+                                             params=params)
+        return ControllerRig(sim, sensors, gates, ctrl)
+    return build

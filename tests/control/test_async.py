@@ -1,4 +1,8 @@
-"""Unit tests for the asynchronous token-ring controller (stubbed analog)."""
+"""Unit tests for the asynchronous token-ring controller (stubbed analog).
+
+The stub-sensor rig comes from the shared ``controller_rig`` fixture in
+``tests/conftest.py``; this module pins its historical seed.
+"""
 
 import pytest
 
@@ -12,27 +16,29 @@ from repro.control import (
 from repro.sim import NS, US, Simulator
 
 
-def _setup(n=1, params=None, seed=4):
-    sim = Simulator(seed=seed)
-    sensors = StubSensors(sim, n)
-    gates = StubGates(sim, n)
-    ctrl = AsyncMultiphaseController(sim, sensors, gates, n,
-                                     params=params or BuckControlParams())
-    return sim, sensors, gates, ctrl
+SEED = 4
+
+
+@pytest.fixture
+def rig(controller_rig):
+    def build(n=1, params=None, seed=SEED):
+        r = controller_rig(controller="async", n=n, params=params, seed=seed)
+        return r.sim, r.sensors, r.gates, r.ctrl
+    return build
 
 
 class TestChargingCycle:
-    def test_uv_triggers_pmos_on(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_uv_triggers_pmos_on(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sensors.uv.output.set(True, 20 * NS)
         sim.run(100 * NS)
         assert gates.gp[0].value
         assert ctrl.cycles_started[0] == 1
 
-    def test_uv_reaction_is_nanosecond_scale(self):
+    def test_uv_reaction_is_nanosecond_scale(self, rig):
         """The token-holding stage is armed: UV to gp+ should take ~1 ns
         (Table I: 1.02 ns), far below any sync clock period."""
-        sim, sensors, gates, ctrl = _setup()
+        sim, sensors, gates, ctrl = rig()
         sim.run(50 * NS)  # let the stage arm
         sensors.uv.output.set(True)
         sim.run(20 * NS)
@@ -41,8 +47,8 @@ class TestChargingCycle:
         latency = rises[0] - 50 * NS
         assert 0.5 * NS < latency < 2.0 * NS
 
-    def test_oc_switches_to_nmos(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_oc_switches_to_nmos(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sensors.uv.output.set(True, 20 * NS)
         sim.run(100 * NS)
         sensors.oc[0].output.set(True)
@@ -50,9 +56,9 @@ class TestChargingCycle:
         assert not gates.gp[0].value
         assert gates.gn[0].value
 
-    def test_zc_ends_cycle(self):
+    def test_zc_ends_cycle(self, rig):
         params = BuckControlParams(nmin=5 * NS)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.uv.output.set(True, 20 * NS)
         sim.run(100 * NS)
         sensors.uv.output.set(False)
@@ -64,8 +70,8 @@ class TestChargingCycle:
         assert not gates.gn[0].value
         assert not gates.gp[0].value
 
-    def test_never_both_transistors_on(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_never_both_transistors_on(self, rig):
+        sim, sensors, gates, ctrl = rig()
         overlap = []
 
         def check(_s, _v):
@@ -81,11 +87,11 @@ class TestChargingCycle:
         sim.run(1 * US)
         assert overlap == []
 
-    def test_glitchy_uv_contained(self):
+    def test_glitchy_uv_contained(self, rig):
         """A marginal UV pulse may or may not start a cycle, but gp/gn
         must stay clean (no runt drive pulses)."""
         for seed in range(8):
-            sim, sensors, gates, ctrl = _setup(seed=seed)
+            sim, sensors, gates, ctrl = rig(seed=seed)
             sim.run(50 * NS)
             sensors.uv.output.pulse(width=0.1 * NS)  # sub-window glitch
             sim.run(300 * NS)
@@ -96,9 +102,9 @@ class TestChargingCycle:
 
 
 class TestMinimumOnTimes:
-    def test_pmin_enforced(self):
+    def test_pmin_enforced(self, rig):
         params = BuckControlParams(pmin=60 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.uv.output.set(True, 20 * NS)
         sensors.oc[0].output.set(True, 25 * NS)
         sim.run(500 * NS)
@@ -107,10 +113,10 @@ class TestMinimumOnTimes:
         assert rises and falls
         assert falls[0] - rises[0] >= 60 * NS
 
-    def test_pext_first_cycle_of_uv_episode(self):
+    def test_pext_first_cycle_of_uv_episode(self, rig):
         params = BuckControlParams(pmin=30 * NS, pext=100 * NS, nmin=5 * NS,
                                    phase_dwell=10 * NS)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.uv.output.set(True, 20 * NS)
 
         def auto_oc(_s, v):
@@ -126,9 +132,9 @@ class TestMinimumOnTimes:
         assert first >= 130 * NS
         assert second < first
 
-    def test_nmin_enforced(self):
+    def test_nmin_enforced(self, rig):
         params = BuckControlParams(pmin=10 * NS, nmin=80 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.uv.output.set(True, 20 * NS)
         sim.run(60 * NS)
         sensors.uv.output.set(False)
@@ -142,10 +148,10 @@ class TestMinimumOnTimes:
 
 
 class TestTokenRing:
-    def test_token_passes_after_dwell_and_mode_ack(self):
+    def test_token_passes_after_dwell_and_mode_ack(self, rig):
         params = BuckControlParams(phase_dwell=100 * NS, pmin=5 * NS,
                                    nmin=5 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sim, sensors, gates, ctrl = rig(n=4, params=params)
         assert ctrl.token_at[0].value
         sensors.uv.output.set(True, 20 * NS)
         sim.run(250 * NS)
@@ -153,18 +159,18 @@ class TestTokenRing:
         assert ctrl.token_at[1].value or ctrl.token_at[2].value
         assert not ctrl.token_at[0].value
 
-    def test_token_parks_without_demand(self):
+    def test_token_parks_without_demand(self, rig):
         """No UV/OV -> the ring does not rotate (event-driven idling)."""
         params = BuckControlParams(phase_dwell=50 * NS)
-        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sim, sensors, gates, ctrl = rig(n=4, params=params)
         sim.run(2 * US)
         assert ctrl.token_at[0].value
         assert not any(ctrl.token_at[k].value for k in (1, 2, 3))
 
-    def test_persistent_uv_rotates_and_all_phases_charge(self):
+    def test_persistent_uv_rotates_and_all_phases_charge(self, rig):
         params = BuckControlParams(phase_dwell=80 * NS, pmin=5 * NS,
                                    nmin=5 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sim, sensors, gates, ctrl = rig(n=4, params=params)
         sensors.uv.output.set(True, 10 * NS)
         for k in range(4):
             def auto_oc(_s, v, k=k):
@@ -173,9 +179,9 @@ class TestTokenRing:
         sim.run(2 * US)
         assert all(c >= 1 for c in ctrl.cycles_started)
 
-    def test_hl_activates_all_phases(self):
+    def test_hl_activates_all_phases(self, rig):
         params = BuckControlParams(phase_dwell=100_000 * NS)
-        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sim, sensors, gates, ctrl = rig(n=4, params=params)
         sim.run(50 * NS)
         sensors.uv.output.set(True)   # HL implies UV: both rise
         sensors.hl.output.set(True)
@@ -184,9 +190,9 @@ class TestTokenRing:
 
 
 class TestOVMode:
-    def test_ov_engages_and_releases_mode(self):
+    def test_ov_engages_and_releases_mode(self, rig):
         params = BuckControlParams(pmin=5 * NS, nmin=5 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sim.run(50 * NS)
         sensors.ov.output.set(True)
         sim.run(50 * NS)
@@ -199,8 +205,8 @@ class TestOVMode:
         sim.run(300 * NS)
         assert not sensors.ov_mode(0)
 
-    def test_ov_cycle_counts(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_ov_cycle_counts(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sim.run(50 * NS)
         sensors.ov.output.set(True)
         sim.run(100 * NS)
@@ -208,12 +214,12 @@ class TestOVMode:
 
 
 class TestZcCancellation:
-    def test_new_token_activation_cancels_zc_wait(self):
+    def test_new_token_activation_cancels_zc_wait(self, rig):
         """Continuous conduction: UV persists, ZC never fires; the stage
         must not deadlock — the returning token supersedes the ZC wait."""
         params = BuckControlParams(phase_dwell=60 * NS, pmin=5 * NS,
                                    nmin=5 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(n=2, params=params)
+        sim, sensors, gates, ctrl = rig(n=2, params=params)
         sensors.uv.output.set(True, 10 * NS)
         for k in range(2):
             def auto_oc(_s, v, k=k):
@@ -233,8 +239,8 @@ class TestZcCancellation:
 class TestLatencyCalibration:
     """End-to-end reaction latencies against Table I's ASYNC row."""
 
-    def test_oc_latency(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_oc_latency(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sensors.uv.output.set(True, 20 * NS)
         sim.run(100 * NS)
         assert gates.gp[0].value
@@ -245,9 +251,9 @@ class TestLatencyCalibration:
         latency = falls[0] - t0
         assert latency == pytest.approx(0.75 * NS, abs=0.15 * NS)
 
-    def test_zc_latency(self):
+    def test_zc_latency(self, rig):
         params = BuckControlParams(nmin=0.0, pmin=5 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.uv.output.set(True, 20 * NS)
         sim.run(100 * NS)
         sensors.uv.output.set(False)
@@ -263,8 +269,8 @@ class TestLatencyCalibration:
         latency = falls[-1] - t0
         assert latency == pytest.approx(0.31 * NS, abs=0.15 * NS)
 
-    def test_uv_latency(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_uv_latency(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sim.run(50 * NS)  # armed, idle, gn off
         t0 = sim.now
         sensors.uv.output.set(True)

@@ -1,18 +1,24 @@
-"""Unit tests for the synchronous multiphase controller (stubbed analog)."""
+"""Unit tests for the synchronous multiphase controller (stubbed analog).
+
+The stub-sensor rig comes from the shared ``controller_rig`` fixture in
+``tests/conftest.py``; this module pins its historical seed.
+"""
 
 import pytest
 
 from repro.control import BuckControlParams, StubGates, StubSensors, SyncMultiphaseController
 from repro.sim import MHZ, NS, US, Simulator
 
+SEED = 2
 
-def _setup(n=1, freq=333 * MHZ, params=None):
-    sim = Simulator(seed=2)
-    sensors = StubSensors(sim, n)
-    gates = StubGates(sim, n)
-    ctrl = SyncMultiphaseController(sim, sensors, gates, n, freq,
-                                    params=params or BuckControlParams())
-    return sim, sensors, gates, ctrl
+
+@pytest.fixture
+def rig(controller_rig):
+    def build(n=1, freq=333 * MHZ, params=None):
+        r = controller_rig(controller="sync", n=n, freq=freq,
+                           params=params, seed=SEED)
+        return r.sim, r.sensors, r.gates, r.ctrl
+    return build
 
 
 def _first_act_window(sim):
@@ -21,24 +27,24 @@ def _first_act_window(sim):
 
 
 class TestChargingCycle:
-    def test_uv_triggers_pmos_on(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_uv_triggers_pmos_on(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sensors.uv.output.set(True, 20 * NS)
         sim.run(100 * NS)
         assert gates.gp[0].value
         assert ctrl.cycles_started[0] == 1
 
-    def test_no_charge_without_uv(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_no_charge_without_uv(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sim.run(200 * NS)
         assert not gates.gp[0].value
         assert ctrl.cycles_started[0] == 0
 
-    def test_reaction_latency_within_2p5_clock_periods(self):
+    def test_reaction_latency_within_2p5_clock_periods(self, rig):
         """Table I claim: synchronous response is up to 2.5 Tclk (plus the
         output flop delay)."""
         for offset_ns in (20.0, 21.3, 22.1, 23.7, 24.9):
-            sim, sensors, gates, ctrl = _setup(freq=333 * MHZ)
+            sim, sensors, gates, ctrl = rig(freq=333 * MHZ)
             sensors.uv.output.set(True, offset_ns * NS)
             sim.run(200 * NS)
             rises = gates.gp[0].edges("rise")
@@ -47,8 +53,8 @@ class TestChargingCycle:
             assert latency <= 2.5 * ctrl.period + 1 * NS
             assert latency >= 0.5 * ctrl.period * 0.9
 
-    def test_oc_switches_to_nmos(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_oc_switches_to_nmos(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sensors.uv.output.set(True, 20 * NS)
         sim.run(100 * NS)
         assert gates.gp[0].value
@@ -57,8 +63,8 @@ class TestChargingCycle:
         assert not gates.gp[0].value
         assert gates.gn[0].value
 
-    def test_zc_ends_cycle(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_zc_ends_cycle(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sensors.uv.output.set(True, 20 * NS)
         sim.run(100 * NS)
         sensors.uv.output.set(False)
@@ -70,8 +76,8 @@ class TestChargingCycle:
         assert not gates.gn[0].value
         assert not gates.gp[0].value
 
-    def test_never_both_transistors_on(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_never_both_transistors_on(self, rig):
+        sim, sensors, gates, ctrl = rig()
         overlap = []
 
         def check(_s, _v):
@@ -89,9 +95,9 @@ class TestChargingCycle:
 
 
 class TestMinimumOnTimes:
-    def test_pmin_enforced(self):
+    def test_pmin_enforced(self, rig):
         params = BuckControlParams(pmin=60 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.uv.output.set(True, 20 * NS)
         sensors.oc[0].output.set(True, 30 * NS)  # OC almost immediately
         sim.run(500 * NS)
@@ -100,10 +106,10 @@ class TestMinimumOnTimes:
         assert rises and falls
         assert falls[0] - rises[0] >= 60 * NS
 
-    def test_pext_extends_first_cycle_only(self):
+    def test_pext_extends_first_cycle_only(self, rig):
         params = BuckControlParams(pmin=30 * NS, pext=100 * NS,
                                    nmin=5 * NS)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.uv.output.set(True, 20 * NS)
         sensors.oc[0].output.set(True, 40 * NS)
         sim.run(400 * NS)
@@ -121,9 +127,9 @@ class TestMinimumOnTimes:
         assert second < first                    # extension not repeated
         assert second >= 30 * NS
 
-    def test_nmin_enforced(self):
+    def test_nmin_enforced(self, rig):
         params = BuckControlParams(pmin=10 * NS, nmin=80 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.uv.output.set(True, 20 * NS)
         sim.run(60 * NS)
         sensors.uv.output.set(False)
@@ -137,10 +143,10 @@ class TestMinimumOnTimes:
 
 
 class TestMultiphase:
-    def test_round_robin_distributes_cycles(self):
+    def test_round_robin_distributes_cycles(self, rig):
         params = BuckControlParams(phase_dwell=100 * NS, pmin=5 * NS,
                                    nmin=5 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sim, sensors, gates, ctrl = rig(n=4, params=params)
         # persistent UV with prompt OC per phase: every activation charges
         sensors.uv.output.set(True, 10 * NS)
 
@@ -154,9 +160,9 @@ class TestMultiphase:
         sim.run(2 * US)
         assert all(c >= 1 for c in ctrl.cycles_started)
 
-    def test_hl_activates_all_phases_at_once(self):
+    def test_hl_activates_all_phases_at_once(self, rig):
         params = BuckControlParams(phase_dwell=10_000 * NS)  # rotation slow
-        sim, sensors, gates, ctrl = _setup(n=4, params=params)
+        sim, sensors, gates, ctrl = rig(n=4, params=params)
         sensors.hl.output.set(True, 20 * NS)
         sensors.uv.output.set(True, 20 * NS)  # HL implies UV
         sim.run(200 * NS)
@@ -164,16 +170,16 @@ class TestMultiphase:
 
 
 class TestOVMode:
-    def test_ov_engages_mode_swap(self):
-        sim, sensors, gates, ctrl = _setup()
+    def test_ov_engages_mode_swap(self, rig):
+        sim, sensors, gates, ctrl = rig()
         sensors.ov.output.set(True, 20 * NS)
         sim.run(100 * NS)
         assert sensors.ov_mode(0)
         assert gates.gp[0].value  # OV cycle also starts with a PMOS blip
 
-    def test_ov_mode_released_after_cycle(self):
+    def test_ov_mode_released_after_cycle(self, rig):
         params = BuckControlParams(pmin=5 * NS, nmin=5 * NS, pext=0.0)
-        sim, sensors, gates, ctrl = _setup(params=params)
+        sim, sensors, gates, ctrl = rig(params=params)
         sensors.ov.output.set(True, 20 * NS)
         sim.run(60 * NS)
         sensors.oc[0].output.set(True)   # positive current in OV mode
@@ -188,8 +194,8 @@ class TestOVMode:
 
 class TestClockFrequencyScaling:
     @pytest.mark.parametrize("freq_mhz", [100, 333, 666, 1000])
-    def test_latency_scales_with_clock(self, freq_mhz):
-        sim, sensors, gates, ctrl = _setup(freq=freq_mhz * MHZ)
+    def test_latency_scales_with_clock(self, freq_mhz, rig):
+        sim, sensors, gates, ctrl = rig(freq=freq_mhz * MHZ)
         sensors.uv.output.set(True, 20.1 * NS)
         sim.run(200 * NS)
         rises = gates.gp[0].edges("rise")

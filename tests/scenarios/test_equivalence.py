@@ -1,0 +1,87 @@
+"""Vectorized-vs-scalar cross-validation: the batched engine must
+reproduce the scalar solver.
+
+With noiseless sensors the vectorized path is arithmetically bit-matched
+to the scalar path, so the documented tolerances below are far looser
+than today's observed agreement (exactly zero) — they bound what future
+refactors may introduce:
+
+- waveforms (V_out and every coil current): max abs error < 1e-6 (V / A);
+- comparator output edges: identical counts, times within 0.01 ns.
+
+The scenario set is a seeded random grid over both controllers, the
+Fig. 7 coil/load ranges, and the PMIN ablation axis, plus hand-picked
+corner cases (stepped Fig. 6-style load; OV-mode entry from a high
+initial voltage).
+"""
+
+import pytest
+
+from repro.analog.load import LoadProfile
+from repro.scenarios import ScenarioSpec, Sweep, choice, cross_validate, log_uniform, uniform
+from repro.sim import NS, US
+
+V_TOL = 1e-6          #: max |V_out difference| over all samples (V)
+I_TOL = 1e-6          #: max |coil current difference| (A)
+EDGE_TOL = 0.01 * NS  #: max comparator edge-time difference
+
+#: 8 seeded random scenarios (2 us runs keep the grid fast)
+RANDOM_SPECS = (Sweep(base={"n_phases": 4, "sim_time": 2 * US, "dt": 1 * NS},
+                      seed=101, name="xval")
+                .random(8,
+                        controller=choice(["async", "sync"]),
+                        fsm_frequency=choice([100e6, 333e6, 1000e6]),
+                        l_uh=log_uniform(1.0, 10.0),
+                        r_load=uniform(3.0, 15.0),
+                        pmin=choice([2 * NS, 20 * NS]))).specs()
+
+CORNER_SPECS = [
+    ScenarioSpec("xval[fig6-load]", overrides={
+        "controller": "async", "l_uh": 1.0,
+        "load": LoadProfile([(0.0, 6.0), (0.8 * US, 2.5), (1.4 * US, 6.0)]),
+        "sim_time": 2 * US, "dt": 1 * NS}),
+    ScenarioSpec("xval[ov-entry]", overrides={
+        "controller": "sync", "fsm_frequency": 333e6, "l_uh": 1.0,
+        "r_load": 30.0, "v_out0": 3.52, "sim_time": 2 * US, "dt": 1 * NS}),
+]
+
+
+def _check(cv):
+    assert cv.n_samples > 1000, "cross-validation barely sampled anything"
+    assert cv.sample_counts_match, (
+        f"{cv.spec.name}: backends took different step counts "
+        f"({cv.n_samples_scalar} vs {cv.n_samples_vector})")
+    assert cv.v_err < V_TOL, f"{cv.spec.name}: V_out diverged ({cv.v_err})"
+    assert cv.i_err < I_TOL, f"{cv.spec.name}: coil current diverged ({cv.i_err})"
+    assert cv.edge_counts_match, (
+        f"{cv.spec.name}: comparator edge counts differ: "
+        + ", ".join(f"{e.name} {e.count_scalar}/{e.count_vector}"
+                    for e in cv.edges if not e.counts_match))
+    assert cv.max_edge_dt < EDGE_TOL, \
+        f"{cv.spec.name}: comparator edge times shifted ({cv.max_edge_dt})"
+
+
+@pytest.mark.parametrize("spec", RANDOM_SPECS, ids=lambda s: s.name)
+def test_random_scenarios_match_scalar(spec):
+    _check(cross_validate(spec))
+
+
+@pytest.mark.parametrize("spec", CORNER_SPECS, ids=lambda s: s.name)
+def test_corner_scenarios_match_scalar(spec):
+    _check(cross_validate(spec))
+
+
+def test_headline_measurements_match_scalar():
+    """RunResult parity beyond waveforms: losses, efficiency, cycles."""
+    cv = cross_validate(ScenarioSpec("xval[results]", overrides={
+        "controller": "async", "l_uh": 4.7, "r_load": 6.0,
+        "sim_time": 2 * US, "dt": 1 * NS}))
+    s, v = cv.result_scalar, cv.result_vector
+    assert v.v_final == pytest.approx(s.v_final, abs=1e-9)
+    assert v.peak_coil_current == pytest.approx(s.peak_coil_current, abs=1e-9)
+    assert v.ripple == pytest.approx(s.ripple, abs=1e-9)
+    assert v.coil_loss_w == pytest.approx(s.coil_loss_w, rel=1e-9)
+    assert v.efficiency == pytest.approx(s.efficiency, rel=1e-9)
+    assert v.cycles == s.cycles
+    assert v.ov_events == s.ov_events
+    assert v.metastable_events == s.metastable_events

@@ -1,0 +1,141 @@
+"""Unit tests for ScenarioSpec / Sweep (parameter-space builders)."""
+
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    Sweep,
+    choice,
+    lane_seed,
+    log_uniform,
+    uniform,
+)
+from repro.sim import NS, UH
+
+
+class TestScenarioSpec:
+    def test_pseudo_keys_expand(self):
+        spec = ScenarioSpec("s", overrides={"r_load": 9.0, "l_uh": 2.25,
+                                            "pmin": 5 * NS, "nmin": 7 * NS})
+        cfg = spec.to_config()
+        assert cfg.load.resistance(0.0) == 9.0
+        assert cfg.coil.inductance == pytest.approx(2.25 * UH)
+        assert cfg.params.pmin == 5 * NS
+        assert cfg.params.nmin == 7 * NS
+        assert cfg.params.pext == 40 * NS   # untouched default
+
+    def test_param_keys_do_not_override_explicit_params(self):
+        from repro.control import BuckControlParams
+        params = BuckControlParams(pmin=9 * NS)
+        spec = ScenarioSpec("s", overrides={"pmin": 1 * NS, "params": params})
+        assert spec.to_config().params.pmin == 9 * NS
+
+    def test_extras_are_carried_but_ignored(self):
+        spec = ScenarioSpec("s", overrides={"x_condition": "OC",
+                                            "controller": "async"})
+        cfg = spec.to_config()
+        assert cfg.controller == "async"
+        assert spec.overrides["x_condition"] == "OC"
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown override keys"):
+            ScenarioSpec("s", overrides={"frequnecy": 1e6})
+
+    def test_seed_overrides_config_seed(self):
+        spec = ScenarioSpec("s", overrides={}, seed=77)
+        assert spec.to_config().seed == 77
+
+    def test_defaults_sit_below_overrides(self):
+        spec = ScenarioSpec("s", overrides={"sim_time": 1e-6})
+        cfg = spec.to_config(sim_time=9e-6, n_phases=2)
+        assert cfg.sim_time == 1e-6
+        assert cfg.n_phases == 2
+
+
+class TestSweepGrid:
+    def test_cartesian_order_last_axis_fastest(self):
+        sweep = Sweep(name="g").grid(sim_time=[1e-6, 2e-6], seed=[1, 2])
+        got = [(s.overrides["sim_time"], s.overrides["seed"])
+               for s in sweep.specs()]
+        assert got == [(1e-6, 1), (1e-6, 2), (2e-6, 1), (2e-6, 2)]
+
+    def test_labelled_mapping_axis_merges(self):
+        sweep = Sweep(name="g").grid(
+            ctrl=[("ASYNC", {"controller": "async"}),
+                  ("333MHz", {"controller": "sync", "fsm_frequency": 333e6})])
+        specs = sweep.specs()
+        assert specs[0].overrides["controller"] == "async"
+        assert specs[1].overrides["fsm_frequency"] == 333e6
+        assert "ctrl=ASYNC" in specs[0].name
+        assert "ctrl=333MHz" in specs[1].name
+
+    def test_base_applies_to_every_point(self):
+        sweep = Sweep(base={"n_phases": 2}, name="g").grid(seed=[1, 2])
+        assert all(s.overrides["n_phases"] == 2 for s in sweep.specs())
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep().grid(seed=[])
+
+    def test_chaining_appends_blocks(self):
+        sweep = (Sweep(name="g").grid(seed=[1]).grid(seed=[2, 3]))
+        assert len(sweep) == 3
+        assert [s.overrides["seed"] for s in sweep.specs()] == [1, 2, 3]
+
+    def test_base_only_sweep_yields_one_spec(self):
+        specs = Sweep(base={"controller": "async"}).specs()
+        assert len(specs) == 1
+        assert specs[0].overrides["controller"] == "async"
+
+
+class TestSweepRandom:
+    def test_draws_are_deterministic(self):
+        def build():
+            return (Sweep(seed=11, name="r")
+                    .random(6, l_uh=log_uniform(1.0, 10.0),
+                            r_load=uniform(3.0, 15.0),
+                            controller=choice(["async", "sync"]))).specs()
+        a, b = build(), build()
+        assert [s.overrides for s in a] == [s.overrides for s in b]
+        assert [s.seed for s in a] == [s.seed for s in b]
+
+    def test_lane_seeds_are_stable_under_extension(self):
+        short = Sweep(seed=3, name="r").random(4, r_load=uniform(3, 15)).specs()
+        longer = Sweep(seed=3, name="r").random(8, r_load=uniform(3, 15)).specs()
+        assert [s.overrides["r_load"] for s in short] == \
+            [s.overrides["r_load"] for s in longer[:4]]
+
+    def test_different_master_seeds_differ(self):
+        a = Sweep(seed=1).random(4, r_load=uniform(3, 15)).specs()
+        b = Sweep(seed=2).random(4, r_load=uniform(3, 15)).specs()
+        assert [s.overrides["r_load"] for s in a] != \
+            [s.overrides["r_load"] for s in b]
+
+    def test_callable_draw(self):
+        specs = Sweep(seed=5).random(3, v_in=lambda rng: 4.0 + rng.random()
+                                     ).specs()
+        assert all(4.0 <= s.overrides["v_in"] <= 5.0 for s in specs)
+
+    def test_bad_draw_type_rejected(self):
+        with pytest.raises(TypeError):
+            Sweep().random(2, r_load=6.0)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            log_uniform(0.0, 1.0)
+        with pytest.raises(ValueError):
+            choice([])
+        with pytest.raises(ValueError):
+            Sweep().random(0, r_load=uniform(1, 2))
+
+
+class TestLaneSeed:
+    def test_spread_and_stability(self):
+        seeds = [lane_seed(42, i) for i in range(100)]
+        assert len(set(seeds)) == 100          # well spread
+        assert seeds == [lane_seed(42, i) for i in range(100)]  # stable
+        assert all(0 <= s < 2 ** 31 for s in seeds)
+
+    def test_master_seed_mixes(self):
+        assert lane_seed(1, 0) != lane_seed(2, 0)
