@@ -24,9 +24,14 @@ import pytest
 
 from repro.experiments.report import format_table
 from repro.scenarios import Sweep, run_sweep
+from repro.scenarios.parallel import workers_from_env
 from repro.sim import NS, US
 
 pytestmark = pytest.mark.bench
+
+#: shard the ablation sweeps across processes (0/unset: inline); the
+#: keep=True PEXT study stays inline — live handles cannot cross the pool
+WORKERS = workers_from_env()
 
 #: sync-vs-async controller axis used by the ablation grids
 ASYNC_100MHZ = [
@@ -47,7 +52,7 @@ def test_ablation_pmin_masks_latency_benefit(benchmark):
     def study():
         sweep = (Sweep(base=_base(nmin=3 * NS), name="pmin")
                  .grid(pmin=[2 * NS, 20 * NS], ctrl=ASYNC_100MHZ))
-        points = run_sweep(sweep, track_energy=False)
+        points = run_sweep(sweep, track_energy=False, workers=WORKERS)
         rows = {}
         for i, pmin_ns in enumerate((2, 20)):
             rows[pmin_ns] = {
@@ -104,7 +109,8 @@ def test_ablation_a2a_contains_noise(benchmark):
                  .grid(ctrl=[("async", {"controller": "async"}),
                              ("sync", {"controller": "sync",
                                        "fsm_frequency": 333e6})]))
-        points = run_sweep(sweep)   # raises ShortCircuitError on violation
+        # raises ShortCircuitError on violation
+        points = run_sweep(sweep, workers=WORKERS)
         return {
             point.config.controller: {
                 "metastable": point.result.metastable_events,
@@ -130,7 +136,7 @@ def test_ablation_token_dwell(benchmark):
     def study():
         sweep = (Sweep(base=_base(l_uh=4.7, controller="async"), name="dwell")
                  .grid(phase_dwell=[75 * NS, 150 * NS, 300 * NS]))
-        points = run_sweep(sweep, track_energy=False)
+        points = run_sweep(sweep, track_energy=False, workers=WORKERS)
         out = {}
         for dwell_ns, point in zip((75, 150, 300), points):
             result = point.result

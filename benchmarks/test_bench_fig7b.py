@@ -8,13 +8,18 @@ stays the lowest across 3-15 Ohm.
 import pytest
 
 from repro.experiments import run_fig7b
+from repro.scenarios.parallel import workers_from_env
 
 
 pytestmark = pytest.mark.bench
 
+#: shard the measurement sweep across processes (0/unset: inline)
+WORKERS = workers_from_env()
+
 @pytest.mark.benchmark(group="fig7")
 def test_fig7b_peak_vs_load(benchmark):
-    result = benchmark.pedantic(run_fig7b, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_fig7b, kwargs={"workers": WORKERS},
+                                rounds=1, iterations=1)
     print()
     print(result.format())
     print(result.chart())

@@ -9,13 +9,17 @@ the async controller affords the smallest coil.
 import pytest
 
 from repro.experiments import coil_tradeoff, run_fig7a, run_fig7c
+from repro.scenarios.parallel import workers_from_env
 
 
 pytestmark = pytest.mark.bench
 
+#: shard the measurement sweep across processes (0/unset: inline)
+WORKERS = workers_from_env()
+
 @pytest.mark.benchmark(group="fig7")
 def test_fig7c_losses_vs_inductance(benchmark):
-    result = benchmark.pedantic(run_fig7c, kwargs={"quick": False},
+    result = benchmark.pedantic(run_fig7c, kwargs={"quick": False, "workers": WORKERS},
                                 rounds=1, iterations=1)
     print()
     print(result.format(y_format="{:.0f}"))

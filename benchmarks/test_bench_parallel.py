@@ -1,0 +1,65 @@
+"""Bench: process-sharded ``run_sweep`` vs the inline vectorized path.
+
+A 64-scenario async sweep (coil x load x PMIN grid over the Fig. 7
+ranges) executed twice through the vectorized backend — once inline
+(one process, one batch) and once sharded across a worker pool — and
+the two wall-clock times are recorded side by side.
+
+The sharded results must be bit-identical to the inline run (that part
+asserts unconditionally).  The speedup itself is informational: it
+scales with the host's core count (a single-core runner pays the fork
+and re-batching overhead for no gain), so no wall-clock floor gates
+here even under ``REPRO_REQUIRE_SPEEDUP``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.scenarios import Sweep, run_sweep
+from repro.sim import NS, US
+
+pytestmark = pytest.mark.bench
+
+#: worker count for the sharded pass (at least 2 so sharding is real)
+WORKERS = max(2, min(8, os.cpu_count() or 1))
+
+
+def _sweep64() -> Sweep:
+    return (Sweep(base={"controller": "async", "n_phases": 4,
+                        "sim_time": 4 * US, "dt": 1 * NS, "seed": 0},
+                  name="par64")
+            .grid(l_uh=[1.0, 2.25, 3.1, 4.7, 5.7, 6.8, 8.2, 10.0],
+                  r_load=[3.0, 6.0, 9.0, 15.0],
+                  pmin=[2 * NS, 20 * NS]))
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_sharded_sweep_records_speedup(benchmark):
+    specs = _sweep64().specs()
+    assert len(specs) == 64
+
+    def run_both():
+        t0 = time.perf_counter()
+        inline_points = run_sweep(specs, track_energy=False)
+        t_inline = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sharded_points = run_sweep(specs, track_energy=False,
+                                   workers=WORKERS)
+        t_sharded = time.perf_counter() - t0
+        return t_inline, t_sharded, inline_points, sharded_points
+
+    t_inline, t_sharded, inline_points, sharded_points = \
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"64-scenario sweep: inline {t_inline:.2f} s, "
+          f"sharded ({WORKERS} workers) {t_sharded:.2f} s "
+          f"-> {t_inline / t_sharded:.2f}x "
+          f"({os.cpu_count()} cores available)")
+
+    # sharding must never change a single number
+    assert [p.spec.name for p in sharded_points] == \
+        [p.spec.name for p in inline_points]
+    for inline, sharded in zip(inline_points, sharded_points):
+        assert sharded.result == inline.result, inline.spec.name

@@ -17,8 +17,14 @@ to the scalar solver with noiseless sensors).
 Both backends are timed in the same process, back to back, and the
 vectorized side is timed best-of-two so a transient load spike on the CI
 machine cannot sink the ratio.
+
+The vector/scalar exact-peak-equality assertion is unconditional.  The
+>=5x wall-clock assertion is machine-dependent, so it only *gates* when
+``REPRO_REQUIRE_SPEEDUP=1`` is set (the non-blocking CI bench job);
+otherwise the measured ratio is recorded but never fails the run.
 """
 
+import os
 import time
 
 import pytest
@@ -29,6 +35,9 @@ from repro.sim import NS, US
 pytestmark = pytest.mark.bench
 
 SPEEDUP_FLOOR = 5.0
+
+#: wall-clock assertions gate only where the environment opts in
+REQUIRE_SPEEDUP = os.environ.get("REPRO_REQUIRE_SPEEDUP") == "1"
 
 
 def _ablation_sweep() -> Sweep:
@@ -64,7 +73,7 @@ def test_batched_sweep_speedup(benchmark):
     print()
     print(f"32-scenario ablation sweep: vectorized {t_vector:.2f} s, "
           f"sequential scalar {t_scalar:.2f} s -> {speedup:.2f}x")
-    if speedup < SPEEDUP_FLOOR:
+    if REQUIRE_SPEEDUP and speedup < SPEEDUP_FLOOR:
         # one retry: a transient load spike on a shared machine hits the
         # short vectorized runs much harder than the long scalar pass
         t_vector, t_scalar, vector_points, scalar_points = run_both()
@@ -76,6 +85,7 @@ def test_batched_sweep_speedup(benchmark):
     worst = max(abs(v.result.peak_coil_current - s.result.peak_coil_current)
                 for v, s in zip(vector_points, scalar_points))
     assert worst == 0.0, f"vector/scalar peak mismatch: {worst}"
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"batched engine only {speedup:.2f}x faster than sequential "
-        f"scalar runs (required {SPEEDUP_FLOOR}x)")
+    if REQUIRE_SPEEDUP:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"batched engine only {speedup:.2f}x faster than sequential "
+            f"scalar runs (required {SPEEDUP_FLOOR}x)")

@@ -9,14 +9,20 @@ Two sweeps through the batched scenario engine:
    per lane from seeded distributions, answering "how bad can the peak
    current get across component spread?".
 
-Run:  python examples/sweep.py
+Both sweeps accept ``--workers N`` to shard their batches across worker
+processes (``repro.scenarios.parallel``) — results are bit-identical to
+the inline run, just reassembled from the pool.
+
+Run:  python examples/sweep.py [--workers N]
 """
+
+import argparse
 
 from repro.scenarios import Sweep, log_uniform, run_sweep, uniform
 from repro.sim import NS, US, fmt_si
 
 
-def grid_demo() -> None:
+def grid_demo(workers=None) -> None:
     sweep = (Sweep(base={"n_phases": 4, "r_load": 6.0, "sim_time": 10 * US,
                          "dt": 1 * NS},
                    name="mini-fig7a")
@@ -24,7 +30,7 @@ def grid_demo() -> None:
                          ("333MHz", {"controller": "sync",
                                      "fsm_frequency": 333e6})],
                    l_uh=[1.0, 4.7, 10.0]))
-    points = run_sweep(sweep, track_energy=False)
+    points = run_sweep(sweep, track_energy=False, workers=workers)
 
     print("grid sweep: peak coil current (controller x inductance)")
     for point in points:
@@ -33,14 +39,14 @@ def grid_demo() -> None:
     print()
 
 
-def random_demo() -> None:
+def random_demo(workers=None) -> None:
     sweep = (Sweep(base={"controller": "async", "n_phases": 4,
                          "sim_time": 10 * US, "dt": 1 * NS},
                    seed=2024, name="tolerance")
              .random(8,
                      l_uh=log_uniform(1.0, 10.0),
                      r_load=uniform(3.0, 15.0)))
-    points = run_sweep(sweep, track_energy=False)
+    points = run_sweep(sweep, track_energy=False, workers=workers)
 
     print("random tolerance study (8 seeded draws, async controller)")
     worst = max(points, key=lambda p: p.result.peak_coil_current)
@@ -56,8 +62,12 @@ def random_demo() -> None:
 
 
 def main() -> None:
-    grid_demo()
-    random_demo()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard sweep batches across N worker processes")
+    args = parser.parse_args()
+    grid_demo(workers=args.workers)
+    random_demo(workers=args.workers)
 
 
 if __name__ == "__main__":

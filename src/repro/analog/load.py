@@ -55,6 +55,11 @@ class LoadProfile:
         the high-load region)."""
         return cls([(0.0, normal), (step_at, heavy), (recover_at, normal)])
 
+    def steps(self) -> List[Tuple[float, float]]:
+        """The ``(start_time, resistance)`` pairs this profile was built
+        from (enough to reconstruct it, e.g. across a process boundary)."""
+        return list(zip(self._times, self._values))
+
     def resistance(self, t: float) -> float:
         """Load resistance at time ``t``; clamped before t=0."""
         if t <= 0:

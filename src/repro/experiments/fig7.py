@@ -95,17 +95,20 @@ def default_l_values(quick: bool = False) -> List[float]:
 
 
 def _sweep_figure(name: str, base: Dict[str, Any], inner_axis,
-                  backend: str, track_energy: bool = True):
+                  backend: str, track_energy: bool = True,
+                  workers: Optional[int] = None):
     """Controller x inner-axis grid through the batched scenario engine.
 
     Returns the results grouped per controller label, inner axis fastest —
     the same nesting the sequential loops used, so series ordering (and,
     with the vectorized backend's bit-matched arithmetic, every number)
-    is unchanged.
+    is unchanged.  ``workers`` shards the grid across processes
+    (bit-identical, see :mod:`repro.scenarios.parallel`).
     """
     sweep = Sweep(base=base, name=name)
     sweep.grid(ctrl=controller_axis(), pt=inner_axis)
-    points = run_sweep(sweep, backend=backend, track_energy=track_energy)
+    points = run_sweep(sweep, backend=backend, track_energy=track_energy,
+                       workers=workers)
     n_inner = len(inner_axis)
     grouped = {}
     for row, (label, _) in enumerate(CONTROLLERS):
@@ -116,7 +119,8 @@ def _sweep_figure(name: str, base: Dict[str, Any], inner_axis,
 
 def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
               seed: int = 0, dt: float = 1 * NS, quick: bool = False,
-              backend: str = "vector") -> SweepResult:
+              backend: str = "vector",
+              workers: Optional[int] = None) -> SweepResult:
     """Fig. 7a: peak inductor current vs. coil inductance at 6 Ohm."""
     l_values = l_values or default_l_values(quick)
     result = SweepResult("Fig. 7a: inductor peak current, "
@@ -125,7 +129,7 @@ def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
     base = {"n_phases": 4, "r_load": r_load, "sim_time": 10 * US,
             "dt": dt, "seed": seed}
     grouped = _sweep_figure("fig7a", base, _coil_axis(l_values), backend,
-                            track_energy=False)
+                            track_energy=False, workers=workers)
     for label, runs in grouped.items():
         result.series[label] = [
             (l / UH, run.peak_coil_current * 1e3)
@@ -136,7 +140,8 @@ def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
 def run_fig7b(r_values: Optional[List[float]] = None,
               inductance: float = 4.7 * UH, seed: int = 0,
               dt: float = 1 * NS, quick: bool = False,
-              backend: str = "vector") -> SweepResult:
+              backend: str = "vector",
+              workers: Optional[int] = None) -> SweepResult:
     """Fig. 7b: peak inductor current vs. load resistance at 4.7 uH."""
     r_values = r_values or ([3.0, 6.0, 15.0] if quick
                             else [3.0, 6.0, 9.0, 12.0, 15.0])
@@ -146,7 +151,8 @@ def run_fig7b(r_values: Optional[List[float]] = None,
     base = {"n_phases": 4, "coil": make_coil(inductance),
             "sim_time": 10 * US, "dt": dt, "seed": seed}
     axis = [(f"{r:g}Ohm", {"r_load": r}) for r in r_values]
-    grouped = _sweep_figure("fig7b", base, axis, backend, track_energy=False)
+    grouped = _sweep_figure("fig7b", base, axis, backend,
+                            track_energy=False, workers=workers)
     for label, runs in grouped.items():
         result.series[label] = [
             (r, run.peak_coil_current * 1e3)
@@ -156,7 +162,8 @@ def run_fig7b(r_values: Optional[List[float]] = None,
 
 def run_fig7c(l_values: Optional[List[float]] = None, r_load: float = 6.0,
               seed: int = 0, dt: float = 1 * NS, quick: bool = False,
-              backend: str = "vector") -> SweepResult:
+              backend: str = "vector",
+              workers: Optional[int] = None) -> SweepResult:
     """Fig. 7c: inductor conduction losses vs. coil inductance at 6 Ohm."""
     l_values = l_values or default_l_values(quick)
     result = SweepResult("Fig. 7c: inductor losses, "
@@ -164,7 +171,8 @@ def run_fig7c(l_values: Optional[List[float]] = None, r_load: float = 6.0,
                          "L (uH)", "losses (uW)")
     base = {"n_phases": 4, "r_load": r_load, "sim_time": 10 * US,
             "dt": dt, "seed": seed}
-    grouped = _sweep_figure("fig7c", base, _coil_axis(l_values), backend)
+    grouped = _sweep_figure("fig7c", base, _coil_axis(l_values), backend,
+                            workers=workers)
     for label, runs in grouped.items():
         result.series[label] = [
             (l / UH, run.coil_loss_w * 1e6)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..metrics.reaction import CONDITIONS, measure_one
+from ..scenarios.parallel import pool_map
 from ..scenarios.spec import Sweep
 from ..sim.units import MHZ, NS
 from .report import format_table
@@ -86,25 +87,41 @@ def _row_sweep(label: str, frequency: Optional[float],
             .grid(x_condition=list(CONDITIONS), x_offset=offsets))
 
 
+def _measure_task(task: Tuple[Optional[float], str, float]) -> float:
+    """One (frequency, condition, offset) measurement — module-level so
+    the process pool can ship it by reference."""
+    frequency, condition, offset = task
+    return measure_one("sync" if frequency is not None else "async",
+                       frequency, condition, offset)
+
+
 def run_table1(n_offsets: int = 8,
-               frequencies: Optional[List[Tuple[str, float]]] = None
-               ) -> Table1Result:
+               frequencies: Optional[List[Tuple[str, float]]] = None,
+               workers: Optional[int] = None) -> Table1Result:
     """Measure the full table.
 
     ``n_offsets`` controls how finely the stimulus phase is swept against
     the synchronous clock (more offsets -> tighter worst case).
+    ``workers`` fans the independent (row, condition, offset)
+    measurements across processes; the worst-case reduction per cell is
+    order-independent, so the table is identical to the inline run.
     """
     result = Table1Result()
     rows = list(frequencies or SYNC_FREQUENCIES) + [("ASYNC", None)]
+    tasks: List[Tuple[Optional[float], str, float]] = []
+    cells: List[Tuple[str, str]] = []
     for label, freq in rows:
-        worst: Dict[str, float] = {}
         for spec in _row_sweep(label, freq, n_offsets).specs():
-            condition = spec.overrides["x_condition"]
-            offset = spec.overrides["x_offset"]
-            latency = measure_one("sync" if freq is not None else "async",
-                                  freq, condition, offset)
-            worst[condition] = max(worst.get(condition, 0.0), latency)
-        result.rows[label] = {c: worst[c] / NS for c in CONDITIONS}
+            tasks.append((freq, spec.overrides["x_condition"],
+                          spec.overrides["x_offset"]))
+            cells.append((label, spec.overrides["x_condition"]))
+    latencies = pool_map(_measure_task, tasks, workers)
+    worst: Dict[str, Dict[str, float]] = {label: {} for label, _ in rows}
+    for (label, condition), latency in zip(cells, latencies):
+        row = worst[label]
+        row[condition] = max(row.get(condition, 0.0), latency)
+    for label, _ in rows:
+        result.rows[label] = {c: worst[label][c] / NS for c in CONDITIONS}
     return result
 
 

@@ -12,7 +12,9 @@ comparator crossings.
 - :mod:`repro.scenarios.spec` — specs, grid/random sweeps, seeding rules;
 - :mod:`repro.scenarios.vector_stage` — the N-lane power-stage arrays;
 - :mod:`repro.scenarios.vector_solver` — lock-step solver + comparators;
-- :mod:`repro.scenarios.engine` — batching, results, cross-validation.
+- :mod:`repro.scenarios.engine` — batching, results, cross-validation;
+- :mod:`repro.scenarios.parallel` — process-pool sharding of batches
+  (``run_sweep(..., workers=N)``), batch planner, picklable work units.
 """
 
 from .engine import (
@@ -24,6 +26,7 @@ from .engine import (
     cross_validate,
     run_sweep,
 )
+from .parallel import BatchPlan, plan_batches, pool_map, run_sweep_parallel
 from .spec import (
     Distribution,
     ScenarioSpec,
@@ -41,6 +44,7 @@ __all__ = [
     "choice", "lane_seed",
     "run_sweep", "SweepPoint", "VectorBatch", "ScenarioLane",
     "cross_validate", "CrossValidation", "EdgeComparison",
+    "BatchPlan", "plan_batches", "pool_map", "run_sweep_parallel",
     "VectorizedPowerStage", "LaneStage", "LanePhase",
     "VectorizedSolver", "VectorComparatorBank", "LaneSensors",
 ]

@@ -20,6 +20,10 @@ Backends
     reference path, used by the cross-validation tests and available as a
     fallback.
 
+Either backend shards across worker processes with ``workers=N``
+(independent batches, reassembled in spec order, bit-identical to the
+inline path — see :mod:`repro.scenarios.parallel`).
+
 :func:`cross_validate` runs one spec through both backends with full
 tracing and reports waveform and comparator-edge deviations; the
 equivalence tests keep these within documented tolerances.
@@ -28,7 +32,7 @@ equivalence tests keep these within documented tolerances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,6 +42,7 @@ from ..control.params import BuckControlParams
 from ..control.sync_controller import SyncMultiphaseController
 from ..sim.core import Simulator
 from ..system import BuckSystem, RunResult, SystemConfig
+from .parallel import plan_batches, run_sweep_parallel
 from .spec import ScenarioSpec, Sweep
 from .vector_solver import LaneSensors, VectorComparatorBank, VectorizedSolver
 from .vector_stage import VectorizedPowerStage
@@ -141,6 +146,14 @@ class VectorBatch:
         """
         duration = duration if duration is not None else self.sim_time
         settle = settle if settle is not None else 0.2 * duration
+        if settle < 0:
+            raise ValueError(f"settle cannot be negative (got {settle:g})")
+        if settle >= duration:
+            raise ValueError(
+                f"settle ({settle:g} s) must be smaller than the run "
+                f"duration ({duration:g} s): the run would overshoot the "
+                f"requested end time and leave a zero-span measurement "
+                f"window")
         solver, stage = self.solver, self.stage
         t0 = solver.now
         loss0 = stage.coil_loss_j.sum(axis=1).copy()
@@ -195,7 +208,9 @@ def _as_specs(specs: Specs) -> List[ScenarioSpec]:
 def run_sweep(specs: Specs, backend: str = "vector",
               defaults: Optional[Mapping[str, Any]] = None,
               settle: Optional[float] = None, trace: bool = False,
-              keep: bool = False, track_energy: bool = True) -> List[SweepPoint]:
+              keep: bool = False, track_energy: bool = True,
+              workers: Optional[int] = None,
+              max_lanes_per_shard: Optional[int] = None) -> List[SweepPoint]:
     """Run every scenario and return one :class:`SweepPoint` per spec.
 
     Parameters
@@ -219,12 +234,45 @@ def run_sweep(specs: Specs, backend: str = "vector",
         Vector backend only: set False to skip energy/loss accumulation
         for sweeps that don't report ``coil_loss_w`` / ``efficiency``
         (waveforms and peaks are unaffected; those two fields read zero).
+    workers:
+        Shard independent batches across this many worker processes
+        (``None``/``0``/``1``: run inline).  Results are bit-identical to
+        the inline path and always returned in spec order.  Incompatible
+        with ``keep=True`` (live handles cannot cross processes); a
+        ``trace=True`` sweep falls back to the inline path for the same
+        reason.
+    max_lanes_per_shard:
+        Cap on lanes per executed batch; oversized lock-step groups are
+        split into chunks of at most this many lanes (per-lane seeding
+        keeps results identical).  Default: even split over ``workers``
+        when sharding, no splitting inline.
     """
     if backend not in ("vector", "scalar"):
         raise ValueError("backend must be 'vector' or 'scalar'")
+    if workers is not None and workers < 0:
+        raise ValueError("workers cannot be negative")
+    parallel = workers is not None and workers > 1
+    if parallel and keep:
+        raise ValueError(
+            "keep=True attaches live lane/system handles, which cannot "
+            "cross process boundaries; run with workers=1 (or workers=None) "
+            "to keep handles")
+    if parallel and trace:
+        # Traced waveforms live in solver buffers on the worker side and
+        # would be discarded with the child process; run inline instead.
+        parallel = False
+
     spec_list = _as_specs(specs)
     defaults = dict(defaults or {})
     configs = [spec.to_config(trace=trace, **defaults) for spec in spec_list]
+
+    if parallel:
+        results = run_sweep_parallel(
+            spec_list, configs, backend=backend, settle=settle,
+            track_energy=track_energy, workers=workers,
+            max_lanes_per_shard=max_lanes_per_shard)
+        return [SweepPoint(spec, cfg, result)
+                for spec, cfg, result in zip(spec_list, configs, results)]
 
     points: List[Optional[SweepPoint]] = [None] * len(spec_list)
     if backend == "scalar":
@@ -235,11 +283,8 @@ def run_sweep(specs: Specs, backend: str = "vector",
                                    system if keep else None)
         return points  # type: ignore[return-value]
 
-    groups: Dict[Tuple, List[int]] = {}
-    for i, cfg in enumerate(configs):
-        key = (cfg.n_phases, cfg.dt, cfg.sim_time, cfg.trace)
-        groups.setdefault(key, []).append(i)
-    for indices in groups.values():
+    for plan in plan_batches(configs, max_lanes_per_shard):
+        indices = plan.indices
         batch = VectorBatch([spec_list[i] for i in indices],
                             [configs[i] for i in indices],
                             track_energy=track_energy)

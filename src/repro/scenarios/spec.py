@@ -109,7 +109,23 @@ class ScenarioSpec:
 
         ``defaults`` are config fields applied below the spec's own
         overrides (sweep-level base settings).
+
+        Raises
+        ------
+        ValueError
+            When overrides conflict: a pseudo-key and the config field it
+            expands to are both given (``l_uh`` vs ``coil``, ``r_load``
+            vs ``load``), or timing pseudo-keys (``pmin``/``nmin``/
+            ``pext``/``phase_dwell``) appear next to an explicit
+            ``params`` — resolving either silently would let dict order
+            pick the winner (or drop the timing keys entirely).
         """
+        for pseudo, target in (("l_uh", "coil"), ("r_load", "load")):
+            if pseudo in self.overrides and target in self.overrides:
+                raise ValueError(
+                    f"spec {self.name!r}: conflicting overrides {pseudo!r} "
+                    f"and {target!r} both set the {target!r} config field; "
+                    f"give exactly one of them")
         fields: Dict[str, Any] = dict(defaults)
         params_kw: Dict[str, Any] = {}
         for key, value in self.overrides.items():
@@ -123,7 +139,15 @@ class ScenarioSpec:
                 params_kw[key] = value
             else:
                 fields[key] = value
-        if params_kw and "params" not in fields:
+        if params_kw:
+            if "params" in fields:
+                where = ("override" if "params" in self.overrides
+                         else "default")
+                raise ValueError(
+                    f"spec {self.name!r}: timing overrides "
+                    f"{sorted(params_kw)} conflict with the explicit "
+                    f"'params' {where}; set the constants on the "
+                    f"BuckControlParams instead")
             fields["params"] = BuckControlParams(**params_kw)
         if self.seed is not None:
             fields["seed"] = self.seed

@@ -120,6 +120,14 @@ class BuckSystem:
         """
         duration = duration if duration is not None else self.config.sim_time
         settle = settle if settle is not None else 0.2 * duration
+        if settle < 0:
+            raise ValueError(f"settle cannot be negative (got {settle:g})")
+        if settle >= duration:
+            raise ValueError(
+                f"settle ({settle:g} s) must be smaller than the run "
+                f"duration ({duration:g} s): the run would overshoot the "
+                f"requested end time and leave a zero-span measurement "
+                f"window")
         t0 = self.sim.now
         loss0 = self.stage.coil_losses_j()
         peak_startup = 0.0

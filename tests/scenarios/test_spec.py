@@ -25,11 +25,14 @@ class TestScenarioSpec:
         assert cfg.params.nmin == 7 * NS
         assert cfg.params.pext == 40 * NS   # untouched default
 
-    def test_param_keys_do_not_override_explicit_params(self):
+    def test_param_keys_next_to_explicit_params_raise(self):
+        # the old behaviour silently dropped the timing pseudo-keys; the
+        # ambiguity is now an error naming the conflicting keys
         from repro.control import BuckControlParams
         params = BuckControlParams(pmin=9 * NS)
         spec = ScenarioSpec("s", overrides={"pmin": 1 * NS, "params": params})
-        assert spec.to_config().params.pmin == 9 * NS
+        with pytest.raises(ValueError, match="pmin"):
+            spec.to_config()
 
     def test_extras_are_carried_but_ignored(self):
         spec = ScenarioSpec("s", overrides={"x_condition": "OC",
