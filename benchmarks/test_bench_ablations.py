@@ -22,16 +22,17 @@ All four studies run through the batched scenario engine
 
 import pytest
 
+from repro import Session, session_from_env
 from repro.experiments.report import format_table
-from repro.scenarios import Sweep, run_sweep
-from repro.scenarios.parallel import workers_from_env
+from repro.scenarios import Sweep
 from repro.sim import NS, US
 
 pytestmark = pytest.mark.bench
 
-#: shard the ablation sweeps across processes (0/unset: inline); the
-#: keep=True PEXT study stays inline — live handles cannot cross the pool
-WORKERS = workers_from_env()
+#: one env-configured session (REPRO_SWEEP_WORKERS / REPRO_CACHE) shared
+#: by the ablation sweeps; the keep=True PEXT study uses its own inline
+#: session — live handles cannot cross the pool
+SESSION = session_from_env()
 
 #: sync-vs-async controller axis used by the ablation grids
 ASYNC_100MHZ = [
@@ -52,7 +53,7 @@ def test_ablation_pmin_masks_latency_benefit(benchmark):
     def study():
         sweep = (Sweep(base=_base(nmin=3 * NS), name="pmin")
                  .grid(pmin=[2 * NS, 20 * NS], ctrl=ASYNC_100MHZ))
-        points = run_sweep(sweep, track_energy=False, workers=WORKERS)
+        points = SESSION.sweep(sweep, track_energy=False)
         rows = {}
         for i, pmin_ns in enumerate((2, 20)):
             rows[pmin_ns] = {
@@ -79,8 +80,8 @@ def test_ablation_pext_first_cycle(benchmark):
         sweep = (Sweep(base=_base(l_uh=4.7, sim_time=4 * US,
                                   controller="async"), name="pext")
                  .grid(pext=[0 * NS, 40 * NS]))
-        points = run_sweep(sweep, settle=0.0, trace=True, keep=True,
-                           track_energy=False)
+        points = Session().sweep(sweep, settle=0.0, trace=True, keep=True,
+                                 track_energy=False)
         out = {}
         for pext_ns, point in zip((0, 40), points):
             hl_edges = point.handle.sensors.hl.output.edges("fall")
@@ -110,7 +111,7 @@ def test_ablation_a2a_contains_noise(benchmark):
                              ("sync", {"controller": "sync",
                                        "fsm_frequency": 333e6})]))
         # raises ShortCircuitError on violation
-        points = run_sweep(sweep, workers=WORKERS)
+        points = SESSION.sweep(sweep)
         return {
             point.config.controller: {
                 "metastable": point.result.metastable_events,
@@ -136,7 +137,7 @@ def test_ablation_token_dwell(benchmark):
     def study():
         sweep = (Sweep(base=_base(l_uh=4.7, controller="async"), name="dwell")
                  .grid(phase_dwell=[75 * NS, 150 * NS, 300 * NS]))
-        points = run_sweep(sweep, track_energy=False, workers=WORKERS)
+        points = SESSION.sweep(sweep, track_energy=False)
         out = {}
         for dwell_ns, point in zip((75, 150, 300), points):
             result = point.result

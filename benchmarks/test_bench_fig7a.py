@@ -15,19 +15,19 @@ from repro.experiments import (
     format_tradeoff,
     run_fig7a,
 )
-from repro.scenarios.parallel import workers_from_env
+from repro import session_from_env
 
 pytestmark = pytest.mark.bench
 
-#: shard the measurement sweep across processes (0/unset: inline)
-WORKERS = workers_from_env()
+#: env-configured session (REPRO_SWEEP_WORKERS / REPRO_CACHE)
+SESSION = session_from_env()
 
 LIMIT_MA = 330.0
 
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7a_peak_vs_inductance(benchmark):
-    result = benchmark.pedantic(run_fig7a, kwargs={"workers": WORKERS},
+    result = benchmark.pedantic(run_fig7a, kwargs={"session": SESSION},
                                 rounds=1, iterations=1)
     print()
     print(result.format())

@@ -8,17 +8,17 @@ stays the lowest across 3-15 Ohm.
 import pytest
 
 from repro.experiments import run_fig7b
-from repro.scenarios.parallel import workers_from_env
+from repro import session_from_env
 
 
 pytestmark = pytest.mark.bench
 
-#: shard the measurement sweep across processes (0/unset: inline)
-WORKERS = workers_from_env()
+#: env-configured session (REPRO_SWEEP_WORKERS / REPRO_CACHE)
+SESSION = session_from_env()
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7b_peak_vs_load(benchmark):
-    result = benchmark.pedantic(run_fig7b, kwargs={"workers": WORKERS},
+    result = benchmark.pedantic(run_fig7b, kwargs={"session": SESSION},
                                 rounds=1, iterations=1)
     print()
     print(result.format())

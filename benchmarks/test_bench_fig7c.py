@@ -9,17 +9,17 @@ the async controller affords the smallest coil.
 import pytest
 
 from repro.experiments import coil_tradeoff, run_fig7a, run_fig7c
-from repro.scenarios.parallel import workers_from_env
+from repro import session_from_env
 
 
 pytestmark = pytest.mark.bench
 
-#: shard the measurement sweep across processes (0/unset: inline)
-WORKERS = workers_from_env()
+#: env-configured session (REPRO_SWEEP_WORKERS / REPRO_CACHE)
+SESSION = session_from_env()
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7c_losses_vs_inductance(benchmark):
-    result = benchmark.pedantic(run_fig7c, kwargs={"quick": False, "workers": WORKERS},
+    result = benchmark.pedantic(run_fig7c, kwargs={"quick": False, "session": SESSION},
                                 rounds=1, iterations=1)
     print()
     print(result.format(y_format="{:.0f}"))
@@ -33,7 +33,7 @@ def test_fig7c_losses_vs_inductance(benchmark):
     # the paper's system-level conclusion: the async controller can run
     # the smallest coil (Fig. 7a trade-off), and the smallest coil has
     # the smallest losses — quantify the combined benefit
-    fig7a = run_fig7a(quick=True)
+    fig7a = run_fig7a(quick=True, session=SESSION)
     tradeoff = coil_tradeoff(fig7a, 330.0)
     loss_at = {label: dict(pts) for label, pts in result.series.items()}
     async_loss = loss_at["ASYNC"][tradeoff["ASYNC"]]

@@ -17,7 +17,8 @@ import time
 
 import pytest
 
-from repro.scenarios import Sweep, run_sweep
+from repro import Session
+from repro.scenarios import Sweep
 from repro.sim import NS, US
 
 pytestmark = pytest.mark.bench
@@ -40,13 +41,15 @@ def test_sharded_sweep_records_speedup(benchmark):
     specs = _sweep64().specs()
     assert len(specs) == 64
 
+    inline_session = Session(cache="off")
+    sharded_session = Session(workers=WORKERS, cache="off")
+
     def run_both():
         t0 = time.perf_counter()
-        inline_points = run_sweep(specs, track_energy=False)
+        inline_points = inline_session.sweep(specs, track_energy=False)
         t_inline = time.perf_counter() - t0
         t0 = time.perf_counter()
-        sharded_points = run_sweep(specs, track_energy=False,
-                                   workers=WORKERS)
+        sharded_points = sharded_session.sweep(specs, track_energy=False)
         t_sharded = time.perf_counter() - t0
         return t_inline, t_sharded, inline_points, sharded_points
 

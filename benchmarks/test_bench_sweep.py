@@ -29,7 +29,8 @@ import time
 
 import pytest
 
-from repro.scenarios import Sweep, run_sweep
+from repro import Session
+from repro.scenarios import Sweep
 from repro.sim import NS, US
 
 pytestmark = pytest.mark.bench
@@ -55,15 +56,17 @@ def test_batched_sweep_speedup(benchmark):
     specs = _ablation_sweep().specs()
     assert len(specs) == 32
 
+    vector_session = Session(backend="vector", cache="off")
+    scalar_session = Session(backend="scalar", cache="off")
+
     def run_both():
         vector_times = []
         for _ in range(2):
             t0 = time.perf_counter()
-            vector_points = run_sweep(specs, backend="vector",
-                                      track_energy=False)
+            vector_points = vector_session.sweep(specs, track_energy=False)
             vector_times.append(time.perf_counter() - t0)
         t0 = time.perf_counter()
-        scalar_points = run_sweep(specs, backend="scalar")
+        scalar_points = scalar_session.sweep(specs)
         scalar_time = time.perf_counter() - t0
         return min(vector_times), scalar_time, vector_points, scalar_points
 

@@ -9,17 +9,17 @@ import pytest
 
 from repro.experiments import PAPER_TABLE1, run_table1
 from repro.metrics.reaction import CONDITIONS
-from repro.scenarios.parallel import workers_from_env
+from repro import session_from_env
 
 
 pytestmark = pytest.mark.bench
 
-#: shard the measurement sweep across processes (0/unset: inline)
-WORKERS = workers_from_env()
+#: env-configured session (REPRO_SWEEP_WORKERS / REPRO_CACHE)
+SESSION = session_from_env()
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_reaction_times(benchmark):
-    result = benchmark.pedantic(run_table1, kwargs={"n_offsets": 6, "workers": WORKERS},
+    result = benchmark.pedantic(run_table1, kwargs={"n_offsets": 6, "session": SESSION},
                                 rounds=1, iterations=1)
     print()
     print(result.format())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Content-addressed result caching: the Fig. 7a quick grid, cold vs hot.
+
+Runs the Fig. 7a quick grid (5 controllers x 4 coils = 20 scenarios)
+twice through two independent :class:`repro.Session` objects sharing one
+cache directory:
+
+- the **cold** pass simulates every lane and writes each result back to
+  the cache, keyed by a canonical hash of (resolved config, measurement
+  knobs, code-version fingerprint);
+- the **hot** pass is served entirely from disk — bit-identical numbers,
+  near-zero wall clock, at any worker count.
+
+Doubles as the CI cache-smoke step: ``--require-hot`` exits non-zero
+unless the hot pass hits >= 90% and reproduces the cold pass exactly.
+
+Run:  python examples/cached_sweep.py [--cache-dir D] [--workers N]
+                                      [--require-hot]
+"""
+
+import argparse
+import sys
+import time
+
+from repro import Session
+from repro.experiments import run_fig7a
+
+HOT_HIT_FLOOR = 0.90
+
+
+def run_pass(label: str, cache_dir: str, workers):
+    session = Session(workers=workers, cache="readwrite",
+                      cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    result = run_fig7a(quick=True, session=session)
+    elapsed = time.perf_counter() - t0
+    stats = session.cache_stats()
+    total = stats["hits"] + stats["misses"]
+    print(f"{label} pass: {elapsed:6.2f} s  "
+          f"{stats['hits']}/{total} served from cache")
+    return result, stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache-dir", default=".repro_cache",
+                        help="cache root shared by both passes")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the grid across N worker processes")
+    parser.add_argument("--require-hot", action="store_true",
+                        help="fail unless the second pass hits >= 90%% "
+                             "and matches the first bit-for-bit")
+    args = parser.parse_args()
+
+    cold, _ = run_pass("cold", args.cache_dir, args.workers)
+    hot, stats = run_pass("hot ", args.cache_dir, args.workers)
+
+    identical = cold.series == hot.series
+    total = stats["hits"] + stats["misses"]
+    hit_rate = stats["hits"] / total if total else 0.0
+    print(f"hot pass hit rate: {hit_rate:.0%}; "
+          f"series bit-identical: {identical}")
+
+    if args.require_hot and (hit_rate < HOT_HIT_FLOOR or not identical):
+        print(f"FAIL: expected >= {HOT_HIT_FLOOR:.0%} hits and identical "
+              f"series", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ Run:  python examples/coil_selection.py [--full]
 
 import sys
 
+from repro import Session
 from repro.experiments import (
     coil_tradeoff,
     format_tradeoff,
@@ -25,8 +26,11 @@ PEAK_BUDGET_MA = 330.0
 
 def main() -> None:
     quick = "--full" not in sys.argv
+    # one cached session for both figures: re-running this study (or any
+    # other fig7 grid over the same points) is served from .repro_cache/
+    session = Session(cache="readwrite")
     print(f"sweeping the coil catalogue ({'quick' if quick else 'full'})...")
-    fig7a = run_fig7a(quick=quick)
+    fig7a = run_fig7a(quick=quick, session=session)
     print()
     print(fig7a.format())
     print()
@@ -34,7 +38,7 @@ def main() -> None:
     print(format_tradeoff(tradeoff, PEAK_BUDGET_MA))
 
     print("\n...and what those coils cost in conduction losses:")
-    fig7c = run_fig7c(quick=quick)
+    fig7c = run_fig7c(quick=quick, session=session)
     loss_at = {label: dict(pts) for label, pts in fig7c.series.items()}
     for label in ("ASYNC", "333MHz", "100MHz"):
         coil_uh = tradeoff[label]

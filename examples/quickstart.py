@@ -2,21 +2,26 @@
 """Quickstart: simulate an asynchronously-controlled 4-phase buck.
 
 Builds the paper's system with default parameters (5 V -> 3.3 V, 6 Ohm
-load with a high-load step), runs 10 us of co-simulation, and prints the
-headline measurements plus an ASCII view of the output voltage.
+load with a high-load step) through the :class:`repro.Session` front
+door, runs 10 us of co-simulation, and prints the headline measurements
+plus an ASCII view of the output voltage.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import BuckSystem, SystemConfig
+from repro import ScenarioSpec, Session
 from repro.metrics import ascii_waveform
 from repro.sim import US, fmt_si
 
 
 def main() -> None:
-    config = SystemConfig(controller="async", sim_time=10 * US, trace=True)
-    system = BuckSystem(config)
-    result = system.run()
+    # scalar backend + keep=True: one live BuckSystem handle for the
+    # waveform view (swap to the default vector backend for sweeps)
+    session = Session(backend="scalar")
+    spec = ScenarioSpec("quickstart", overrides={"controller": "async",
+                                                 "sim_time": 10 * US})
+    [point] = session.sweep([spec], trace=True, keep=True)
+    result, system = point.result, point.handle
 
     print("asynchronous 4-phase buck, 10 us run")
     print(f"  final output voltage : {result.v_final:.3f} V")

@@ -9,13 +9,15 @@ to capture the worst case.
 Run:  python examples/reaction_latency.py
 """
 
+from repro import session_from_env
 from repro.experiments import PAPER_TABLE1, run_table1
 from repro.metrics.reaction import CONDITIONS
 
 
 def main() -> None:
     print("measuring reaction latencies (stimulus swept against clock)...")
-    result = run_table1(n_offsets=8)
+    # REPRO_SWEEP_WORKERS shards the (row, condition, offset) grid
+    result = run_table1(n_offsets=8, session=session_from_env())
     print()
     print(result.format())
 

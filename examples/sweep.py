@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Batched scenario sweeps: grids and random tolerance studies.
 
-Two sweeps through the batched scenario engine:
+Two sweeps through the :class:`repro.Session` front door:
 
 1. a controller-vs-coil *grid* (a miniature Fig. 7a) — every combination
    runs as one vectorized batch instead of sequential simulations;
@@ -9,20 +9,22 @@ Two sweeps through the batched scenario engine:
    per lane from seeded distributions, answering "how bad can the peak
    current get across component spread?".
 
-Both sweeps accept ``--workers N`` to shard their batches across worker
-processes (``repro.scenarios.parallel``) — results are bit-identical to
-the inline run, just reassembled from the pool.
+``--workers N`` shards the batches across worker processes and
+``--cache`` turns on the content-addressed result cache (re-running this
+script then serves every lane from ``.repro_cache/``, bit-identical) —
+both are Session policies, not per-sweep knobs.
 
-Run:  python examples/sweep.py [--workers N]
+Run:  python examples/sweep.py [--workers N] [--cache]
 """
 
 import argparse
 
-from repro.scenarios import Sweep, log_uniform, run_sweep, uniform
+from repro import Session
+from repro.scenarios import Sweep, log_uniform, uniform
 from repro.sim import NS, US, fmt_si
 
 
-def grid_demo(workers=None) -> None:
+def grid_demo(session: Session) -> None:
     sweep = (Sweep(base={"n_phases": 4, "r_load": 6.0, "sim_time": 10 * US,
                          "dt": 1 * NS},
                    name="mini-fig7a")
@@ -30,7 +32,7 @@ def grid_demo(workers=None) -> None:
                          ("333MHz", {"controller": "sync",
                                      "fsm_frequency": 333e6})],
                    l_uh=[1.0, 4.7, 10.0]))
-    points = run_sweep(sweep, track_energy=False, workers=workers)
+    points = session.sweep(sweep, track_energy=False)
 
     print("grid sweep: peak coil current (controller x inductance)")
     for point in points:
@@ -39,14 +41,14 @@ def grid_demo(workers=None) -> None:
     print()
 
 
-def random_demo(workers=None) -> None:
+def random_demo(session: Session) -> None:
     sweep = (Sweep(base={"controller": "async", "n_phases": 4,
                          "sim_time": 10 * US, "dt": 1 * NS},
                    seed=2024, name="tolerance")
              .random(8,
                      l_uh=log_uniform(1.0, 10.0),
                      r_load=uniform(3.0, 15.0)))
-    points = run_sweep(sweep, track_energy=False, workers=workers)
+    points = session.sweep(sweep, track_energy=False)
 
     print("random tolerance study (8 seeded draws, async controller)")
     worst = max(points, key=lambda p: p.result.peak_coil_current)
@@ -65,9 +67,18 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=None,
                         help="shard sweep batches across N worker processes")
+    parser.add_argument("--cache", action="store_true",
+                        help="serve repeats from the .repro_cache/ result "
+                             "cache")
     args = parser.parse_args()
-    grid_demo(workers=args.workers)
-    random_demo(workers=args.workers)
+    session = Session(workers=args.workers,
+                      cache="readwrite" if args.cache else "off")
+    grid_demo(session)
+    random_demo(session)
+    if args.cache:
+        stats = session.cache_stats()
+        print(f"cache: {stats['hits']} hits / {stats['misses']} misses "
+              f"under {stats['root']}")
 
 
 if __name__ == "__main__":

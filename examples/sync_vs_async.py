@@ -11,13 +11,14 @@ Run:  python examples/sync_vs_async.py [--vcd]
 
 import sys
 
+from repro import Session
 from repro.experiments import run_fig6
 from repro.experiments.fig6 import export_vcd, render_waveforms
 
 
 def main() -> None:
     print("running the Fig. 6 scenario for both controllers...")
-    result = run_fig6(keep_systems=True)
+    result = run_fig6(keep_systems=True, session=Session(backend="scalar"))
     print()
     print(result.format())
     for run in result.runs:

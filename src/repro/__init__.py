@@ -11,11 +11,36 @@ Layers (see DESIGN.md):
 - :mod:`repro.control` — the synchronous and asynchronous controllers;
 - :mod:`repro.metrics` — waveform and reaction-time measurements;
 - :mod:`repro.experiments` — Table I / Fig. 6 / Fig. 7 reproduction;
-- :mod:`repro.system` — :class:`BuckSystem`, the assembled co-simulation.
+- :mod:`repro.system` — :class:`BuckSystem`, the assembled co-simulation;
+- :mod:`repro.session` — :class:`Session`, the unified front door
+  (backend selection, worker sharding, content-addressed result cache).
 """
+
+from importlib import import_module
 
 from .system import BuckSystem, RunResult, SystemConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["BuckSystem", "SystemConfig", "RunResult", "__version__"]
+#: lazily re-exported names (PEP 562): keeps ``import repro`` free of the
+#: NumPy-backed scenario/session machinery until it is actually used
+_LAZY_EXPORTS = {
+    "Session": ".session",
+    "ResultCache": ".session",
+    "default_session": ".session",
+    "set_default_session": ".session",
+    "session_from_env": ".session",
+    "ScenarioSpec": ".scenarios",
+    "Sweep": ".scenarios",
+    "run_sweep": ".scenarios",
+}
+
+__all__ = ["BuckSystem", "SystemConfig", "RunResult", "__version__",
+           *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(module, __name__), name)

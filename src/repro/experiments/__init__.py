@@ -11,7 +11,8 @@ from .fig7 import (
     run_fig7b,
     run_fig7c,
 )
-from .report import ascii_chart, format_series_table, format_table
+from .report import (ascii_chart, format_series_table, format_table,
+                     format_value_grid)
 from .stg_verif import StgVerifResult, run_stg_verification
 from .table1 import PAPER_TABLE1, Table1Result, run_table1
 
@@ -21,5 +22,6 @@ __all__ = [
     "run_fig7a", "run_fig7b", "run_fig7c", "SweepResult", "CONTROLLERS",
     "coil_tradeoff", "format_tradeoff", "PAPER_FIG7A_TRADEOFF_UH",
     "run_stg_verification", "StgVerifResult",
-    "format_table", "format_series_table", "ascii_chart",
+    "format_table", "format_series_table", "format_value_grid",
+    "ascii_chart",
 ]

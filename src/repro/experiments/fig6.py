@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analog.load import LoadProfile
 from ..metrics.waveform import ascii_waveform, edge_count, ripple
+from ..session import Session, default_session
 from ..sim.units import MHZ, NS, UH, US
 from ..sim.vcd import dump_vcd
 from ..system import BuckSystem, SystemConfig
@@ -67,10 +68,16 @@ def _fig6_config(controller: str, fsm_frequency: float, seed: int) -> SystemConf
 
 
 def run_one(controller: str, fsm_frequency: float = 333 * MHZ,
-            seed: int = 0, keep_system: bool = False) -> Fig6Run:
-    """Run the Fig. 6 scenario for one controller and measure it."""
+            seed: int = 0, keep_system: bool = False,
+            session: Optional[Session] = None) -> Fig6Run:
+    """Run the Fig. 6 scenario for one controller and measure it.
+
+    Waveform-level: the session builds a live traced system (never
+    cached — the windowed measurements below need the probes).
+    """
+    session = session or default_session()
     config = _fig6_config(controller, fsm_frequency, seed)
-    system = BuckSystem(config)
+    system = session.build(config)
     system.sim.run_until(config.sim_time)
 
     vp = system.solver.v_probe
@@ -133,11 +140,12 @@ class Fig6Result:
 
 
 def run_fig6(fsm_frequency: float = 333 * MHZ, seed: int = 0,
-             keep_systems: bool = False) -> Fig6Result:
+             keep_systems: bool = False,
+             session: Optional[Session] = None) -> Fig6Result:
     """Run both controllers through the Fig. 6 scenario."""
     return Fig6Result([
-        run_one("sync", fsm_frequency, seed, keep_systems),
-        run_one("async", fsm_frequency, seed, keep_systems),
+        run_one("sync", fsm_frequency, seed, keep_systems, session=session),
+        run_one("async", fsm_frequency, seed, keep_systems, session=session),
     ])
 
 

@@ -17,8 +17,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..analog.coil import library_values, make_coil, smallest_coil_for_peak
-from ..scenarios.engine import run_sweep
 from ..scenarios.spec import Sweep
+from ..session import Session, default_session
 from ..sim.units import MHZ, NS, UH, US
 from .report import Series, ascii_chart, format_series_table
 
@@ -95,20 +95,18 @@ def default_l_values(quick: bool = False) -> List[float]:
 
 
 def _sweep_figure(name: str, base: Dict[str, Any], inner_axis,
-                  backend: str, track_energy: bool = True,
-                  workers: Optional[int] = None):
-    """Controller x inner-axis grid through the batched scenario engine.
+                  session: Session, track_energy: bool = True):
+    """Controller x inner-axis grid through the session's sweep engine.
 
     Returns the results grouped per controller label, inner axis fastest —
     the same nesting the sequential loops used, so series ordering (and,
     with the vectorized backend's bit-matched arithmetic, every number)
-    is unchanged.  ``workers`` shards the grid across processes
-    (bit-identical, see :mod:`repro.scenarios.parallel`).
+    is unchanged.  The session supplies backend, worker sharding, and the
+    result cache (a re-run of the same grid is served from cache).
     """
     sweep = Sweep(base=base, name=name)
     sweep.grid(ctrl=controller_axis(), pt=inner_axis)
-    points = run_sweep(sweep, backend=backend, track_energy=track_energy,
-                       workers=workers)
+    points = session.sweep(sweep, track_energy=track_energy)
     n_inner = len(inner_axis)
     grouped = {}
     for row, (label, _) in enumerate(CONTROLLERS):
@@ -119,17 +117,17 @@ def _sweep_figure(name: str, base: Dict[str, Any], inner_axis,
 
 def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
               seed: int = 0, dt: float = 1 * NS, quick: bool = False,
-              backend: str = "vector",
-              workers: Optional[int] = None) -> SweepResult:
+              session: Optional[Session] = None) -> SweepResult:
     """Fig. 7a: peak inductor current vs. coil inductance at 6 Ohm."""
+    session = session or default_session()
     l_values = l_values or default_l_values(quick)
     result = SweepResult("Fig. 7a: inductor peak current, "
                          f"{r_load:g} Ohm load",
                          "L (uH)", "peak current (mA)")
     base = {"n_phases": 4, "r_load": r_load, "sim_time": 10 * US,
             "dt": dt, "seed": seed}
-    grouped = _sweep_figure("fig7a", base, _coil_axis(l_values), backend,
-                            track_energy=False, workers=workers)
+    grouped = _sweep_figure("fig7a", base, _coil_axis(l_values), session,
+                            track_energy=False)
     for label, runs in grouped.items():
         result.series[label] = [
             (l / UH, run.peak_coil_current * 1e3)
@@ -140,9 +138,9 @@ def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
 def run_fig7b(r_values: Optional[List[float]] = None,
               inductance: float = 4.7 * UH, seed: int = 0,
               dt: float = 1 * NS, quick: bool = False,
-              backend: str = "vector",
-              workers: Optional[int] = None) -> SweepResult:
+              session: Optional[Session] = None) -> SweepResult:
     """Fig. 7b: peak inductor current vs. load resistance at 4.7 uH."""
+    session = session or default_session()
     r_values = r_values or ([3.0, 6.0, 15.0] if quick
                             else [3.0, 6.0, 9.0, 12.0, 15.0])
     result = SweepResult("Fig. 7b: inductor peak current, "
@@ -151,8 +149,8 @@ def run_fig7b(r_values: Optional[List[float]] = None,
     base = {"n_phases": 4, "coil": make_coil(inductance),
             "sim_time": 10 * US, "dt": dt, "seed": seed}
     axis = [(f"{r:g}Ohm", {"r_load": r}) for r in r_values]
-    grouped = _sweep_figure("fig7b", base, axis, backend,
-                            track_energy=False, workers=workers)
+    grouped = _sweep_figure("fig7b", base, axis, session,
+                            track_energy=False)
     for label, runs in grouped.items():
         result.series[label] = [
             (r, run.peak_coil_current * 1e3)
@@ -162,17 +160,16 @@ def run_fig7b(r_values: Optional[List[float]] = None,
 
 def run_fig7c(l_values: Optional[List[float]] = None, r_load: float = 6.0,
               seed: int = 0, dt: float = 1 * NS, quick: bool = False,
-              backend: str = "vector",
-              workers: Optional[int] = None) -> SweepResult:
+              session: Optional[Session] = None) -> SweepResult:
     """Fig. 7c: inductor conduction losses vs. coil inductance at 6 Ohm."""
+    session = session or default_session()
     l_values = l_values or default_l_values(quick)
     result = SweepResult("Fig. 7c: inductor losses, "
                          f"{r_load:g} Ohm load",
                          "L (uH)", "losses (uW)")
     base = {"n_phases": 4, "r_load": r_load, "sim_time": 10 * US,
             "dt": dt, "seed": seed}
-    grouped = _sweep_figure("fig7c", base, _coil_axis(l_values), backend,
-                            workers=workers)
+    grouped = _sweep_figure("fig7c", base, _coil_axis(l_values), session)
     for label, runs in grouped.items():
         result.series[label] = [
             (l / UH, run.coil_loss_w * 1e6)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 Series = Dict[str, List[Tuple[float, float]]]
 
@@ -22,21 +22,42 @@ def format_table(title: str, header: Sequence[str],
     return "\n".join(lines)
 
 
+def format_value_grid(title: str, corner: str, col_keys: Sequence,
+                      rows: Sequence[Tuple[str, Dict]],
+                      fmt: str = "{:.2f}",
+                      col_headers: Optional[Sequence[str]] = None,
+                      footers: Sequence[Sequence[str]] = ()) -> str:
+    """The shared measurement-table shape: one label per row, one
+    ``fmt``-formatted value cell per column.
+
+    ``rows`` maps each row label to a ``{col_key: value}`` dict; missing
+    or ``None`` cells render ``-``.  ``col_headers`` overrides the
+    printed column titles (defaults to the keys); ``footers`` are
+    preformatted extra rows appended below (summary/ratio lines).
+
+    Both the figure-style series tables (:func:`format_series_table`)
+    and the Table I renderer build on this.
+    """
+    headers = ([str(k) for k in col_keys] if col_headers is None
+               else list(col_headers))
+    body = []
+    for label, cells in rows:
+        body.append([label] + ["-" if cells.get(key) is None
+                               else fmt.format(cells[key])
+                               for key in col_keys])
+    body.extend(list(footer) for footer in footers)
+    return format_table(title, [corner] + headers, body)
+
+
 def format_series_table(title: str, x_label: str, x_format: str,
                         y_format: str, series: Series) -> str:
     """One row per x value, one column per series (paper figure as table)."""
     labels = list(series)
     xs = sorted({x for pts in series.values() for x, _ in pts})
     lookup = {label: dict(pts) for label, pts in series.items()}
-    header = [x_label] + labels
-    rows = []
-    for x in xs:
-        row = [x_format.format(x)]
-        for label in labels:
-            y = lookup[label].get(x)
-            row.append("-" if y is None else y_format.format(y))
-        rows.append(row)
-    return format_table(title, header, rows)
+    rows = [(x_format.format(x), {label: lookup[label].get(x)
+                                  for label in labels}) for x in xs]
+    return format_value_grid(title, x_label, labels, rows, fmt=y_format)
 
 
 def ascii_chart(series: Series, width: int = 70, height: int = 16,

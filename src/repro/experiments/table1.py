@@ -21,10 +21,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..metrics.reaction import CONDITIONS, measure_one
-from ..scenarios.parallel import pool_map
 from ..scenarios.spec import Sweep
+from ..session import Session, default_session
 from ..sim.units import MHZ, NS
-from .report import format_table
+from .report import format_value_grid
 
 #: the paper's Table I, for paper-vs-measured reporting (nanoseconds)
 PAPER_TABLE1: Dict[str, Dict[str, float]] = {
@@ -56,16 +56,16 @@ class Table1Result:
         return {c: sync[c] / a[c] for c in CONDITIONS}
 
     def format(self) -> str:
-        header = ["Controller"] + [f"{c} (ns)" for c in CONDITIONS]
-        body = []
-        for label in [name for name, _ in SYNC_FREQUENCIES] + ["ASYNC"]:
-            row = self.rows[label]
-            body.append([label] + [f"{row[c]:.2f}" for c in CONDITIONS])
+        order = [name for name, _ in SYNC_FREQUENCIES] + ["ASYNC"]
         imp = self.improvement_over_333
-        body.append(["Improvement over 333MHz"]
-                    + [f"{imp[c]:.0f}x" for c in CONDITIONS])
-        return format_table("Table I: reaction time comparison",
-                            header, body)
+        return format_value_grid(
+            "Table I: reaction time comparison", "Controller",
+            list(CONDITIONS),
+            [(label, self.rows[label]) for label in order],
+            fmt="{:.2f}",
+            col_headers=[f"{c} (ns)" for c in CONDITIONS],
+            footers=[["Improvement over 333MHz"]
+                     + [f"{imp[c]:.0f}x" for c in CONDITIONS]])
 
 
 def _row_sweep(label: str, frequency: Optional[float],
@@ -97,15 +97,17 @@ def _measure_task(task: Tuple[Optional[float], str, float]) -> float:
 
 def run_table1(n_offsets: int = 8,
                frequencies: Optional[List[Tuple[str, float]]] = None,
-               workers: Optional[int] = None) -> Table1Result:
+               session: Optional[Session] = None) -> Table1Result:
     """Measure the full table.
 
     ``n_offsets`` controls how finely the stimulus phase is swept against
     the synchronous clock (more offsets -> tighter worst case).
-    ``workers`` fans the independent (row, condition, offset)
-    measurements across processes; the worst-case reduction per cell is
-    order-independent, so the table is identical to the inline run.
+    ``session`` supplies the worker pool (:meth:`Session.map` fans the
+    independent (row, condition, offset) measurements across processes);
+    the worst-case reduction per cell is order-independent, so the table
+    is identical to the inline run.  Defaults to the default session.
     """
+    session = session or default_session()
     result = Table1Result()
     rows = list(frequencies or SYNC_FREQUENCIES) + [("ASYNC", None)]
     tasks: List[Tuple[Optional[float], str, float]] = []
@@ -115,7 +117,7 @@ def run_table1(n_offsets: int = 8,
             tasks.append((freq, spec.overrides["x_condition"],
                           spec.overrides["x_offset"]))
             cells.append((label, spec.overrides["x_condition"]))
-    latencies = pool_map(_measure_task, tasks, workers)
+    latencies = session.map(_measure_task, tasks)
     worst: Dict[str, Dict[str, float]] = {label: {} for label, _ in rows}
     for (label, condition), latency in zip(cells, latencies):
         row = worst[label]

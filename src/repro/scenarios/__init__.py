@@ -2,8 +2,10 @@
 
 The scaling substrate of the reproduction (see README, "Scenario
 engine"): declare a parameter space with :class:`Sweep` /
-:class:`ScenarioSpec`, execute it with :func:`run_sweep`, and the
-vectorized backend advances all scenarios together —
+:class:`ScenarioSpec`, execute it with
+:meth:`repro.session.Session.sweep` (the deprecated :func:`run_sweep`
+shim still works), and the vectorized backend advances all scenarios
+together —
 :class:`VectorizedPowerStage` integrates every lane's ODE as NumPy array
 operations while each lane's discrete-event controller runs on its own
 seeded :class:`~repro.sim.core.Simulator`, reacting to per-lane

@@ -1,10 +1,11 @@
 """Batched scenario engine: run many buck scenarios in lock-step.
 
-:func:`run_sweep` is the front door: hand it a :class:`~repro.scenarios.
-spec.Sweep` (or a list of :class:`ScenarioSpec`), pick a backend, and get
-one :class:`~repro.system.RunResult` per scenario — the same headline
-measurements :meth:`repro.system.BuckSystem.run` produces, in the same
-order as the specs.
+The public front door is :meth:`repro.session.Session.sweep` — hand it a
+:class:`~repro.scenarios.spec.Sweep` (or a list of
+:class:`ScenarioSpec`) and get one :class:`~repro.system.RunResult` per
+scenario, in spec order, optionally served from the session's
+content-addressed result cache.  :func:`run_sweep` remains as a thin
+deprecation shim delegating to a session.
 
 Backends
 --------
@@ -31,6 +32,7 @@ equivalence tests keep these within documented tolerances.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, Optional, Sequence, Union
 
@@ -211,17 +213,46 @@ def run_sweep(specs: Specs, backend: str = "vector",
               keep: bool = False, track_energy: bool = True,
               workers: Optional[int] = None,
               max_lanes_per_shard: Optional[int] = None) -> List[SweepPoint]:
-    """Run every scenario and return one :class:`SweepPoint` per spec.
+    """Deprecated shim: delegate to a :class:`repro.session.Session`.
+
+    New code should construct a session once and call
+    :meth:`~repro.session.Session.sweep`::
+
+        session = Session(backend=backend, workers=workers)
+        points = session.sweep(specs)
+
+    The shim builds a session from the legacy keyword knobs (cache mode
+    resolved from the ``REPRO_CACHE`` environment variable, like the
+    default session) and forwards the call.
+    """
+    warnings.warn(
+        "run_sweep() is deprecated; use repro.session.Session.sweep() — "
+        "Session(backend=..., workers=...).sweep(specs)",
+        DeprecationWarning, stacklevel=2)
+    from ..session import Session
+    session = Session(backend=backend, workers=workers, defaults=defaults,
+                      max_lanes_per_shard=max_lanes_per_shard)
+    return session.sweep(specs, settle=settle, trace=trace, keep=keep,
+                         track_energy=track_energy)
+
+
+def _execute_sweep(spec_list: Sequence[ScenarioSpec],
+                   configs: Sequence[SystemConfig], *,
+                   backend: str = "vector",
+                   settle: Optional[float] = None, trace: bool = False,
+                   keep: bool = False, track_energy: bool = True,
+                   workers: Optional[int] = None,
+                   max_lanes_per_shard: Optional[int] = None
+                   ) -> List[SweepPoint]:
+    """Execute pre-expanded (spec, config) pairs and return one
+    :class:`SweepPoint` per spec — the engine core behind
+    :meth:`repro.session.Session.sweep`.
 
     Parameters
     ----------
-    specs:
-        A :class:`Sweep` or an explicit list of :class:`ScenarioSpec`.
     backend:
-        ``"vector"`` (batched lock-step, default) or ``"scalar"``
-        (sequential reference path).
-    defaults:
-        Config fields applied below every spec's overrides.
+        ``"vector"`` (batched lock-step) or ``"scalar"`` (sequential
+        reference path).
     settle:
         Passed through to the run (seconds of startup transient excluded
         from statistics); ``None`` means the 20% default.
@@ -240,7 +271,7 @@ def run_sweep(specs: Specs, backend: str = "vector",
         the inline path and always returned in spec order.  Incompatible
         with ``keep=True`` (live handles cannot cross processes); a
         ``trace=True`` sweep falls back to the inline path for the same
-        reason.
+        reason, with a :class:`RuntimeWarning`.
     max_lanes_per_shard:
         Cap on lanes per executed batch; oversized lock-step groups are
         split into chunks of at most this many lanes (per-lane seeding
@@ -260,11 +291,14 @@ def run_sweep(specs: Specs, backend: str = "vector",
     if parallel and trace:
         # Traced waveforms live in solver buffers on the worker side and
         # would be discarded with the child process; run inline instead.
+        warnings.warn(
+            f"trace=True keeps waveforms in solver buffers that cannot "
+            f"cross process boundaries; ignoring workers={workers} and "
+            f"running the sweep inline", RuntimeWarning, stacklevel=2)
         parallel = False
 
-    spec_list = _as_specs(specs)
-    defaults = dict(defaults or {})
-    configs = [spec.to_config(trace=trace, **defaults) for spec in spec_list]
+    spec_list = list(spec_list)
+    configs = list(configs)
 
     if parallel:
         results = run_sweep_parallel(
@@ -278,7 +312,7 @@ def run_sweep(specs: Specs, backend: str = "vector",
     if backend == "scalar":
         for i, (spec, cfg) in enumerate(zip(spec_list, configs)):
             system = BuckSystem(cfg)
-            result = system.run(settle=settle)
+            result = system.measure(settle=settle)
             points[i] = SweepPoint(spec, cfg, result,
                                    system if keep else None)
         return points  # type: ignore[return-value]
@@ -347,7 +381,7 @@ def cross_validate(spec: ScenarioSpec,
     defaults = dict(defaults or {})
     cfg_s = spec.to_config(trace=True, **defaults)
     system = BuckSystem(cfg_s)
-    result_s = system.run(settle=settle)
+    result_s = system.measure(settle=settle)
 
     cfg_v = spec.to_config(trace=True, **defaults)
     batch = VectorBatch([spec], [cfg_v])

@@ -182,7 +182,8 @@ def _run_shard(work: _ShardWork) -> List[RunResult]:
     specs = [decode_spec(s) for s in work.specs]
     configs = [decode_config(c) for c in work.configs]
     if work.backend == "scalar":
-        return [BuckSystem(cfg).run(settle=work.settle) for cfg in configs]
+        return [BuckSystem(cfg).measure(settle=work.settle)
+                for cfg in configs]
     batch = VectorBatch(specs, configs, track_energy=work.track_energy)
     return batch.run(settle=work.settle)
 

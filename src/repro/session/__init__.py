@@ -1,0 +1,33 @@
+"""Unified simulation front door with content-addressed result caching.
+
+- :mod:`repro.session.session` — :class:`Session` (backend selection,
+  worker sharding, cache policy), the default-session machinery behind
+  the legacy ``run_sweep`` / ``BuckSystem.run`` shims;
+- :mod:`repro.session.cache` — :func:`cache_key` (canonical hash of the
+  resolved config, measurement knobs, and code-version fingerprint) and
+  :class:`ResultCache` (npz/json store under ``.repro_cache/``).
+
+See README "Session API & caching" for the migration table.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    FORMAT_VERSION,
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+)
+from .session import (
+    Scenario,
+    Session,
+    default_session,
+    session_from_env,
+    set_default_session,
+)
+
+__all__ = [
+    "Session", "Scenario",
+    "default_session", "set_default_session", "session_from_env",
+    "ResultCache", "cache_key", "code_fingerprint",
+    "DEFAULT_CACHE_DIR", "FORMAT_VERSION",
+]

@@ -1,0 +1,252 @@
+"""Content-addressed result cache: hash (scenario, code version) -> RunResult.
+
+A :class:`~repro.system.ScenarioSpec` is a pure description, so a run's
+headline measurements are a pure function of
+
+1. the **resolved** :class:`~repro.system.SystemConfig` (every spec
+   override and sweep default, expanded — two specs that expand to the
+   same config are the same scenario and share one cache entry),
+2. the measurement knobs that change the reported numbers (``settle``,
+   ``backend``, ``track_energy`` — the backends are cross-validated, not
+   bit-identical, so they cache separately; ``trace`` only keeps
+   waveforms and is normalised out of the key),
+3. a **code-version fingerprint** of the simulation modules (kernel,
+   analog models, controllers, scenario engine) — any solver edit
+   invalidates every prior entry.
+
+:func:`cache_key` hashes that tuple into a stable hex digest;
+:class:`ResultCache` stores one entry per key under a cache root
+(default ``.repro_cache/``) as an ``.npz`` (numeric payload, exact
+float64 round-trip) plus a ``.json`` sidecar (controller label, spec
+name, fingerprint — human-greppable provenance).  Corrupt or
+half-written entries read as misses, never as wrong results.
+
+The cache is shared by value, not by process: the parallel sharder's
+per-lane results are written back individually, so a re-run of an
+identical sweep at *any* worker count is served entirely from cache,
+bit-identical to the cold run (``tests/session/test_session.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+import numpy as np
+
+from ..scenarios.parallel import encode_config
+from ..system import RunResult, SystemConfig
+
+#: bump when the key payload or on-disk layout changes shape
+FORMAT_VERSION = 1
+
+#: cache operating modes (Session's ``cache=`` argument)
+MODES = ("readwrite", "readonly", "off")
+
+#: default on-disk location, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: entries under ``src/repro/`` whose source participates in the code
+#: fingerprint — everything a RunResult's numbers depend on.  Metrics,
+#: experiments, STG, and the session layer itself are excluded: they
+#: post-process or orchestrate, so editing them cannot change results.
+FINGERPRINT_PATHS = ("system.py", "sim", "analog", "digital", "a2a",
+                     "control", "scenarios")
+
+_FLOAT_FIELDS = ("v_final", "peak_coil_current", "ripple", "coil_loss_w",
+                 "efficiency")
+_INT_FIELDS = ("ov_events", "metastable_events")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash the source of every simulation module (16 hex chars).
+
+    Computed once per process from the installed ``repro`` package's
+    ``.py`` files; any edit to the kernel, analog models, controllers,
+    or scenario engine yields a new fingerprint and therefore all-new
+    cache keys.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for entry in FINGERPRINT_PATHS:
+        path = package_root / entry
+        files = [path] if path.is_file() else sorted(path.rglob("*.py"))
+        for source in files:
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def cache_key(config: SystemConfig, *, settle: Optional[float] = None,
+              backend: str = "vector", track_energy: bool = True,
+              fingerprint: Optional[str] = None) -> str:
+    """The content address of one scenario run (SHA-256 hex digest).
+
+    ``config`` is the fully resolved :class:`SystemConfig` (spec
+    overrides and sweep defaults already applied); ``trace`` is
+    normalised out — it keeps waveforms but does not change the
+    measured numbers.
+    """
+    encoded = encode_config(config)
+    encoded["trace"] = False
+    payload = {
+        "format": FORMAT_VERSION,
+        "config": encoded,
+        "settle": settle,
+        "backend": backend,
+        "track_energy": bool(track_energy),
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Persistent npz/json store of :class:`RunResult` entries by key.
+
+    ``mode``:
+
+    ``"readwrite"``
+        Serve hits and write back misses (the default).
+    ``"readonly"``
+        Serve hits, never touch the disk on a miss — for golden caches
+        shared between CI shards or checked into artifact storage.
+    ``"off"``
+        Never read, never write (a disabled cache object; sessions
+        usually represent this state as ``cache=None`` instead).
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR,
+                 mode: str = "readwrite"):
+        if mode not in MODES:
+            raise ValueError(
+                f"cache mode must be one of {MODES}, got {mode!r}")
+        self.root = Path(root)
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    @property
+    def readable(self) -> bool:
+        return self.mode in ("readwrite", "readonly")
+
+    @property
+    def writable(self) -> bool:
+        return self.mode == "readwrite"
+
+    def _paths(self, key: str) -> tuple:
+        shard = self.root / key[:2]
+        return shard / f"{key}.json", shard / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        Missing, truncated, or otherwise unreadable entries are misses —
+        the caller recomputes and (in ``readwrite`` mode) overwrites.
+        """
+        if not self.readable:
+            return None
+        meta_path, npz_path = self._paths(key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+            if meta.get("format") != FORMAT_VERSION:
+                return None
+            with np.load(npz_path) as data:
+                scalars = data["scalars"]
+                counts = data["counts"]
+                cycles = data["cycles"]
+            kwargs: Dict[str, Any] = {
+                name: float(scalars[i]) for i, name in enumerate(_FLOAT_FIELDS)
+            }
+            kwargs.update({
+                name: int(counts[i]) for i, name in enumerate(_INT_FIELDS)
+            })
+            return RunResult(controller=meta["controller"],
+                             cycles=[int(c) for c in cycles], **kwargs)
+        except (OSError, ValueError, KeyError, EOFError, IndexError,
+                zipfile.BadZipFile):
+            # includes truncated npz archives (BadZipFile is not an
+            # OSError) and short reads inside np.load
+            return None
+
+    def store(self, key: str, result: RunResult,
+              meta: Optional[Mapping[str, Any]] = None) -> bool:
+        """Write ``result`` under ``key``; returns False in read-only
+        (or off) mode.  Writes are atomic (tmp file + ``os.replace``),
+        so a concurrent reader sees either no entry or a whole one."""
+        if not self.writable:
+            return False
+        meta_path, npz_path = self._paths(key)
+        meta_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": FORMAT_VERSION,
+            "controller": result.controller,
+            "code": code_fingerprint(),
+            "meta": dict(meta or {}),
+        }
+        self._atomic_write(
+            npz_path,
+            lambda fh: np.savez(
+                fh,
+                scalars=np.array([getattr(result, f) for f in _FLOAT_FIELDS],
+                                 dtype=np.float64),
+                counts=np.array([getattr(result, f) for f in _INT_FIELDS],
+                                dtype=np.int64),
+                cycles=np.asarray(result.cycles, dtype=np.int64)))
+        self._atomic_write(
+            meta_path,
+            lambda fh: fh.write(
+                json.dumps(payload, sort_keys=True, indent=1).encode()))
+        return True
+
+    @staticmethod
+    def _atomic_write(path: Path, write) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                write(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Keys of every complete entry currently on disk."""
+        if not self.root.is_dir():
+            return
+        for meta_path in sorted(self.root.glob("*/*.json")):
+            if meta_path.with_suffix(".npz").exists():
+                yield meta_path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            meta_path, npz_path = self._paths(key)
+            for path in (meta_path, npz_path):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r}, mode={self.mode!r})"

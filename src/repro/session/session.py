@@ -1,0 +1,254 @@
+"""The unified simulation front door: :class:`Session`.
+
+One object owns the three execution policies that used to be scattered
+across ``BuckSystem.run`` kwargs, ``run_sweep`` kwargs, and per-driver
+``workers=`` plumbing:
+
+- **backend** — ``"vector"`` (batched lock-step NumPy) or ``"scalar"``
+  (sequential reference path);
+- **workers** — process-pool sharding of independent batches;
+- **cache** — the content-addressed result cache
+  (:mod:`repro.session.cache`): ``"readwrite"``, ``"readonly"``, or
+  ``"off"``, with hit/miss counters surfaced on the session.
+
+>>> from repro import Session
+>>> session = Session(workers=4, cache="readwrite")
+>>> points = session.sweep(sweep)          # cold: simulated, written back
+>>> points = session.sweep(sweep)          # hot: served from .repro_cache/
+>>> session.cache_hits, session.cache_misses
+(N, N)
+
+Experiment drivers (``run_fig6`` / ``run_fig7*`` / ``run_table1`` and the
+ablation benches) all accept ``session=``; the module-level
+:func:`default_session` backs the legacy ``run_sweep`` /
+``BuckSystem.run`` deprecation shims.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    TypeVar, Union)
+
+from ..scenarios.engine import Specs, SweepPoint, _as_specs, _execute_sweep
+from ..scenarios.parallel import pool_map, workers_from_env
+from ..scenarios.spec import ScenarioSpec
+from ..system import BuckSystem, RunResult, SystemConfig
+from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: anything Session.run/build accept as "one scenario"
+Scenario = Union[ScenarioSpec, SystemConfig, Mapping[str, Any]]
+
+
+class Session:
+    """Backend, worker, and cache policy for every simulation it runs.
+
+    Parameters
+    ----------
+    backend:
+        ``"vector"`` (default) or ``"scalar"``.
+    workers:
+        Shard independent batches across this many worker processes
+        (``None``/``0``/``1``: inline).  Results are bit-identical to
+        the inline path, in spec order.
+    cache:
+        ``"readwrite"`` / ``"readonly"`` / ``"off"``, a ready
+        :class:`ResultCache`, or ``None`` to resolve the mode from the
+        ``REPRO_CACHE`` environment variable (``off`` when unset).
+    cache_dir:
+        Cache root for string modes (default: ``REPRO_CACHE_DIR`` or
+        ``.repro_cache/``).
+    defaults:
+        Config fields applied below every spec's overrides.
+    max_lanes_per_shard:
+        Cap on lanes per executed batch (see the engine docs).
+    """
+
+    def __init__(self, backend: str = "vector",
+                 workers: Optional[int] = None,
+                 cache: Union[str, ResultCache, None] = None,
+                 cache_dir: Optional[str] = None,
+                 defaults: Optional[Mapping[str, Any]] = None,
+                 max_lanes_per_shard: Optional[int] = None):
+        if backend not in ("vector", "scalar"):
+            raise ValueError("backend must be 'vector' or 'scalar'")
+        if workers is not None and workers < 0:
+            raise ValueError("workers cannot be negative")
+        self.backend = backend
+        self.workers = workers
+        self.defaults: Dict[str, Any] = dict(defaults or {})
+        self.max_lanes_per_shard = max_lanes_per_shard
+        self.cache = self._resolve_cache(cache, cache_dir)
+        #: scenarios served from / recomputed past the cache, cumulative
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @staticmethod
+    def _resolve_cache(cache: Union[str, ResultCache, None],
+                       cache_dir: Optional[str]) -> Optional[ResultCache]:
+        if isinstance(cache, ResultCache):
+            return cache if cache.mode != "off" else None
+        mode = cache
+        if mode is None:
+            mode = os.environ.get("REPRO_CACHE", "").strip() or "off"
+        if mode == "off":
+            return None
+        root = (cache_dir or os.environ.get("REPRO_CACHE_DIR", "").strip()
+                or DEFAULT_CACHE_DIR)
+        return ResultCache(root=root, mode=mode)
+
+    # ------------------------------------------------------------------
+    # Scenario coercion
+    # ------------------------------------------------------------------
+    def _as_spec(self, scenario: Scenario) -> ScenarioSpec:
+        if isinstance(scenario, ScenarioSpec):
+            return scenario
+        if isinstance(scenario, SystemConfig):
+            overrides = {name: getattr(scenario, name)
+                         for name in SystemConfig.__dataclass_fields__}
+            return ScenarioSpec(name="config", overrides=overrides)
+        if isinstance(scenario, Mapping):
+            return ScenarioSpec(name="adhoc", overrides=dict(scenario))
+        raise TypeError(
+            f"expected a ScenarioSpec, SystemConfig, or override mapping, "
+            f"got {type(scenario).__name__}")
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario, *, settle: Optional[float] = None,
+            trace: bool = False) -> RunResult:
+        """Run one scenario (spec / config / override mapping) and return
+        its :class:`RunResult`, served from cache when possible."""
+        [point] = self.sweep([self._as_spec(scenario)], settle=settle,
+                             trace=trace)
+        return point.result
+
+    def sweep(self, specs: Specs, *, settle: Optional[float] = None,
+              trace: bool = False, keep: bool = False,
+              track_energy: bool = True) -> List[SweepPoint]:
+        """Run every scenario and return one :class:`SweepPoint` per
+        spec, in spec order.
+
+        Cached entries are looked up per lane before anything executes;
+        only the misses are simulated (inline or sharded across
+        ``self.workers``) and, in ``readwrite`` mode, written back per
+        lane — so a repeated sweep is served entirely from cache at any
+        worker count, bit-identical to the cold run.  ``keep=True``
+        bypasses the cache: live handles cannot be rehydrated from disk.
+        """
+        spec_list = _as_specs(specs)
+        configs = [spec.to_config(trace=trace, **self.defaults)
+                   for spec in spec_list]
+
+        cache = self.cache if (self.cache is not None and not keep) else None
+        points: List[Optional[SweepPoint]] = [None] * len(spec_list)
+        keys: List[Optional[str]] = [None] * len(spec_list)
+        misses = list(range(len(spec_list)))
+        if cache is not None:
+            misses = []
+            for i, (spec, cfg) in enumerate(zip(spec_list, configs)):
+                keys[i] = cache_key(cfg, settle=settle, backend=self.backend,
+                                    track_energy=track_energy)
+                result = cache.load(keys[i])
+                if result is not None:
+                    self.cache_hits += 1
+                    points[i] = SweepPoint(spec, cfg, result)
+                else:
+                    self.cache_misses += 1
+                    misses.append(i)
+
+        if misses:
+            fresh = _execute_sweep(
+                [spec_list[i] for i in misses],
+                [configs[i] for i in misses],
+                backend=self.backend, settle=settle, trace=trace, keep=keep,
+                track_energy=track_energy, workers=self.workers,
+                max_lanes_per_shard=self.max_lanes_per_shard)
+            for i, point in zip(misses, fresh):
+                points[i] = point
+                if cache is not None and cache.writable:
+                    cache.store(keys[i], point.result,
+                                meta={"spec": spec_list[i].name})
+        return points  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Waveform-level access (live systems, never cached)
+    # ------------------------------------------------------------------
+    def build(self, scenario: Scenario, trace: bool = True) -> BuckSystem:
+        """Construct a live :class:`BuckSystem` for waveform-level work
+        (probes, VCD export, custom stimulus).  A given
+        :class:`SystemConfig` is used as-is; specs/mappings are expanded
+        over the session defaults with ``trace`` on by default."""
+        if isinstance(scenario, SystemConfig):
+            config = scenario
+        else:
+            config = self._as_spec(scenario).to_config(trace=trace,
+                                                       **self.defaults)
+        return BuckSystem(config)
+
+    def run_system(self, system: BuckSystem,
+                   duration: Optional[float] = None,
+                   settle: Optional[float] = None) -> RunResult:
+        """Execute an already-built system to completion and measure it.
+
+        Never cached: a prebuilt system may have been advanced or
+        modified, so its state is not content-addressable."""
+        return system.measure(duration=duration, settle=settle)
+
+    # ------------------------------------------------------------------
+    # Generic sharding (Table I-style custom harnesses)
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Order-preserving map over the session's worker pool (inline
+        when ``workers`` is unset); ``fn`` and items must be picklable."""
+        return pool_map(fn, items, self.workers)
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Any]:
+        """Counters plus the cache location/mode, for logging."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "mode": self.cache.mode if self.cache is not None else "off",
+            "root": str(self.cache.root) if self.cache is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        cache = self.cache.mode if self.cache is not None else "off"
+        return (f"Session(backend={self.backend!r}, workers={self.workers!r}, "
+                f"cache={cache!r})")
+
+
+# ---------------------------------------------------------------------------
+# The default session (backs the legacy shims and driver defaults)
+# ---------------------------------------------------------------------------
+_default: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide default session (created on first use; cache mode
+    from ``REPRO_CACHE``, workers inline)."""
+    global _default
+    if _default is None:
+        _default = Session()
+    return _default
+
+
+def set_default_session(session: Optional[Session]) -> Optional[Session]:
+    """Replace the default session (``None`` resets to lazy re-creation);
+    returns the previous one."""
+    global _default
+    previous = _default
+    _default = session
+    return previous
+
+
+def session_from_env(backend: str = "vector") -> Session:
+    """A session configured from the environment — ``REPRO_SWEEP_WORKERS``
+    for sharding and ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` for caching —
+    the one-liner used by the benchmark harnesses."""
+    return Session(backend=backend, workers=workers_from_env())

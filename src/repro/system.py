@@ -1,22 +1,30 @@
 """Top-level system assembly: a complete closed-loop buck simulation.
 
-:class:`BuckSystem` is the library's main entry point — it wires the
-analog power stage, sensor bank, gate drivers, the analog solver, and one
-of the two controllers into a single simulator, mirroring the paper's AMS
-testbench (Sec. V):
+:class:`BuckSystem` wires the analog power stage, sensor bank, gate
+drivers, the analog solver, and one of the two controllers into a single
+simulator, mirroring the paper's AMS testbench (Sec. V).
 
->>> from repro import BuckSystem, SystemConfig
->>> cfg = SystemConfig(controller="async", sim_time=10e-6)
->>> system = BuckSystem(cfg)
->>> result = system.run()
+The public front door for running simulations is
+:class:`repro.session.Session` — it owns backend selection, worker
+sharding, and the content-addressed result cache:
+
+>>> from repro import Session
+>>> session = Session()
+>>> result = session.run({"controller": "async", "sim_time": 10e-6})
 >>> result.peak_coil_current < 1.0
 True
+
+:meth:`BuckSystem.measure` remains the supported way to execute an
+already-built system (waveform-level work keeps a live handle);
+:meth:`BuckSystem.run` is a deprecated shim delegating to the default
+session.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
 
 from .analog.buck import MultiphasePowerStage, make_power_stage
 from .analog.coil import Coil, make_coil
@@ -76,6 +84,22 @@ class RunResult:
     cycles: List[int] = field(default_factory=list)
     metastable_events: int = 0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-primitive form (JSON-safe; floats round-trip exactly
+        through ``repr``, so serialization is bit-preserving)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        fields = dict(payload)
+        unknown = set(fields) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"RunResult payload has unknown fields {sorted(unknown)}")
+        fields["cycles"] = [int(c) for c in fields.get("cycles", [])]
+        return cls(**fields)
+
 
 class BuckSystem:
     """A fully wired buck + controller co-simulation."""
@@ -112,6 +136,22 @@ class BuckSystem:
     # ------------------------------------------------------------------
     def run(self, duration: Optional[float] = None,
             settle: Optional[float] = None) -> RunResult:
+        """Deprecated shim: delegate to the default session.
+
+        Use :meth:`repro.session.Session.run` (spec in, cached result
+        out) for new code, or :meth:`measure` to execute a system you
+        built yourself.
+        """
+        warnings.warn(
+            "BuckSystem.run() is deprecated; use repro.session.Session.run"
+            "(spec) as the front door (or BuckSystem.measure() for an "
+            "already-built system)", DeprecationWarning, stacklevel=2)
+        from .session import default_session
+        return default_session().run_system(self, duration=duration,
+                                            settle=settle)
+
+    def measure(self, duration: Optional[float] = None,
+                settle: Optional[float] = None) -> RunResult:
         """Run the simulation and collect the headline measurements.
 
         ``settle``: statistics (ripple, peak current, losses) are measured

@@ -7,8 +7,15 @@ lanes share the batch.
 
 import numpy as np
 
-from repro.scenarios import ScenarioSpec, Sweep, VectorBatch, choice, run_sweep, uniform
+from repro import Session
+from repro.scenarios import ScenarioSpec, Sweep, VectorBatch, choice, uniform
 from repro.sim import NS, US
+
+
+def run_sweep(specs, **kw):
+    """The Session front door (cache off — determinism must not depend
+    on any cached state)."""
+    return Session(cache="off").sweep(specs, **kw)
 
 
 def _sweep():

@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.scenarios import ScenarioSpec, Sweep, VectorBatch, run_sweep
+from repro import Session
+from repro.scenarios import ScenarioSpec, Sweep, VectorBatch
 from repro.scenarios.vector_stage import VectorizedPowerStage
 from repro.sim import NS, US
+
+
+def run_sweep(specs, *, backend="vector", defaults=None, **kw):
+    """The Session front door with per-call engine knobs (cache off)."""
+    return Session(backend=backend, defaults=defaults,
+                   cache="off").sweep(specs, **kw)
 
 
 def _spec(name="s", **overrides):

@@ -9,11 +9,19 @@ from repro.analog.load import LoadProfile
 from repro.analog.sensors import BuckReferences
 from repro.control.async_controller import AsyncTimings
 from repro.control.params import BuckControlParams
-from repro.scenarios import (ScenarioSpec, Sweep, plan_batches, run_sweep,
-                             uniform)
+from repro import Session
+from repro.scenarios import ScenarioSpec, Sweep, plan_batches, uniform
 from repro.scenarios.parallel import (decode_config, decode_spec,
                                       encode_config, encode_spec)
 from repro.sim import NS, UH, US
+
+
+def run_sweep(specs, *, backend="vector", workers=None,
+              max_lanes_per_shard=None, **kw):
+    """The Session front door with per-call sharding knobs (cache off)."""
+    session = Session(backend=backend, workers=workers,
+                      max_lanes_per_shard=max_lanes_per_shard, cache="off")
+    return session.sweep(specs, **kw)
 
 
 def _spec(name="s", **overrides):
@@ -142,9 +150,10 @@ class TestParallelSweep:
         with pytest.raises(ValueError, match="keep"):
             run_sweep([_spec()], keep=True, workers=2)
 
-    def test_trace_with_workers_falls_back_inline(self):
+    def test_trace_with_workers_falls_back_inline_and_warns(self):
         inline = run_sweep([_spec()], trace=True)
-        fallback = run_sweep([_spec()], trace=True, workers=2)
+        with pytest.warns(RuntimeWarning, match="inline"):
+            fallback = run_sweep([_spec()], trace=True, workers=2)
         assert fallback[0].result == inline[0].result
 
     def test_negative_workers_rejected(self):

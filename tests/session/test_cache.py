@@ -1,0 +1,171 @@
+"""RunResult serialization and the content-addressed ResultCache."""
+
+import json
+
+import pytest
+
+from repro.scenarios import ScenarioSpec
+from repro.session import cache as cache_mod
+from repro.session import ResultCache, cache_key, code_fingerprint
+from repro.sim import NS, US
+from repro.system import RunResult
+
+
+def _result(**kw):
+    fields = dict(controller="async", v_final=3.300000000000001,
+                  peak_coil_current=0.1 + 0.2,   # 0.30000000000000004
+                  ripple=0.11951, coil_loss_w=1.23e-6,
+                  efficiency=0.8765432109876543, ov_events=2,
+                  cycles=[3, 4, 5, 6], metastable_events=1)
+    fields.update(kw)
+    return RunResult(**fields)
+
+
+def _config(**overrides):
+    overrides.setdefault("controller", "async")
+    overrides.setdefault("l_uh", 4.7)
+    overrides.setdefault("r_load", 6.0)
+    overrides.setdefault("sim_time", 1 * US)
+    overrides.setdefault("dt", 1 * NS)
+    return ScenarioSpec("k", overrides=overrides).to_config()
+
+
+class TestRunResultSerialization:
+    def test_round_trip_is_bit_identical(self):
+        result = _result()
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone == result            # dataclass eq: exact floats
+
+    def test_round_trip_survives_json(self):
+        result = _result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert RunResult.from_dict(payload) == result
+
+    def test_empty_cycles(self):
+        result = _result(cycles=[])
+        assert RunResult.from_dict(result.to_dict()).cycles == []
+
+    def test_unknown_field_rejected(self):
+        payload = _result().to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            RunResult.from_dict(payload)
+
+
+class TestResultCacheStore:
+    def test_store_then_load_bit_identical(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        assert cache.store(key, _result(), meta={"spec": "k"})
+        assert cache.load(key) == _result()
+        assert len(cache) == 1
+        assert list(cache.keys()) == [key]
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.load("0" * 64) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result())
+        meta_path, npz_path = cache._paths(key)
+        npz_path.write_bytes(b"not an npz")
+        assert cache.load(key) is None
+        meta_path.write_text("{ not json")
+        assert cache.load(key) is None
+
+    def test_truncated_npz_reads_as_miss(self, tmp_path):
+        """A torn write keeps the zip magic but loses the tail —
+        np.load raises BadZipFile, which must read as a miss."""
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result())
+        _, npz_path = cache._paths(key)
+        whole = npz_path.read_bytes()
+        npz_path.write_bytes(whole[:len(whole) // 2])
+        assert cache.load(key) is None
+
+    def test_format_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result())
+        meta_path, _ = cache._paths(key)
+        payload = json.loads(meta_path.read_text())
+        payload["format"] = 999
+        meta_path.write_text(json.dumps(payload))
+        assert cache.load(key) is None
+
+    def test_readonly_never_writes(self, tmp_path):
+        cache = ResultCache(root=tmp_path, mode="readonly")
+        assert not cache.store(cache_key(_config()), _result())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_off_never_reads(self, tmp_path):
+        rw = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        rw.store(key, _result())
+        assert ResultCache(root=tmp_path, mode="off").load(key) is None
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            ResultCache(root=tmp_path, mode="write-only")
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(3):
+            cache.store(cache_key(_config(seed=i)), _result())
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestCacheKey:
+    def test_stable_for_equal_configs(self):
+        assert cache_key(_config()) == cache_key(_config())
+
+    def test_trace_normalised_out(self):
+        assert (cache_key(_config(trace=True))
+                == cache_key(_config(trace=False)))
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 1}, {"l_uh": 1.0}, {"r_load": 9.0}, {"dt": 2 * NS},
+        {"controller": "sync"}, {"sensor_noise": 0.004},
+    ])
+    def test_config_changes_change_the_key(self, change):
+        assert cache_key(_config(**change)) != cache_key(_config())
+
+    def test_measurement_knobs_change_the_key(self):
+        base = cache_key(_config())
+        assert cache_key(_config(), settle=0.0) != base
+        assert cache_key(_config(), backend="scalar") != base
+        assert cache_key(_config(), track_energy=False) != base
+
+    def test_fingerprint_changes_the_key(self):
+        base = cache_key(_config())
+        assert cache_key(_config(), fingerprint="deadbeef") != base
+
+    def test_resolved_config_is_the_address(self):
+        """Two spec spellings that expand to the same config share a key."""
+        from repro.analog.coil import make_coil
+        from repro.sim import UH
+        via_pseudo = ScenarioSpec("a", overrides={
+            "controller": "async", "l_uh": 4.7, "r_load": 6.0,
+            "sim_time": 1 * US, "dt": 1 * NS}).to_config()
+        via_field = ScenarioSpec("b", overrides={
+            "controller": "async", "coil": make_coil(4.7 * UH),
+            "r_load": 6.0, "sim_time": 1 * US, "dt": 1 * NS}).to_config()
+        assert cache_key(via_pseudo) == cache_key(via_field)
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+        int(code_fingerprint(), 16)   # hex
+
+    def test_covers_the_simulation_modules(self):
+        from pathlib import Path
+        package_root = Path(cache_mod.__file__).resolve().parent.parent
+        for entry in cache_mod.FINGERPRINT_PATHS:
+            assert (package_root / entry).exists(), entry
