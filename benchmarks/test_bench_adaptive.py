@@ -1,0 +1,126 @@
+"""Bench: error-controlled adaptive stepping vs the fixed micro-step.
+
+The ISSUE-4 acceptance benchmark: the Fig. 7a quick grid (five
+controllers x four coils, 10 us runs at 1 ns base step, 6 Ohm load) is
+executed twice through the session front door — once on the fixed grid
+and once with ``stepping="adaptive"`` — and compared on
+
+- **solver tick counts** (committed micro-steps, summed over the grid):
+  adaptive must cut them at least :data:`TICK_FLOOR` x.  Tick counts are
+  a deterministic function of the scenarios, so this floor gates
+  unconditionally;
+- **wall clock**: machine-dependent, so the :data:`SPEEDUP_FLOOR` only
+  gates under ``REPRO_REQUIRE_SPEEDUP=1`` (the non-blocking CI bench
+  job), matching the PR 2 convention;
+- **drift**: per-lane peak currents stay within the cross-validation
+  bound (the per-scenario drift suite lives in
+  ``tests/scenarios/test_adaptive.py``).
+
+The measurements land in a ``BENCH_adaptive.json`` artifact (cwd) with
+per-lane tick counts, peaks, and the aggregate ratios, so CI runs leave
+a comparable record.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import Session
+from repro.experiments.fig7 import controller_axis, default_l_values
+from repro.scenarios import Sweep
+from repro.sim import NS, UH, US
+
+pytestmark = pytest.mark.bench
+
+#: aggregate committed-micro-step reduction the adaptive grid must reach
+TICK_FLOOR = 5.0
+#: wall-clock speedup floor (only gates under REPRO_REQUIRE_SPEEDUP=1)
+SPEEDUP_FLOOR = 2.0
+#: per-lane peak-current drift bound (A) — 3x headroom over observed
+PEAK_TOL_A = 0.006
+
+REQUIRE_SPEEDUP = os.environ.get("REPRO_REQUIRE_SPEEDUP") == "1"
+
+ARTIFACT = "BENCH_adaptive.json"
+
+
+def _quick_grid(stepping):
+    axis = [(f"{l / UH:g}uH", {"l_uh": l / UH})
+            for l in default_l_values(quick=True)]
+    return (Sweep(base={"n_phases": 4, "r_load": 6.0, "sim_time": 10 * US,
+                        "dt": 1 * NS, "seed": 0, "stepping": stepping},
+                  name=f"fig7a-quick-{stepping}")
+            .grid(ctrl=controller_axis(), pt=axis))
+
+
+@pytest.mark.benchmark(group="adaptive")
+def test_adaptive_tick_and_wallclock_reduction(benchmark):
+    session = Session(backend="vector", cache="off")
+    fixed_specs = _quick_grid("fixed").specs()
+    adaptive_specs = _quick_grid("adaptive").specs()
+    assert len(fixed_specs) == len(adaptive_specs) == 20
+
+    def run_both():
+        t0 = time.perf_counter()
+        fixed = session.sweep(fixed_specs, track_energy=False)
+        t_fixed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        adaptive = session.sweep(adaptive_specs, track_energy=False)
+        t_adaptive = time.perf_counter() - t0
+        return fixed, t_fixed, adaptive, t_adaptive
+
+    fixed, t_fixed, adaptive, t_adaptive = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    ticks_fixed = sum(p.result.solver_ticks for p in fixed)
+    ticks_adaptive = sum(p.result.solver_ticks for p in adaptive)
+    tick_ratio = ticks_fixed / ticks_adaptive
+    speedup = t_fixed / t_adaptive
+    worst_drift = max(abs(f.result.peak_coil_current
+                          - a.result.peak_coil_current)
+                      for f, a in zip(fixed, adaptive))
+
+    lanes = [{
+        "spec": f.spec.name.replace("fig7a-quick-fixed", "lane"),
+        "ticks_fixed": f.result.solver_ticks,
+        "ticks_adaptive": a.result.solver_ticks,
+        "tick_ratio": f.result.solver_ticks / a.result.solver_ticks,
+        "peak_fixed_a": f.result.peak_coil_current,
+        "peak_adaptive_a": a.result.peak_coil_current,
+    } for f, a in zip(fixed, adaptive)]
+    payload = {
+        "grid": "fig7a-quick (5 controllers x 4 coils, 10 us, dt=1 ns)",
+        "ticks_fixed": ticks_fixed,
+        "ticks_adaptive": ticks_adaptive,
+        "tick_ratio": tick_ratio,
+        "wall_clock_fixed_s": t_fixed,
+        "wall_clock_adaptive_s": t_adaptive,
+        "wall_clock_speedup": speedup,
+        "worst_peak_drift_a": worst_drift,
+        "tick_floor": TICK_FLOOR,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_gated": REQUIRE_SPEEDUP,
+        "lanes": lanes,
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+
+    print()
+    print(f"fig7a quick grid: {ticks_fixed} fixed ticks -> "
+          f"{ticks_adaptive} adaptive ({tick_ratio:.2f}x fewer); "
+          f"wall clock {t_fixed:.2f} s -> {t_adaptive:.2f} s "
+          f"({speedup:.2f}x); worst peak drift "
+          f"{worst_drift * 1e3:.2f} mA; artifact: {ARTIFACT}")
+
+    assert worst_drift < PEAK_TOL_A, (
+        f"adaptive peak currents drifted {worst_drift * 1e3:.2f} mA "
+        f"from the fixed grid")
+    assert tick_ratio >= TICK_FLOOR, (
+        f"adaptive stepping only cut solver ticks {tick_ratio:.2f}x on "
+        f"the fig7a quick grid (required {TICK_FLOOR}x)")
+    if REQUIRE_SPEEDUP:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"adaptive stepping only {speedup:.2f}x faster in wall clock "
+            f"(required {SPEEDUP_FLOOR}x)")

@@ -20,6 +20,7 @@ from .gate_driver import GateDriver, GateDriverBank
 from .load import LoadProfile
 from .sensors import ABOVE, BELOW, BuckReferences, Comparator, SensorBank
 from .solver import AnalogSolver
+from .stepping import STEPPING_MODES, SteppingPolicy
 
 __all__ = [
     "BuckPhase", "MultiphasePowerStage", "ShortCircuitError", "make_power_stage",
@@ -28,5 +29,5 @@ __all__ = [
     "GateDriver", "GateDriverBank",
     "LoadProfile",
     "Comparator", "SensorBank", "BuckReferences", "ABOVE", "BELOW",
-    "AnalogSolver",
+    "AnalogSolver", "SteppingPolicy", "STEPPING_MODES",
 ]

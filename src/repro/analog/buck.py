@@ -163,14 +163,22 @@ class MultiphasePowerStage:
         dvdt = (sum(currents) - v_out / r_load) / self.c_out
         return didt, dvdt
 
-    def step(self, t: float, dt: float) -> None:
+    def step(self, t: float, dt: float) -> Tuple[float, float]:
         """Advance the state by ``dt`` using an explicit midpoint (RK2) step.
 
         Switch states are held constant across the step (the solver keeps
-        ``dt`` below the gate-driver delay, so commutation lands on step
-        boundaries).  Discontinuous conduction is handled by clamping: a
-        phase with both transistors off whose current crosses zero inside
-        the step ends the step at exactly zero.
+        ``dt`` below the gate-driver delay — or, in adaptive mode, snaps
+        step ends onto commutation instants — so commutation lands on
+        step boundaries).  Discontinuous conduction is handled by
+        clamping: a phase with both transistors off whose current crosses
+        zero inside the step ends the step at exactly zero.
+
+        Returns the embedded RK2(1) local-error estimates
+        ``(err_i, err_v)``: the worst per-phase ``|dt * (k2 - k1)|`` and
+        the ``|dt * (k2 - k1)|`` of the output voltage — the difference
+        between the committed midpoint step and its embedded Euler step.
+        The fixed-step solver ignores them; the adaptive stepper uses
+        them to size the next step.
         """
         currents0 = [p.current for p in self.phases]
         v0 = self.v_out
@@ -201,6 +209,9 @@ class MultiphasePowerStage:
         v_mid_sq = 0.5 * (v0 * v0 + new_v * new_v)
         self.energy_out_j += v_mid_sq / r_load * dt
         self.v_out = new_v
+        err_i = max(abs(b - a) for a, b in zip(k1_i, k2_i)) * dt
+        err_v = abs(k2_v - k1_v) * dt
+        return err_i, err_v
 
     # ------------------------------------------------------------------
     # Reporting

@@ -39,6 +39,10 @@ class GateDriver:
         self.gp = gp
         self.gn = gn
         self.t_gate = t_gate
+        #: optional ``callback(commutation_time)`` fired whenever a
+        #: transistor flip gets scheduled — the adaptive analog stepper
+        #: subscribes so it can snap its step end onto the flip instant.
+        self.on_commute = None
         k = phase.index
         self.gp_ack = Signal(sim, f"gp_ack{k}", init=False, trace=trace)
         self.gn_ack = Signal(sim, f"gn_ack{k}", init=False, trace=trace)
@@ -47,9 +51,13 @@ class GateDriver:
 
     def _on_gp(self, _sig: Signal, value: bool) -> None:
         self.sim.schedule(self.t_gate, lambda: self._apply_pmos(value))
+        if self.on_commute is not None:
+            self.on_commute(self.sim.now + self.t_gate)
 
     def _on_gn(self, _sig: Signal, value: bool) -> None:
         self.sim.schedule(self.t_gate, lambda: self._apply_nmos(value))
+        if self.on_commute is not None:
+            self.on_commute(self.sim.now + self.t_gate)
 
     def _apply_pmos(self, on: bool) -> None:
         self.phase.set_pmos(on)       # raises ShortCircuitError on overlap

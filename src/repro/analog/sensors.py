@@ -90,6 +90,16 @@ class Comparator:
             return th - self.hysteresis if state else th
         return th + self.hysteresis if state else th
 
+    def armed_level(self) -> float:
+        """The noise-free level the next trip decision compares against
+        (threshold, widened by the hysteresis band while tripped).  The
+        adaptive stepper predicts time-to-crossing against this level."""
+        th = self.threshold
+        if not self._state:
+            return th
+        return th - self.hysteresis if self.direction == ABOVE \
+            else th + self.hysteresis
+
     def _decide(self, x: float, state: bool) -> bool:
         level = self._trip_level(state)
         if self.direction == ABOVE:

@@ -1,18 +1,45 @@
-"""Fixed-micro-step analog solver driven by the discrete-event kernel.
+"""Analog solver driven by the discrete-event kernel.
 
-The solver is a recurring kernel event: every ``dt`` it advances the power
-stage ODE, records the probes, and samples the comparators (which schedule
-their own output edges with sub-step crossing interpolation).  Digital
-events — gate-driver commutations — fall between ticks and take effect on
-the next tick, mirroring the analog/digital handshake of an AMS simulator.
+The solver is a recurring kernel event: every micro-step it advances the
+power stage ODE, records the probes, and samples the comparators (which
+schedule their own output edges with sub-step crossing interpolation).
+Digital events — gate-driver commutations — fall between ticks and take
+effect on the next tick, mirroring the analog/digital handshake of an
+AMS simulator.
 
-``dt`` defaults to 1 ns; the Fig. 6 waveform runs use 0.5 ns so that the
-sub-nanosecond reaction-latency differences of Table I resolve cleanly in
-the peak-current results.
+Two stepping modes (see :mod:`repro.analog.stepping`):
+
+``fixed``
+    One step every ``dt`` (default 1 ns; the Fig. 6 waveform runs use
+    0.5 ns so that the sub-nanosecond reaction-latency differences of
+    Table I resolve cleanly in the peak-current results).  Bit-for-bit
+    the historical behaviour.
+
+``adaptive``
+    The embedded RK2(1) error estimate sizes each step within
+    ``[dt_min, dt_max]``, and the step end *snaps* onto gate-driver
+    commutations, load-profile breakpoints, and predicted comparator
+    crossings, so the events that set the paper's reaction-latency
+    semantics never fall mid-step.  Each step is planned by a separate
+    kernel event at priority +1 — after every same-instant digital event
+    has fired — so the ODE slopes it extrapolates always reflect the
+    post-commutation conduction state; the step commit itself runs at
+    priority -1, before same-instant events, so a step snapped onto a
+    commutation integrates up to it with the pre-flip state.
+
+    Crossing prediction targets the step end half a *guard* past the
+    predicted crossing, where the guard is ``min(dt, sensor delay)``:
+    the crossing then falls inside a step no larger than the sensor
+    delay, which keeps the comparator's interpolated edge time exact
+    (``crossing + delay >= sample time``, so the edge is never clamped
+    to the sample instant).
 """
 
 from __future__ import annotations
 
+import heapq
+import math
+from bisect import bisect_right
 from typing import List, Optional
 
 from ..sim.core import Simulator
@@ -20,6 +47,7 @@ from ..sim.signal import AnalogProbe
 from ..sim.units import NS
 from .buck import MultiphasePowerStage
 from .sensors import SensorBank
+from .stepping import GROWTH, SAFETY, SteppingPolicy
 
 
 class AnalogSolver:
@@ -27,7 +55,7 @@ class AnalogSolver:
 
     def __init__(self, sim: Simulator, stage: MultiphasePowerStage,
                  sensors: Optional[SensorBank] = None, dt: float = 1.0 * NS,
-                 trace: bool = True):
+                 trace: bool = True, policy: Optional[SteppingPolicy] = None):
         if dt <= 0:
             raise ValueError("solver step must be positive")
         self.sim = sim
@@ -35,6 +63,8 @@ class AnalogSolver:
         self.sensors = sensors
         self.dt = dt
         self.trace = trace
+        self.policy = policy if policy is not None else SteppingPolicy.fixed(dt)
+        self.adaptive = self.policy.adaptive
         self.v_probe = AnalogProbe("v_load", trace=trace)
         self.i_probes: List[AnalogProbe] = [
             AnalogProbe(f"i_coil{k}", trace=trace)
@@ -42,6 +72,17 @@ class AnalogSolver:
         ]
         self.i_total_probe = AnalogProbe("i_total", trace=trace)
         self._started = False
+        #: committed micro-steps so far (fixed mode: one per dt)
+        self.tick_count = 0
+        if self.adaptive:
+            p = self.policy
+            self._t_last = 0.0
+            self._proposal = min(max(dt, p.dt_min), p.dt_max)
+            self._commutes: List[float] = []   # heap of pending flip times
+            self._pending = None               # the scheduled next tick
+            self._breaks = list(stage.load.change_times())
+            delay = sensors.hl.delay if sensors is not None else dt
+            self._guard = min(dt, delay) if delay > 0 else dt
 
     def start(self) -> None:
         """Begin integration at the current simulation time."""
@@ -51,15 +92,159 @@ class AnalogSolver:
         self._record(self.sim.now)
         if self.sensors is not None:
             self.sensors.sample_all(self.sim.now)
-        self.sim.schedule(self.dt, self._tick)
+        if not self.adaptive:
+            self.sim.schedule(self.dt, self._tick)
+            return
+        self._t_last = self.sim.now
+        # plan the first step only after the t=0 initialisation events
+        # (clocks, activators, initial comparator edges) have fired
+        self.sim.schedule_at(self.sim.now, self._plan, priority=1)
 
+    # ------------------------------------------------------------------
+    # Fixed-step tick (the historical hot path, bit-for-bit unchanged)
+    # ------------------------------------------------------------------
     def _tick(self) -> None:
         now = self.sim.now
         self.stage.step(now - self.dt, self.dt)
+        self.tick_count += 1
         self._record(now)
         if self.sensors is not None:
             self.sensors.sample_all(now)
         self.sim.schedule(self.dt, self._tick)
+
+    # ------------------------------------------------------------------
+    # Adaptive stepping
+    # ------------------------------------------------------------------
+    def _tick_adaptive(self) -> None:
+        """Commit the step ending now (priority -1: ahead of same-instant
+        digital events) and defer planning the next one to priority +1
+        (after they have all fired)."""
+        self._pending = None
+        now = self.sim.now
+        h = now - self._t_last
+        if h > 0.0:
+            self._commit(now, h)
+        self.sim.schedule_at(now, self._plan, priority=1)
+
+    def _commit(self, now: float, h: float) -> None:
+        """Integrate ``[t_last, now]``, record, sample, and update the
+        error-controlled step-size proposal."""
+        stage, policy = self.stage, self.policy
+        err_i, err_v = stage.step(self._t_last, h)
+        self._t_last = now
+        self.tick_count += 1
+        self._record(now)
+        if self.sensors is not None:
+            self.sensors.sample_all(now)
+        # tolerance-scaled error -> next proposal (order-2 controller)
+        i_mag = max(abs(p.current) for p in stage.phases)
+        scale_i = policy.atol_i + policy.rtol * i_mag
+        scale_v = policy.atol_v + policy.rtol * abs(stage.v_out)
+        en = max(err_i / scale_i, err_v / scale_v)
+        raw = SAFETY * h / math.sqrt(en) if en > 0.0 else policy.dt_max
+        self._proposal = max(min(raw, GROWTH * self._proposal, policy.dt_max),
+                             policy.dt_min)
+
+    def _plan(self) -> None:
+        """Choose and schedule the next step end (priority +1: every
+        same-instant event has fired, so the slopes are post-flip)."""
+        now = self.sim.now
+        h = self._proposal
+        cap = self._crossing_cap(now)
+        guard = self._guard
+        if cap < h:
+            # land the step end half a guard past the predicted crossing:
+            # the crossing falls inside this one delay-sized step and the
+            # comparator's interpolated edge time stays exact
+            h = cap + 0.5 * guard if cap > 0.5 * guard else guard
+        t_next = now + h
+        # load-profile breakpoints land on step boundaries
+        idx = bisect_right(self._breaks, now)
+        if idx < len(self._breaks) and self._breaks[idx] < t_next:
+            t_next = self._breaks[idx]
+        # Pending gate-driver commutations snap the step end.  A flip more
+        # than a guard away ends the step exactly on its instant (the
+        # commit runs first, at priority -1, so the step integrates the
+        # pre-flip state).  Flips *within* a guard of the boundary stay
+        # mid-step and apply retroactively over at most one guard — the
+        # same commutation granularity the fixed ``dt`` step has — which
+        # coalesces the dense flip bursts of a switching cycle into one
+        # tick instead of several sub-nanosecond ones.
+        commutes = self._commutes
+        while commutes and commutes[0] <= now:
+            heapq.heappop(commutes)
+        if commutes and commutes[0] < t_next:
+            if commutes[0] - now >= guard:
+                t_next = commutes[0]
+            elif now + guard < t_next:
+                t_next = now + guard
+        self._pending = self.sim.schedule_at(t_next, self._tick_adaptive,
+                                             priority=-1)
+
+    def _crossing_cap(self, now: float) -> float:
+        """Earliest predicted comparator crossing (or body-diode clamp),
+        in seconds from now, from the analytic ODE slopes at the current
+        state; inf when nothing is in sight."""
+        cap = math.inf
+        sensors = self.sensors
+        if sensors is None:
+            return cap
+        stage = self.stage
+        currents = [p.current for p in stage.phases]
+        didt, dvdt = stage._derivatives(now, currents, stage.v_out)
+        v = stage.v_out
+        for comp in (sensors.hl, sensors.uv, sensors.ov):
+            cap = _hit(cap, comp.armed_level(), v, dvdt)
+        for k, phase in enumerate(stage.phases):
+            i = currents[k]
+            si = didt[k]
+            cap = _hit(cap, sensors.oc[k].armed_level(), i, si)
+            cap = _hit(cap, sensors.zc[k].armed_level(), i, si)
+            if not phase.pmos_on and not phase.nmos_on and i != 0.0:
+                # freewheeling decay: the body-diode clamp at exactly zero
+                cap = _hit(cap, 0.0, i, si)
+        return cap
+
+    def note_commutation(self, when: float) -> None:
+        """Gate-driver hook: a transistor flip was scheduled for ``when``.
+
+        Future flips snap the step end; a flip at (or before) the current
+        instant needs no action — it lands on the running step's start.
+        """
+        if when <= self.sim.now:
+            return
+        heapq.heappush(self._commutes, when)
+        pending = self._pending
+        if pending is None:
+            return
+        # same window rule as _plan: snap exactly when the flip is at
+        # least a guard past the running step's start, otherwise bound
+        # the step at start + guard (fixed-grade retroactivity)
+        target = when if when - self._t_last >= self._guard \
+            else self._t_last + self._guard
+        if self.sim.now < target < pending.time:
+            pending.cancel()
+            self._pending = self.sim.schedule_at(target, self._tick_adaptive,
+                                                 priority=-1)
+
+    def sync(self) -> None:
+        """Commit the integration up to the current kernel time.
+
+        Adaptive runs land ticks on event-driven boundaries, so a
+        ``run_until`` horizon (the settle boundary, the end of the run)
+        usually falls between ticks; measurements taken there must see
+        state integrated all the way to it.  No-op in fixed mode and when
+        a tick already landed exactly on the horizon.
+        """
+        if not self.adaptive or not self._started:
+            return
+        now = self.sim.now
+        if now - self._t_last > 0.0:
+            self._commit(now, now - self._t_last)
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._plan()
 
     def _record(self, t: float) -> None:
         self.v_probe.record(t, self.stage.v_out)
@@ -82,3 +267,13 @@ class AnalogSolver:
         self.i_total_probe.reset_stats()
         for probe in self.i_probes:
             probe.reset_stats()
+
+
+def _hit(cap: float, level: float, x: float, slope: float) -> float:
+    """min(cap, time for ``x`` to reach ``level`` at ``slope``)."""
+    if slope == 0.0:
+        return cap
+    t_hit = (level - x) / slope
+    if 0.0 < t_hit < cap:
+        return t_hit
+    return cap

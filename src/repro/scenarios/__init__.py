@@ -23,9 +23,11 @@ from .engine import (
     CrossValidation,
     EdgeComparison,
     ScenarioLane,
+    SteppingDrift,
     SweepPoint,
     VectorBatch,
     cross_validate,
+    cross_validate_stepping,
     run_sweep,
 )
 from .parallel import BatchPlan, plan_batches, pool_map, run_sweep_parallel
@@ -46,6 +48,7 @@ __all__ = [
     "choice", "lane_seed",
     "run_sweep", "SweepPoint", "VectorBatch", "ScenarioLane",
     "cross_validate", "CrossValidation", "EdgeComparison",
+    "cross_validate_stepping", "SteppingDrift",
     "BatchPlan", "plan_batches", "pool_map", "run_sweep_parallel",
     "VectorizedPowerStage", "LaneStage", "LanePhase",
     "VectorizedSolver", "VectorComparatorBank", "LaneSensors",

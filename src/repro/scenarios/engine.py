@@ -32,6 +32,7 @@ equivalence tests keep these within documented tolerances.
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, Optional, Sequence, Union
@@ -39,6 +40,7 @@ from typing import Any, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..analog.gate_driver import GateDriverBank
+from ..analog.stepping import SteppingPolicy
 from ..control.async_controller import AsyncMultiphaseController
 from ..control.params import BuckControlParams
 from ..control.sync_controller import SyncMultiphaseController
@@ -76,7 +78,7 @@ class ScenarioLane:
         return self.solver.i_waveform(self.index, phase)
 
     def waveform_times(self) -> np.ndarray:
-        return self.solver.waveform_times()
+        return self.solver.waveform_times(self.index)
 
 
 class VectorBatch:
@@ -96,6 +98,8 @@ class VectorBatch:
         if not configs:
             raise ValueError("batch needs at least one scenario")
         first = configs[0]
+        stepping_keys = ("stepping", "dt_min", "dt_max", "rtol",
+                         "atol_i", "atol_v")
         for cfg in configs:
             if cfg.n_phases != first.n_phases:
                 raise ValueError("batch lanes must share n_phases")
@@ -103,23 +107,47 @@ class VectorBatch:
                 raise ValueError("batch lanes must share dt")
             if cfg.sim_time != first.sim_time:
                 raise ValueError("batch lanes must share sim_time")
+            for key in stepping_keys:
+                if getattr(cfg, key) != getattr(first, key):
+                    raise ValueError(
+                        f"batch lanes must share {key} (stepping policy)")
         self.configs = list(configs)
         self.sim_time = first.sim_time
         self.dt = first.dt
         n_phases = first.n_phases
+        policy = SteppingPolicy.from_config(first)
+        if policy.adaptive and any(cfg.sensor_delay <= 0 or cfg.t_gate <= 0
+                                   for cfg in configs):
+            raise ValueError(
+                "adaptive stepping needs positive sensor_delay and t_gate "
+                "(the guard window that keeps comparator edges exact is "
+                "derived from them)")
+        if any(cfg.sensor_delay == 0 or cfg.t_gate == 0 for cfg in configs):
+            warnings.warn(
+                "zero sensor/gate delay with backend='vector': events "
+                "landing on the exact same timestamp as a solver micro-step "
+                "may be ordered differently than on the scalar backend "
+                "(scalar orders same-time events by scheduling sequence; "
+                "the vector batch delivers them before the array step)",
+                RuntimeWarning, stacklevel=3)
 
         self.sims = [Simulator(seed=cfg.seed) for cfg in configs]
         self.stage = VectorizedPowerStage(configs, track_energy=track_energy)
         self.bank = VectorComparatorBank(self.sims, configs, n_phases)
         self.solver = VectorizedSolver(
             self.sims, self.stage, self.bank, dt=self.dt,
-            trace=any(cfg.trace for cfg in configs))
+            trace=any(cfg.trace for cfg in configs), policy=policy)
         self.lanes: List[ScenarioLane] = []
         for i, (spec, cfg) in enumerate(zip(specs, configs)):
             sim = self.sims[i]
             sensors = LaneSensors(self.bank, i)
             gates = GateDriverBank(sim, self.stage.lanes[i],
                                    t_gate=cfg.t_gate, trace=cfg.trace)
+            if policy.adaptive:
+                for driver in gates.drivers:
+                    driver.on_commute = (
+                        lambda when, lane=i: self.solver.note_commutation(
+                            lane, when))
             params = cfg.params or BuckControlParams()
             if cfg.controller == "sync":
                 controller = SyncMultiphaseController(
@@ -186,6 +214,7 @@ class VectorBatch:
                 ov_events=len(self.bank.outputs[i][2].edges("rise")),
                 cycles=list(lane.controller.cycles_started),
                 metastable_events=lane.controller.metastable_events(),
+                solver_ticks=int(solver.tick_counts[i]),
             ))
         return results
 
@@ -372,6 +401,98 @@ class CrossValidation:
     def sample_counts_match(self) -> bool:
         """Both backends took the same number of micro-steps."""
         return self.n_samples_scalar == self.n_samples_vector
+
+
+@dataclass
+class SteppingDrift:
+    """Fixed-vs-adaptive agreement report for one scenario.
+
+    The adaptive stepper is *not* bit-matched to the fixed grid — it
+    takes different (error-controlled) steps — so agreement is bounded,
+    not exact: the cross-validation suite asserts the drifts below stay
+    inside documented tolerances.  Between the two adaptive backends,
+    however, the stepping policy is plumbed identically, so
+    ``backends_match`` locks scalar-vs-vector adaptive *exact* equality.
+    """
+
+    spec: ScenarioSpec
+    result_fixed: RunResult          #: vector backend, fixed grid
+    result_adaptive: RunResult       #: vector backend, adaptive grid
+    result_adaptive_scalar: RunResult
+
+    @property
+    def tick_ratio(self) -> float:
+        """Fixed-over-adaptive committed micro-step ratio (the speed win)."""
+        return self.result_fixed.solver_ticks / self.result_adaptive.solver_ticks
+
+    @property
+    def peak_drift(self) -> float:
+        return abs(self.result_fixed.peak_coil_current
+                   - self.result_adaptive.peak_coil_current)
+
+    @property
+    def ripple_drift(self) -> float:
+        return abs(self.result_fixed.ripple - self.result_adaptive.ripple)
+
+    @property
+    def v_final_drift(self) -> float:
+        return abs(self.result_fixed.v_final - self.result_adaptive.v_final)
+
+    @property
+    def cycle_drift(self) -> float:
+        """Relative total-cycle-count difference (controller activity)."""
+        fixed = sum(self.result_fixed.cycles)
+        adaptive = sum(self.result_adaptive.cycles)
+        if fixed == 0:
+            return float(adaptive != 0)
+        return abs(fixed - adaptive) / fixed
+
+    @property
+    def backends_match(self) -> bool:
+        """Adaptive scalar and adaptive vector agree: bit-for-bit on the
+        state/peak/timing quantities and step counts; within float
+        round-off on the energy accumulators, whose per-phase summation
+        order differs between the backends (the same ulp-level slack the
+        fixed-grid equivalence suite documents)."""
+        a, s = self.result_adaptive, self.result_adaptive_scalar
+        return (a.v_final == s.v_final
+                and a.peak_coil_current == s.peak_coil_current
+                and a.ripple == s.ripple
+                and math.isclose(a.coil_loss_w, s.coil_loss_w,
+                                 rel_tol=1e-9, abs_tol=1e-18)
+                and math.isclose(a.efficiency, s.efficiency,
+                                 rel_tol=1e-9, abs_tol=1e-18)
+                and a.cycles == s.cycles
+                and a.ov_events == s.ov_events
+                and a.solver_ticks == s.solver_ticks)
+
+
+def _respec(spec: ScenarioSpec, stepping: str) -> ScenarioSpec:
+    return ScenarioSpec(name=f"{spec.name}[{stepping}]",
+                        overrides=dict(spec.overrides, stepping=stepping),
+                        seed=spec.seed)
+
+
+def cross_validate_stepping(spec: ScenarioSpec,
+                            defaults: Optional[Mapping[str, Any]] = None,
+                            settle: Optional[float] = None) -> SteppingDrift:
+    """Run ``spec`` on the fixed and adaptive grids and report the drift.
+
+    Three runs: vector/fixed (the golden-locked reference), vector/
+    adaptive, and scalar/adaptive (which must match vector/adaptive
+    bit-for-bit — the policy is the same code path on both backends).
+    """
+    defaults = dict(defaults or {})
+    spec_f = _respec(spec, "fixed")
+    spec_a = _respec(spec, "adaptive")
+    cfg_f = spec_f.to_config(**defaults)
+    cfg_a = spec_a.to_config(**defaults)
+    result_f = VectorBatch([spec_f], [cfg_f]).run(settle=settle)[0]
+    result_a = VectorBatch([spec_a], [cfg_a]).run(settle=settle)[0]
+    result_s = BuckSystem(spec_a.to_config(**defaults)).measure(settle=settle)
+    return SteppingDrift(spec=spec, result_fixed=result_f,
+                         result_adaptive=result_a,
+                         result_adaptive_scalar=result_s)
 
 
 def cross_validate(spec: ScenarioSpec,

@@ -62,8 +62,17 @@ class BatchPlan:
 
 
 def lockstep_key(config: SystemConfig) -> Tuple:
-    """The grouping key lanes must share to advance in one vector batch."""
-    return (config.n_phases, config.dt, config.sim_time, config.trace)
+    """The grouping key lanes must share to advance in one vector batch.
+
+    The stepping-policy fields are part of the key: fixed and adaptive
+    lanes run different solver loops and must not share a batch (adaptive
+    lanes still advance on per-lane grids inside their batch, so batch
+    composition never affects results — the key only keeps the loop and
+    its tolerances uniform).
+    """
+    return (config.n_phases, config.dt, config.sim_time, config.trace,
+            config.stepping, config.dt_min, config.dt_max, config.rtol,
+            config.atol_i, config.atol_v)
 
 
 def plan_batches(configs: Sequence[SystemConfig],

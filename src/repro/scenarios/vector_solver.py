@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..analog.sensors import BuckReferences
+from ..analog.stepping import GROWTH, SAFETY, SteppingPolicy
 from ..sim.core import Simulator
 from ..sim.signal import Signal
 from ..system import SystemConfig
@@ -207,8 +208,16 @@ class VectorComparatorBank:
         self._dirty = True
 
     # ------------------------------------------------------------------
-    def sample(self, t: float, v_out: np.ndarray, currents: np.ndarray) -> None:
-        """Evaluate every comparator at time ``t`` (one solver step)."""
+    def sample(self, t, v_out: np.ndarray, currents: np.ndarray,
+               active: Optional[np.ndarray] = None) -> None:
+        """Evaluate every comparator at time ``t`` (one solver step).
+
+        ``t`` is a scalar in lock-step operation or an ``(N,)`` array of
+        per-lane sample times (adaptive stepping).  ``active`` masks the
+        lanes that actually advanced this iteration: inactive lanes are
+        excluded from noise draws and edge detection, so a lane's jitter
+        stream and edge history stay pure functions of its own steps.
+        """
         cur = self._cur
         x, xv, xoc, xzc, xlow, xabv = self._buf_views[cur]
         xv[:] = v_out[:, None]
@@ -219,6 +228,8 @@ class VectorComparatorBank:
         if self._noise_lanes:
             th = self.threshold.copy()
             for i in self._noise_lanes:
+                if active is not None and not active[i]:
+                    continue
                 th[i] += (self.noise[i]
                           * self._noise_rngs[i].standard_normal(self.n_cols))
             # write through self._level so the block views stay coherent
@@ -245,6 +256,8 @@ class VectorComparatorBank:
         new_state = cmp_
 
         changed = np.not_equal(new_state, state, out=self._b2)
+        if active is not None:
+            np.logical_and(changed, active[:, None], out=changed)
         if changed.any():
             self._schedule_edges(t, x, new_state, changed)
             if not self._noise_lanes:
@@ -252,26 +265,29 @@ class VectorComparatorBank:
                 lvl = self._level
                 for i, c in np.argwhere(changed):
                     lvl[i, c] = adj_on[i, c] if new_state[i, c] else th_[i, c]
-            np.copyto(state, new_state)
+            np.copyto(state, new_state, where=changed)
         self._prev_x = x
         self._cur = 1 - cur
-        self._prev_t = t
+        self._prev_t = np.array(t, copy=True) if np.ndim(t) else t
 
-    def _schedule_edges(self, t: float, x: np.ndarray, new_state: np.ndarray,
+    def _schedule_edges(self, t, x: np.ndarray, new_state: np.ndarray,
                         changed: np.ndarray) -> None:
         prev_t = self._prev_t
+        t_arr = np.ndim(t) != 0
         for i, c in np.argwhere(changed):
+            t_i = float(t[i]) if t_arr else t
             xv = float(x[i, c])
-            cross_t = t
+            cross_t = t_i
             if prev_t is not None:
+                prev_ti = (float(prev_t[i]) if np.ndim(prev_t) else prev_t)
                 prev_x = float(self._prev_x[i, c])
                 if prev_x != xv:
                     # interpolate against the clean threshold, like the
                     # scalar comparator
                     frac = (float(self.threshold[i, c]) - prev_x) / (xv - prev_x)
                     if 0.0 <= frac <= 1.0:
-                        cross_t = prev_t + frac * (t - prev_t)
-            fire_at = max(t, cross_t + float(self.delay[i]))
+                        cross_t = prev_ti + frac * (t_i - prev_ti)
+            fire_at = max(t_i, cross_t + float(self.delay[i]))
             out = self.outputs[i][c]
             value = bool(new_state[i, c])
             self.sims[i].schedule_at(fire_at, lambda o=out, v=value: o._apply(v))
@@ -304,10 +320,20 @@ class VectorizedSolver:
     trace:
         Keep full waveforms (per-step ``(N,)`` voltage and ``(N, P)``
         current snapshots) in addition to the running statistics.
+    policy:
+        The :class:`~repro.analog.stepping.SteppingPolicy`; ``None``
+        means fixed stepping at ``dt``.  In adaptive mode every lane
+        advances on its **own** error-controlled step grid (one array
+        step per iteration with a per-lane ``dt`` vector): each lane's
+        step sequence is a pure function of that lane's state, never of
+        its batch neighbours, which keeps results bit-identical across
+        batch compositions — and therefore across the inline, sharded,
+        and cached execution paths.
     """
 
     def __init__(self, sims: Sequence[Simulator], stage, bank, dt: float,
-                 trace: bool = False):
+                 trace: bool = False,
+                 policy: Optional[SteppingPolicy] = None):
         if dt <= 0:
             raise ValueError("solver step must be positive")
         self.sims = list(sims)
@@ -315,14 +341,34 @@ class VectorizedSolver:
         self.bank = bank
         self.dt = dt
         self.trace = trace
+        self.policy = policy if policy is not None else SteppingPolicy.fixed(dt)
         n, p = stage.n_lanes, stage.n_phases
         self.v_max = np.full(n, -np.inf)
         self.v_min = np.full(n, np.inf)
         self.i_max = np.full((n, p), -np.inf)
         self.i_min = np.full((n, p), np.inf)
+        #: per-lane committed micro-step counts
+        self.tick_counts = np.zeros(n, dtype=np.int64)
         self._buffers = _TraceBuffers([], [], []) if trace else None
         self.now = 0.0
         self._started = False
+        if self.policy.adaptive:
+            pol = self.policy
+            self._prop = np.full(n, min(max(dt, pol.dt_min), pol.dt_max))
+            self._lane_t = np.zeros(n)
+            self._commutes: List[List[float]] = [[] for _ in range(n)]
+            self._t_tgt: Optional[np.ndarray] = None
+            delays = (bank.delay if bank is not None else np.full(n, dt))
+            self._guards = np.where(delays > 0,
+                                    np.minimum(dt, delays), dt)
+            self._err_i = np.empty(n)
+            self._err_v = np.empty(n)
+            self._didt = np.empty((n, p))
+            self._dvdt = np.empty(n)
+            if bank is not None:
+                c = bank.n_cols
+                self._xq = np.empty((n, c))
+                self._sq = np.empty((n, c))
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -333,16 +379,17 @@ class VectorizedSolver:
         self._record(self.now)
         if self.bank is not None:
             self.bank.sample(self.now, self.stage.v_out, self.stage.current)
+        if self.policy.adaptive:
+            self._lane_t.fill(self.now)
 
     def advance_to(self, t_end: float) -> None:
-        """Run all lanes in lock-step until ``t_end``.
-
-        Tick times accumulate as repeated float additions of ``dt`` —
-        matching the scalar solver's self-rescheduling — so the two
-        backends execute the same number of micro-steps.
-        """
+        """Run all lanes until ``t_end`` (lock-step fixed grid, or each
+        lane's own adaptive grid)."""
         if not self._started:
             raise RuntimeError("call start() first")
+        if self.policy.adaptive:
+            self._advance_adaptive(t_end)
+            return
         t = self.now
         dt = self.dt
         stage = self.stage
@@ -365,6 +412,7 @@ class VectorizedSolver:
         pop = heapq.heappop
         if bank is not None:
             bank.on_schedule = lambda lane, when: push(heads, (when, lane))
+        ticks = 0
         try:
             while True:
                 t_next = t + dt
@@ -378,6 +426,7 @@ class VectorizedSolver:
                     if q:
                         push(heads, (q[0][0], lane))
                 step(t, dt)
+                ticks += 1
                 record(t_next)
                 if sample is not None:
                     sample(t_next, stage.v_out, stage.current)
@@ -386,17 +435,155 @@ class VectorizedSolver:
             for sim in sims:
                 sim.run_until(t_end)
         finally:
+            self.tick_counts += ticks
             if bank is not None:
                 bank.on_schedule = None
 
-    def _record(self, t: float) -> None:
+    # ------------------------------------------------------------------
+    # Adaptive stepping (per-lane error-controlled grids)
+    # ------------------------------------------------------------------
+    def _advance_adaptive(self, t_end: float) -> None:
+        """Advance every lane to ``t_end`` on its own adaptive grid.
+
+        Each iteration plans a per-lane step end (error-controlled
+        proposal, capped by predicted comparator crossings and snapped
+        onto commutations and load breakpoints), delivers each lane's
+        digital events strictly before its step end — one at a time, so
+        a commutation scheduled by a cascade can still shrink the end —
+        then commits one array step with the per-lane ``dt`` vector,
+        samples the comparator bank, and fires the events sitting
+        exactly on the boundary.  The ordering mirrors the scalar
+        adaptive solver: commit (priority -1) before same-instant
+        events, planning (priority +1) after them.
+        """
+        policy = self.policy
+        stage, bank = self.stage, self.bank
+        sims = self.sims
+        n = stage.n_lanes
+        queues = [sim._queue for sim in sims]
+        guards = self._guards
+        t = self._lane_t
+        prop = self._prop
+        dt_min, dt_max = policy.dt_min, policy.dt_max
+        half_g = 0.5 * guards
+        while (t < t_end).any():
+            # ---- plan: per-lane step ends --------------------------------
+            caps = self._crossing_caps(t)
+            h = np.where(caps < prop,
+                         np.where(caps > half_g, caps + half_g, guards),
+                         prop)
+            t_tgt = t + h
+            np.minimum(t_tgt, t_end, out=t_tgt)
+            nb = stage.next_load_change(t)
+            np.copyto(t_tgt, nb, where=nb < t_tgt)
+            for i in range(n):
+                ch = self._commutes[i]
+                ti = t[i]
+                while ch and ch[0] <= ti:
+                    heapq.heappop(ch)
+                if ch and ch[0] < t_tgt[i]:
+                    if ch[0] - ti >= guards[i]:
+                        t_tgt[i] = ch[0]
+                    elif ti + guards[i] < t_tgt[i]:
+                        t_tgt[i] = ti + guards[i]
+            self._t_tgt = t_tgt
+            # ---- deliver events strictly before each lane's end ----------
+            # (one at a time: a cascade may schedule a commutation that
+            # shrinks this lane's t_tgt through note_commutation)
+            for i in range(n):
+                if queues[i] and queues[i][0][0] < t_tgt[i]:
+                    sim = sims[i]
+                    while sim.run_one_before(t_tgt[i]):
+                        pass
+            # ---- commit one array step with the per-lane dt vector -------
+            h_arr = t_tgt - t
+            active = h_arr > 0.0
+            stage.step(t, h_arr, err_i_out=self._err_i,
+                       err_v_out=self._err_v)
+            self.tick_counts += active
+            self._record(t_tgt)
+            if bank is not None:
+                bank.sample(t_tgt, stage.v_out, stage.current, active=active)
+            # ---- boundary events (flips snapped onto step ends) ----------
+            for i in range(n):
+                if active[i]:
+                    sims[i].run_until(t_tgt[i])
+            # ---- error-controlled proposals for the next step ------------
+            with np.errstate(divide="ignore", invalid="ignore"):
+                i_mag = np.abs(stage.current).max(axis=1)
+                scale_i = policy.atol_i + policy.rtol * i_mag
+                scale_v = policy.atol_v + policy.rtol * np.abs(stage.v_out)
+                en = np.maximum(self._err_i / scale_i, self._err_v / scale_v)
+                raw = np.where(en > 0.0, SAFETY * h_arr / np.sqrt(en), dt_max)
+            p_new = np.maximum(
+                np.minimum(np.minimum(raw, GROWTH * prop), dt_max), dt_min)
+            np.copyto(prop, p_new, where=active)
+            np.copyto(t, t_tgt)
+        self._t_tgt = None
+        self.now = t_end
+        for sim in sims:
+            sim.run_until(t_end)
+
+    def _crossing_caps(self, t: np.ndarray) -> np.ndarray:
+        """Per-lane earliest predicted comparator crossing (or body-diode
+        clamp), in seconds from each lane's ``t``, from the analytic ODE
+        slopes at the current state — the vector twin of the scalar
+        solver's ``_crossing_cap``."""
+        stage, bank = self.stage, self.bank
+        didt, dvdt = self._didt, self._dvdt
+        stage._derivatives(t, stage.current, stage.v_out, didt, dvdt)
+        if bank is None:
+            return np.full(stage.n_lanes, np.inf)
+        p = stage.n_phases
+        lvl = np.where(bank.state, bank.threshold + bank._hyst_eff,
+                       bank.threshold)
+        xq, sq = self._xq, self._sq
+        xq[:, :V_COLS] = stage.v_out[:, None]
+        xq[:, V_COLS:V_COLS + p] = stage.current
+        xq[:, V_COLS + p:] = stage.current
+        sq[:, :V_COLS] = dvdt[:, None]
+        sq[:, V_COLS:V_COLS + p] = didt
+        sq[:, V_COLS + p:] = didt
+        with np.errstate(divide="ignore", invalid="ignore"):
+            th = (lvl - xq) / sq
+            valid = (sq != 0.0) & (th > 0.0)
+            caps = np.where(valid, th, np.inf).min(axis=1)
+            # freewheeling decay: the body-diode clamp at exactly zero
+            tz = (0.0 - stage.current) / didt
+            vz = (stage._off_b & (stage.current != 0.0) & (didt != 0.0)
+                  & (tz > 0.0))
+            np.minimum(caps, np.where(vz, tz, np.inf).min(axis=1), out=caps)
+        return caps
+
+    def note_commutation(self, lane: int, when: float) -> None:
+        """Gate-driver hook: lane ``lane`` scheduled a transistor flip.
+
+        Same window rule as the scalar solver: a flip at least a guard
+        past the lane's step start snaps the step end exactly onto it;
+        a closer flip bounds the end at start + guard (fixed-grade
+        retroactivity), coalescing dense flip bursts into one tick.
+        """
+        sim = self.sims[lane]
+        if when <= sim.now:
+            return
+        heapq.heappush(self._commutes[lane], when)
+        tgt = self._t_tgt
+        if tgt is None:
+            return
+        t0 = self._lane_t[lane]
+        guard = self._guards[lane]
+        target = when if when - t0 >= guard else t0 + guard
+        if sim.now < target < tgt[lane]:
+            tgt[lane] = target
+
+    def _record(self, t) -> None:
         v, i = self.stage.v_out, self.stage.current
         np.maximum(self.v_max, v, out=self.v_max)
         np.minimum(self.v_min, v, out=self.v_min)
         np.maximum(self.i_max, i, out=self.i_max)
         np.minimum(self.i_min, i, out=self.i_min)
         if self._buffers is not None:
-            self._buffers.times.append(t)
+            self._buffers.times.append(t.copy() if np.ndim(t) else t)
             self._buffers.v.append(v.copy())
             self._buffers.i.append(i.copy())
 
@@ -423,10 +610,14 @@ class VectorizedSolver:
     # ------------------------------------------------------------------
     # Traced waveforms
     # ------------------------------------------------------------------
-    def waveform_times(self) -> np.ndarray:
+    def waveform_times(self, lane: int = 0) -> np.ndarray:
+        """Sample times: one shared grid in fixed mode; each lane's own
+        grid in adaptive mode (pass the lane index; a lane that idled
+        while stragglers caught up repeats its last boundary)."""
         if self._buffers is None:
             raise ValueError("solver ran with trace=False")
-        return np.array(self._buffers.times)
+        arr = np.array(self._buffers.times)
+        return arr if arr.ndim == 1 else arr[:, lane]
 
     def v_waveform(self, lane: int) -> np.ndarray:
         if self._buffers is None:

@@ -29,7 +29,7 @@ short-circuit safety rule.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -199,14 +199,29 @@ class VectorizedPowerStage:
         self._r_const = np.ascontiguousarray(self._load_values[:, 0])
         self._lane_idx = np.arange(n)
 
-    def resistance(self, t: float) -> np.ndarray:
+    def resistance(self, t) -> np.ndarray:
         """Per-lane load resistance at time ``t`` (scalar-model semantics:
-        piecewise-constant, clamped before t=0)."""
+        piecewise-constant, clamped before t=0).  ``t`` is a scalar in
+        lock-step operation or an ``(N,)`` array of per-lane times when
+        the adaptive stepper advances lanes on their own step grids."""
         if self._load_constant:
             return self._r_const
-        idx = (self._load_times <= t).sum(axis=1) - 1
+        if np.ndim(t) == 0:
+            idx = (self._load_times <= t).sum(axis=1) - 1
+        else:
+            idx = (self._load_times <= t[:, None]).sum(axis=1) - 1
         np.maximum(idx, 0, out=idx)
         return self._load_values[self._lane_idx, idx]
+
+    def next_load_change(self, t: np.ndarray) -> np.ndarray:
+        """Per-lane time of the first load breakpoint strictly after each
+        lane's ``t`` (``inf`` where the load never changes again)."""
+        if self._load_constant:
+            return np.full(self.n_lanes, np.inf)
+        idx = (self._load_times <= t[:, None]).sum(axis=1)
+        idx = np.minimum(idx, self._load_times.shape[1] - 1)
+        nxt = self._load_times[self._lane_idx, idx]
+        return np.where(nxt > t, nxt, np.inf)
 
     # ------------------------------------------------------------------
     # Precomputed coefficients and scratch buffers
@@ -337,7 +352,9 @@ class VectorizedPowerStage:
         _div(self._n1, self.c_out, out=dvdt_out)
         return r_load
 
-    def step(self, t: float, dt: float,
+    def step(self, t, dt,
+             err_i_out: Optional[np.ndarray] = None,
+             err_v_out: Optional[np.ndarray] = None,
              _mul=np.multiply, _add=np.add, _abs=np.abs,
              _gt=np.greater, _le=np.less_equal, _or=np.logical_or,
              _and=np.logical_and, _not=np.logical_not) -> None:
@@ -346,24 +363,38 @@ class VectorizedPowerStage:
         Identical semantics to the scalar model: switch states held across
         the step; body-diode conduction clamped at the zero crossing;
         trapezoidal energy bookkeeping on the accepted step.
+
+        ``t`` / ``dt`` are scalars in lock-step operation, or ``(N,)``
+        per-lane arrays when the adaptive stepper advances each lane on
+        its own grid (a lane with ``dt == 0`` is a bit-exact no-op).
+        When ``err_i_out`` / ``err_v_out`` are given, the embedded
+        RK2(1) per-lane error estimates ``max_k |dt*(k2-k1)|`` (currents)
+        and ``|dt*(k2-k1)|`` (voltage) are written into them.
         """
-        half_dt = 0.5 * dt
+        if np.ndim(dt) == 0:
+            half_col = half_row = 0.5 * dt
+            dt_col = dt_row = dt
+        else:
+            half_row = 0.5 * dt
+            half_col = half_row[:, None]
+            dt_row = dt
+            dt_col = dt[:, None]
         i0 = self.current
         v0 = self.v_out
 
         r_load = self._derivatives(t, i0, v0, self._k1_i, self._k1_v)
-        _mul(self._k1_i, half_dt, out=self._mid_i)
+        _mul(self._k1_i, half_col, out=self._mid_i)
         _add(i0, self._mid_i, out=self._mid_i)
-        _mul(self._k1_v, half_dt, out=self._mid_v)
+        _mul(self._k1_v, half_row, out=self._mid_v)
         _add(v0, self._mid_v, out=self._mid_v)
-        self._derivatives(t + half_dt, self._mid_i, self._mid_v,
+        self._derivatives(t + half_row, self._mid_i, self._mid_v,
                           self._k2_i, self._k2_v)
 
         i1 = self._next_i
         v1 = self._next_v
-        _mul(self._k2_i, dt, out=i1)
+        _mul(self._k2_i, dt_col, out=i1)
         _add(i0, i1, out=i1)
-        _mul(self._k2_v, dt, out=v1)
+        _mul(self._k2_v, dt_row, out=v1)
         _add(v0, v1, out=v1)
 
         # Body-diode conduction can only decay the current; a sign flip or
@@ -385,12 +416,12 @@ class VectorizedPowerStage:
             np.add(f1, f2, out=f1)
             f1 *= 0.5
             np.multiply(f1, self.dcr, out=f1)
-            f1 *= dt
+            f1 *= dt_col
             self.coil_loss_j += f1
 
             f2 = np.add(i0, i1, out=self._f2)
             np.multiply(self._vin_half, f2, out=f2)
-            f2 *= dt
+            f2 *= dt_col
             f2 *= self._pmos_f
             np.sum(f2, axis=1, out=self._n1)
             self.energy_in_j += self._n1
@@ -400,7 +431,7 @@ class VectorizedPowerStage:
             np.add(self._n1, self._n2, out=self._n1)
             self._n1 *= 0.5
             np.divide(self._n1, r_load, out=self._n1)
-            self._n1 *= dt
+            self._n1 *= dt_row
             self.energy_out_j += self._n1
 
         # Commit by buffer swap (views read the attributes afresh).
@@ -408,6 +439,16 @@ class VectorizedPowerStage:
         self._next_i = i0
         self.v_out = v1
         self._next_v = v0
+
+        if err_i_out is not None:
+            # embedded RK2(1) estimate: |dt * (k2 - k1)|, worst phase
+            d = np.subtract(self._k2_i, self._k1_i, out=self._f1)
+            np.abs(d, out=d)
+            d.max(axis=1, out=err_i_out)
+            err_i_out *= dt_row
+            np.subtract(self._k2_v, self._k1_v, out=err_v_out)
+            np.abs(err_v_out, out=err_v_out)
+            err_v_out *= dt_row
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"VectorizedPowerStage(lanes={self.n_lanes}, "

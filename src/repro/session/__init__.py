@@ -16,6 +16,7 @@ from .cache import (
     ResultCache,
     cache_key,
     code_fingerprint,
+    module_fingerprint,
 )
 from .session import (
     Scenario,
@@ -28,6 +29,6 @@ from .session import (
 __all__ = [
     "Session", "Scenario",
     "default_session", "set_default_session", "session_from_env",
-    "ResultCache", "cache_key", "code_fingerprint",
+    "ResultCache", "cache_key", "code_fingerprint", "module_fingerprint",
     "DEFAULT_CACHE_DIR", "FORMAT_VERSION",
 ]

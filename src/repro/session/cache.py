@@ -29,6 +29,7 @@ bit-identical to the cold run (``tests/session/test_session.py``).
 
 from __future__ import annotations
 
+import ast
 import hashlib
 import json
 import os
@@ -36,7 +37,7 @@ import tempfile
 import zipfile
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +45,8 @@ from ..scenarios.parallel import encode_config
 from ..system import RunResult, SystemConfig
 
 #: bump when the key payload or on-disk layout changes shape
-FORMAT_VERSION = 1
+#: (2: RunResult gained solver_ticks; keys cover the stepping knobs)
+FORMAT_VERSION = 2
 
 #: cache operating modes (Session's ``cache=`` argument)
 MODES = ("readwrite", "readonly", "off")
@@ -61,7 +63,34 @@ FINGERPRINT_PATHS = ("system.py", "sim", "analog", "digital", "a2a",
 
 _FLOAT_FIELDS = ("v_final", "peak_coil_current", "ripple", "coil_loss_w",
                  "efficiency")
-_INT_FIELDS = ("ov_events", "metastable_events")
+_INT_FIELDS = ("ov_events", "metastable_events", "solver_ticks")
+
+
+def module_fingerprint(source: str) -> str:
+    """Digest of one module's *behaviour-relevant* source (16 hex chars).
+
+    The module is parsed and hashed as its AST dump with every docstring
+    stripped, so edits that cannot change simulation results — comments,
+    whitespace, blank lines, docstrings — keep the digest (and therefore
+    every cache key) stable, while any real code change produces a new
+    one.  Unparseable source falls back to hashing the raw text.
+    """
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        payload = source.encode()
+    else:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Module, ast.ClassDef,
+                                     ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            body = node.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                del body[0]
+        payload = ast.dump(tree, include_attributes=False).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 @lru_cache(maxsize=1)
@@ -69,9 +98,11 @@ def code_fingerprint() -> str:
     """Hash the source of every simulation module (16 hex chars).
 
     Computed once per process from the installed ``repro`` package's
-    ``.py`` files; any edit to the kernel, analog models, controllers,
-    or scenario engine yields a new fingerprint and therefore all-new
-    cache keys.
+    ``.py`` files; any code edit to the kernel, analog models,
+    controllers, or scenario engine yields a new fingerprint and
+    therefore all-new cache keys.  Each module contributes its
+    :func:`module_fingerprint` — the docstring-stripped AST digest — so
+    comment-only and docstring-only edits do *not* invalidate the cache.
     """
     package_root = Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()
@@ -81,7 +112,9 @@ def code_fingerprint() -> str:
         for source in files:
             digest.update(str(source.relative_to(package_root)).encode())
             digest.update(b"\0")
-            digest.update(source.read_bytes())
+            digest.update(
+                module_fingerprint(source.read_text(encoding="utf-8"))
+                .encode())
             digest.update(b"\0")
     return digest.hexdigest()[:16]
 
@@ -123,15 +156,30 @@ class ResultCache:
     ``"off"``
         Never read, never write (a disabled cache object; sessions
         usually represent this state as ``cache=None`` instead).
+
+    ``max_bytes`` caps the on-disk size: every write prunes the store
+    back under the cap, evicting whole entries oldest-modification-first
+    (an LRU approximation — loads do not touch mtimes, so "oldest" means
+    least-recently *written*).  ``None`` means unbounded, the historical
+    behaviour.
     """
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR,
-                 mode: str = "readwrite"):
+                 mode: str = "readwrite",
+                 max_bytes: Optional[int] = None):
         if mode not in MODES:
             raise ValueError(
                 f"cache mode must be one of {MODES}, got {mode!r}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes cannot be negative")
         self.root = Path(root)
         self.mode = mode
+        self.max_bytes = max_bytes
+        # Running on-disk size estimate for capped caches: initialised by
+        # one directory scan on the first write, then advanced per store,
+        # so store() only rescans (via prune) when the cap is actually
+        # crossed instead of stat-ing every entry on every write.
+        self._approx_bytes: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -207,6 +255,19 @@ class ResultCache:
             meta_path,
             lambda fh: fh.write(
                 json.dumps(payload, sort_keys=True, indent=1).encode()))
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                # first capped write this process: one scan (covers the
+                # entry just written and anything from earlier processes)
+                self._approx_bytes = self.size_bytes()
+            else:
+                try:
+                    self._approx_bytes += (meta_path.stat().st_size
+                                           + npz_path.stat().st_size)
+                except OSError:
+                    pass   # concurrently evicted; the next prune rescans
+            if self._approx_bytes > self.max_bytes:
+                self.prune()
         return True
 
     @staticmethod
@@ -235,6 +296,54 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
+    def size_bytes(self) -> int:
+        """Total on-disk size of every entry file (json + npz)."""
+        return sum(size for _, _, size in self._entries())
+
+    def _entries(self) -> List[Tuple[float, str, int]]:
+        """Every complete entry as ``(mtime, key, size_bytes)``."""
+        entries = []
+        if not self.root.is_dir():
+            return entries
+        for meta_path in self.root.glob("*/*.json"):
+            npz_path = meta_path.with_suffix(".npz")
+            try:
+                meta_stat = meta_path.stat()
+                npz_stat = npz_path.stat()
+            except OSError:
+                continue   # half-written or concurrently evicted
+            entries.append((max(meta_stat.st_mtime, npz_stat.st_mtime),
+                            meta_path.stem,
+                            meta_stat.st_size + npz_stat.st_size))
+        return entries
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict whole entries, oldest mtime first, until the store fits
+        in ``max_bytes`` (defaults to the cache's own cap).  Returns the
+        number of entries removed.  A ``readonly``/``off`` cache never
+        prunes."""
+        if not self.writable:
+            return 0
+        limit = max_bytes if max_bytes is not None else self.max_bytes
+        if limit is None:
+            return 0
+        entries = sorted(self._entries())
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        for _mtime, key, size in entries:
+            if total <= limit:
+                break
+            meta_path, npz_path = self._paths(key)
+            for path in (meta_path, npz_path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            total -= size
+            removed += 1
+        self._approx_bytes = total   # the scan just measured the truth
+        return removed
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
@@ -246,6 +355,7 @@ class ResultCache:
                 except OSError:
                     continue
             removed += 1
+        self._approx_bytes = None
         return removed
 
     def __repr__(self) -> str:

@@ -30,6 +30,7 @@ import os
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     TypeVar, Union)
 
+from ..analog.stepping import STEPPING_MODES
 from ..scenarios.engine import Specs, SweepPoint, _as_specs, _execute_sweep
 from ..scenarios.parallel import pool_map, workers_from_env
 from ..scenarios.spec import ScenarioSpec
@@ -61,6 +62,17 @@ class Session:
     cache_dir:
         Cache root for string modes (default: ``REPRO_CACHE_DIR`` or
         ``.repro_cache/``).
+    cache_max_bytes:
+        On-disk size cap for string cache modes; every write-back prunes
+        the store under it, oldest entries first.  ``None`` resolves the
+        ``REPRO_CACHE_MAX_MB`` environment variable (unset: unbounded).
+    stepping:
+        Default solver stepping mode applied to every scenario that does
+        not override it: ``"fixed"`` (the default) or ``"adaptive"``
+        (error-controlled micro-steps with event-boundary snapping; see
+        :mod:`repro.analog.stepping`).  The stepping mode and tolerances
+        are part of each scenario's cache key, so fixed and adaptive
+        results never collide.
     defaults:
         Config fields applied below every spec's overrides.
     max_lanes_per_shard:
@@ -71,24 +83,34 @@ class Session:
                  workers: Optional[int] = None,
                  cache: Union[str, ResultCache, None] = None,
                  cache_dir: Optional[str] = None,
+                 cache_max_bytes: Optional[int] = None,
+                 stepping: Optional[str] = None,
                  defaults: Optional[Mapping[str, Any]] = None,
                  max_lanes_per_shard: Optional[int] = None):
         if backend not in ("vector", "scalar"):
             raise ValueError("backend must be 'vector' or 'scalar'")
         if workers is not None and workers < 0:
             raise ValueError("workers cannot be negative")
+        if stepping is not None and stepping not in STEPPING_MODES:
+            raise ValueError(
+                f"stepping must be one of {STEPPING_MODES}, got {stepping!r}")
         self.backend = backend
         self.workers = workers
         self.defaults: Dict[str, Any] = dict(defaults or {})
+        if stepping is not None:
+            self.defaults.setdefault("stepping", stepping)
+        self.stepping = stepping
         self.max_lanes_per_shard = max_lanes_per_shard
-        self.cache = self._resolve_cache(cache, cache_dir)
+        self.cache = self._resolve_cache(cache, cache_dir, cache_max_bytes)
         #: scenarios served from / recomputed past the cache, cumulative
         self.cache_hits = 0
         self.cache_misses = 0
 
     @staticmethod
     def _resolve_cache(cache: Union[str, ResultCache, None],
-                       cache_dir: Optional[str]) -> Optional[ResultCache]:
+                       cache_dir: Optional[str],
+                       cache_max_bytes: Optional[int] = None
+                       ) -> Optional[ResultCache]:
         if isinstance(cache, ResultCache):
             return cache if cache.mode != "off" else None
         mode = cache
@@ -98,7 +120,16 @@ class Session:
             return None
         root = (cache_dir or os.environ.get("REPRO_CACHE_DIR", "").strip()
                 or DEFAULT_CACHE_DIR)
-        return ResultCache(root=root, mode=mode)
+        max_bytes = cache_max_bytes
+        if max_bytes is None:
+            raw = os.environ.get("REPRO_CACHE_MAX_MB", "").strip()
+            if raw:
+                max_mb = float(raw)
+                if max_mb < 0:
+                    raise ValueError(
+                        f"REPRO_CACHE_MAX_MB cannot be negative (got {raw})")
+                max_bytes = int(max_mb * 1024 * 1024)
+        return ResultCache(root=root, mode=mode, max_bytes=max_bytes)
 
     # ------------------------------------------------------------------
     # Scenario coercion
@@ -249,6 +280,10 @@ def set_default_session(session: Optional[Session]) -> Optional[Session]:
 
 def session_from_env(backend: str = "vector") -> Session:
     """A session configured from the environment — ``REPRO_SWEEP_WORKERS``
-    for sharding and ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` for caching —
-    the one-liner used by the benchmark harnesses."""
-    return Session(backend=backend, workers=workers_from_env())
+    for sharding, ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` /
+    ``REPRO_CACHE_MAX_MB`` for caching, and ``REPRO_STEPPING`` for the
+    default solver stepping mode — the one-liner used by the benchmark
+    harnesses."""
+    stepping = os.environ.get("REPRO_STEPPING", "").strip() or None
+    return Session(backend=backend, workers=workers_from_env(),
+                   stepping=stepping)

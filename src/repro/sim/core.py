@@ -7,10 +7,16 @@ deterministic tie-break sequence number.  Everything else in the library
 
 Determinism
 -----------
-Events scheduled for the same instant fire in scheduling order (FIFO), so a
-simulation is a pure function of its inputs and the RNG seed.  All stochastic
-elements (metastability resolution, sensor jitter) draw from ``Simulator.rng``
-which is seeded at construction.
+Events scheduled for the same instant fire in priority order (lower first),
+then in scheduling order (FIFO), so a simulation is a pure function of its
+inputs and the RNG seed.  All stochastic elements (metastability resolution,
+sensor jitter) draw from ``Simulator.rng`` which is seeded at construction.
+
+Almost everything schedules at the default priority 0 and sees pure FIFO
+ordering.  The one consumer of the priority lane is the adaptive analog
+solver: its micro-step commits run at priority -1, so a step that was
+*snapped* onto an event's timestamp integrates up to that instant with the
+pre-event state before the event (a gate commutation, say) takes effect.
 """
 
 from __future__ import annotations
@@ -68,7 +74,7 @@ class Simulator:
     def __init__(self, seed: Optional[int] = 0):
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._running = False
         self._finished_processes = 0
@@ -78,17 +84,19 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+    def schedule(self, delay: float, fn: Callable[[], None],
+                 priority: int = 0) -> Event:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         # hot path: inlined schedule_at (same semantics, one call less)
         event = Event(self.now + delay, fn)
         self._seq += 1
-        heapq.heappush(self._queue, (event.time, self._seq, event))
+        heapq.heappush(self._queue, (event.time, priority, self._seq, event))
         return event
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+    def schedule_at(self, time: float, fn: Callable[[], None],
+                    priority: int = 0) -> Event:
         """Schedule ``fn`` to run at absolute simulation time ``time``."""
         if time < self.now:
             raise SimulationError(
@@ -96,7 +104,7 @@ class Simulator:
             )
         event = Event(time, fn)
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._seq, event))
+        heapq.heappush(self._queue, (time, priority, self._seq, event))
         return event
 
     # ------------------------------------------------------------------
@@ -111,7 +119,7 @@ class Simulator:
         pop = heapq.heappop
         try:
             while queue and queue[0][0] <= t_end:
-                time, _seq, event = pop(queue)
+                time, _prio, _seq, event = pop(queue)
                 if event.cancelled:
                     continue
                 self.now = time
@@ -121,6 +129,31 @@ class Simulator:
             self.now = t_end
         finally:
             self._running = False
+
+    def run_one_before(self, t_limit: float) -> bool:
+        """Fire the single earliest event strictly before ``t_limit``.
+
+        Returns True when an event fired, False when the next live event
+        is at or past ``t_limit`` (or the queue is empty).  ``now`` is
+        left at the fired event's timestamp — the adaptive lock-step
+        solver uses this to deliver digital events one at a time while it
+        may still shrink the current step's end in reaction to them.
+        """
+        queue = self._queue
+        while queue:
+            time, _prio, _seq, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                continue
+            if time >= t_limit:
+                return False
+            heapq.heappop(queue)
+            self.now = time
+            if self.on_step is not None:
+                self.on_step(time)
+            event.fn()
+            return True
+        return False
 
     def run(self, duration: float) -> None:
         """Run for ``duration`` seconds of simulated time from now."""
@@ -132,7 +165,7 @@ class Simulator:
         count = 0
         try:
             while self._queue:
-                time, _seq, event = heapq.heappop(self._queue)
+                time, _prio, _seq, event = heapq.heappop(self._queue)
                 if event.cancelled:
                     continue
                 count += 1
@@ -152,11 +185,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def pending_events(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for _, _, e in self._queue if not e.cancelled)
+        return sum(1 for _, _, _, e in self._queue if not e.cancelled)
 
     def peek_next_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the queue is empty."""
-        for time, _seq, event in sorted(self._queue)[:]:
+        for time, _prio, _seq, event in sorted(self._queue)[:]:
             if not event.cancelled:
                 return time
         return None

@@ -32,6 +32,8 @@ from .analog.gate_driver import GateDriverBank
 from .analog.load import LoadProfile
 from .analog.sensors import BuckReferences, SensorBank
 from .analog.solver import AnalogSolver
+from .analog.stepping import (DEFAULT_ATOL_I, DEFAULT_ATOL_V, DEFAULT_RTOL,
+                              STEPPING_MODES, SteppingPolicy)
 from .control.async_controller import AsyncMultiphaseController, AsyncTimings
 from .control.params import BuckControlParams
 from .control.sync_controller import SyncMultiphaseController
@@ -56,6 +58,12 @@ class SystemConfig:
     params: Optional[BuckControlParams] = None
     timings: Optional[AsyncTimings] = None
     dt: float = 1.0 * NS               #: analog solver micro-step
+    stepping: str = "fixed"            #: 'fixed' or 'adaptive' (error-controlled)
+    dt_min: Optional[float] = None     #: adaptive floor (default dt/4)
+    dt_max: Optional[float] = None     #: adaptive ceiling (default 64*dt)
+    rtol: float = DEFAULT_RTOL         #: adaptive relative tolerance
+    atol_i: float = DEFAULT_ATOL_I     #: adaptive absolute current tol (A)
+    atol_v: float = DEFAULT_ATOL_V     #: adaptive absolute voltage tol (V)
     sensor_delay: float = 1.0 * NS
     sensor_noise: float = 0.0
     t_gate: float = 1.0 * NS
@@ -68,6 +76,10 @@ class SystemConfig:
             raise ValueError("controller must be 'async' or 'sync'")
         if self.n_phases < 1:
             raise ValueError("need at least one phase")
+        if self.stepping not in STEPPING_MODES:
+            raise ValueError(
+                f"stepping must be one of {STEPPING_MODES}, "
+                f"got {self.stepping!r}")
 
 
 @dataclass
@@ -83,6 +95,7 @@ class RunResult:
     ov_events: int                  #: over-voltage episodes observed
     cycles: List[int] = field(default_factory=list)
     metastable_events: int = 0
+    solver_ticks: int = 0           #: analog micro-steps the run committed
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-primitive form (JSON-safe; floats round-trip exactly
@@ -119,8 +132,19 @@ class BuckSystem:
                                   trace=config.trace)
         self.gates = GateDriverBank(self.sim, self.stage,
                                     t_gate=config.t_gate, trace=config.trace)
+        policy = SteppingPolicy.from_config(config)
         self.solver = AnalogSolver(self.sim, self.stage, self.sensors,
-                                   dt=config.dt, trace=config.trace)
+                                   dt=config.dt, trace=config.trace,
+                                   policy=policy)
+        if policy.adaptive:
+            if config.sensor_delay <= 0 or config.t_gate <= 0:
+                raise ValueError(
+                    "adaptive stepping needs positive sensor_delay and "
+                    "t_gate (the guard window that keeps comparator edges "
+                    "exact is derived from them)")
+            # the step end snaps onto every scheduled transistor flip
+            for driver in self.gates.drivers:
+                driver.on_commute = self.solver.note_commutation
         params = config.params or BuckControlParams()
         if config.controller == "sync":
             self.controller = SyncMultiphaseController(
@@ -173,6 +197,7 @@ class BuckSystem:
         peak_startup = 0.0
         if settle > 0:
             self.sim.run_until(t0 + settle)
+            self.solver.sync()   # adaptive: integrate up to the boundary
             # Ripple and losses exclude the startup transient, but the
             # peak current must not (Fig. 7's peaks are set by the
             # startup/HL transients, where reaction latency bites).
@@ -180,6 +205,7 @@ class BuckSystem:
             self.solver.reset_measurements()
             loss0 = self.stage.coil_losses_j()
         self.sim.run_until(t0 + duration)
+        self.solver.sync()
         self._ran = True
 
         vp = self.solver.v_probe
@@ -197,6 +223,7 @@ class BuckSystem:
             ov_events=len(self.sensors.ov.output.edges("rise")),
             cycles=list(self.controller.cycles_started),
             metastable_events=self.controller.metastable_events(),
+            solver_ticks=self.solver.tick_count,
         )
 
     # ------------------------------------------------------------------

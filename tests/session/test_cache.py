@@ -1,12 +1,14 @@
 """RunResult serialization and the content-addressed ResultCache."""
 
 import json
+import os
 
 import pytest
 
 from repro.scenarios import ScenarioSpec
 from repro.session import cache as cache_mod
-from repro.session import ResultCache, cache_key, code_fingerprint
+from repro.session import (ResultCache, cache_key, code_fingerprint,
+                           module_fingerprint)
 from repro.sim import NS, US
 from repro.system import RunResult
 
@@ -120,6 +122,70 @@ class TestResultCacheStore:
         assert len(cache) == 0
 
 
+class TestPrune:
+    """`.repro_cache/` must not grow without bound: prune(max_bytes)
+    evicts whole entries oldest-mtime-first, and a size-capped cache
+    prunes itself on every store."""
+
+    def _fill(self, cache, n, t0=1_000_000.0):
+        keys = []
+        for i in range(n):
+            key = cache_key(_config(seed=i))
+            cache.store(key, _result())
+            meta_path, npz_path = cache._paths(key)
+            for path in (meta_path, npz_path):
+                os.utime(path, (t0 + i, t0 + i))   # deterministic ages
+            keys.append(key)
+        return keys
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        keys = self._fill(cache, 4)
+        entry = cache.size_bytes() // 4
+        removed = cache.prune(max_bytes=2 * entry + entry // 2)
+        assert removed == 2
+        assert cache.load(keys[0]) is None and cache.load(keys[1]) is None
+        assert cache.load(keys[2]) == _result()
+        assert cache.load(keys[3]) == _result()
+
+    def test_prune_to_zero_clears(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        self._fill(cache, 3)
+        assert cache.prune(max_bytes=0) == 3
+        assert len(cache) == 0
+
+    def test_unbounded_cache_never_prunes(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        self._fill(cache, 3)
+        assert cache.prune() == 0
+        assert len(cache) == 3
+
+    def test_capped_cache_prunes_on_store(self, tmp_path):
+        probe = ResultCache(root=tmp_path)
+        key = cache_key(_config(seed=0))
+        probe.store(key, _result())
+        entry = probe.size_bytes()
+        probe.clear()
+
+        capped = ResultCache(root=tmp_path, max_bytes=2 * entry + entry // 2)
+        self._fill(capped, 5)
+        assert len(capped) == 2
+        assert capped.size_bytes() <= capped.max_bytes
+        # the newest entries survive
+        assert capped.load(cache_key(_config(seed=4))) == _result()
+
+    def test_readonly_never_prunes(self, tmp_path):
+        rw = ResultCache(root=tmp_path)
+        self._fill(rw, 3)
+        ro = ResultCache(root=tmp_path, mode="readonly", max_bytes=0)
+        assert ro.prune() == 0
+        assert len(rw) == 3
+
+    def test_negative_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(root=tmp_path, max_bytes=-1)
+
+
 class TestCacheKey:
     def test_stable_for_equal_configs(self):
         assert cache_key(_config()) == cache_key(_config())
@@ -140,6 +206,16 @@ class TestCacheKey:
         assert cache_key(_config(), settle=0.0) != base
         assert cache_key(_config(), backend="scalar") != base
         assert cache_key(_config(), track_energy=False) != base
+
+    def test_stepping_mode_and_tolerances_change_the_key(self):
+        """Fixed and adaptive results must never collide, and neither
+        must two adaptive runs at different tolerances."""
+        base = cache_key(_config())
+        adaptive = cache_key(_config(stepping="adaptive"))
+        assert adaptive != base
+        assert cache_key(_config(stepping="adaptive", rtol=1e-4)) != adaptive
+        assert cache_key(_config(stepping="adaptive", dt_max=8 * NS)) != adaptive
+        assert cache_key(_config(stepping="adaptive", atol_i=1e-5)) != adaptive
 
     def test_fingerprint_changes_the_key(self):
         base = cache_key(_config())
@@ -169,3 +245,63 @@ class TestCodeFingerprint:
         package_root = Path(cache_mod.__file__).resolve().parent.parent
         for entry in cache_mod.FINGERPRINT_PATHS:
             assert (package_root / entry).exists(), entry
+
+
+class TestModuleFingerprint:
+    """The fingerprint hashes the docstring-stripped AST, so edits that
+    cannot change results keep every cache key stable."""
+
+    BASE = (
+        '"""Module docstring."""\n'
+        "def solve(x):\n"
+        '    """Return the doubled value."""\n'
+        "    y = 2 * x\n"
+        "    return y\n"
+    )
+
+    def test_comment_only_edit_keeps_the_fingerprint(self):
+        commented = ("# a new leading comment\n"
+                     + self.BASE.replace("    y = 2 * x\n",
+                                         "    y = 2 * x  # double it\n"))
+        assert module_fingerprint(commented) == module_fingerprint(self.BASE)
+
+    def test_docstring_and_whitespace_edits_keep_the_fingerprint(self):
+        reworded = self.BASE.replace("Return the doubled value.",
+                                     "Twice the input, computed cheaply.")
+        reworded = reworded.replace('"""Module docstring."""',
+                                    '"""A much longer module docstring."""')
+        respaced = reworded.replace("def solve", "\n\ndef solve")
+        assert module_fingerprint(respaced) == module_fingerprint(self.BASE)
+
+    def test_code_edit_changes_the_fingerprint(self):
+        changed = self.BASE.replace("2 * x", "3 * x")
+        assert module_fingerprint(changed) != module_fingerprint(self.BASE)
+
+    def test_unparseable_source_falls_back_to_raw_hash(self):
+        broken_a = "def f(:\n"
+        broken_b = "def g(:\n"
+        assert module_fingerprint(broken_a) == module_fingerprint(broken_a)
+        assert module_fingerprint(broken_a) != module_fingerprint(broken_b)
+
+    def test_process_fingerprint_ignores_comment_edits(self, tmp_path,
+                                                       monkeypatch):
+        """End to end: a comment edit in a fingerprinted tree keeps
+        code_fingerprint() stable; a code edit changes it."""
+        pkg = tmp_path / "analog"
+        pkg.mkdir()
+        mod = pkg / "solver.py"
+        mod.write_text(self.BASE)
+        monkeypatch.setattr(cache_mod, "FINGERPRINT_PATHS", ("analog",))
+        monkeypatch.setattr(cache_mod, "__file__",
+                            str(tmp_path / "session" / "cache.py"))
+
+        def fingerprint():
+            cache_mod.code_fingerprint.cache_clear()
+            return cache_mod.code_fingerprint()
+
+        base = fingerprint()
+        mod.write_text("# comment\n" + self.BASE)
+        assert fingerprint() == base
+        mod.write_text(self.BASE.replace("2 * x", "5 * x"))
+        assert fingerprint() != base
+        cache_mod.code_fingerprint.cache_clear()
