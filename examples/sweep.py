@@ -11,20 +11,26 @@ Two sweeps through the :class:`repro.Session` front door:
 
 ``--workers N`` shards the batches across worker processes and
 ``--cache`` turns on the content-addressed result cache (re-running this
-script then serves every lane from ``.repro_cache/``, bit-identical) —
-both are Session policies, not per-sweep knobs.
+script then serves every lane from the cache, bit-identical) — both are
+Session policies, not per-sweep knobs.  ``--trace`` attaches each lane's
+waveform :class:`~repro.trace.TraceSet` to its result; traced lanes
+shard and cache exactly like untraced ones.  ``--require-hot`` exits
+non-zero unless *every* lane was served from cache (the CI traced-smoke
+step runs the script twice and requires the second pass to be hot).
 
-Run:  python examples/sweep.py [--workers N] [--cache]
+Run:  python examples/sweep.py [--workers N] [--cache] [--cache-dir D]
+                               [--trace] [--require-hot]
 """
 
 import argparse
+import sys
 
 from repro import Session
 from repro.scenarios import Sweep, log_uniform, uniform
 from repro.sim import NS, US, fmt_si
 
 
-def grid_demo(session: Session) -> None:
+def grid_demo(session: Session, trace: bool) -> None:
     sweep = (Sweep(base={"n_phases": 4, "r_load": 6.0, "sim_time": 10 * US,
                          "dt": 1 * NS},
                    name="mini-fig7a")
@@ -32,23 +38,28 @@ def grid_demo(session: Session) -> None:
                          ("333MHz", {"controller": "sync",
                                      "fsm_frequency": 333e6})],
                    l_uh=[1.0, 4.7, 10.0]))
-    points = session.sweep(sweep, track_energy=False)
+    points = session.sweep(sweep, track_energy=False, trace=trace)
 
     print("grid sweep: peak coil current (controller x inductance)")
     for point in points:
         peak = fmt_si(point.result.peak_coil_current, "A")
-        print(f"  {point.spec.name:<40} peak = {peak}")
+        extra = ""
+        if trace:
+            ts = point.result.trace
+            extra = (f"  trace: {len(ts.channels)} ch x "
+                     f"{ts.n_samples('v_load')} rows")
+        print(f"  {point.spec.name:<40} peak = {peak}{extra}")
     print()
 
 
-def random_demo(session: Session) -> None:
+def random_demo(session: Session, trace: bool) -> None:
     sweep = (Sweep(base={"controller": "async", "n_phases": 4,
                          "sim_time": 10 * US, "dt": 1 * NS},
                    seed=2024, name="tolerance")
              .random(8,
                      l_uh=log_uniform(1.0, 10.0),
                      r_load=uniform(3.0, 15.0)))
-    points = session.sweep(sweep, track_energy=False)
+    points = session.sweep(sweep, track_energy=False, trace=trace)
 
     print("random tolerance study (8 seeded draws, async controller)")
     worst = max(points, key=lambda p: p.result.peak_coil_current)
@@ -63,23 +74,38 @@ def random_demo(session: Session) -> None:
           "(per-lane seeds are derived from the sweep seed).")
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=None,
                         help="shard sweep batches across N worker processes")
     parser.add_argument("--cache", action="store_true",
-                        help="serve repeats from the .repro_cache/ result "
-                             "cache")
+                        help="serve repeats from the content-addressed "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root (default .repro_cache/)")
+    parser.add_argument("--trace", action="store_true",
+                        help="attach each lane's waveform TraceSet "
+                             "(sharded and cached like scalar results)")
+    parser.add_argument("--require-hot", action="store_true",
+                        help="fail unless every lane was served from cache "
+                             "(implies --cache; for the CI smoke re-run)")
     args = parser.parse_args()
+    use_cache = args.cache or args.require_hot
     session = Session(workers=args.workers,
-                      cache="readwrite" if args.cache else "off")
-    grid_demo(session)
-    random_demo(session)
-    if args.cache:
+                      cache="readwrite" if use_cache else "off",
+                      cache_dir=args.cache_dir)
+    grid_demo(session, args.trace)
+    random_demo(session, args.trace)
+    if use_cache:
         stats = session.cache_stats()
         print(f"cache: {stats['hits']} hits / {stats['misses']} misses "
               f"under {stats['root']}")
+        if args.require_hot and stats["misses"] > 0:
+            print(f"FAIL: expected a fully cache-hot run, "
+                  f"got {stats['misses']} misses", file=sys.stderr)
+            return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

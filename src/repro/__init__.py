@@ -9,6 +9,8 @@ Layers (see DESIGN.md):
 - :mod:`repro.a2a` — the WAIT-family analog-to-asynchronous interfaces;
 - :mod:`repro.stg` — STGs, verification, synthesis (the A4A flow backend);
 - :mod:`repro.control` — the synchronous and asynchronous controllers;
+- :mod:`repro.trace` — columnar :class:`TraceSet` waveform subsystem
+  (windowing, compaction, npz/VCD export, cacheable traced results);
 - :mod:`repro.metrics` — waveform and reaction-time measurements;
 - :mod:`repro.experiments` — Table I / Fig. 6 / Fig. 7 reproduction;
 - :mod:`repro.system` — :class:`BuckSystem`, the assembled co-simulation;
@@ -33,6 +35,8 @@ _LAZY_EXPORTS = {
     "ScenarioSpec": ".scenarios",
     "Sweep": ".scenarios",
     "run_sweep": ".scenarios",
+    "TraceSet": ".trace",
+    "ChannelView": ".trace",
 }
 
 __all__ = ["BuckSystem", "SystemConfig", "RunResult", "__version__",

@@ -255,6 +255,19 @@ class AnalogSolver:
         self.i_total_probe.record(t, total)
 
     # ------------------------------------------------------------------
+    # Traced waveforms
+    # ------------------------------------------------------------------
+    def trace_set(self):
+        """The traced analog waveforms as a columnar
+        :class:`~repro.trace.TraceSet` (``v_load``, ``i_coil{k}``,
+        ``i_total`` on one shared time grid) — the canonical trace
+        representation; the probes remain the live append buffers and
+        the legacy access path."""
+        from ..trace import probe_trace_set
+        return probe_trace_set(self.v_probe, self.i_probes,
+                               self.i_total_probe)
+
+    # ------------------------------------------------------------------
     # Convenience measurements used by the experiments
     # ------------------------------------------------------------------
     def peak_coil_current(self) -> float:

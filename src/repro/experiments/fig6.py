@@ -20,8 +20,8 @@ from ..analog.load import LoadProfile
 from ..metrics.waveform import ascii_waveform, edge_count, ripple
 from ..session import Session, default_session
 from ..sim.units import MHZ, NS, UH, US
-from ..sim.vcd import dump_vcd
 from ..system import BuckSystem, SystemConfig
+from ..trace import TraceSet
 from .report import format_table
 
 #: paper-reported values for EXPERIMENTS.md comparison
@@ -50,6 +50,7 @@ class Fig6Run:
     recovery_overshoot_v: float
     hl_events: int
     v_min_high_load: float
+    trace: Optional[TraceSet] = None   #: full waveform set of the run
     system: Optional[BuckSystem] = None
 
 
@@ -72,37 +73,57 @@ def run_one(controller: str, fsm_frequency: float = 333 * MHZ,
             session: Optional[Session] = None) -> Fig6Run:
     """Run the Fig. 6 scenario for one controller and measure it.
 
-    Waveform-level: the session builds a live traced system (never
-    cached — the windowed measurements below need the probes).
+    Waveform-level: the session builds a live traced system, and every
+    quantity is read back from the run's :class:`~repro.trace.TraceSet`
+    (the same reads work on a cached traced result — see
+    :func:`measure_trace`).
     """
     session = session or default_session()
     config = _fig6_config(controller, fsm_frequency, seed)
     system = session.build(config)
     system.sim.run_until(config.sim_time)
 
-    vp = system.solver.v_probe
-    refs = system.sensors.refs
-    normal_peak = 0.0
-    for probe in system.solver.i_probes:
-        _, vals = probe.window(*NORMAL)
-        if vals:
-            normal_peak = max(normal_peak, max(abs(v) for v in vals))
-    _, hl_vals = vp.window(*HIGH_LOAD)
     label = (controller if controller == "async"
              else f"sync@{fsm_frequency / MHZ:.0f}MHz")
+    run = measure_trace(system.trace_set(), label)
+    if keep_system:
+        run.system = system
+    return run
+
+
+def measure_trace(trace: TraceSet, label: str,
+                  v_ref: Optional[float] = None) -> Fig6Run:
+    """Extract every Fig. 6 quantity from a recorded trace set.
+
+    Works on a live system's :meth:`~repro.system.BuckSystem.trace_set`
+    and, identically, on the ``result.trace`` of a cached
+    ``Session.run(..., trace=True)`` — no re-simulation needed.  The
+    overshoot reference defaults to the ``v_ref`` the run recorded in
+    ``trace.meta`` (pass ``v_ref=`` explicitly only to override it).
+    """
+    if v_ref is None:
+        v_ref = float(trace.meta.get("v_ref", 3.3))
+    vp = trace.probe("v_load")
+    ov, hl = trace.probe("ov"), trace.probe("hl")
+    normal_peak = 0.0
+    for name in trace.channels:
+        if name.startswith("i_coil"):
+            _, vals = trace.probe(name).window(*NORMAL)
+            if len(vals):
+                normal_peak = max(normal_peak, max(abs(v) for v in vals))
+    _, hl_vals = vp.window(*HIGH_LOAD)
     return Fig6Run(
         label=label,
         ripple_v=ripple(vp, *NORMAL),
         peak_a=normal_peak,
-        startup_overshoot_v=max(0.0, max(vp.window(*STARTUP)[1]) - refs.v_ref),
-        ov_events_startup=edge_count(system.sensors.ov.output, "rise",
-                                     0.0, STARTUP[1]),
-        ov_events_after_startup=edge_count(system.sensors.ov.output, "rise",
-                                           STARTUP[1], 10 * US),
-        recovery_overshoot_v=max(0.0, max(vp.window(*RECOVERY)[1]) - refs.v_ref),
-        hl_events=edge_count(system.sensors.hl.output, "rise", 0.0, 10 * US),
-        v_min_high_load=min(hl_vals) if hl_vals else 0.0,
-        system=system if keep_system else None,
+        startup_overshoot_v=max(0.0, max(vp.window(*STARTUP)[1]) - v_ref),
+        ov_events_startup=edge_count(ov, "rise", 0.0, STARTUP[1]),
+        ov_events_after_startup=edge_count(ov, "rise", STARTUP[1], 10 * US),
+        recovery_overshoot_v=max(0.0,
+                                 max(vp.window(*RECOVERY)[1]) - v_ref),
+        hl_events=edge_count(hl, "rise", 0.0, 10 * US),
+        v_min_high_load=float(min(hl_vals)) if len(hl_vals) else 0.0,
+        trace=trace,
     )
 
 
@@ -150,20 +171,21 @@ def run_fig6(fsm_frequency: float = 333 * MHZ, seed: int = 0,
 
 
 def render_waveforms(run: Fig6Run, width: int = 90) -> str:
-    """ASCII view of V_load over the full scenario (needs keep_system)."""
-    if run.system is None:
-        raise ValueError("run with keep_systems=True to render waveforms")
-    vp = run.system.solver.v_probe
-    return ascii_waveform(vp, 0.0, 10 * US, width=width,
-                          title=f"V_load — {run.label}")
+    """ASCII view of V_load over the full scenario."""
+    if run.trace is None:
+        raise ValueError("run carries no trace set")
+    return ascii_waveform(run.trace.probe("v_load"), 0.0, 10 * US,
+                          width=width, title=f"V_load — {run.label}")
 
 
 def export_vcd(run: Fig6Run, path: str) -> None:
-    """Dump the Fig. 6 trace set as a VCD file for external viewers."""
-    if run.system is None:
-        raise ValueError("run with keep_systems=True to export VCD")
-    items = list(run.system.probes()) + list(run.system.waveform_signals())
-    dump_vcd(path, items)
+    """Dump the Fig. 6 trace set as a VCD file for external viewers.
+
+    Reads the recorded :class:`~repro.trace.TraceSet` — works equally on
+    a fresh run and on one rebuilt from the result cache."""
+    if run.trace is None:
+        raise ValueError("run carries no trace set")
+    run.trace.to_vcd(path)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -47,6 +47,8 @@ class SweepResult:
     x_label: str
     y_label: str
     series: Series = field(default_factory=dict)
+    #: label -> per-point TraceSets (populated when run with trace=True)
+    traces: Dict[str, List] = field(default_factory=dict)
 
     def ordered_at(self, x: float) -> List[str]:
         """Series labels sorted by value at ``x`` (ascending)."""
@@ -95,18 +97,21 @@ def default_l_values(quick: bool = False) -> List[float]:
 
 
 def _sweep_figure(name: str, base: Dict[str, Any], inner_axis,
-                  session: Session, track_energy: bool = True):
+                  session: Session, track_energy: bool = True,
+                  trace: bool = False):
     """Controller x inner-axis grid through the session's sweep engine.
 
     Returns the results grouped per controller label, inner axis fastest —
     the same nesting the sequential loops used, so series ordering (and,
     with the vectorized backend's bit-matched arithmetic, every number)
     is unchanged.  The session supplies backend, worker sharding, and the
-    result cache (a re-run of the same grid is served from cache).
+    result cache (a re-run of the same grid is served from cache);
+    ``trace=True`` attaches each point's waveform TraceSet (sharded and
+    cached like the scalar numbers).
     """
     sweep = Sweep(base=base, name=name)
     sweep.grid(ctrl=controller_axis(), pt=inner_axis)
-    points = session.sweep(sweep, track_energy=track_energy)
+    points = session.sweep(sweep, track_energy=track_energy, trace=trace)
     n_inner = len(inner_axis)
     grouped = {}
     for row, (label, _) in enumerate(CONTROLLERS):
@@ -115,10 +120,24 @@ def _sweep_figure(name: str, base: Dict[str, Any], inner_axis,
     return grouped
 
 
+def _fill_series(result: SweepResult, grouped, xs, y_fn,
+                 trace: bool) -> None:
+    """Populate ``result.series`` (and, when traced, ``result.traces``)
+    from the per-label run lists — shared by all three drivers."""
+    for label, runs in grouped.items():
+        result.series[label] = [(x, y_fn(run)) for x, run in zip(xs, runs)]
+        if trace:
+            result.traces[label] = [run.trace for run in runs]
+
+
 def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
               seed: int = 0, dt: float = 1 * NS, quick: bool = False,
-              session: Optional[Session] = None) -> SweepResult:
-    """Fig. 7a: peak inductor current vs. coil inductance at 6 Ohm."""
+              session: Optional[Session] = None,
+              trace: bool = False) -> SweepResult:
+    """Fig. 7a: peak inductor current vs. coil inductance at 6 Ohm.
+
+    ``trace=True`` additionally collects each point's waveform
+    :class:`~repro.trace.TraceSet` in ``result.traces[label]``."""
     session = session or default_session()
     l_values = l_values or default_l_values(quick)
     result = SweepResult("Fig. 7a: inductor peak current, "
@@ -127,18 +146,17 @@ def run_fig7a(l_values: Optional[List[float]] = None, r_load: float = 6.0,
     base = {"n_phases": 4, "r_load": r_load, "sim_time": 10 * US,
             "dt": dt, "seed": seed}
     grouped = _sweep_figure("fig7a", base, _coil_axis(l_values), session,
-                            track_energy=False)
-    for label, runs in grouped.items():
-        result.series[label] = [
-            (l / UH, run.peak_coil_current * 1e3)
-            for l, run in zip(l_values, runs)]
+                            track_energy=False, trace=trace)
+    _fill_series(result, grouped, [l / UH for l in l_values],
+                 lambda run: run.peak_coil_current * 1e3, trace)
     return result
 
 
 def run_fig7b(r_values: Optional[List[float]] = None,
               inductance: float = 4.7 * UH, seed: int = 0,
               dt: float = 1 * NS, quick: bool = False,
-              session: Optional[Session] = None) -> SweepResult:
+              session: Optional[Session] = None,
+              trace: bool = False) -> SweepResult:
     """Fig. 7b: peak inductor current vs. load resistance at 4.7 uH."""
     session = session or default_session()
     r_values = r_values or ([3.0, 6.0, 15.0] if quick
@@ -150,17 +168,16 @@ def run_fig7b(r_values: Optional[List[float]] = None,
             "sim_time": 10 * US, "dt": dt, "seed": seed}
     axis = [(f"{r:g}Ohm", {"r_load": r}) for r in r_values]
     grouped = _sweep_figure("fig7b", base, axis, session,
-                            track_energy=False)
-    for label, runs in grouped.items():
-        result.series[label] = [
-            (r, run.peak_coil_current * 1e3)
-            for r, run in zip(r_values, runs)]
+                            track_energy=False, trace=trace)
+    _fill_series(result, grouped, r_values,
+                 lambda run: run.peak_coil_current * 1e3, trace)
     return result
 
 
 def run_fig7c(l_values: Optional[List[float]] = None, r_load: float = 6.0,
               seed: int = 0, dt: float = 1 * NS, quick: bool = False,
-              session: Optional[Session] = None) -> SweepResult:
+              session: Optional[Session] = None,
+              trace: bool = False) -> SweepResult:
     """Fig. 7c: inductor conduction losses vs. coil inductance at 6 Ohm."""
     session = session or default_session()
     l_values = l_values or default_l_values(quick)
@@ -169,11 +186,10 @@ def run_fig7c(l_values: Optional[List[float]] = None, r_load: float = 6.0,
                          "L (uH)", "losses (uW)")
     base = {"n_phases": 4, "r_load": r_load, "sim_time": 10 * US,
             "dt": dt, "seed": seed}
-    grouped = _sweep_figure("fig7c", base, _coil_axis(l_values), session)
-    for label, runs in grouped.items():
-        result.series[label] = [
-            (l / UH, run.coil_loss_w * 1e6)
-            for l, run in zip(l_values, runs)]
+    grouped = _sweep_figure("fig7c", base, _coil_axis(l_values), session,
+                            trace=trace)
+    _fill_series(result, grouped, [l / UH for l in l_values],
+                 lambda run: run.coil_loss_w * 1e6, trace)
     return result
 
 

@@ -5,6 +5,8 @@ from .reaction import (
     ReactionMeasurement,
     measure_all,
     measure_reaction,
+    reactions_from_trace,
+    worst_reaction_from_trace,
 )
 from .waveform import (
     ascii_waveform,
@@ -23,4 +25,5 @@ __all__ = [
     "edge_count", "episodes", "duty_in_window",
     "sample_series", "ascii_waveform",
     "measure_reaction", "measure_all", "ReactionMeasurement", "CONDITIONS",
+    "reactions_from_trace", "worst_reaction_from_trace",
 ]

@@ -135,3 +135,52 @@ def measure_all(controller: str, frequency: Optional[float] = None,
         c: measure_reaction(controller, c, frequency, n_offsets).latency
         for c in CONDITIONS
     }
+
+
+# ---------------------------------------------------------------------------
+# Post-hoc reaction reads from recorded TraceSets
+# ---------------------------------------------------------------------------
+def reactions_from_trace(trace, stimulus: str, response: str,
+                         stimulus_edge: str = "rise",
+                         response_edge: str = "any",
+                         t_start: float = 0.0) -> List[ReactionMeasurement]:
+    """Stimulus-to-response latencies read from a recorded
+    :class:`~repro.trace.TraceSet` (live-run observation, not the
+    isolated Table I harness above).
+
+    For every ``stimulus_edge`` of the ``stimulus`` digital channel at
+    or after ``t_start``, the latency to the first ``response_edge`` of
+    the ``response`` channel after it — e.g. ``hl`` rise to ``gp1``
+    rise on a cached Fig. 6 run, with no re-simulation.  Stimulus edges
+    with no subsequent response are skipped.
+    """
+    for name in (stimulus, response):
+        if name not in trace:
+            raise ValueError(
+                f"trace has no channel {name!r} "
+                f"(digital channels: "
+                f"{[c for c in trace.channels if trace.probe(c).is_digital]})")
+    stim = [t for t in trace.probe(stimulus).edges(stimulus_edge)
+            if t >= t_start]
+    resp = trace.probe(response).edges(response_edge)
+    out: List[ReactionMeasurement] = []
+    for t0 in stim:
+        after = [t for t in resp if t > t0]
+        if after:
+            out.append(ReactionMeasurement(condition=stimulus,
+                                           latency=after[0] - t0))
+    return out
+
+
+def worst_reaction_from_trace(trace, stimulus: str, response: str,
+                              **kwargs) -> ReactionMeasurement:
+    """The worst (largest) latency :func:`reactions_from_trace` finds.
+
+    Raises :class:`ValueError` (naming both channels) when the trace
+    contains no completed stimulus→response pair.
+    """
+    measurements = reactions_from_trace(trace, stimulus, response, **kwargs)
+    if not measurements:
+        raise ValueError(
+            f"no {stimulus!r}->{response!r} reaction pairs in trace")
+    return max(measurements, key=lambda m: m.latency)

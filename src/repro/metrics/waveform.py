@@ -3,6 +3,15 @@
 These extract the quantities the paper reads off its Fig. 6 waveforms:
 steady-state voltage ripple, the startup overshoot and its OV episodes,
 the load-step dip, and settling behaviour.
+
+Every ``probe`` argument accepts either a live
+:class:`~repro.sim.signal.AnalogProbe` or a
+:class:`~repro.trace.ChannelView` from a :class:`~repro.trace.TraceSet`
+(``trace.probe("v_load")``) — so the same measurements run on a live
+system and on a cached traced result without re-simulating.  The
+signal-window helpers (:func:`edge_count`, :func:`episodes`,
+:func:`duty_in_window`) likewise accept a :class:`Signal` or a digital
+ChannelView.
 """
 
 from __future__ import annotations
@@ -12,29 +21,34 @@ from typing import List, Optional, Tuple
 from ..sim.signal import AnalogProbe, Signal
 
 
+def _window_values(probe, t_start: float, t_end: float):
+    """Windowed samples, raising a *named* error when the window is
+    empty (the probe/channel name makes multi-signal pipelines
+    debuggable)."""
+    _, values = probe.window(t_start, t_end)
+    if len(values) == 0:
+        raise ValueError(
+            f"{probe.name!r}: no samples in [{t_start}, {t_end}]")
+    return values
+
+
 def ripple(probe: AnalogProbe, t_start: float, t_end: float) -> float:
     """Peak-to-peak excursion of the traced waveform inside a window."""
-    _, values = probe.window(t_start, t_end)
-    if not values:
-        raise ValueError(f"no samples in [{t_start}, {t_end}]")
+    values = _window_values(probe, t_start, t_end)
     return max(values) - min(values)
 
 
 def overshoot(probe: AnalogProbe, target: float, t_start: float,
               t_end: float) -> float:
     """How far the waveform exceeds ``target`` inside the window (>= 0)."""
-    _, values = probe.window(t_start, t_end)
-    if not values:
-        raise ValueError(f"no samples in [{t_start}, {t_end}]")
+    values = _window_values(probe, t_start, t_end)
     return max(0.0, max(values) - target)
 
 
 def undershoot(probe: AnalogProbe, target: float, t_start: float,
                t_end: float) -> float:
     """How far the waveform drops below ``target`` inside the window."""
-    _, values = probe.window(t_start, t_end)
-    if not values:
-        raise ValueError(f"no samples in [{t_start}, {t_end}]")
+    values = _window_values(probe, t_start, t_end)
     return max(0.0, target - min(values))
 
 
@@ -64,11 +78,14 @@ def edge_count(signal: Signal, kind: str, t_start: float,
 def episodes(signal: Signal, t_start: float, t_end: float) -> List[Tuple[float, float]]:
     """High intervals of a traced signal clipped to the window."""
     out: List[Tuple[float, float]] = []
-    prev_t, prev_v = signal.history[0]
+    history = signal.history
+    if not history:
+        return out
+    prev_t, prev_v = history[0]
     start: Optional[float] = None
     if prev_v and prev_t <= t_start:
         start = t_start
-    for t, v in signal.history[1:]:
+    for t, v in history[1:]:
         if v and start is None and t <= t_end:
             start = max(t, t_start)
         elif not v and start is not None:
@@ -85,7 +102,8 @@ def duty_in_window(signal: Signal, t_start: float, t_end: float) -> float:
     """Fraction of the window the signal spends high."""
     span = t_end - t_start
     if span <= 0:
-        raise ValueError("empty window")
+        raise ValueError(
+            f"{signal.name!r}: empty window [{t_start}, {t_end}]")
     total = sum(e - s for s, e in episodes(signal, t_start, t_end))
     return total / span
 

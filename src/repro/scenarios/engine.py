@@ -80,6 +80,30 @@ class ScenarioLane:
     def waveform_times(self) -> np.ndarray:
         return self.solver.waveform_times(self.index)
 
+    def trace_signals(self):
+        """This lane's Fig. 6 digital signal set (the vector twin of
+        :meth:`repro.system.BuckSystem.waveform_signals`)."""
+        signals = [view.output for view in self.sensors.all_comparators()]
+        signals += self.gates.gp + self.gates.gn
+        if self.config.controller == "async":
+            signals += self.controller.token_at
+        else:
+            signals += self.controller.activator.act
+        return signals
+
+    def trace_set(self):
+        """The lane's full traced run as a
+        :class:`~repro.trace.TraceSet`: compacted analog waveforms plus
+        the digital signal channels — identical content (and ``meta``)
+        to the scalar :meth:`~repro.system.BuckSystem.trace_set`
+        representation."""
+        from ..trace import add_signals
+        ts = add_signals(self.solver.trace_set(self.index),
+                         self.trace_signals())
+        ts.meta["v_ref"] = self.sensors.refs.v_ref
+        ts.meta["controller"] = self.config.controller
+        return ts
+
 
 class VectorBatch:
     """A set of scenarios advanced together by one vectorized solver.
@@ -215,6 +239,7 @@ class VectorBatch:
                 cycles=list(lane.controller.cycles_started),
                 metastable_events=lane.controller.metastable_events(),
                 solver_ticks=int(solver.tick_counts[i]),
+                trace=lane.trace_set() if lane.config.trace else None,
             ))
         return results
 
@@ -268,7 +293,7 @@ def run_sweep(specs: Specs, backend: str = "vector",
 def _execute_sweep(spec_list: Sequence[ScenarioSpec],
                    configs: Sequence[SystemConfig], *,
                    backend: str = "vector",
-                   settle: Optional[float] = None, trace: bool = False,
+                   settle: Optional[float] = None,
                    keep: bool = False, track_energy: bool = True,
                    workers: Optional[int] = None,
                    max_lanes_per_shard: Optional[int] = None
@@ -276,6 +301,10 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
     """Execute pre-expanded (spec, config) pairs and return one
     :class:`SweepPoint` per spec — the engine core behind
     :meth:`repro.session.Session.sweep`.
+
+    Tracing is carried by each config's ``trace`` field (expanded by the
+    caller): traced runs attach their :class:`~repro.trace.TraceSet` to
+    the result on either backend, inline or sharded.
 
     Parameters
     ----------
@@ -285,9 +314,6 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
     settle:
         Passed through to the run (seconds of startup transient excluded
         from statistics); ``None`` means the 20% default.
-    trace:
-        Keep waveforms and signal histories (needed for ``keep`` handles
-        to expose edges/waveforms).
     keep:
         Attach the live lane / system to each point for inspection.
     track_energy:
@@ -296,11 +322,12 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
         (waveforms and peaks are unaffected; those two fields read zero).
     workers:
         Shard independent batches across this many worker processes
-        (``None``/``0``/``1``: run inline).  Results are bit-identical to
-        the inline path and always returned in spec order.  Incompatible
-        with ``keep=True`` (live handles cannot cross processes); a
-        ``trace=True`` sweep falls back to the inline path for the same
-        reason, with a :class:`RuntimeWarning`.
+        (``None``/``0``/``1``: run inline).  Results — including the
+        :class:`~repro.trace.TraceSet` attached to traced runs, which is
+        picklable and crosses the pipe intact — are bit-identical to the
+        inline path and always returned in spec order.  Only
+        ``keep=True`` is incompatible (live lane/system handles cannot
+        cross processes).
     max_lanes_per_shard:
         Cap on lanes per executed batch; oversized lock-step groups are
         split into chunks of at most this many lanes (per-lane seeding
@@ -317,15 +344,6 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
             "keep=True attaches live lane/system handles, which cannot "
             "cross process boundaries; run with workers=1 (or workers=None) "
             "to keep handles")
-    if parallel and trace:
-        # Traced waveforms live in solver buffers on the worker side and
-        # would be discarded with the child process; run inline instead.
-        warnings.warn(
-            f"trace=True keeps waveforms in solver buffers that cannot "
-            f"cross process boundaries; ignoring workers={workers} and "
-            f"running the sweep inline", RuntimeWarning, stacklevel=2)
-        parallel = False
-
     spec_list = list(spec_list)
     configs = list(configs)
 

@@ -22,9 +22,12 @@ mutually independent, so this module shards them across a
    order (``pool.map`` preserves submission order), bit-identical to the
    inline ``workers=1`` path.
 
-Live handles (``keep=True`` lanes, traced waveforms) cannot cross
-process boundaries; the engine front door falls back to the inline path
-(or raises, for ``keep``) before reaching this module.
+Live handles (``keep=True`` lanes) cannot cross process boundaries; the
+engine front door raises before reaching this module.  Traced sweeps
+*do* shard: each worker attaches the lane's columnar
+:class:`~repro.trace.TraceSet` to its :class:`RunResult`, and TraceSets
+pickle bit-exactly, so ``trace=True, workers=N`` waveforms are
+identical to the inline path's.
 """
 
 from __future__ import annotations

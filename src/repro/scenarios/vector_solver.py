@@ -30,7 +30,6 @@ Vectorized-vs-scalar caveats
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -40,6 +39,7 @@ from ..analog.stepping import GROWTH, SAFETY, SteppingPolicy
 from ..sim.core import Simulator
 from ..sim.signal import Signal
 from ..system import SystemConfig
+from ..trace import BatchTraceRecorder, TraceSet
 
 #: fixed comparator column order: voltage monitors, then per-phase OC/ZC
 #: (matches :meth:`repro.analog.sensors.SensorBank.all_comparators`)
@@ -295,13 +295,6 @@ class VectorComparatorBank:
                 self.on_schedule(int(i), fire_at)
 
 
-@dataclass
-class _TraceBuffers:
-    times: list
-    v: list        # per-step (N,) copies
-    i: list        # per-step (N, P) copies
-
-
 class VectorizedSolver:
     """Lock-step co-simulation driver for a batch of scenarios.
 
@@ -349,7 +342,7 @@ class VectorizedSolver:
         self.i_min = np.full((n, p), np.inf)
         #: per-lane committed micro-step counts
         self.tick_counts = np.zeros(n, dtype=np.int64)
-        self._buffers = _TraceBuffers([], [], []) if trace else None
+        self._buffers = BatchTraceRecorder(n, p) if trace else None
         self.now = 0.0
         self._started = False
         if self.policy.adaptive:
@@ -583,9 +576,7 @@ class VectorizedSolver:
         np.maximum(self.i_max, i, out=self.i_max)
         np.minimum(self.i_min, i, out=self.i_min)
         if self._buffers is not None:
-            self._buffers.times.append(t.copy() if np.ndim(t) else t)
-            self._buffers.v.append(v.copy())
-            self._buffers.i.append(i.copy())
+            self._buffers.append(t, v, i)
 
     # ------------------------------------------------------------------
     # Measurements (vector counterparts of AnalogSolver's helpers)
@@ -611,20 +602,35 @@ class VectorizedSolver:
     # Traced waveforms
     # ------------------------------------------------------------------
     def waveform_times(self, lane: int = 0) -> np.ndarray:
-        """Sample times: one shared grid in fixed mode; each lane's own
-        grid in adaptive mode (pass the lane index; a lane that idled
-        while stragglers caught up repeats its last boundary)."""
+        """Raw sample times: one shared grid in fixed mode; each lane's
+        own grid in adaptive mode (pass the lane index; a lane that
+        idled while stragglers caught up repeats its last boundary —
+        :meth:`trace_set` compacts those rows away)."""
         if self._buffers is None:
             raise ValueError("solver ran with trace=False")
-        arr = np.array(self._buffers.times)
-        return arr if arr.ndim == 1 else arr[:, lane]
+        return self._buffers.lane_times(lane)
 
     def v_waveform(self, lane: int) -> np.ndarray:
         if self._buffers is None:
             raise ValueError("solver ran with trace=False")
-        return np.array([row[lane] for row in self._buffers.v])
+        return self._buffers.lane_v(lane)
 
     def i_waveform(self, lane: int, phase: int) -> np.ndarray:
         if self._buffers is None:
             raise ValueError("solver ran with trace=False")
-        return np.array([row[lane, phase] for row in self._buffers.i])
+        return self._buffers.lane_i(lane, phase)
+
+    def trace_set(self, lane: int, compact: bool = True) -> TraceSet:
+        """One lane's analog waveforms as a columnar
+        :class:`~repro.trace.TraceSet`.
+
+        Adaptive batches record a duplicate row for every lane that
+        idled (zero-width step) while batch stragglers advanced;
+        ``compact=True`` (the default) drops them, so the lane's trace
+        equals the one the scalar adaptive solver records.  Pass
+        ``compact=False`` for the raw rows (the trace memory benchmark
+        measures the compaction win against them).
+        """
+        if self._buffers is None:
+            raise ValueError("solver ran with trace=False")
+        return self._buffers.lane_trace_set(lane, compact=compact)

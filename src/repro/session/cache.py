@@ -8,8 +8,9 @@ headline measurements are a pure function of
    same config are the same scenario and share one cache entry),
 2. the measurement knobs that change the reported numbers (``settle``,
    ``backend``, ``track_energy`` — the backends are cross-validated, not
-   bit-identical, so they cache separately; ``trace`` only keeps
-   waveforms and is normalised out of the key),
+   bit-identical, so they cache separately; ``trace`` never changes the
+   numbers and is normalised out of the key — a traced run *upgrades*
+   the shared entry with its waveform payload instead of forking it),
 3. a **code-version fingerprint** of the simulation modules (kernel,
    analog models, controllers, scenario engine) — any solver edit
    invalidates every prior entry.
@@ -45,8 +46,9 @@ from ..scenarios.parallel import encode_config
 from ..system import RunResult, SystemConfig
 
 #: bump when the key payload or on-disk layout changes shape
-#: (2: RunResult gained solver_ticks; keys cover the stepping knobs)
-FORMAT_VERSION = 2
+#: (2: RunResult gained solver_ticks; keys cover the stepping knobs.
+#: 3: entries may embed the traced TraceSet; fingerprint covers trace/)
+FORMAT_VERSION = 3
 
 #: cache operating modes (Session's ``cache=`` argument)
 MODES = ("readwrite", "readonly", "off")
@@ -55,15 +57,20 @@ MODES = ("readwrite", "readonly", "off")
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: entries under ``src/repro/`` whose source participates in the code
-#: fingerprint — everything a RunResult's numbers depend on.  Metrics,
+#: fingerprint — everything a RunResult's numbers *or stored waveforms*
+#: depend on (``trace`` shapes the cached TraceSet payload).  Metrics,
 #: experiments, STG, and the session layer itself are excluded: they
 #: post-process or orchestrate, so editing them cannot change results.
 FINGERPRINT_PATHS = ("system.py", "sim", "analog", "digital", "a2a",
-                     "control", "scenarios")
+                     "control", "scenarios", "trace")
 
 _FLOAT_FIELDS = ("v_final", "peak_coil_current", "ripple", "coil_loss_w",
                  "efficiency")
 _INT_FIELDS = ("ov_events", "metastable_events", "solver_ticks")
+
+#: npz member-name prefix for embedded TraceSet arrays (keeps them clear
+#: of the scalar payload names above)
+_TRACE_PREFIX = "trace_"
 
 
 def module_fingerprint(source: str) -> str:
@@ -195,11 +202,19 @@ class ResultCache:
         return shard / f"{key}.json", shard / f"{key}.npz"
 
     # ------------------------------------------------------------------
-    def load(self, key: str) -> Optional[RunResult]:
+    def load(self, key: str,
+             want_trace: bool = False) -> Optional[RunResult]:
         """The cached result for ``key``, or ``None`` on a miss.
 
         Missing, truncated, or otherwise unreadable entries are misses —
         the caller recomputes and (in ``readwrite`` mode) overwrites.
+
+        ``want_trace=True`` additionally requires the entry to carry the
+        run's waveforms: an entry written by an untraced run reads as a
+        miss (the caller re-simulates with tracing and the write-back
+        upgrades the entry — the key is shared, the scalar numbers are
+        identical either way).  ``want_trace=False`` never attaches a
+        stored trace, so a hit is bit-identical to a fresh untraced run.
         """
         if not self.readable:
             return None
@@ -209,10 +224,18 @@ class ResultCache:
                 meta = json.load(fh)
             if meta.get("format") != FORMAT_VERSION:
                 return None
+            trace_manifest = meta.get("trace")
+            if want_trace and trace_manifest is None:
+                return None
+            trace = None
             with np.load(npz_path) as data:
                 scalars = data["scalars"]
                 counts = data["counts"]
                 cycles = data["cycles"]
+                if want_trace:
+                    from ..trace import TraceSet
+                    trace = TraceSet.from_arrays(trace_manifest, data,
+                                                 prefix=_TRACE_PREFIX)
             kwargs: Dict[str, Any] = {
                 name: float(scalars[i]) for i, name in enumerate(_FLOAT_FIELDS)
             }
@@ -220,7 +243,8 @@ class ResultCache:
                 name: int(counts[i]) for i, name in enumerate(_INT_FIELDS)
             })
             return RunResult(controller=meta["controller"],
-                             cycles=[int(c) for c in cycles], **kwargs)
+                             cycles=[int(c) for c in cycles],
+                             trace=trace, **kwargs)
         except (OSError, ValueError, KeyError, EOFError, IndexError,
                 zipfile.BadZipFile):
             # includes truncated npz archives (BadZipFile is not an
@@ -231,7 +255,10 @@ class ResultCache:
               meta: Optional[Mapping[str, Any]] = None) -> bool:
         """Write ``result`` under ``key``; returns False in read-only
         (or off) mode.  Writes are atomic (tmp file + ``os.replace``),
-        so a concurrent reader sees either no entry or a whole one."""
+        so a concurrent reader sees either no entry or a whole one.
+        A traced result embeds its :class:`~repro.trace.TraceSet` arrays
+        in the npz (manifest in the json sidecar), so traced sweeps can
+        be served from cache without re-simulating."""
         if not self.writable:
             return False
         meta_path, npz_path = self._paths(key)
@@ -242,6 +269,10 @@ class ResultCache:
             "code": code_fingerprint(),
             "meta": dict(meta or {}),
         }
+        trace_arrays: Dict[str, Any] = {}
+        if result.trace is not None:
+            payload["trace"], trace_arrays = result.trace.to_arrays(
+                prefix=_TRACE_PREFIX)
         self._atomic_write(
             npz_path,
             lambda fh: np.savez(
@@ -250,7 +281,8 @@ class ResultCache:
                                  dtype=np.float64),
                 counts=np.array([getattr(result, f) for f in _INT_FIELDS],
                                 dtype=np.int64),
-                cycles=np.asarray(result.cycles, dtype=np.int64)))
+                cycles=np.asarray(result.cycles, dtype=np.int64),
+                **trace_arrays))
         self._atomic_write(
             meta_path,
             lambda fh: fh.write(

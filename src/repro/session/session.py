@@ -168,8 +168,15 @@ class Session:
         only the misses are simulated (inline or sharded across
         ``self.workers``) and, in ``readwrite`` mode, written back per
         lane — so a repeated sweep is served entirely from cache at any
-        worker count, bit-identical to the cold run.  ``keep=True``
-        bypasses the cache: live handles cannot be rehydrated from disk.
+        worker count, bit-identical to the cold run.  ``trace=True``
+        attaches each run's :class:`~repro.trace.TraceSet` to its
+        result; traced results shard across workers and cache like any
+        other (a traced request misses on an entry written without
+        waveforms and upgrades it on write-back).  ``trace`` is a
+        *default*: a ``trace`` override on a spec or config wins over
+        it, and execution and cache lookup both follow the resolved
+        per-lane value.  ``keep=True`` bypasses the cache: live handles
+        cannot be rehydrated from disk.
         """
         spec_list = _as_specs(specs)
         configs = [spec.to_config(trace=trace, **self.defaults)
@@ -184,7 +191,10 @@ class Session:
             for i, (spec, cfg) in enumerate(zip(spec_list, configs)):
                 keys[i] = cache_key(cfg, settle=settle, backend=self.backend,
                                     track_energy=track_energy)
-                result = cache.load(keys[i])
+                # the per-lane *resolved* trace field governs execution
+                # (a spec/config override wins over the sweep-level
+                # default), so the cache lookup must follow it too
+                result = cache.load(keys[i], want_trace=cfg.trace)
                 if result is not None:
                     self.cache_hits += 1
                     points[i] = SweepPoint(spec, cfg, result)
@@ -196,7 +206,7 @@ class Session:
             fresh = _execute_sweep(
                 [spec_list[i] for i in misses],
                 [configs[i] for i in misses],
-                backend=self.backend, settle=settle, trace=trace, keep=keep,
+                backend=self.backend, settle=settle, keep=keep,
                 track_energy=track_energy, workers=self.workers,
                 max_lanes_per_shard=self.max_lanes_per_shard)
             for i, point in zip(misses, fresh):

@@ -168,6 +168,13 @@ class AnalogProbe:
     The analog solver calls :meth:`record` once per accepted integration
     step.  Statistics (max, min, time-weighted RMS) accumulate regardless of
     whether the full waveform is kept, so sweeps can disable tracing.
+
+    The probe is the *live, in-run* recording surface; the canonical
+    trace representation — what crosses process boundaries, lands in
+    the result cache, and feeds the metrics/VCD layers — is the
+    columnar :class:`repro.trace.TraceSet` assembled from these buffers
+    (:meth:`repro.analog.solver.AnalogSolver.trace_set`).  New code
+    should read waveforms through TraceSets.
     """
 
     __slots__ = ("name", "trace", "times", "values", "_max", "_min",

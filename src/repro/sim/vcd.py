@@ -1,7 +1,12 @@
 """Value-change-dump (VCD) export of traced signals and analog probes.
 
-Lets the Fig. 6 waveforms be inspected in GTKWave or any VCD viewer.  Digital
-signals are emitted as 1-bit wires, analog probes as ``real`` variables.
+Lets the Fig. 6 waveforms be inspected in GTKWave or any VCD viewer.
+Digital items are emitted as 1-bit wires, analog items as ``real``
+variables.  Accepted items: live :class:`Signal` / :class:`AnalogProbe`
+objects, or the :class:`~repro.trace.ChannelView` adapters of a recorded
+:class:`~repro.trace.TraceSet` (bool channels become wires, float
+channels become reals) — the route :meth:`repro.trace.TraceSet.to_vcd`
+uses to dump a cached traced run without re-simulating.
 """
 
 from __future__ import annotations
@@ -11,6 +16,19 @@ from typing import Iterable, List, Sequence, TextIO, Tuple, Union
 from .signal import AnalogProbe, Signal
 
 Traceable = Union[Signal, AnalogProbe]
+
+
+def _is_digital(item) -> bool:
+    """1-bit wire (Signal or bool ChannelView) vs real variable."""
+    if isinstance(item, Signal):
+        return True
+    return bool(getattr(item, "is_digital", False))
+
+
+def _changes(item) -> Iterable[Tuple[float, float]]:
+    if isinstance(item, Signal):
+        return item.history
+    return zip(item.times, item.values)
 
 _ID_CHARS = "".join(chr(c) for c in range(33, 127))
 
@@ -47,7 +65,7 @@ def write_vcd(out: TextIO, items: Sequence[Traceable],
         ident = _identifier(i)
         ids[id(item)] = ident
         name = item.name.replace(" ", "_").replace(".", "_")
-        if isinstance(item, Signal):
+        if _is_digital(item):
             out.write(f"$var wire 1 {ident} {name} $end\n")
         else:
             out.write(f"$var real 64 {ident} {name} $end\n")
@@ -57,11 +75,11 @@ def write_vcd(out: TextIO, items: Sequence[Traceable],
     changes: List[Tuple[float, str]] = []
     for item in items:
         ident = ids[id(item)]
-        if isinstance(item, Signal):
-            for t, v in item.history:
+        if _is_digital(item):
+            for t, v in _changes(item):
                 changes.append((t, f"{int(v)}{ident}"))
         else:
-            for t, v in zip(item.times, item.values):
+            for t, v in _changes(item):
                 changes.append((t, f"r{v:.9g} {ident}"))
     changes.sort(key=lambda c: c[0])
 

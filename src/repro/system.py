@@ -23,8 +23,11 @@ session.
 from __future__ import annotations
 
 import warnings
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle / lazy-NumPy guard
+    from .trace import TraceSet
 
 from .analog.buck import MultiphasePowerStage, make_power_stage
 from .analog.coil import Coil, make_coil
@@ -96,11 +99,23 @@ class RunResult:
     cycles: List[int] = field(default_factory=list)
     metastable_events: int = 0
     solver_ticks: int = 0           #: analog micro-steps the run committed
+    #: traced waveforms (a :class:`repro.trace.TraceSet`) — attached by
+    #: traced runs, ``None`` otherwise; compared exactly by dataclass eq
+    trace: Optional["TraceSet"] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-primitive form (JSON-safe; floats round-trip exactly
-        through ``repr``, so serialization is bit-preserving)."""
-        return asdict(self)
+        through ``repr``, so serialization is bit-preserving).  A traced
+        result embeds its waveforms as the TraceSet's JSON form; the
+        result cache stores them as npz arrays instead."""
+        payload: Dict[str, Any] = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__ if name != "trace"
+        }
+        payload["cycles"] = list(self.cycles)
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_jsonable()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
@@ -111,6 +126,10 @@ class RunResult:
             raise ValueError(
                 f"RunResult payload has unknown fields {sorted(unknown)}")
         fields["cycles"] = [int(c) for c in fields.get("cycles", [])]
+        trace = fields.get("trace")
+        if trace is not None and not hasattr(trace, "to_jsonable"):
+            from .trace import TraceSet
+            fields["trace"] = TraceSet.from_jsonable(trace)
         return cls(**fields)
 
 
@@ -224,9 +243,24 @@ class BuckSystem:
             cycles=list(self.controller.cycles_started),
             metastable_events=self.controller.metastable_events(),
             solver_ticks=self.solver.tick_count,
+            trace=self.trace_set() if self.config.trace else None,
         )
 
     # ------------------------------------------------------------------
+    def trace_set(self) -> "TraceSet":
+        """The full traced run as a :class:`~repro.trace.TraceSet`:
+        analog waveforms (``v_load`` / ``i_coil{k}`` / ``i_total``) plus
+        every Fig. 6 digital signal (comparators, gate drives, token or
+        activator state) as bool channels — the canonical, cacheable,
+        VCD-exportable representation.  ``meta`` carries the run's
+        reference voltage and controller so post-hoc measurements
+        (e.g. overshoot vs ``v_ref``) need nothing but the trace."""
+        from .trace import add_signals
+        ts = add_signals(self.solver.trace_set(), self.waveform_signals())
+        ts.meta["v_ref"] = self.sensors.refs.v_ref
+        ts.meta["controller"] = self.config.controller
+        return ts
+
     def waveform_signals(self):
         """The Fig. 6 trace set (for VCD export / plotting)."""
         sensors = self.sensors

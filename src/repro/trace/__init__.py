@@ -1,0 +1,19 @@
+"""First-class waveform subsystem: columnar, cacheable, compactable traces.
+
+- :class:`TraceSet` — named channels (NumPy arrays) over named time
+  grids; windowing / decimation / idle-row compaction; npz, JSON, and
+  pickle serialization; VCD export; the canonical trace representation
+  carried on :class:`repro.system.RunResult` by traced runs.
+- :class:`ChannelView` — probe-like read adapter consumed by the
+  waveform metrics and the VCD writer.
+- :class:`BatchTraceRecorder` / :func:`probe_trace_set` /
+  :func:`add_signals` — the recording surfaces the vector and scalar
+  solvers emit into.
+"""
+
+from .recorder import (ANALOG_GRID, BatchTraceRecorder, add_signals,
+                       probe_trace_set)
+from .traceset import ChannelView, TraceSet
+
+__all__ = ["TraceSet", "ChannelView", "BatchTraceRecorder",
+           "probe_trace_set", "add_signals", "ANALOG_GRID"]

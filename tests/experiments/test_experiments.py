@@ -93,9 +93,17 @@ class TestFig6:
         art = render_waveforms(fig6.run("async"), width=60)
         assert "V_load" in art and "*" in art
 
-    def test_render_requires_kept_system(self):
+    def test_render_works_without_kept_system(self):
+        """The TraceSet rides on the run itself, so rendering (and VCD
+        export) no longer needs the live system kept alive."""
         run = run_one("async", keep_system=False)
-        with pytest.raises(ValueError):
+        assert run.system is None
+        assert "*" in render_waveforms(run, width=60)
+
+    def test_render_without_a_trace_raises(self):
+        run = run_one("async", keep_system=False)
+        run.trace = None
+        with pytest.raises(ValueError, match="trace"):
             render_waveforms(run)
 
 

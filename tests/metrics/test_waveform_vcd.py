@@ -32,10 +32,17 @@ class TestWaveformMetrics:
         assert ripple(p, 0, 3) == pytest.approx(0.4)
         assert ripple(p, 2, 3) == pytest.approx(0.2)
 
-    def test_ripple_empty_window_raises(self):
+    def test_ripple_empty_window_raises_named_error(self):
         p = _probe([(0, 1.0)])
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"'v'.*no samples"):
             ripple(p, 5, 6)
+
+    def test_overshoot_and_undershoot_empty_window_name_the_probe(self):
+        p = _probe([(0, 1.0)])
+        with pytest.raises(ValueError, match="'v'"):
+            overshoot(p, 1.0, 5, 6)
+        with pytest.raises(ValueError, match="'v'"):
+            undershoot(p, 1.0, 5, 6)
 
     def test_overshoot_and_undershoot(self):
         p = _probe([(0, 3.3), (1, 3.7), (2, 3.0)])
@@ -101,8 +108,59 @@ class TestSignalWindows:
         s.set(False, 30 * NS)
         sim.run(40 * NS)
         assert duty_in_window(s, 0, 40 * NS) == pytest.approx(0.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="'s'"):
             duty_in_window(s, 10 * NS, 10 * NS)
+
+
+class TestTraceSetMetrics:
+    """The same metrics read TraceSet channel views (ISSUE-5)."""
+
+    def _trace(self):
+        from repro.trace import TraceSet
+        ts = TraceSet().add_grid("t", [0.0, 1.0, 2.0, 3.0])
+        ts.add_channel("v_load", [3.0, 3.4, 3.1, 3.3], grid="t")
+        ts.add_signal("hl", [(0.0, False), (0.5, True), (1.5, False),
+                             (2.5, True)])
+        ts.add_signal("gp0", [(0.0, False), (0.8, True), (1.2, False),
+                              (2.9, True)])
+        return ts
+
+    def test_analog_metrics_on_views(self):
+        view = self._trace().probe("v_load")
+        assert ripple(view, 0, 3) == pytest.approx(0.4)
+        assert overshoot(view, 3.3, 0, 3) == pytest.approx(0.1)
+        assert undershoot(view, 3.3, 0, 3) == pytest.approx(0.3)
+        assert settling_time(view, 3.2, 0.21) == pytest.approx(0.0)
+        _, vs = sample_series(view, 0, 3, 4)
+        assert vs == pytest.approx([3.0, 3.4, 3.1, 3.3])
+
+    def test_empty_window_on_view_names_the_channel(self):
+        with pytest.raises(ValueError, match="'v_load'"):
+            ripple(self._trace().probe("v_load"), 10, 11)
+
+    def test_signal_windows_on_digital_views(self):
+        hl = self._trace().probe("hl")
+        assert edge_count(hl, "rise", 0, 3) == 2
+        eps = episodes(hl, 0, 3)
+        assert eps == [(0.5, 1.5), (2.5, 3)]
+        assert duty_in_window(hl, 0, 3) == pytest.approx(1.5 / 3)
+
+    def test_reactions_from_trace(self):
+        from repro.metrics import (reactions_from_trace,
+                                   worst_reaction_from_trace)
+        ts = self._trace()
+        latencies = reactions_from_trace(ts, "hl", "gp0",
+                                         response_edge="rise")
+        assert [m.latency for m in latencies] == \
+            pytest.approx([0.3, 0.4])
+        worst = worst_reaction_from_trace(ts, "hl", "gp0",
+                                          response_edge="rise")
+        assert worst.latency == pytest.approx(0.4)
+        with pytest.raises(ValueError, match="'nope'"):
+            reactions_from_trace(ts, "nope", "gp0")
+        with pytest.raises(ValueError, match="'hl'->'gp0'"):
+            worst_reaction_from_trace(ts, "hl", "gp0",
+                                      t_start=5.0)
 
 
 class TestVCD:

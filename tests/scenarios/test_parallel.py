@@ -150,11 +150,16 @@ class TestParallelSweep:
         with pytest.raises(ValueError, match="keep"):
             run_sweep([_spec()], keep=True, workers=2)
 
-    def test_trace_with_workers_falls_back_inline_and_warns(self):
+    def test_trace_with_workers_shards_bit_identically(self, recwarn):
+        """Traced sweeps no longer fall back inline: the TraceSet
+        crosses the pool and every waveform sample matches workers=1."""
         inline = run_sweep([_spec()], trace=True)
-        with pytest.warns(RuntimeWarning, match="inline"):
-            fallback = run_sweep([_spec()], trace=True, workers=2)
-        assert fallback[0].result == inline[0].result
+        sharded = run_sweep([_spec()], trace=True, workers=2)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
+        assert sharded[0].result.trace is not None
+        assert sharded[0].result.trace == inline[0].result.trace
+        assert sharded[0].result == inline[0].result
 
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError, match="workers"):

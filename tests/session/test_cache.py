@@ -3,6 +3,7 @@
 import json
 import os
 
+import numpy as np
 import pytest
 
 from repro.scenarios import ScenarioSpec
@@ -11,6 +12,7 @@ from repro.session import (ResultCache, cache_key, code_fingerprint,
                            module_fingerprint)
 from repro.sim import NS, US
 from repro.system import RunResult
+from repro.trace import TraceSet
 
 
 def _result(**kw):
@@ -21,6 +23,15 @@ def _result(**kw):
                   cycles=[3, 4, 5, 6], metastable_events=1)
     fields.update(kw)
     return RunResult(**fields)
+
+
+def _trace(n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    ts = TraceSet().add_grid("t", np.linspace(0.0, 1e-6, n))
+    ts.add_channel("v_load", rng.standard_normal(n), grid="t")
+    ts.add_channel("i_coil0", rng.standard_normal(n), grid="t")
+    ts.add_signal("hl", [(0.0, False), (3e-7, True), (5e-7, False)])
+    return ts
 
 
 def _config(**overrides):
@@ -52,6 +63,16 @@ class TestRunResultSerialization:
         payload["bogus"] = 1
         with pytest.raises(ValueError, match="bogus"):
             RunResult.from_dict(payload)
+
+    def test_traced_result_round_trips_through_json(self):
+        result = _result(trace=_trace())
+        payload = json.loads(json.dumps(result.to_dict()))
+        clone = RunResult.from_dict(payload)
+        assert clone.trace == result.trace      # exact arrays
+        assert clone == result
+
+    def test_untraced_payload_has_no_trace_key(self):
+        assert "trace" not in _result().to_dict()
 
 
 class TestResultCacheStore:
@@ -122,6 +143,51 @@ class TestResultCacheStore:
         assert len(cache) == 0
 
 
+class TestTracedEntries:
+    """Cache entries embed the TraceSet of traced results (FORMAT 3)."""
+
+    def test_traced_store_then_load_bit_identical(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        traced = _result(trace=_trace())
+        cache.store(key, traced)
+        loaded = cache.load(key, want_trace=True)
+        assert loaded.trace == traced.trace
+        assert loaded == traced
+
+    def test_want_trace_misses_on_untraced_entry(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result())
+        assert cache.load(key) == _result()
+        assert cache.load(key, want_trace=True) is None
+
+    def test_plain_load_strips_the_stored_trace(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result(trace=_trace()))
+        loaded = cache.load(key)
+        assert loaded is not None and loaded.trace is None
+        assert loaded == _result()
+
+    def test_traced_write_upgrades_an_untraced_entry(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result())
+        cache.store(key, _result(trace=_trace()))
+        assert cache.load(key, want_trace=True).trace == _trace()
+
+    def test_corrupt_traced_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result(trace=_trace()))
+        _, npz_path = cache._paths(key)
+        whole = npz_path.read_bytes()
+        npz_path.write_bytes(whole[:len(whole) // 2])
+        assert cache.load(key, want_trace=True) is None
+        assert cache.load(key) is None
+
+
 class TestPrune:
     """`.repro_cache/` must not grow without bound: prune(max_bytes)
     evicts whole entries oldest-mtime-first, and a size-capped cache
@@ -184,6 +250,94 @@ class TestPrune:
     def test_negative_cap_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="max_bytes"):
             ResultCache(root=tmp_path, max_bytes=-1)
+
+
+class TestPruneEdgeCases:
+    """ISSUE-5 satellite: prune() corner cases, including the larger
+    traced entries."""
+
+    def test_single_entry_larger_than_cap_is_evicted(self, tmp_path):
+        """One oversized entry cannot fit under the cap: prune must
+        evict it (leaving an empty store) rather than loop or keep it."""
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result(trace=_trace(n=4096)))
+        assert cache.size_bytes() > 1024
+        assert cache.prune(max_bytes=1024) == 1
+        assert len(cache) == 0
+        assert cache.load(key, want_trace=True) is None
+
+    def test_oversized_store_on_capped_cache_self_evicts(self, tmp_path):
+        """prune-on-store with an entry bigger than the whole cap leaves
+        the store empty but the write itself still returns the result
+        to the caller (the entry just doesn't persist)."""
+        cache = ResultCache(root=tmp_path, max_bytes=1024)
+        assert cache.store(cache_key(_config()), _result(trace=_trace(4096)))
+        assert len(cache) == 0
+        assert cache.size_bytes() <= cache.max_bytes
+
+    def test_mtime_ties_break_deterministically_by_key(self, tmp_path):
+        """Entries sharing one mtime are evicted in sorted-key order, so
+        two prunes of identical stores remove identical entries."""
+        cache = ResultCache(root=tmp_path)
+        keys = []
+        for i in range(4):
+            key = cache_key(_config(seed=i))
+            cache.store(key, _result())
+            for path in cache._paths(key):
+                os.utime(path, (1_000_000.0, 1_000_000.0))   # all tied
+            keys.append(key)
+        entry = cache.size_bytes() // 4
+        assert cache.prune(max_bytes=2 * entry + entry // 2) == 2
+        survivors = set(cache.keys())
+        assert survivors == set(sorted(keys)[2:])   # smallest keys evicted
+
+    def test_traced_entries_dominate_and_are_evicted_first_by_age(
+            self, tmp_path):
+        """A big old traced entry is evicted to make room for small new
+        scalar entries; size accounting covers the trace payload."""
+        cache = ResultCache(root=tmp_path)
+        traced_key = cache_key(_config())
+        cache.store(traced_key, _result(trace=_trace(n=8192)))
+        traced_size = cache.size_bytes()
+        for path in cache._paths(traced_key):
+            os.utime(path, (1_000_000.0, 1_000_000.0))   # oldest
+        small_keys = []
+        for i in range(3):
+            key = cache_key(_config(seed=i + 1))
+            cache.store(key, _result())
+            for path in cache._paths(key):
+                os.utime(path, (2_000_000.0 + i, 2_000_000.0 + i))
+            small_keys.append(key)
+        small_total = cache.size_bytes() - traced_size
+        assert traced_size > small_total      # traces dominate the store
+        assert cache.prune(max_bytes=small_total) == 1
+        assert cache.load(traced_key) is None
+        for key in small_keys:
+            assert cache.load(key) == _result()
+
+    def test_prune_interacts_with_store_cap_for_traced_entries(
+            self, tmp_path):
+        """A capped cache keeps only as many traced entries as fit,
+        newest first."""
+        probe = ResultCache(root=tmp_path)
+        probe.store(cache_key(_config()), _result(trace=_trace(n=1024)))
+        entry = probe.size_bytes()
+        probe.clear()
+
+        capped = ResultCache(root=tmp_path, max_bytes=2 * entry + entry // 2)
+        keys = []
+        for i in range(5):
+            key = cache_key(_config(seed=i))
+            capped.store(key, _result(trace=_trace(n=1024, seed=i)))
+            for path in capped._paths(key):
+                os.utime(path, (1_000_000.0 + i, 1_000_000.0 + i))
+            keys.append(key)
+        assert len(capped) == 2
+        assert capped.size_bytes() <= capped.max_bytes
+        loaded = capped.load(keys[-1], want_trace=True)
+        assert loaded is not None
+        assert loaded.trace == _trace(n=1024, seed=4)
 
 
 class TestCacheKey:

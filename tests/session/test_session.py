@@ -213,16 +213,99 @@ class TestLegacyShims:
         assert via_shim == BuckSystem(cfg).measure()
 
 
-class TestTraceFallbackWarning:
-    def test_session_sweep_warns_on_trace_with_workers(self):
-        session = Session(workers=2)
-        with pytest.warns(RuntimeWarning, match="inline"):
-            session.sweep([_spec()], trace=True)
+class TestTracedSweeps:
+    """ISSUE-5 acceptance: traced sweeps shard bit-identically (no
+    inline-fallback warning) and repeat fully cache-served."""
 
-    def test_no_warning_when_inline(self, recwarn):
-        Session().sweep([_spec()], trace=True)
+    def test_sharded_traced_sweep_bit_identical_no_warning(self, recwarn):
+        specs = _grid()
+        inline = Session().sweep(specs, trace=True)
+        sharded = Session(workers=2).sweep(specs, trace=True)
         assert not [w for w in recwarn.list
                     if issubclass(w.category, RuntimeWarning)]
+        for a, b in zip(inline, sharded):
+            assert b.result.trace is not None
+            assert b.result.trace == a.result.trace   # every sample exact
+            assert b.result == a.result
+
+    def test_traced_runs_attach_a_trace_set(self):
+        [point] = Session().sweep([_spec()], trace=True)
+        ts = point.result.trace
+        assert {"v_load", "i_total", "hl", "gp0"} <= set(ts.channels)
+        assert ts.n_samples("v_load") > 100
+        [untraced] = Session().sweep([_spec()])
+        assert untraced.result.trace is None
+
+    def test_repeated_traced_sweep_fully_cache_served(self, tmp_path):
+        specs = _grid()
+        cold_session = _session(tmp_path)
+        cold = cold_session.sweep(specs, trace=True)
+        assert cold_session.cache_misses == len(specs)
+        for workers in (1, 2):
+            hot_session = _session(tmp_path, workers=workers)
+            hot = hot_session.sweep(specs, trace=True)
+            assert hot_session.cache_hits == len(specs)
+            assert hot_session.cache_misses == 0
+            for a, b in zip(cold, hot):
+                assert b.result.trace == a.result.trace
+                assert b.result == a.result
+
+    def test_traced_request_misses_on_untraced_entry_and_upgrades(
+            self, tmp_path):
+        spec = _spec()
+        _session(tmp_path).sweep([spec])              # untraced entry
+        session = _session(tmp_path)
+        [point] = session.sweep([spec], trace=True)   # must re-simulate
+        assert (session.cache_hits, session.cache_misses) == (0, 1)
+        assert point.result.trace is not None
+        rerun = _session(tmp_path)
+        [hot] = rerun.sweep([spec], trace=True)       # upgraded entry hits
+        assert (rerun.cache_hits, rerun.cache_misses) == (1, 0)
+        assert hot.result.trace == point.result.trace
+
+    def test_untraced_hit_on_traced_entry_strips_the_trace(self, tmp_path):
+        spec = _spec()
+        _session(tmp_path).sweep([spec], trace=True)
+        session = _session(tmp_path)
+        [point] = session.sweep([spec])
+        assert session.cache_hits == 1
+        assert point.result.trace is None
+        assert point.result == Session().run(spec)    # fresh untraced run
+
+    def test_per_config_trace_override_governs_cache_lookup(self, tmp_path):
+        """A spec-level trace override beats the sweep default, and the
+        cache lookup follows the *resolved* value — no permanent-miss
+        loop, no cold/hot asymmetry."""
+        spec = ScenarioSpec("notrace", overrides=dict(_spec().overrides,
+                                                      trace=False))
+        cold_session = _session(tmp_path)
+        [cold] = cold_session.sweep([spec], trace=True)
+        assert cold.result.trace is None      # override won at execution
+        hot_session = _session(tmp_path)
+        [hot] = hot_session.sweep([spec], trace=True)
+        assert (hot_session.cache_hits, hot_session.cache_misses) == (1, 0)
+        assert hot.result == cold.result
+
+    def test_traced_config_request_is_cold_hot_symmetric(self, tmp_path):
+        """Session.run(SystemConfig(...)) carries trace=True in the
+        config; the hot pass must return the same traced result."""
+        config = _spec().to_config(trace=True)
+        cold = _session(tmp_path).run(config)
+        assert cold.trace is not None
+        hot_session = _session(tmp_path)
+        hot = hot_session.run(config)
+        assert hot_session.cache_hits == 1
+        assert hot.trace == cold.trace
+        assert hot == cold
+
+    def test_scalar_backend_traces_shard_too(self):
+        specs = _grid(2)
+        inline = Session(backend="scalar").sweep(specs, trace=True)
+        sharded = Session(backend="scalar", workers=2).sweep(specs,
+                                                             trace=True)
+        for a, b in zip(inline, sharded):
+            assert b.result.trace == a.result.trace
+            assert b.result == a.result
 
 
 class TestFig7aQuickGridAcceptance:
