@@ -181,10 +181,22 @@ class AnalogSolver:
         self._pending = self.sim.schedule_at(t_next, self._tick_adaptive,
                                              priority=-1)
 
-    def _crossing_cap(self, now: float) -> float:
-        """Earliest predicted comparator crossing (or body-diode clamp),
-        in seconds from now, from the analytic ODE slopes at the current
-        state; inf when nothing is in sight."""
+    def crossing_bound(self) -> float:
+        """Public bound for the clock-gating heuristic: seconds from now
+        until the earliest predicted comparator flip (inf when nothing is
+        in sight).  Valid in both stepping modes; consumers treat it as a
+        profitability hint, not a correctness guarantee.
+
+        Unlike the step-planning cap this excludes the body-diode clamp:
+        the clamp is not a comparator, produces no controller-visible
+        edge, and would otherwise spuriously veto gating during every
+        freewheeling decay."""
+        return self._crossing_cap(self.sim.now, clamp=False)
+
+    def _crossing_cap(self, now: float, clamp: bool = True) -> float:
+        """Earliest predicted comparator crossing (or, when ``clamp``,
+        body-diode clamp), in seconds from now, from the analytic ODE
+        slopes at the current state; inf when nothing is in sight."""
         cap = math.inf
         sensors = self.sensors
         if sensors is None:
@@ -200,7 +212,8 @@ class AnalogSolver:
             si = didt[k]
             cap = _hit(cap, sensors.oc[k].armed_level(), i, si)
             cap = _hit(cap, sensors.zc[k].armed_level(), i, si)
-            if not phase.pmos_on and not phase.nmos_on and i != 0.0:
+            if clamp and not phase.pmos_on and not phase.nmos_on \
+                    and i != 0.0:
                 # freewheeling decay: the body-diode clamp at exactly zero
                 cap = _hit(cap, 0.0, i, si)
         return cap

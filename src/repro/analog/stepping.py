@@ -71,6 +71,11 @@ DEFAULT_ATOL_V = 5e-4   #: volt — 0.5 mV on a 3.3 V rail
 
 STEPPING_MODES = ("fixed", "adaptive")
 
+#: clock-gating fast-forward modes — 'auto' suspends the synchronous
+#: controller's clocks across provably idle stretches (semantics
+#: preserving; see README "Clock gating"), 'off' delivers every edge
+GATING_MODES = ("auto", "off")
+
 
 @dataclass(frozen=True)
 class SteppingPolicy:
@@ -83,12 +88,17 @@ class SteppingPolicy:
     rtol: float               #: relative tolerance on both state families
     atol_i: float             #: absolute current tolerance (A)
     atol_v: float             #: absolute voltage tolerance (V)
+    gating: str = "auto"      #: 'auto' or 'off' — idle clock-edge fast-forward
 
     def __post_init__(self) -> None:
         if self.mode not in STEPPING_MODES:
             raise ValueError(
                 f"stepping mode must be one of {STEPPING_MODES}, "
                 f"got {self.mode!r}")
+        if self.gating not in GATING_MODES:
+            raise ValueError(
+                f"gating mode must be one of {GATING_MODES}, "
+                f"got {self.gating!r}")
         if self.dt <= 0:
             raise ValueError("solver step must be positive")
         if self.dt_min <= 0 or self.dt_max < self.dt_min:
@@ -121,6 +131,7 @@ class SteppingPolicy:
             rtol=config.rtol,
             atol_i=config.atol_i,
             atol_v=config.atol_v,
+            gating=config.gating,
         )
 
     @classmethod

@@ -16,7 +16,7 @@ from ..sim.signal import Signal
 
 
 class Clock:
-    """Free-running clock signal.
+    """Free-running clock signal with suspend / fast-forward support.
 
     Parameters
     ----------
@@ -26,6 +26,20 @@ class Clock:
         High-time fraction.
     phase:
         Delay of the first rising edge.
+
+    Gating
+    ------
+    :meth:`suspend` cancels the pending edge event; :meth:`fast_forward`
+    re-arms the clock at a later time, accounting for the edges that were
+    skipped *arithmetically* (no kernel events, no listener dispatch).
+    The skipped-edge times are reproduced with the exact same chain of
+    float additions the live clock would have performed, so the re-armed
+    edge grid is bit-identical to an ungated run's.  A jump that lands
+    exactly on an edge schedules that edge *at* the jump time — it still
+    fires; only edges strictly before the target are skipped.
+
+    ``edges_simulated`` counts edges delivered through the event loop,
+    ``edges_skipped`` counts edges absorbed by fast-forward jumps.
     """
 
     def __init__(self, sim: Simulator, name: str, period: float,
@@ -39,15 +53,75 @@ class Clock:
         self.duty = duty
         self.signal = Signal(sim, name, init=False, trace=trace)
         self._high_time = period * duty
-        sim.schedule(phase, self._rise)
+        self._low_time = period - self._high_time
+        self.edges_simulated = 0
+        self.edges_skipped = 0
+        self._suspended = False
+        self._next_at = sim.now + phase
+        self._next_is_rise = True
+        self._pending = sim.schedule(phase, self._rise)
 
     def _rise(self) -> None:
+        self.edges_simulated += 1
+        self._next_at = self.sim.now + self._high_time
+        self._next_is_rise = False
+        # schedule before dispatching: a listener may suspend() the clock
+        # from inside this very edge, which must cancel the follow-up
+        self._pending = self.sim.schedule(self._high_time, self._fall)
         self.signal._apply(True)
-        self.sim.schedule(self._high_time, self._fall)
 
     def _fall(self) -> None:
+        self.edges_simulated += 1
+        self._next_at = self.sim.now + self._low_time
+        self._next_is_rise = True
+        self._pending = self.sim.schedule(self._low_time, self._rise)
         self.signal._apply(False)
-        self.sim.schedule(self.period - self._high_time, self._rise)
+
+    # ------------------------------------------------------------------
+    # Gating
+    # ------------------------------------------------------------------
+    @property
+    def suspended(self) -> bool:
+        return self._suspended
+
+    def suspend(self) -> None:
+        """Stop delivering edges (cancels the pending edge event)."""
+        if self._suspended:
+            return
+        self._suspended = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def fast_forward(self, t: float) -> None:
+        """Re-arm a suspended clock as of time ``t``.
+
+        Edges strictly before ``t`` are skipped (counted, value applied
+        silently via :meth:`Signal.force` — no listener dispatch); the
+        first edge at or after ``t`` is scheduled normally, so an edge
+        landing exactly on ``t`` fires at ``t``.
+        """
+        if not self._suspended:
+            return
+        self._suspended = False
+        value = self.signal.value
+        at = self._next_at
+        is_rise = self._next_is_rise
+        skipped = 0
+        # Replays the live clock's own accumulation (now + delta at each
+        # edge) so the surviving grid is bit-identical to an ungated run.
+        while at < t:
+            value = is_rise
+            skipped += 1
+            at = at + (self._high_time if is_rise else self._low_time)
+            is_rise = not is_rise
+        self.edges_skipped += skipped
+        if value != self.signal.value:
+            self.signal.force(value)
+        self._next_at = at
+        self._next_is_rise = is_rise
+        self._pending = self.sim.schedule_at(
+            at, self._rise if is_rise else self._fall)
 
 
 class PhaseActivator:

@@ -76,6 +76,9 @@ class DFlipFlop:
         self._last_d_change: float = -1.0
         #: number of setup violations observed (for reliability reporting)
         self.metastable_events = 0
+        #: captured samples whose clk->Q propagation has not applied yet
+        #: (clock gating refuses to freeze a flop mid-propagation)
+        self.inflight = 0
         d.subscribe(self._on_d)
         clk.subscribe(self._on_clk, RISE)
 
@@ -93,4 +96,9 @@ class DFlipFlop:
         else:
             captured = self.d.value
             delay = self.t_clk_q
-        self.sim.schedule(delay, lambda v=captured: self.q._apply(v))
+        self.inflight += 1
+        self.sim.schedule(delay, lambda v=captured: self._settle(v))
+
+    def _settle(self, value: bool) -> None:
+        self.inflight -= 1
+        self.q._apply(value)

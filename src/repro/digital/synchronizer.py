@@ -45,6 +45,16 @@ class TwoFlopSynchronizer:
     def metastable_events(self) -> int:
         return self._ff1.metastable_events
 
+    @property
+    def settled(self) -> bool:
+        """True when clocking this synchronizer is provably a no-op: the
+        whole pipeline already equals the (stable) input and no captured
+        sample is still propagating to a Q output.  Clock gating only
+        suspends the clock when every synchronizer reports settled."""
+        return (self._ff1.inflight == 0 and self._ff2.inflight == 0
+                and self._ff1.q.value == self._ff2.q.value
+                == self._ff1.d.value)
+
 
 class SynchronizerBank:
     """A set of 2-flop synchronizers sharing one clock — the shaded

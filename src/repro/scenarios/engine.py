@@ -176,7 +176,9 @@ class VectorBatch:
             if cfg.controller == "sync":
                 controller = SyncMultiphaseController(
                     sim, sensors, gates, n_phases, cfg.fsm_frequency,
-                    params=params, trace=cfg.trace)
+                    params=params, trace=cfg.trace, gating=cfg.gating,
+                    crossing_bound=(
+                        lambda lane=i: self.solver.lane_crossing_bound(lane)))
             else:
                 controller = AsyncMultiphaseController(
                     sim, sensors, gates, n_phases, params=params,
@@ -240,6 +242,11 @@ class VectorBatch:
                 metastable_events=lane.controller.metastable_events(),
                 solver_ticks=int(solver.tick_counts[i]),
                 trace=lane.trace_set() if lane.config.trace else None,
+                events_delivered=lane.sim.events_delivered,
+                clock_edges_simulated=getattr(
+                    lane.controller, "clock_edges_simulated", 0),
+                clock_edges_skipped=getattr(
+                    lane.controller, "clock_edges_skipped", 0),
             ))
         return results
 

@@ -1,0 +1,287 @@
+"""Fused fixed-grid tick for the vector backend.
+
+The fixed-mode hot loop of :class:`~repro.scenarios.vector_solver.
+VectorizedSolver` performs, per micro-step: one RK2 array step of the
+power stage, the waveform min/max statistics update, and one comparator
+bank evaluation.  :func:`make_fixed_tick` packages those three into a
+single callable so the loop makes one call per tick, with two
+implementations behind it:
+
+``numpy`` (always available)
+    The exact ufunc sequence the solver historically ran — step, record,
+    sample — with every attribute lookup hoisted to closure locals.
+    Bit-for-bit the reference behaviour.
+
+``numba`` (optional)
+    A single JIT-compiled pass over the lane arrays fusing the RK2
+    integration, body-diode clamp, soft-saturation derating, energy
+    bookkeeping, min/max statistics, and the strict comparator
+    comparisons into one loop nest — no per-tick ufunc dispatch, no
+    intermediate arrays.  The per-element arithmetic replicates the
+    ufunc chains operation for operation (same order, default IEEE
+    semantics, no fastmath), so results are bit-identical to the numpy
+    path; the equivalence suite locks this whenever numba is installed.
+
+The numba path engages only when the package is importable (it is an
+optional dependency — absent installs fall back silently) and the batch
+qualifies: no sensor-noise lanes (their per-lane RNG draws stay on the
+numpy path) and no waveform tracing inside the kernel (trace appends
+run in the wrapper either way).  ``REPRO_NUMBA=0`` forces the numpy
+path for A/B timing.
+
+Rare or stateful work stays in Python on both paths: threshold-swap
+level refreshes, comparator edge scheduling (only on actual crossings),
+and the bank's double-buffer bookkeeping.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+try:  # optional dependency: absent installs use the numpy path
+    import numba
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised on numba-less installs
+    numba = None
+    HAVE_NUMBA = False
+
+#: hl, uv, ov comparator columns precede the per-phase oc/zc columns
+V_COLS = 3
+
+
+def numba_enabled() -> bool:
+    """Whether the fused numba kernel may be used in this process."""
+    return HAVE_NUMBA and os.environ.get("REPRO_NUMBA", "").strip() != "0"
+
+
+def make_fixed_tick(solver) -> Callable[[float, float], None]:
+    """Build the per-tick callable for ``solver`` (fixed stepping).
+
+    ``tick(t, t_next)`` advances the stage by ``solver.dt`` from ``t``,
+    updates the waveform statistics at ``t_next``, and evaluates the
+    comparator bank at ``t_next`` — exactly what the unfused loop body
+    did.  The caller owns the tick counter and the event pump.
+    """
+    if numba_enabled() and _kernel_eligible(solver):
+        return _make_numba_tick(solver)
+    return _make_numpy_tick(solver)
+
+
+def _make_numpy_tick(solver) -> Callable[[float, float], None]:
+    """The reference path: step + record + sample, lookups hoisted."""
+    stage = solver.stage
+    bank = solver.bank
+    step = stage.step
+    record = solver._record
+    sample = bank.sample if bank is not None else None
+    dt = solver.dt
+
+    if sample is None:
+        def tick(t: float, t_next: float) -> None:
+            step(t, dt)
+            record(t_next)
+    else:
+        def tick(t: float, t_next: float) -> None:
+            step(t, dt)
+            record(t_next)
+            sample(t_next, stage.v_out, stage.current)
+    return tick
+
+
+def _kernel_eligible(solver) -> bool:
+    """The fused kernel handles the common batch shape; anything with
+    per-lane RNG draws inside the tick stays on the numpy path."""
+    bank = solver.bank
+    if bank is not None and bank._noise_lanes:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Fused numba kernel (compiled lazily, only when numba is importable)
+# ---------------------------------------------------------------------------
+_KERNEL = None
+
+
+def _get_kernel():  # pragma: no cover - requires the optional numba dep
+    global _KERNEL
+    if _KERNEL is not None:
+        return _KERNEL
+
+    @numba.njit(cache=True)
+    def kernel(dt, i0, v0, A, B, off_b, pmos_b,
+               vin_pvd, nvd, n_dcr, inductance, i_sat, dcr, vin_half,
+               c_out, r1, r2, track_energy,
+               coil_loss, energy_in, energy_out,
+               v_max, v_min, i_max, i_min,
+               i1, v1, x, level, state, cmp_, changed):
+        """One fused fixed tick over every lane.
+
+        Per-element arithmetic mirrors ``VectorizedPowerStage.step`` and
+        ``VectorComparatorBank.sample`` operation for operation: the
+        ufunc chains are element-independent (reductions over the small
+        phase axis are sequential), so evaluating each element's chain
+        inside one loop produces bit-identical results.
+        """
+        n_lanes, p = i0.shape
+        n_cols = level.shape[1]
+        half = 0.5 * dt
+        any_changed = False
+        for n in range(n_lanes):
+            v = v0[n]
+            # ---- k1 at (t, i0, v0) ----------------------------------
+            sum_i = 0.0
+            k1_i = np.empty(p)
+            for k in range(p):
+                i = i0[n, k]
+                sum_i += i
+                if off_b[n, k]:
+                    if i == 0.0:
+                        k1_i[k] = 0.0
+                        continue
+                    drive = (vin_pvd[n, k] if i < 0.0 else nvd[n, k]) \
+                        + n_dcr[n, k] * i
+                else:
+                    drive = A[n, k] + B[n, k] * i
+                od = abs(i) / i_sat[n, k]
+                l_eff = inductance[n, k] if od <= 1.0 \
+                    else inductance[n, k] * (0.4 + 0.6 / max(od, 1.0))
+                k1_i[k] = (drive - v) / l_eff
+            k1_v = (sum_i - v / r1[n]) / c_out[n]
+            # ---- k2 at the midpoint ---------------------------------
+            mid_v = v + k1_v * half
+            sum_m = 0.0
+            k2_i = np.empty(p)
+            mid = np.empty(p)
+            for k in range(p):
+                m = i0[n, k] + k1_i[k] * half
+                mid[k] = m
+                sum_m += m
+            for k in range(p):
+                m = mid[k]
+                if off_b[n, k]:
+                    if m == 0.0:
+                        k2_i[k] = 0.0
+                        continue
+                    drive = (vin_pvd[n, k] if m < 0.0 else nvd[n, k]) \
+                        + n_dcr[n, k] * m
+                else:
+                    drive = A[n, k] + B[n, k] * m
+                od = abs(m) / i_sat[n, k]
+                l_eff = inductance[n, k] if od <= 1.0 \
+                    else inductance[n, k] * (0.4 + 0.6 / max(od, 1.0))
+                k2_i[k] = (drive - mid_v) / l_eff
+            k2_v = (sum_m - mid_v / r2[n]) / c_out[n]
+            vn = v + k2_v * dt
+            # ---- commit, body-diode clamp, energy -------------------
+            for k in range(p):
+                i_old = i0[n, k]
+                i_new = i_old + k2_i[k] * dt
+                if off_b[n, k] and (i_old * i_new <= 0.0
+                                    or abs(i_new) > abs(i_old)):
+                    i_new = i_new * 0.0
+                i1[n, k] = i_new
+            if track_energy:
+                e_in = 0.0
+                for k in range(p):
+                    i_old = i0[n, k]
+                    i_new = i1[n, k]
+                    coil_loss[n, k] += ((i_old * i_old + i_new * i_new)
+                                        * 0.5 * dcr[n, k]) * dt
+                    if pmos_b[n, k]:
+                        e_in += (vin_half[n, 0] * (i_old + i_new)) * dt
+                energy_in[n] += e_in
+                energy_out[n] += ((v * v + vn * vn) * 0.5 / r1[n]) * dt
+            v1[n] = vn
+            # ---- waveform statistics --------------------------------
+            if vn > v_max[n]:
+                v_max[n] = vn
+            if vn < v_min[n]:
+                v_min[n] = vn
+            for k in range(p):
+                i_new = i1[n, k]
+                if i_new > i_max[n, k]:
+                    i_max[n, k] = i_new
+                if i_new < i_min[n, k]:
+                    i_min[n, k] = i_new
+            # ---- comparator bank: fill + strict compare -------------
+            if n_cols:
+                for c in range(V_COLS):
+                    x[n, c] = vn
+                for k in range(p):
+                    x[n, V_COLS + k] = i1[n, k]
+                    x[n, V_COLS + p + k] = i1[n, k]
+                for c in range(n_cols):
+                    xv = x[n, c]
+                    if 2 <= c < V_COLS + p:       # ov, oc: above-threshold
+                        hit = xv > level[n, c]
+                    else:                          # hl, uv, zc: below
+                        hit = xv < level[n, c]
+                    cmp_[n, c] = hit
+                    ch = hit != state[n, c]
+                    changed[n, c] = ch
+                    if ch:
+                        any_changed = True
+        return any_changed
+
+    _KERNEL = kernel
+    return _KERNEL
+
+
+def _make_numba_tick(solver):  # pragma: no cover - requires numba
+    """Wrapper owning the Python-side bookkeeping around the kernel."""
+    stage = solver.stage
+    bank = solver.bank
+    buffers = solver._buffers
+    dt = solver.dt
+    kernel = _get_kernel()
+    track = stage.track_energy
+    resistance = stage.resistance
+    n_cols = bank.n_cols if bank is not None else 0
+    # kernel scratch when there is no bank to provide the sample buffers
+    if bank is None:
+        n = stage.n_lanes
+        empty = np.empty((n, 0))
+        ebool = np.empty((n, 0), dtype=bool)
+
+    def tick(t: float, t_next: float) -> None:
+        if bank is not None:
+            if bank._dirty:
+                bank.refresh_levels()
+            x = bank._bufs[bank._cur]
+            level, state = bank._level, bank.state
+            cmp_, changed = bank._cmp, bank._b2
+        else:
+            x = level = empty
+            state = cmp_ = changed = ebool
+        r1 = resistance(t)
+        r2 = resistance(t + 0.5 * dt)
+        i0, v0 = stage.current, stage.v_out
+        i1, v1 = stage._next_i, stage._next_v
+        any_changed = kernel(
+            dt, i0, v0, stage._A, stage._B, stage._off_b,
+            stage.pmos_on, stage._vin_pvd, stage._nvd, stage._n_dcr,
+            stage.inductance, stage.i_sat, stage.dcr, stage._vin_half,
+            stage.c_out, r1, r2, track,
+            stage.coil_loss_j, stage.energy_in_j, stage.energy_out_j,
+            solver.v_max, solver.v_min, solver.i_max, solver.i_min,
+            i1, v1, x, level, state, cmp_, changed)
+        # commit by buffer swap, like VectorizedPowerStage.step
+        stage.current, stage._next_i = i1, i0
+        stage.v_out, stage._next_v = v1, v0
+        if buffers is not None:
+            buffers.append(t_next, v1, i1)
+        if bank is not None:
+            if any_changed:
+                bank._schedule_edges(t_next, x, cmp_, changed)
+                adj_on, th_, lvl = bank._adj_on, bank.threshold, bank._level
+                for li, c in np.argwhere(changed):
+                    lvl[li, c] = adj_on[li, c] if cmp_[li, c] else th_[li, c]
+                np.copyto(state, cmp_, where=changed)
+            bank._prev_x = x
+            bank._cur = 1 - bank._cur
+            bank._prev_t = t_next
+    return tick

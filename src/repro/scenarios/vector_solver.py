@@ -30,6 +30,7 @@ Vectorized-vs-scalar caveats
 from __future__ import annotations
 
 import heapq
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -207,6 +208,16 @@ class VectorComparatorBank:
         """Re-derive the cached trip levels after a threshold swap."""
         self._dirty = True
 
+    def refresh_levels(self) -> None:
+        """Rebuild the active strict-comparison levels (noiseless path;
+        noisy lanes re-derive their levels on every sample instead)."""
+        np.add(self.threshold, self._hyst_eff, out=self._level_on)
+        np.nextafter(self._level_on, self._adj_dir, out=self._adj_on)
+        level = self._level
+        np.copyto(level, self.threshold)
+        np.copyto(level, self._adj_on, where=self.state)
+        self._dirty = False
+
     # ------------------------------------------------------------------
     def sample(self, t, v_out: np.ndarray, currents: np.ndarray,
                active: Optional[np.ndarray] = None) -> None:
@@ -238,12 +249,8 @@ class VectorComparatorBank:
             np.copyto(level, np.nextafter(th + self._hyst_eff, self._adj_dir),
                       where=state)
         elif self._dirty:
-            np.add(self.threshold, self._hyst_eff, out=self._level_on)
-            np.nextafter(self._level_on, self._adj_dir, out=self._adj_on)
+            self.refresh_levels()
             level = self._level
-            np.copyto(level, self.threshold)
-            np.copyto(level, self._adj_on, where=state)
-            self._dirty = False
         else:
             level = self._level
         # One strict comparison per polarity block decides trip AND hold
@@ -345,6 +352,9 @@ class VectorizedSolver:
         self._buffers = BatchTraceRecorder(n, p) if trace else None
         self.now = 0.0
         self._started = False
+        #: fused fixed-grid tick (built on first advance_to; see
+        #: :mod:`repro.scenarios.fastpath`)
+        self._tick_fixed = None
         if self.policy.adaptive:
             pol = self.policy
             self._prop = np.full(n, min(max(dt, pol.dt_min), pol.dt_max))
@@ -385,11 +395,11 @@ class VectorizedSolver:
             return
         t = self.now
         dt = self.dt
-        stage = self.stage
         bank = self.bank
-        step = stage.step
-        record = self._record
-        sample = bank.sample if bank is not None else None
+        if self._tick_fixed is None:
+            from .fastpath import make_fixed_tick
+            self._tick_fixed = make_fixed_tick(self)
+        tick = self._tick_fixed
         sims = self.sims
         queues = [sim._queue for sim in sims]
 
@@ -418,11 +428,8 @@ class VectorizedSolver:
                         sims[lane].run_until(t_next)
                     if q:
                         push(heads, (q[0][0], lane))
-                step(t, dt)
+                tick(t, t_next)
                 ticks += 1
-                record(t_next)
-                if sample is not None:
-                    sample(t_next, stage.v_out, stage.current)
                 t = t_next
             self.now = t
             for sim in sims:
@@ -547,6 +554,64 @@ class VectorizedSolver:
                   & (tz > 0.0))
             np.minimum(caps, np.where(vz, tz, np.inf).min(axis=1), out=caps)
         return caps
+
+    def lane_crossing_bound(self, lane: int) -> float:
+        """One lane's clock-gating bound: seconds from the lane's current
+        event time until the earliest predicted comparator flip (inf when
+        nothing is in sight) — the per-lane twin of the scalar solver's
+        :meth:`~repro.analog.solver.AnalogSolver.crossing_bound`.
+
+        Pure scalar Python over the shared arrays (called per awake FSM
+        edge, for one lane — an array pass over all lanes would cost
+        more).  Like the scalar bound it excludes the body-diode clamp
+        (not a comparator, produces no controller-visible edge) and, as a
+        profitability hint, the soft-saturation derating.
+        """
+        bank = self.bank
+        if bank is None:
+            return math.inf
+        stage = self.stage
+        p = stage.n_phases
+        cur = stage.current
+        pmos, nmos = stage.pmos_on, stage.nmos_on
+        v = float(stage.v_out[lane])
+        total_i = 0.0
+        didt = []
+        for k in range(p):
+            i = float(cur[lane, k])
+            total_i += i
+            if pmos[lane, k]:
+                drive = (float(stage._vin_col[lane, k])
+                         + i * float(stage._n_dcr_rp[lane, k]))
+            elif nmos[lane, k]:
+                drive = i * float(stage._n_dcr_rn[lane, k])
+            elif i != 0.0:
+                diode = (float(stage._vin_pvd[lane, k]) if i < 0.0
+                         else float(stage._nvd[lane, k]))
+                drive = diode + i * float(stage._n_dcr[lane, k])
+            else:
+                didt.append(0.0)
+                continue
+            didt.append((drive - v) / float(stage.inductance[lane, k]))
+        r = float(stage.loads[lane].resistance(self.sims[lane].now))
+        dvdt = (total_i - v / r) / float(stage.c_out[lane])
+
+        threshold, state, hyst = bank.threshold, bank.state, bank._hyst_eff
+        cap = math.inf
+        for c in range(bank.n_cols):
+            level = float(threshold[lane, c])
+            if state[lane, c]:
+                level += float(hyst[lane, c])
+            if c < V_COLS:
+                x, slope = v, dvdt
+            else:
+                x = float(cur[lane, (c - V_COLS) % p])
+                slope = didt[(c - V_COLS) % p]
+            if slope != 0.0:
+                t_hit = (level - x) / slope
+                if 0.0 < t_hit < cap:
+                    cap = t_hit
+        return cap
 
     def note_commutation(self, lane: int, when: float) -> None:
         """Gate-driver hook: lane ``lane`` scheduled a transistor flip.

@@ -47,8 +47,10 @@ from ..system import RunResult, SystemConfig
 
 #: bump when the key payload or on-disk layout changes shape
 #: (2: RunResult gained solver_ticks; keys cover the stepping knobs.
-#: 3: entries may embed the traced TraceSet; fingerprint covers trace/)
-FORMAT_VERSION = 3
+#: 3: entries may embed the traced TraceSet; fingerprint covers trace/.
+#: 4: RunResult gained the kernel counters events_delivered /
+#: clock_edges_simulated / clock_edges_skipped; keys cover ``gating``)
+FORMAT_VERSION = 4
 
 #: cache operating modes (Session's ``cache=`` argument)
 MODES = ("readwrite", "readonly", "off")
@@ -66,7 +68,9 @@ FINGERPRINT_PATHS = ("system.py", "sim", "analog", "digital", "a2a",
 
 _FLOAT_FIELDS = ("v_final", "peak_coil_current", "ripple", "coil_loss_w",
                  "efficiency")
-_INT_FIELDS = ("ov_events", "metastable_events", "solver_ticks")
+_INT_FIELDS = ("ov_events", "metastable_events", "solver_ticks",
+               "events_delivered", "clock_edges_simulated",
+               "clock_edges_skipped")
 
 #: npz member-name prefix for embedded TraceSet arrays (keeps them clear
 #: of the scalar payload names above)

@@ -30,7 +30,7 @@ import os
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     TypeVar, Union)
 
-from ..analog.stepping import STEPPING_MODES
+from ..analog.stepping import GATING_MODES, STEPPING_MODES
 from ..scenarios.engine import Specs, SweepPoint, _as_specs, _execute_sweep
 from ..scenarios.parallel import pool_map, workers_from_env
 from ..scenarios.spec import ScenarioSpec
@@ -73,6 +73,12 @@ class Session:
         :mod:`repro.analog.stepping`).  The stepping mode and tolerances
         are part of each scenario's cache key, so fixed and adaptive
         results never collide.
+    gating:
+        Default clock-gating mode applied to every scenario that does
+        not override it: ``"auto"`` (skip provably idle controller
+        clock edges in one fast-forward jump — semantics preserving) or
+        ``"off"`` (deliver every edge).  Results are bit-identical
+        either way; only the kernel event/edge counters differ.
     defaults:
         Config fields applied below every spec's overrides.
     max_lanes_per_shard:
@@ -85,6 +91,7 @@ class Session:
                  cache_dir: Optional[str] = None,
                  cache_max_bytes: Optional[int] = None,
                  stepping: Optional[str] = None,
+                 gating: Optional[str] = None,
                  defaults: Optional[Mapping[str, Any]] = None,
                  max_lanes_per_shard: Optional[int] = None):
         if backend not in ("vector", "scalar"):
@@ -94,12 +101,18 @@ class Session:
         if stepping is not None and stepping not in STEPPING_MODES:
             raise ValueError(
                 f"stepping must be one of {STEPPING_MODES}, got {stepping!r}")
+        if gating is not None and gating not in GATING_MODES:
+            raise ValueError(
+                f"gating must be one of {GATING_MODES}, got {gating!r}")
         self.backend = backend
         self.workers = workers
         self.defaults: Dict[str, Any] = dict(defaults or {})
         if stepping is not None:
             self.defaults.setdefault("stepping", stepping)
+        if gating is not None:
+            self.defaults.setdefault("gating", gating)
         self.stepping = stepping
+        self.gating = gating
         self.max_lanes_per_shard = max_lanes_per_shard
         self.cache = self._resolve_cache(cache, cache_dir, cache_max_bytes)
         #: scenarios served from / recomputed past the cache, cumulative
@@ -291,9 +304,10 @@ def set_default_session(session: Optional[Session]) -> Optional[Session]:
 def session_from_env(backend: str = "vector") -> Session:
     """A session configured from the environment — ``REPRO_SWEEP_WORKERS``
     for sharding, ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` /
-    ``REPRO_CACHE_MAX_MB`` for caching, and ``REPRO_STEPPING`` for the
-    default solver stepping mode — the one-liner used by the benchmark
-    harnesses."""
+    ``REPRO_CACHE_MAX_MB`` for caching, ``REPRO_STEPPING`` for the
+    default solver stepping mode, and ``REPRO_GATING`` for the clock
+    gating mode — the one-liner used by the benchmark harnesses."""
     stepping = os.environ.get("REPRO_STEPPING", "").strip() or None
+    gating = os.environ.get("REPRO_GATING", "").strip() or None
     return Session(backend=backend, workers=workers_from_env(),
-                   stepping=stepping)
+                   stepping=stepping, gating=gating)

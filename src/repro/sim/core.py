@@ -78,6 +78,8 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._finished_processes = 0
+        #: events actually fired through the loop (cancelled pops excluded)
+        self.events_delivered: int = 0
         #: hook invoked before each event fires, used by the tracer
         self.on_step: Optional[Callable[[float], None]] = None
 
@@ -117,17 +119,20 @@ class Simulator:
         self._running = True
         queue = self._queue
         pop = heapq.heappop
+        delivered = 0
         try:
             while queue and queue[0][0] <= t_end:
                 time, _prio, _seq, event = pop(queue)
                 if event.cancelled:
                     continue
+                delivered += 1
                 self.now = time
                 if self.on_step is not None:
                     self.on_step(time)
                 event.fn()
             self.now = t_end
         finally:
+            self.events_delivered += delivered
             self._running = False
 
     def run_one_before(self, t_limit: float) -> bool:
@@ -148,6 +153,7 @@ class Simulator:
             if time >= t_limit:
                 return False
             heapq.heappop(queue)
+            self.events_delivered += 1
             self.now = time
             if self.on_step is not None:
                 self.on_step(time)
@@ -178,6 +184,7 @@ class Simulator:
                     self.on_step(time)
                 event.fn()
         finally:
+            self.events_delivered += count
             self._running = False
 
     # ------------------------------------------------------------------
@@ -187,12 +194,27 @@ class Simulator:
         """Number of scheduled, not-yet-cancelled events."""
         return sum(1 for _, _, _, e in self._queue if not e.cancelled)
 
-    def peek_next_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or None if the queue is empty."""
-        for time, _prio, _seq, event in sorted(self._queue)[:]:
-            if not event.cancelled:
-                return time
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the queue is empty.
+
+        Cancelled heads are popped lazily, so the amortized cost is O(1)
+        (plus O(log n) per cancelled event, paid once).  Equal-time events
+        are fine: the heap root is ordered by ``(time, priority, seq)``,
+        and every tied entry carries the same timestamp, so whichever tie
+        sits at the root yields the correct answer.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[3].cancelled:
+                heapq.heappop(queue)
+                continue
+            return entry[0]
         return None
+
+    def peek_next_time(self) -> Optional[float]:
+        """Deprecated alias of :meth:`next_event_time`."""
+        return self.next_event_time()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Simulator(now={self.now!r}, pending={self.pending_events()})"

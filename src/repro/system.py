@@ -36,7 +36,7 @@ from .analog.load import LoadProfile
 from .analog.sensors import BuckReferences, SensorBank
 from .analog.solver import AnalogSolver
 from .analog.stepping import (DEFAULT_ATOL_I, DEFAULT_ATOL_V, DEFAULT_RTOL,
-                              STEPPING_MODES, SteppingPolicy)
+                              GATING_MODES, STEPPING_MODES, SteppingPolicy)
 from .control.async_controller import AsyncMultiphaseController, AsyncTimings
 from .control.params import BuckControlParams
 from .control.sync_controller import SyncMultiphaseController
@@ -67,6 +67,7 @@ class SystemConfig:
     rtol: float = DEFAULT_RTOL         #: adaptive relative tolerance
     atol_i: float = DEFAULT_ATOL_I     #: adaptive absolute current tol (A)
     atol_v: float = DEFAULT_ATOL_V     #: adaptive absolute voltage tol (V)
+    gating: str = "auto"               #: 'auto' or 'off' — clock-edge fast-forward
     sensor_delay: float = 1.0 * NS
     sensor_noise: float = 0.0
     t_gate: float = 1.0 * NS
@@ -83,6 +84,10 @@ class SystemConfig:
             raise ValueError(
                 f"stepping must be one of {STEPPING_MODES}, "
                 f"got {self.stepping!r}")
+        if self.gating not in GATING_MODES:
+            raise ValueError(
+                f"gating must be one of {GATING_MODES}, "
+                f"got {self.gating!r}")
 
 
 @dataclass
@@ -99,6 +104,9 @@ class RunResult:
     cycles: List[int] = field(default_factory=list)
     metastable_events: int = 0
     solver_ticks: int = 0           #: analog micro-steps the run committed
+    events_delivered: int = 0       #: kernel events fired through the loop
+    clock_edges_simulated: int = 0  #: controller clock edges delivered
+    clock_edges_skipped: int = 0    #: controller clock edges fast-forwarded
     #: traced waveforms (a :class:`repro.trace.TraceSet`) — attached by
     #: traced runs, ``None`` otherwise; compared exactly by dataclass eq
     trace: Optional["TraceSet"] = None
@@ -168,7 +176,9 @@ class BuckSystem:
         if config.controller == "sync":
             self.controller = SyncMultiphaseController(
                 self.sim, self.sensors, self.gates, config.n_phases,
-                config.fsm_frequency, params=params, trace=config.trace)
+                config.fsm_frequency, params=params, trace=config.trace,
+                gating=policy.gating,
+                crossing_bound=self.solver.crossing_bound)
         else:
             self.controller = AsyncMultiphaseController(
                 self.sim, self.sensors, self.gates, config.n_phases,
@@ -243,6 +253,11 @@ class BuckSystem:
             cycles=list(self.controller.cycles_started),
             metastable_events=self.controller.metastable_events(),
             solver_ticks=self.solver.tick_count,
+            events_delivered=self.sim.events_delivered,
+            clock_edges_simulated=getattr(
+                self.controller, "clock_edges_simulated", 0),
+            clock_edges_skipped=getattr(
+                self.controller, "clock_edges_skipped", 0),
             trace=self.trace_set() if self.config.trace else None,
         )
 

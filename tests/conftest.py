@@ -133,14 +133,14 @@ def controller_rig():
     """Factory: controller unit rig over drivable sensor stubs."""
     def build(controller: str = "sync", n: int = 1,
               freq: float = 333 * MHZ, params: BuckControlParams = None,
-              seed: int = 0) -> ControllerRig:
+              seed: int = 0, gating: str = "off") -> ControllerRig:
         sim = Simulator(seed=seed)
         sensors = StubSensors(sim, n)
         gates = StubGates(sim, n)
         params = params or BuckControlParams()
         if controller == "sync":
             ctrl = SyncMultiphaseController(sim, sensors, gates, n, freq,
-                                            params=params)
+                                            params=params, gating=gating)
         else:
             ctrl = AsyncMultiphaseController(sim, sensors, gates, n,
                                              params=params)

@@ -1,0 +1,258 @@
+"""Cross-backend differential harness for clock gating.
+
+A seeded generator draws random scenarios (phase count, controller kind
+and clock frequency, coil, load, controller timing, duration) and runs
+every one across the full execution matrix
+
+    {scalar, vector} x {fixed, adaptive} x {gating auto, off}
+
+asserting exactly the equivalences the implementation promises:
+
+- **gating is unobservable** — with backend and stepping held fixed,
+  ``gating="auto"`` reproduces ``gating="off"`` bit-for-bit on every
+  physics field, controller statistic, and the solver tick count.  Only
+  the kernel activity counters (events delivered, clock edges
+  simulated/skipped) may differ: that activity reduction is the entire
+  point of the mode, and the edge ledger must still balance (every
+  off-mode edge is either simulated or skipped, less at most one
+  suspended tail);
+- **backends agree under gating** — scalar and vector runs of the same
+  gated scenario match to the same tolerances the ungated equivalence
+  suite promises, *and* make identical gating decisions (equal
+  simulated/skipped edge counts), because the vector lane bound
+  replicates the scalar crossing arithmetic operation for operation;
+- **stepping modes drift boundedly** — fixed vs adaptive under gating
+  stays inside the documented drift bounds of the adaptive suite.
+
+Every assertion message embeds a one-line repro (constructor call with
+the fully expanded overrides) so a failing seed can be replayed without
+re-running the batch.  The quick batch below is tier-1; a larger batch
+rides in the CI bench job (``-m bench``).
+"""
+
+import pytest
+
+from repro import Session
+from repro.scenarios import ScenarioSpec, Sweep, choice, log_uniform, uniform
+from repro.sim import NS, US
+
+BACKENDS = ("scalar", "vector")
+MODES = tuple((s, g) for s in ("fixed", "adaptive") for g in ("off", "auto"))
+
+#: cross-backend tolerances (same promises as tests/scenarios/test_equivalence.py)
+ABS_TOL = 1e-9
+REL_TOL = 1e-9
+
+#: fixed-vs-adaptive drift bounds — the adaptive suite's documented
+#: bounds (tests/scenarios/test_adaptive.py) with extra headroom for the
+#: randomized scenario space
+PEAK_TOL_A = 0.006
+RIPPLE_REL = 0.30
+RIPPLE_ABS = 0.012
+CYCLE_REL = 0.10
+
+
+def differential_specs(count, master_seed, sim_time):
+    """Seeded random scenario batch spanning the gating-relevant axes.
+
+    ``r_load`` is always drawn explicitly: the two backends have
+    different *default* loads, so an implicit load would confound the
+    differential comparison with a pre-existing configuration split.
+    """
+    return (Sweep(base={"dt": 1 * NS, "sim_time": sim_time},
+                  seed=master_seed, name="diff")
+            .random(count,
+                    n_phases=choice([2, 4]),
+                    controller=choice(["async", "sync"]),
+                    fsm_frequency=choice([100e6, 333e6, 1000e6]),
+                    l_uh=log_uniform(1.0, 10.0),
+                    r_load=uniform(3.0, 15.0),
+                    pmin=choice([2 * NS, 20 * NS]))).specs()
+
+
+def _variant(spec, stepping, gating):
+    return ScenarioSpec(spec.name,
+                        overrides=dict(spec.overrides,
+                                       stepping=stepping, gating=gating),
+                        seed=spec.seed)
+
+
+def _repro(spec, backend, stepping, gating):
+    """One pasteable line that replays a failing cell of the matrix."""
+    ov = dict(spec.overrides, stepping=stepping, gating=gating)
+    return (f"repro: Session(backend={backend!r}, cache='off').run("
+            f"ScenarioSpec({spec.name!r}, overrides={ov!r}, "
+            f"seed={spec.seed!r}))")
+
+
+def _run_matrix(specs):
+    """Run ``specs`` through every (backend, stepping, gating) cell."""
+    out = {}
+    for backend in BACKENDS:
+        session = Session(backend=backend, cache="off")
+        for stepping, gating in MODES:
+            pts = session.sweep(
+                [_variant(s, stepping, gating) for s in specs])
+            out[backend, stepping, gating] = [p.result for p in pts]
+    return out
+
+
+def _gate_invariant_fp(r):
+    """Every RunResult field that gating promises to leave untouched —
+    i.e. everything except the kernel activity counters."""
+    return (r.controller, r.v_final, r.peak_coil_current, r.ripple,
+            r.coil_loss_w, r.efficiency, r.ov_events, tuple(r.cycles),
+            r.metastable_events, r.solver_ticks)
+
+
+def _check_gating_unobservable(spec, backend, stepping, off, auto):
+    where = f"{spec.name} [{backend}/{stepping}]"
+    assert _gate_invariant_fp(auto) == _gate_invariant_fp(off), (
+        f"{where}: gating=auto changed observable results\n"
+        f"  off:  {_gate_invariant_fp(off)}\n"
+        f"  auto: {_gate_invariant_fp(auto)}\n"
+        f"  {_repro(spec, backend, stepping, 'auto')}")
+    # the edge ledger balances: each off-mode edge is simulated or
+    # skipped in auto mode, minus at most one still-suspended tail
+    # (edges past the final wake are neither delivered nor replayed)
+    total = auto.clock_edges_simulated + auto.clock_edges_skipped
+    assert total <= off.clock_edges_simulated, (
+        f"{where}: gated run invented clock edges "
+        f"({total} > {off.clock_edges_simulated})\n"
+        f"  {_repro(spec, backend, stepping, 'auto')}")
+    assert auto.events_delivered <= off.events_delivered, (
+        f"{where}: gating increased delivered events\n"
+        f"  {_repro(spec, backend, stepping, 'auto')}")
+
+
+def _check_backends_agree(spec, stepping, gating, s, v):
+    where = f"{spec.name} [{stepping}/gating={gating}]"
+    line = _repro(spec, "vector", stepping, gating)
+    assert v.v_final == pytest.approx(s.v_final, abs=ABS_TOL), (
+        f"{where}: V_final diverged across backends\n  {line}")
+    assert v.peak_coil_current == pytest.approx(
+        s.peak_coil_current, abs=ABS_TOL), (
+        f"{where}: peak coil current diverged across backends\n  {line}")
+    assert v.ripple == pytest.approx(s.ripple, abs=ABS_TOL), (
+        f"{where}: ripple diverged across backends\n  {line}")
+    assert v.coil_loss_w == pytest.approx(s.coil_loss_w, rel=REL_TOL), (
+        f"{where}: coil loss diverged across backends\n  {line}")
+    assert v.efficiency == pytest.approx(s.efficiency, rel=REL_TOL), (
+        f"{where}: efficiency diverged across backends\n  {line}")
+    assert (tuple(v.cycles), v.ov_events, v.metastable_events,
+            v.solver_ticks) == \
+           (tuple(s.cycles), s.ov_events, s.metastable_events,
+            s.solver_ticks), (
+        f"{where}: controller statistics diverged across backends\n"
+        f"  scalar: cycles={s.cycles} ov={s.ov_events} "
+        f"meta={s.metastable_events} ticks={s.solver_ticks}\n"
+        f"  vector: cycles={v.cycles} ov={v.ov_events} "
+        f"meta={v.metastable_events} ticks={v.solver_ticks}\n  {line}")
+    # gating decisions must coincide: the vector lane crossing bound
+    # replicates the scalar float arithmetic op for op
+    assert (v.clock_edges_simulated, v.clock_edges_skipped) == \
+           (s.clock_edges_simulated, s.clock_edges_skipped), (
+        f"{where}: backends made different gating decisions "
+        f"(scalar {s.clock_edges_simulated}+{s.clock_edges_skipped}, "
+        f"vector {v.clock_edges_simulated}+{v.clock_edges_skipped})\n"
+        f"  {line}")
+
+
+def _check_stepping_drift(spec, backend, fixed, adaptive):
+    where = f"{spec.name} [{backend}/gating=auto]"
+    line = _repro(spec, backend, "adaptive", "auto")
+    peak_drift = abs(adaptive.peak_coil_current - fixed.peak_coil_current)
+    assert peak_drift < PEAK_TOL_A, (
+        f"{where}: adaptive peak current drifted "
+        f"{peak_drift * 1e3:.2f} mA\n  {line}")
+    ripple_drift = abs(adaptive.ripple - fixed.ripple)
+    assert ripple_drift < max(RIPPLE_ABS, RIPPLE_REL * fixed.ripple), (
+        f"{where}: adaptive ripple drifted "
+        f"{ripple_drift * 1e3:.1f} mV\n  {line}")
+    # V_final samples a rippling waveform: phase shifts move it within
+    # the ripple envelope, never outside it
+    assert abs(adaptive.v_final - fixed.v_final) <= \
+        max(fixed.ripple, RIPPLE_ABS), (
+        f"{where}: adaptive V_final left the ripple envelope\n  {line}")
+    tot_f, tot_a = sum(fixed.cycles), sum(adaptive.cycles)
+    assert abs(tot_f - tot_a) <= max(CYCLE_REL * tot_f, 2), (
+        f"{where}: cycle count drifted ({tot_f} -> {tot_a})\n  {line}")
+    assert adaptive.ov_events == fixed.ov_events, (
+        f"{where}: OV episode count changed under adaptive stepping\n"
+        f"  {line}")
+
+
+# ---------------------------------------------------------------------------
+# Tier-1 quick batch
+# ---------------------------------------------------------------------------
+QUICK_SPECS = differential_specs(4, master_seed=202, sim_time=2 * US)
+_IDS = [s.name for s in QUICK_SPECS]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return _run_matrix(QUICK_SPECS)
+
+
+@pytest.mark.parametrize("idx", range(len(QUICK_SPECS)), ids=_IDS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("stepping", ["fixed", "adaptive"])
+def test_gating_is_unobservable(matrix, idx, backend, stepping):
+    _check_gating_unobservable(
+        QUICK_SPECS[idx], backend, stepping,
+        matrix[backend, stepping, "off"][idx],
+        matrix[backend, stepping, "auto"][idx])
+
+
+@pytest.mark.parametrize("idx", range(len(QUICK_SPECS)), ids=_IDS)
+@pytest.mark.parametrize("stepping,gating", MODES,
+                         ids=[f"{s}-{g}" for s, g in MODES])
+def test_backends_agree(matrix, idx, stepping, gating):
+    _check_backends_agree(
+        QUICK_SPECS[idx], stepping, gating,
+        matrix["scalar", stepping, gating][idx],
+        matrix["vector", stepping, gating][idx])
+
+
+@pytest.mark.parametrize("idx", range(len(QUICK_SPECS)), ids=_IDS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stepping_drift_bounded_under_gating(matrix, idx, backend):
+    _check_stepping_drift(
+        QUICK_SPECS[idx], backend,
+        matrix[backend, "fixed", "auto"][idx],
+        matrix[backend, "adaptive", "auto"][idx])
+
+
+def test_gating_engages_somewhere(matrix):
+    """The batch actually exercises the fast-forward path: at least one
+    sync-controller lane skips edges (async lanes have no clock, so a
+    batch of only-async draws would silently test nothing)."""
+    skipped = sum(r.clock_edges_skipped
+                  for r in matrix["scalar", "fixed", "auto"])
+    assert skipped > 0, "no lane ever gated; widen the spec generator"
+
+
+# ---------------------------------------------------------------------------
+# CI bench batch: same checks, 4x the scenarios, longer runs
+# ---------------------------------------------------------------------------
+@pytest.mark.bench
+def test_differential_full_batch():
+    specs = differential_specs(16, master_seed=303, sim_time=5 * US)
+    matrix = _run_matrix(specs)
+    for i, spec in enumerate(specs):
+        for backend in BACKENDS:
+            for stepping in ("fixed", "adaptive"):
+                _check_gating_unobservable(
+                    spec, backend, stepping,
+                    matrix[backend, stepping, "off"][i],
+                    matrix[backend, stepping, "auto"][i])
+        for stepping, gating in MODES:
+            _check_backends_agree(
+                spec, stepping, gating,
+                matrix["scalar", stepping, gating][i],
+                matrix["vector", stepping, gating][i])
+        for backend in BACKENDS:
+            _check_stepping_drift(
+                spec, backend,
+                matrix[backend, "fixed", "auto"][i],
+                matrix[backend, "adaptive", "auto"][i])

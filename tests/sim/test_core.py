@@ -150,3 +150,90 @@ def test_rng_seed_variation():
     a = Simulator(seed=1)
     b = Simulator(seed=2)
     assert a.rng.random() != b.rng.random()
+
+
+# ---------------------------------------------------------------------------
+# next_event_time / run_one_before edge cases (the gating fast-forward
+# machinery leans on these: equal-time ties, cancelled heads, empty heap)
+# ---------------------------------------------------------------------------
+def test_next_event_time_equal_time_ties():
+    sim = Simulator()
+    events = [sim.schedule(5 * NS, lambda: None) for _ in range(3)]
+    assert sim.next_event_time() == pytest.approx(5 * NS)
+    # cancelling ties one by one never changes the answer until the
+    # last one goes — every tied entry carries the same timestamp
+    events[0].cancel()
+    assert sim.next_event_time() == pytest.approx(5 * NS)
+    events[2].cancel()
+    assert sim.next_event_time() == pytest.approx(5 * NS)
+    events[1].cancel()
+    assert sim.next_event_time() is None
+
+
+def test_next_event_time_pops_cancelled_heads_lazily():
+    sim = Simulator()
+    head = sim.schedule(1 * NS, lambda: None)
+    sim.schedule(2 * NS, lambda: None)
+    head.cancel()
+    assert len(sim._queue) == 2
+    assert sim.next_event_time() == pytest.approx(2 * NS)
+    # the cancelled head was evicted, not just skipped over
+    assert len(sim._queue) == 1
+
+
+def test_next_event_time_all_cancelled_is_empty():
+    sim = Simulator()
+    for ev in [sim.schedule(k * NS, lambda: None) for k in (1, 2, 3)]:
+        ev.cancel()
+    assert sim.next_event_time() is None
+    assert sim._queue == []
+
+
+def test_run_one_before_fires_ties_fifo_one_at_a_time():
+    sim = Simulator()
+    fired = []
+    for tag in "ab":
+        sim.schedule(5 * NS, lambda tag=tag: fired.append(tag))
+    assert sim.run_one_before(10 * NS) is True
+    assert fired == ["a"]
+    assert sim.now == pytest.approx(5 * NS)
+    assert sim.run_one_before(10 * NS) is True
+    assert fired == ["a", "b"]
+
+
+def test_run_one_before_limit_is_strict():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5 * NS, lambda: fired.append(1))
+    assert sim.run_one_before(5 * NS) is False
+    assert fired == []
+    assert sim.run_one_before(5 * NS + 1e-12) is True
+    assert fired == [1]
+
+
+def test_run_one_before_empty_heap():
+    sim = Simulator()
+    assert sim.run_one_before(1 * US) is False
+    assert sim.now == 0.0
+
+
+def test_run_one_before_skips_cancelled_heads():
+    sim = Simulator()
+    fired = []
+    dead = sim.schedule(1 * NS, lambda: fired.append("dead"))
+    sim.schedule(2 * NS, lambda: fired.append("live"))
+    dead.cancel()
+    assert sim.run_one_before(10 * NS) is True
+    assert fired == ["live"]
+
+
+def test_events_delivered_counts_only_live_events():
+    sim = Simulator()
+    dead = sim.schedule(1 * NS, lambda: None)
+    sim.schedule(2 * NS, lambda: None)
+    sim.schedule(3 * NS, lambda: None)
+    dead.cancel()
+    sim.run_until(2.5 * NS)
+    assert sim.events_delivered == 1
+    assert sim.run_one_before(1 * US) is True
+    assert sim.events_delivered == 2
