@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Demo: every repro.lint rule firing on a miniature broken tree.
+
+Writes a tiny package into a temp directory with one of each violation
+the analyzer knows about — an unkeyed config field, a one-sided parity
+edit, an unseeded RNG draw, a wall-clock read, unordered iteration,
+id()-ordering, and an RNG draw on a clock-gating path — runs the
+analyzer over it, and prints the findings grouped by rule family.
+
+Nothing here touches the real tree (which is lint-clean; that is a
+tier-1 test).  Use this to see what each finding looks like before you
+meet one in CI, or `python -m repro.lint --explain <RULE>` for the
+catalog entry.
+
+Run:  python examples/lint_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.lint import FAMILIES, LintConfig, RULES, run_lint, update_locks
+
+#: the miniature broken tree, mirroring the real module layout
+BROKEN_TREE = {
+    "system.py": '''\
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    dt: float = 1e-9
+    n_phases: int = 4
+    stepping: str = "fixed"
+    seed: int = 0            # never keyed -> K01 + K02
+    drift_ppm: float = 0.0   # never keyed -> K01 + K02
+
+
+@dataclass
+class RunResult:
+    v_final: float = 0.0
+    ripple: float = 0.0      # not in _FLOAT_FIELDS -> K04
+    cycles: List[int] = None
+
+    def to_dict(self):
+        return {"v_final": self.v_final, "ripple": self.ripple}
+''',
+    "analog/stepping.py": '''\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SteppingPolicy:
+    mode: str = "fixed"
+    dt: float = 1e-9
+    secret_gain: float = 2.0   # no SystemConfig counterpart -> K05
+''',
+    "session/cache.py": '''\
+FORMAT_VERSION = 1
+
+_FLOAT_FIELDS = ("v_final",)
+_INT_FIELDS = ()
+
+
+def cache_key(config):
+    return (config.dt, config.n_phases, config.stepping)
+''',
+    "scenarios/parallel.py": '''\
+import random
+import time
+
+
+def lockstep_key(config):
+    # lint: nokey(ghost: names a field that does not exist)
+    # lint: nokey(seed)
+    return (config.dt, config.n_phases, config.stepping)
+
+
+def shard(specs, pool_dir):
+    t0 = time.perf_counter()            # wall clock -> D02
+    jitter = random.random()            # global RNG -> D01
+    for path in pool_dir.glob("*.json"):   # fs order -> D03
+        specs.append(path)
+    for name in {"uv", "ov"}:           # set order -> D03
+        specs.append(name)
+    specs.sort(key=id)                  # address order -> D04
+    return t0, jitter
+''',
+    "analog/solver.py": '''\
+class AnalogSolver:
+    def crossing_bound(self, level, slope):
+        if slope == 0.0:
+            return float("inf")
+        return level / slope + 1e-12    # edited; vector twin was not
+''',
+    "scenarios/vector_solver.py": '''\
+class VectorizedSolver:
+    def lane_crossing_bound(self, lane, level, slope):
+        if slope == 0.0:
+            return float("inf")
+        return level / slope
+''',
+    "digital/clock.py": '''\
+class Clock:
+    def suspend(self):
+        self._jitter()
+        self.gate_sig.set(False)        # dispatching write -> G02
+
+    def _jitter(self):
+        return self.sim.rng.random()    # RNG on gating path -> G01
+''',
+}
+
+
+def build_tree(root: Path) -> LintConfig:
+    for relpath, source in BROKEN_TREE.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return LintConfig(
+        root=root,
+        scan_paths=tuple(BROKEN_TREE),
+        parity_pairs=(
+            ("crossing-bound",
+             ("analog/solver.py", "AnalogSolver.crossing_bound"),
+             ("scenarios/vector_solver.py",
+              "VectorizedSolver.lane_crossing_bound")),
+        ),
+        gating_roots=(("digital/clock.py", "Clock.suspend"),),
+        locks_dir=root / "locks",
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="lint_demo_") as tmp:
+        config = build_tree(Path(tmp))
+        # lock the current state, then make the two post-lock edits the
+        # lockfiles exist to catch: a one-sided parity change (P01) and
+        # a RunResult layout change without a FORMAT_VERSION bump (K03)
+        update_locks(config)
+        solver = Path(tmp) / "analog/solver.py"
+        solver.write_text(solver.read_text(encoding="utf-8").replace(
+            "+ 1e-12", "+ 2e-12"), encoding="utf-8")
+        system = Path(tmp) / "system.py"
+        system.write_text(system.read_text(encoding="utf-8").replace(
+            "    cycles: List[int] = None",
+            "    cycles: List[int] = None\n    note: str = \"\""),
+            encoding="utf-8")
+
+        report = run_lint(config)
+
+        print("repro.lint demo — one miniature tree, every rule family")
+        print(f"  modules scanned : {report.modules_scanned}")
+        print(f"  findings        : {len(report.findings)}")
+        print()
+        for family in FAMILIES:
+            members = [f for f in report.findings
+                       if RULES[f.rule].family == family]
+            if not members:
+                continue
+            print(f"--- {family} ({len(members)}) ---")
+            for finding in members:
+                print(finding.render())
+            print()
+        fired = sorted({f.rule for f in report.findings})
+        print(f"rules fired: {', '.join(fired)}")
+        print("explain any of them with: "
+              "python -m repro.lint --explain <RULE>")
+
+
+if __name__ == "__main__":
+    main()

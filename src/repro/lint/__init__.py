@@ -1,0 +1,39 @@
+"""Static analyzer for the repo's bit-identity invariants.
+
+Four rule families, each machine-checking a convention the reproduction
+otherwise enforces by reviewer discipline:
+
+``keys`` (K01–K06)
+    Every ``SystemConfig``/``SteppingPolicy`` field is consumed by
+    ``cache_key`` and ``lockstep_key`` or reasoned away with a
+    ``# lint: nokey(field: reason)`` annotation; ``RunResult``'s
+    serialized shape is pinned to ``FORMAT_VERSION`` via
+    ``tests/golden/format_lock.json``.
+
+``parity`` (P01–P03)
+    Paired scalar/vector implementations (crossing bounds, RK2 steps,
+    fused kernels, gating entry conditions, clock replay) carry locked
+    AST fingerprints; a one-sided edit fails until the twin moves too.
+
+``determinism`` (D01–D04)
+    No unseeded RNG, wall-clock reads, unordered iteration, or
+    ``id()``-based ordering in result-producing modules.
+
+``purity`` (G01–G03)
+    Code reachable from the clock-gating paths performs no RNG draws
+    and no dispatching signal writes, keeping the "skipped edges are
+    provably no-op" argument machine-checked.
+
+Run ``python -m repro.lint`` (see ``--help``); suppress one finding
+with ``# lint: ok(RULE: reason)`` on its line; ack intentional paired
+edits or format bumps with ``--update-locks``.
+"""
+
+from .config import LintConfig, default_config_for
+from .engine import LintReport, build_index, run_lint, update_locks
+from .findings import FAMILIES, RULES, Finding, explain
+
+__all__ = [
+    "LintConfig", "default_config_for", "LintReport", "build_index",
+    "run_lint", "update_locks", "FAMILIES", "RULES", "Finding", "explain",
+]

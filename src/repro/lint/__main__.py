@@ -1,0 +1,13 @@
+"""``python -m repro.lint`` entry point."""
+
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # stdout went away mid-report (e.g. piped into `head`); findings
+    # already printed are all the consumer wanted
+    code = 0
+sys.exit(code)

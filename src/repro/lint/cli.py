@@ -1,0 +1,115 @@
+"""Command line front door: ``python -m repro.lint [PATH] [options]``.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage/configuration
+error.  ``--json FILE`` writes the machine-readable report (CI uploads
+it as an artifact); ``--update-locks`` regenerates the parity and
+serialization-format lockfiles — the explicit ack for intentional
+paired edits and format bumps; ``--explain RULE`` prints the catalog
+entry with a miniature bad example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import default_config_for
+from .engine import run_lint, update_locks
+from .findings import FAMILIES, explain, rule_ids
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism & cache-soundness static analyzer for "
+                    "the repro package.")
+    parser.add_argument(
+        "path", nargs="?", default=None,
+        help="package root to scan: .../repro, a src/ directory, or a "
+             "repo root (default: the installed repro package)")
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the JSON report to FILE ('-' for stdout)")
+    parser.add_argument(
+        "--update-locks", action="store_true",
+        help="regenerate tests/golden/{parity,format}_lock.json from "
+             "the current tree (the explicit ack for paired edits and "
+             "FORMAT_VERSION bumps)")
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print the catalog entry for one rule id (e.g. K01) and "
+             "exit")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every rule id with its title and exit")
+    parser.add_argument(
+        "--family", action="append", choices=FAMILIES, default=None,
+        help="run only this rule family (repeatable; default: all)")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="print findings only, no summary line")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        from .findings import RULES
+        for rule_id in rule_ids():
+            rule = RULES[rule_id]
+            print(f"{rule_id} [{rule.family}] {rule.title}")
+        return 0
+
+    if args.explain is not None:
+        text = explain(args.explain)
+        if text is None:
+            print(f"unknown rule id {args.explain!r}; known: "
+                  f"{', '.join(rule_ids())}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+
+    if args.path is None:
+        package_root = Path(__file__).resolve().parent.parent
+        path = package_root
+    else:
+        path = Path(args.path)
+    try:
+        config = default_config_for(path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_locks:
+        try:
+            written = update_locks(config)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for label, where in sorted(written.items()):
+            print(f"wrote {label}: {where}")
+        return 0
+
+    families = tuple(args.family) if args.family else FAMILIES
+    report = run_lint(config, families)
+
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=1, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+
+    for finding in report.findings:
+        print(finding.render())
+    if not args.quiet:
+        status = "clean" if report.clean else \
+            f"{len(report.findings)} finding(s)"
+        print(f"repro.lint: {status} — {report.modules_scanned} modules, "
+              f"families: {', '.join(report.families)}, "
+              f"{len(report.suppressed)} suppressed")
+    return 0 if report.clean else 1

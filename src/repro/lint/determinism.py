@@ -1,0 +1,218 @@
+"""Rule family D: sources of run-to-run nondeterminism.
+
+Scans the result-producing modules (``scan_paths`` in the
+configuration) for the four classic ways bit-identity dies:
+
+* **D01** — randomness from interpreter-global state: module-level
+  ``random.*`` draws, legacy ``np.random.*`` draws, and zero-argument
+  ``Random()`` / ``default_rng()`` / ``PCG64()`` constructions.  All
+  simulation randomness must flow from a seeded generator.
+* **D02** — wall-clock reads (``time.time``/``perf_counter``/
+  ``monotonic``, ``datetime.now``); these belong in ``benchmarks/``.
+* **D03** — iteration whose order the platform picks: ``for`` /
+  comprehension loops directly over set literals, ``set()``/
+  ``frozenset()`` calls, set-algebra results, or directory listings
+  (``glob``/``rglob``/``iterdir``/``scandir``/``listdir``) without a
+  ``sorted(...)`` wrapper.  ``list(...)``/``tuple(...)``/
+  ``enumerate(...)``/``reversed(...)`` wrappers are transparent — they
+  preserve the unordered order, so the inner expression is still
+  checked.
+* **D04** — ordering by ``id()`` (allocation address): ``key=id`` or a
+  ``key=lambda`` calling ``id()`` in ``sorted``/``sort``/``min``/
+  ``max``.
+
+The checks are syntactic by design: they cannot see a set flowing
+through a variable, but every rule they do fire on is a real,
+mechanically fixable hazard — and the suppression syntax
+(``# lint: ok(D03: reason)``) documents the deliberate exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .config import LintConfig
+from .engine import ModuleIndex, ModuleInfo, dotted_name
+from .findings import Finding
+
+#: draws (and global-state mutation) on the module-level random module
+_RANDOM_DRAWS = frozenset({
+    "random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+    "expovariate", "choice", "choices", "shuffle", "sample", "betavariate",
+    "triangular", "vonmisesvariate", "paretovariate", "lognormvariate",
+    "weibullvariate", "getrandbits", "seed",
+})
+
+#: legacy numpy global-state RNG surface
+_NP_RANDOM_DRAWS = frozenset({
+    "random", "rand", "randn", "randint", "random_sample",
+    "standard_normal", "normal", "uniform", "choice", "shuffle",
+    "permutation", "seed",
+})
+
+#: constructors that are fine seeded, nondeterministic bare
+_SEEDABLE_CTORS = frozenset({
+    "Random", "default_rng", "PCG64", "SeedSequence", "RandomState",
+    "Generator",
+})
+
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+})
+
+_LISTING_METHODS = frozenset({"glob", "rglob", "iglob", "iterdir",
+                              "scandir", "listdir"})
+
+_TRANSPARENT_WRAPPERS = frozenset({"list", "tuple", "enumerate", "reversed",
+                                   "iter"})
+
+
+def _ctor_unseeded(call: ast.Call, name: str) -> bool:
+    return name in _SEEDABLE_CTORS and not call.args and not call.keywords
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, info: ModuleInfo):
+        self.info = info
+        self.findings: List[Finding] = []
+        self.has_random_import = any(
+            isinstance(node, ast.Import)
+            and any(alias.name == "random" for alias in node.names)
+            for node in ast.walk(info.tree))
+
+    def _emit(self, rule: str, node: ast.AST, message: str,
+              hint: str) -> None:
+        self.findings.append(Finding(rule, self.info.relpath,
+                                     getattr(node, "lineno", 1), message,
+                                     hint))
+
+    # -- D01 / D02 --------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if (self.has_random_import and len(parts) == 2
+                    and parts[0] == "random" and parts[1] in _RANDOM_DRAWS):
+                self._emit("D01", node,
+                           f"module-level RNG call {dotted}() draws from "
+                           "interpreter-global state",
+                           "draw from a seeded generator (Simulator.rng "
+                           "or random.Random(seed)) instead")
+            elif (len(parts) >= 3 and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"):
+                tail = parts[2]
+                if len(parts) == 3 and tail in _NP_RANDOM_DRAWS:
+                    self._emit("D01", node,
+                               f"legacy global-state RNG call {dotted}()",
+                               "use np.random.Generator(np.random."
+                               "PCG64(seed)) and draw from it")
+                elif len(parts) == 3 and _ctor_unseeded(node, tail):
+                    self._emit("D01", node,
+                               f"{dotted}() constructed without a seed",
+                               "pass an explicit seed (or SeedSequence)")
+            elif dotted in _CLOCK_CALLS:
+                self._emit("D02", node,
+                           f"wall-clock read {dotted}() in simulation "
+                           "code",
+                           "move timing to benchmarks/, or derive time "
+                           "from the simulator clock")
+            elif (parts[-1] in ("now", "utcnow", "today")
+                    and ("datetime" in parts[:-1] or "date" in parts[:-1])):
+                self._emit("D02", node,
+                           f"wall-clock read {dotted}() in simulation "
+                           "code",
+                           "pass timestamps in explicitly; simulation "
+                           "output must not depend on the wall clock")
+        elif isinstance(node.func, ast.Name) \
+                and _ctor_unseeded(node, node.func.id):
+            self._emit("D01", node,
+                       f"{node.func.id}() constructed without a seed",
+                       "pass an explicit seed (or SeedSequence)")
+        self._check_id_ordering(node)
+        self.generic_visit(node)
+
+    # -- D04 --------------------------------------------------------------
+    def _check_id_ordering(self, node: ast.Call) -> None:
+        name = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name not in ("sorted", "sort", "min", "max"):
+            return
+        for kw in node.keywords:
+            if kw.arg != "key":
+                continue
+            key = kw.value
+            uses_id = (isinstance(key, ast.Name) and key.id == "id") or (
+                isinstance(key, ast.Lambda) and any(
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                    for sub in ast.walk(key.body)))
+            if uses_id:
+                self._emit("D04", node,
+                           f"{name}(..., key=id) orders by allocation "
+                           "address — different every run",
+                           "order by a stable attribute (name, sequence "
+                           "number) instead of id()")
+
+    # -- D03 --------------------------------------------------------------
+    def _unordered_reason(self, node: ast.AST) -> Optional[str]:
+        while (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _TRANSPARENT_WRAPPERS and node.args):
+            node = node.args[0]
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal/comprehension"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id in ("set", "frozenset"):
+                return f"{node.func.id}(...)"
+            if isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr in _LISTING_METHODS:
+                    return f".{attr}(...) (filesystem order)"
+                if attr in ("union", "intersection", "difference",
+                            "symmetric_difference"):
+                    return f"a set-algebra result (.{attr}())"
+        return None
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        reason = self._unordered_reason(iter_node)
+        if reason is not None:
+            self._emit("D03", iter_node,
+                       f"iteration over {reason} — order is platform-"
+                       "dependent",
+                       "wrap the iterable in sorted(...) to pin the "
+                       "order")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for info in index.under(config.scan_paths):
+        visitor = _Visitor(info)
+        visitor.visit(info.tree)
+        findings.extend(visitor.findings)
+    return findings

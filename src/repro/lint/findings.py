@@ -1,0 +1,277 @@
+"""Finding records and the rule catalog for :mod:`repro.lint`.
+
+Every rule has a stable id (``K``/``P``/``D``/``G`` family prefix plus a
+two-digit number), a one-line title, a longer explanation, and a
+miniature *bad example* used by ``--explain`` and ``examples/
+lint_demo.py``.  A :class:`Finding` pins one violation to a
+``file:line`` with the id and a one-line fix hint — everything a
+reviewer (or CI log reader) needs to act without opening the linter's
+source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a source location."""
+
+    rule: str          #: rule id, e.g. ``"K01"``
+    path: str          #: path as reported (relative to the scanned root)
+    line: int          #: 1-based line number
+    message: str       #: what is wrong, naming the offending symbol
+    hint: str          #: one-line fix hint
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}\n" \
+               f"    hint: {self.hint}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "hint": self.hint}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Catalog entry: what a rule checks and why it exists."""
+
+    id: str
+    family: str
+    title: str
+    rationale: str
+    bad_example: str = ""
+
+
+#: the four rule families, in report order
+FAMILIES = ("keys", "parity", "determinism", "purity")
+
+RULES: Dict[str, Rule] = {r.id: r for r in (
+    Rule(
+        "K01", "keys",
+        "SystemConfig field not consumed by cache_key",
+        "Every SystemConfig field must flow into the content-address "
+        "hash, or a stale cache entry silently serves results computed "
+        "under a different value of that field.  Fields intentionally "
+        "outside the key are declared inside the key function with "
+        "`# lint: nokey(<field>: <reason>)`.",
+        bad_example=(
+            "@dataclass\n"
+            "class Config:\n"
+            "    dt: float = 1e-6\n"
+            "    new_knob: float = 0.0   # added, never keyed\n"
+            "\n"
+            "def cache_key(config):\n"
+            "    return hash((config.dt,))   # K01: new_knob unkeyed\n"),
+    ),
+    Rule(
+        "K02", "keys",
+        "SystemConfig field not consumed by lockstep_key",
+        "Fields that shape the vector loop (grid, duration, stepping "
+        "tolerances) must be in the lock-step grouping key or lanes "
+        "with different physics share one batch.  Per-lane fields are "
+        "declared with `# lint: nokey(<field>: <reason>)` inside "
+        "lockstep_key.",
+        bad_example=(
+            "def lockstep_key(config):\n"
+            "    # K02 for every field neither returned nor allowlisted\n"
+            "    return (config.n_phases, config.dt)\n"),
+    ),
+    Rule(
+        "K03", "keys",
+        "RunResult serialization drift without FORMAT_VERSION bump",
+        "The on-disk entry layout is pinned by tests/golden/"
+        "format_lock.json.  Changing RunResult's field set (or its "
+        "to_dict) without bumping FORMAT_VERSION lets old entries "
+        "decode into wrong-shaped results.  Bump FORMAT_VERSION and "
+        "refresh the lock with `python -m repro.lint --update-locks`.",
+        bad_example=(
+            "@dataclass\n"
+            "class RunResult:\n"
+            "    v_final: float\n"
+            "    brand_new_counter: int = 0   # K03 until the lock and\n"
+            "                                 # FORMAT_VERSION move too\n"),
+    ),
+    Rule(
+        "K04", "keys",
+        "RunResult numeric field missing from the cache payload lists",
+        "ResultCache serializes scalars through _FLOAT_FIELDS/"
+        "_INT_FIELDS.  A numeric RunResult field in neither list is "
+        "silently dropped on store and comes back as its default on "
+        "load — a wrong-results bug, not a crash.",
+        bad_example=(
+            "_FLOAT_FIELDS = (\"v_final\",)\n"
+            "# RunResult also has `ripple: float` -> K04\n"),
+    ),
+    Rule(
+        "K05", "keys",
+        "SteppingPolicy field with no keyed SystemConfig counterpart",
+        "SteppingPolicy is derived from SystemConfig (from_config); a "
+        "policy field with no corresponding config field cannot reach "
+        "the cache or lock-step keys at all, so two runs differing in "
+        "it would collide.",
+        bad_example=(
+            "@dataclass(frozen=True)\n"
+            "class SteppingPolicy:\n"
+            "    rtol: float = 1e-5\n"
+            "    secret_gain: float = 2.0   # K05: not in SystemConfig\n"),
+    ),
+    Rule(
+        "K06", "keys",
+        "Stale nokey allowlist entry",
+        "A `# lint: nokey(...)` annotation names a field that either "
+        "does not exist on SystemConfig or is actually consumed by the "
+        "key function — the allowlist must shrink as code catches up, "
+        "or it stops being evidence.",
+        bad_example=(
+            "def lockstep_key(config):\n"
+            "    # lint: nokey(dt: per-lane)   <- K06, dt IS keyed below\n"
+            "    return (config.n_phases, config.dt)\n"),
+    ),
+    Rule(
+        "P01", "parity",
+        "One side of a scalar/vector parity pair changed",
+        "The paired implementations must be edited together (they are "
+        "kept bit-identical op-for-op).  One member's AST fingerprint "
+        "differs from tests/golden/parity_lock.json while its twin's "
+        "does not: port the change to the twin, then ack with "
+        "`python -m repro.lint --update-locks`.",
+        bad_example=(
+            "# scalar: clamp added\n"
+            "def crossing_bound(self):  return max(0.0, bound)\n"
+            "# vector twin untouched -> P01\n"
+            "def lane_crossing_bound(self, lane):  return bound\n"),
+    ),
+    Rule(
+        "P02", "parity",
+        "Both sides of a parity pair changed but the lockfile is stale",
+        "Both fingerprints moved — good, the twins were edited together "
+        "— but the lockfile still records the old pair.  Ack the edit "
+        "with `python -m repro.lint --update-locks` so the next "
+        "one-sided edit is caught against the new baseline.",
+    ),
+    Rule(
+        "P03", "parity",
+        "Parity pair member or lockfile entry missing",
+        "A registered pair member cannot be resolved (renamed or "
+        "deleted), or the lockfile has no entry for the pair.  Update "
+        "lint/parity.py's registry to the new name, or regenerate the "
+        "lockfile with `--update-locks`.",
+    ),
+    Rule(
+        "D01", "determinism",
+        "Unseeded or global-state RNG",
+        "All randomness must flow from a seeded generator (the kernel's "
+        "Simulator.rng or an explicit PCG64(seed)).  Module-level "
+        "random.* draws, legacy np.random.* draws, and zero-argument "
+        "Random()/default_rng() constructions depend on interpreter-"
+        "global state and break run-to-run bit-identity.",
+        bad_example=(
+            "import random\n"
+            "jitter = random.gauss(0, 1)        # D01\n"
+            "noise = np.random.standard_normal()  # D01\n"
+            "rng = np.random.default_rng()       # D01 (no seed)\n"),
+    ),
+    Rule(
+        "D02", "determinism",
+        "Wall-clock time in simulation code",
+        "time.time/perf_counter/monotonic and datetime.now belong in "
+        "benchmarks/, never in result-producing modules — anything "
+        "derived from them differs between runs by construction.",
+        bad_example=(
+            "import time\n"
+            "t0 = time.perf_counter()   # D02 outside benchmarks/\n"),
+    ),
+    Rule(
+        "D03", "determinism",
+        "Iteration over an unordered collection or directory listing",
+        "set/frozenset iteration order is hash-seed dependent and "
+        "glob/iterdir/listdir order is filesystem dependent; either "
+        "can flow into event scheduling or result assembly.  Wrap the "
+        "iterable in sorted(...) to pin the order.",
+        bad_example=(
+            "for name in {\"a\", \"b\"}:          # D03\n"
+            "    schedule(name)\n"
+            "for p in path.glob(\"*.json\"):      # D03\n"
+            "    load(p)\n"),
+    ),
+    Rule(
+        "D04", "determinism",
+        "id()-based ordering",
+        "CPython object ids are allocation addresses: sorting or "
+        "min/max-ing by id() gives a different order every run.  Use a "
+        "stable key (a name, a sequence number) instead.",
+        bad_example=(
+            "listeners.sort(key=id)              # D04\n"
+            "first = min(events, key=lambda e: id(e))  # D04\n"),
+    ),
+    Rule(
+        "G01", "purity",
+        "RNG draw reachable from a clock-gating path",
+        "The gating soundness argument (skipped edges are provably "
+        "no-op) requires the suspend/fast-forward/bound paths to be "
+        "pure: an RNG draw there would advance a generator that a "
+        "non-gated run advances elsewhere (or not at all), breaking "
+        "gating-on == gating-off bit-identity.",
+        bad_example=(
+            "class Controller:\n"
+            "    def _maybe_gate(self):\n"
+            "        if self.sim.rng.random() < 0.5:   # G01\n"
+            "            self.clk.suspend()\n"),
+    ),
+    Rule(
+        "G02", "purity",
+        "Signal write reachable from a clock-gating path",
+        "Gating paths may schedule wake events and use the sanctioned "
+        "silent Signal.force replay, but a dispatching write (.set, "
+        "._apply, gate-driver set_pmos/set_nmos) from a gating "
+        "decision point would make the skipped-edge region observable.",
+        bad_example=(
+            "class Clock:\n"
+            "    def suspend(self):\n"
+            "        self.signal.set(0)   # G02: dispatching write\n"),
+    ),
+    Rule(
+        "G03", "purity",
+        "Gating-path root cannot be resolved",
+        "A configured gating root (e.g. Clock.suspend) no longer "
+        "exists under that name — the purity rule is checking nothing. "
+        "Update the root list in lint/config.py (or the LintConfig in "
+        "use) to the new name.",
+    ),
+    Rule(
+        "X00", "engine",
+        "Analyzer configuration error",
+        "A module, class, or function the lint configuration points at "
+        "is missing or unparseable.  The analyzer fails loudly rather "
+        "than silently skipping the check.",
+    ),
+    Rule(
+        "X01", "engine",
+        "Malformed lint annotation",
+        "A `# lint: nokey(...)`/`# lint: ok(...)` comment does not "
+        "parse or is missing its reason.  Annotations are evidence; an "
+        "unreadable one suppresses nothing.",
+        bad_example=(
+            "# lint: nokey(seed)        <- X01: no reason given\n"
+            "# lint: ok(D03)            <- X01: no reason given\n"),
+    ),
+)}
+
+
+def explain(rule_id: str) -> Optional[str]:
+    """Human-readable catalog entry for ``--explain`` (None if unknown)."""
+    rule = RULES.get(rule_id.upper())
+    if rule is None:
+        return None
+    parts = [f"{rule.id} [{rule.family}] {rule.title}", "", rule.rationale]
+    if rule.bad_example:
+        parts += ["", "Example that fires it:", ""]
+        parts += ["    " + ln for ln in rule.bad_example.rstrip().splitlines()]
+    return "\n".join(parts)
+
+
+def rule_ids() -> Tuple[str, ...]:
+    return tuple(sorted(RULES))

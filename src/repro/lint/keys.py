@@ -1,0 +1,361 @@
+"""Rule family K: cache/lock-step key completeness and format locks.
+
+The repo's cache-soundness contract is that every ``SystemConfig``
+field either flows into :func:`repro.session.cache.cache_key` and
+:func:`repro.scenarios.parallel.lockstep_key`, or is *declared* outside
+them with a reasoned ``# lint: nokey(field: reason)`` annotation inside
+the key function's body.  The analysis is purely syntactic:
+
+* direct consumption — ``config.<field>`` attribute reads inside the
+  key function;
+* bulk consumption — a helper called with the config argument whose
+  body iterates ``__dataclass_fields__`` (the ``encode_config``
+  pattern) consumes *every* field, minus any the key function then
+  overwrites with a constant (``encoded["trace"] = False`` normalises
+  ``trace`` back out, so it needs an annotation).
+
+Also here: ``SteppingPolicy`` fields must map onto keyed
+``SystemConfig`` fields (K05), ``RunResult``'s numeric fields must
+appear in the cache's payload lists (K04), and the serialization
+format lock (K03) — RunResult's field set and ``to_dict`` fingerprint
+are pinned together with ``FORMAT_VERSION`` in
+``tests/golden/format_lock.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .config import LintConfig, parse_nokey
+from .engine import (ModuleIndex, find_class, find_def, node_fingerprint,
+                     read_lock)
+from .findings import Finding
+
+
+# ---------------------------------------------------------------------------
+# Dataclass field extraction
+# ---------------------------------------------------------------------------
+def dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, int, ast.AST]]:
+    """``(name, lineno, annotation)`` for each dataclass field, in
+    declaration order (annotated assignments at class-body level)."""
+    fields = []
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                          ast.Name):
+            fields.append((node.target.id, node.lineno, node.annotation))
+    return fields
+
+
+def _attr_reads(node: ast.AST, obj: str) -> Set[str]:
+    """Names read as ``<obj>.<name>`` anywhere under ``node``."""
+    reads: Set[str] = set()
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == obj):
+            reads.add(sub.attr)
+    return reads
+
+
+def _bulk_helpers(index: ModuleIndex) -> Set[str]:
+    """Names of top-level functions anywhere in the index whose body
+    touches ``__dataclass_fields__`` — calling one with the config
+    argument consumes every field."""
+    helpers: Set[str] = set()
+    for info in index.modules.values():
+        for node in info.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.Attribute)
+                        and sub.attr == "__dataclass_fields__"):
+                    helpers.add(node.name)
+                    break
+    return helpers
+
+
+def _key_consumption(func: ast.AST, param: str, helpers: Set[str]
+                     ) -> Tuple[Set[str], bool, Set[str]]:
+    """``(direct_reads, consumes_all, normalized_out)`` for one key
+    function: attribute reads of the config param, whether a bulk
+    helper is called on it, and which fields are overwritten with a
+    constant afterwards (normalised back out of the key)."""
+    direct = _attr_reads(func, param)
+    consumes_all = False
+    bulk_vars: Set[str] = set()
+    for sub in ast.walk(func):
+        if not isinstance(sub, ast.Call):
+            continue
+        name = None
+        if isinstance(sub.func, ast.Name):
+            name = sub.func.id
+        elif isinstance(sub.func, ast.Attribute):
+            name = sub.func.attr
+        if name not in helpers:
+            continue
+        if any(isinstance(a, ast.Name) and a.id == param for a in sub.args):
+            consumes_all = True
+    if consumes_all:
+        # variables bound to the bulk-encoded dict
+        for sub in ast.walk(func):
+            if (isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call)
+                    and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Name)):
+                fn = sub.value.func
+                name = fn.id if isinstance(fn, ast.Name) else (
+                    fn.attr if isinstance(fn, ast.Attribute) else None)
+                if name in helpers:
+                    bulk_vars.add(sub.targets[0].id)
+    normalized: Set[str] = set()
+    for sub in ast.walk(func):
+        if (isinstance(sub, ast.Assign) and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Subscript)
+                and isinstance(sub.targets[0].value, ast.Name)
+                and sub.targets[0].value.id in bulk_vars):
+            index_node = sub.targets[0].slice
+            if isinstance(index_node, ast.Constant) \
+                    and isinstance(index_node.value, str) \
+                    and isinstance(sub.value, ast.Constant):
+                normalized.add(index_node.value)
+    return direct, consumes_all, normalized
+
+
+# ---------------------------------------------------------------------------
+# Lock payload (shared with --update-locks)
+# ---------------------------------------------------------------------------
+def _format_version(index: ModuleIndex, config: LintConfig) -> Optional[int]:
+    info = index.get(config.cache_module)
+    if info is None:
+        return None
+    for node in info.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == config.format_version_name \
+                        and isinstance(node.value, ast.Constant):
+                    return node.value.value
+    return None
+
+
+def _string_tuple(info, name: str) -> Optional[List[str]]:
+    """A module-level ``NAME = ("a", "b", ...)`` constant's items."""
+    for node in info.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name \
+                        and isinstance(node.value, (ast.Tuple, ast.List)):
+                    items = []
+                    for elt in node.value.elts:
+                        if isinstance(elt, ast.Constant) \
+                                and isinstance(elt.value, str):
+                            items.append(elt.value)
+                    return items
+    return None
+
+
+def lock_payload(config: LintConfig, index: ModuleIndex) -> Dict:
+    """Current serialization-format lock content (K03's baseline)."""
+    info = index.get(config.config_module)
+    cls = find_class(info.tree, config.result_class) if info else None
+    fields = [name for name, _, _ in dataclass_fields(cls)] if cls else []
+    to_dict = find_def(info.tree, f"{config.result_class}.to_dict") \
+        if info else None
+    return {
+        "format_version": _format_version(index, config),
+        "runresult_fields": fields,
+        "to_dict_hash": node_fingerprint(to_dict) if to_dict else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+def _check_one_key(config: LintConfig, index: ModuleIndex,
+                   module: str, func_name: str, rule: str,
+                   fields: Sequence[Tuple[str, int, ast.AST]],
+                   helpers: Set[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    info = index.get(module)
+    if info is None:
+        return [Finding("X00", module, 1,
+                        f"key module {module!r} not in the index",
+                        "fix the lint configuration")]
+    func = find_def(info.tree, func_name)
+    if func is None:
+        return [Finding("X00", module, 1,
+                        f"key function {func_name!r} not found",
+                        "fix the lint configuration or restore the "
+                        "function")]
+    if not func.args.args:
+        return [Finding("X00", module, func.lineno,
+                        f"{func_name} takes no arguments; cannot "
+                        "identify the config parameter",
+                        "give the key function its config parameter")]
+    param = func.args.args[0].arg
+    direct, consumes_all, normalized = _key_consumption(func, param, helpers)
+    field_names = {name for name, _, _ in fields}
+    consumed = (field_names | direct) if consumes_all else direct
+    consumed -= normalized
+    entries, malformed = parse_nokey(
+        info.lines, func.lineno, func.end_lineno or func.lineno)
+    for lineno in malformed:
+        findings.append(Finding(
+            "X01", info.relpath, lineno,
+            "malformed nokey annotation (expected "
+            "`# lint: nokey(field[, field]: reason)`)",
+            "name the fields and give a non-empty reason"))
+    allow: Set[str] = set()
+    for entry in entries:
+        for name in entry.fields:
+            if name not in field_names:
+                findings.append(Finding(
+                    "K06", info.relpath, entry.line,
+                    f"nokey annotation names {name!r}, which is not a "
+                    f"{config.config_class} field",
+                    "remove the stale entry (or fix the field name)"))
+            elif name in consumed:
+                findings.append(Finding(
+                    "K06", info.relpath, entry.line,
+                    f"nokey annotation names {name!r}, but {func_name} "
+                    "does consume it",
+                    "remove the entry — the field is keyed now"))
+            allow.add(name)
+    for name, _lineno, _ann in fields:
+        if name in consumed or name in allow:
+            continue
+        findings.append(Finding(
+            rule, info.relpath, func.lineno,
+            f"{config.config_class}.{name} is not consumed by "
+            f"{func_name} and not allowlisted",
+            f"key it inside {func_name}, or annotate "
+            f"`# lint: nokey({name}: <reason>)` in its body"))
+    return findings
+
+
+def _check_policy(config: LintConfig, index: ModuleIndex,
+                  field_names: Set[str]) -> List[Finding]:
+    info = index.get(config.policy_module)
+    if info is None:
+        return [Finding("X00", config.policy_module, 1,
+                        "policy module not in the index",
+                        "fix the lint configuration")]
+    cls = find_class(info.tree, config.policy_class)
+    if cls is None:
+        return [Finding("X00", info.relpath, 1,
+                        f"class {config.policy_class!r} not found",
+                        "fix the lint configuration")]
+    findings = []
+    for name, lineno, _ann in dataclass_fields(cls):
+        mapped = config.policy_field_aliases.get(name, name)
+        if mapped not in field_names:
+            findings.append(Finding(
+                "K05", info.relpath, lineno,
+                f"{config.policy_class}.{name} has no corresponding "
+                f"{config.config_class} field (looked for {mapped!r})",
+                f"add the {config.config_class} field that feeds it, "
+                "or record the mapping in policy_field_aliases"))
+    return findings
+
+
+def _check_format_lock(config: LintConfig, index: ModuleIndex
+                       ) -> List[Finding]:
+    info = index.get(config.config_module)
+    if info is None:
+        return []
+    cls = find_class(info.tree, config.result_class)
+    if cls is None:
+        return [Finding("X00", info.relpath, 1,
+                        f"class {config.result_class!r} not found",
+                        "fix the lint configuration")]
+    current = lock_payload(config, index)
+    lock = read_lock(config.format_lock_path)
+    if lock is None:
+        return [Finding(
+            "K03", info.relpath, cls.lineno,
+            f"serialization format lock missing "
+            f"({config.format_lock_path})",
+            "generate it with `python -m repro.lint --update-locks`")]
+    findings = []
+    layout_moved = (
+        current["runresult_fields"] != lock.get("runresult_fields")
+        or current["to_dict_hash"] != lock.get("to_dict_hash"))
+    version_moved = current["format_version"] != lock.get("format_version")
+    if layout_moved and not version_moved:
+        findings.append(Finding(
+            "K03", info.relpath, cls.lineno,
+            f"{config.result_class} serialization changed but "
+            f"{config.format_version_name} did not "
+            f"(still {current['format_version']})",
+            f"bump {config.format_version_name} in "
+            f"{config.cache_module}, then run "
+            "`python -m repro.lint --update-locks`"))
+    elif layout_moved or version_moved:
+        findings.append(Finding(
+            "K03", info.relpath, cls.lineno,
+            "serialization format lock is stale "
+            f"(lock has version {lock.get('format_version')}, tree has "
+            f"{current['format_version']})",
+            "ack the change with `python -m repro.lint --update-locks`"))
+    return findings
+
+
+def _check_payload_lists(config: LintConfig, index: ModuleIndex
+                         ) -> List[Finding]:
+    info = index.get(config.config_module)
+    cache_info = index.get(config.cache_module)
+    if info is None or cache_info is None:
+        return []
+    cls = find_class(info.tree, config.result_class)
+    if cls is None:
+        return []
+    floats = _string_tuple(cache_info, config.float_fields_name)
+    ints = _string_tuple(cache_info, config.int_fields_name)
+    if floats is None or ints is None:
+        return [Finding(
+            "X00", cache_info.relpath, 1,
+            f"payload lists {config.float_fields_name}/"
+            f"{config.int_fields_name} not found",
+            "fix the lint configuration or restore the lists")]
+    listed = set(floats) | set(ints)
+    findings = []
+    for name, lineno, ann in dataclass_fields(cls):
+        if name in config.result_nonnumeric_fields or name in listed:
+            continue
+        if isinstance(ann, ast.Name) and ann.id in ("float", "int"):
+            findings.append(Finding(
+                "K04", info.relpath, lineno,
+                f"{config.result_class}.{name} ({ann.id}) is in neither "
+                f"{config.float_fields_name} nor "
+                f"{config.int_fields_name} — the cache would drop it",
+                f"add it to the matching payload list in "
+                f"{config.cache_module} (and bump "
+                f"{config.format_version_name})"))
+    return findings
+
+
+def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
+    """Run the whole K family."""
+    findings: List[Finding] = []
+    info = index.get(config.config_module)
+    if info is None:
+        return [Finding("X00", config.config_module, 1,
+                        "config module not in the index",
+                        "fix the lint configuration")]
+    cls = find_class(info.tree, config.config_class)
+    if cls is None:
+        return [Finding("X00", info.relpath, 1,
+                        f"class {config.config_class!r} not found",
+                        "fix the lint configuration")]
+    fields = dataclass_fields(cls)
+    field_names = {name for name, _, _ in fields}
+    helpers = _bulk_helpers(index)
+    findings += _check_one_key(config, index, config.cache_module,
+                               config.cache_key_func, "K01", fields, helpers)
+    findings += _check_one_key(config, index, config.lockstep_module,
+                               config.lockstep_key_func, "K02", fields,
+                               helpers)
+    findings += _check_policy(config, index, field_names)
+    findings += _check_format_lock(config, index)
+    findings += _check_payload_lists(config, index)
+    return findings

@@ -1,0 +1,177 @@
+"""Rule family G: gating-path purity (the PR 6 soundness argument).
+
+Clock gating is exact only because everything the gating machinery
+executes — deciding to gate (``_maybe_gate``, the analytic crossing
+bounds), suspending (``Clock.suspend``), and resuming
+(``_resume``/``Clock.fast_forward``) — is *pure* with respect to the
+simulation's observable state: no RNG draws (a draw would advance a
+generator that an ungated run advances elsewhere) and no dispatching
+signal writes (``Signal.set``/``_apply`` and the gate-driver setters;
+``Signal.force`` is the one sanctioned silent replay primitive, and
+scheduling kernel events is how wakes are armed).
+
+This module builds a static call graph over the scanned modules and
+walks every function *directly* reachable from the configured gating
+roots.  Scheduled callbacks are deliberately not followed: anything
+delivered through the event loop is ordinary, ordered kernel work — the
+soundness claim is about the code that runs *instead of* the skipped
+edges, i.e. the synchronous call chains.
+
+Resolution is name-based (``self.f()`` prefers a method of the same
+class; other attribute calls match any same-named method in the scan
+set), which over-approximates the reachable set — exactly the right
+direction for a soundness check.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .config import LintConfig
+from .engine import ModuleIndex
+from .findings import Finding
+
+#: dispatching write calls (observable side effects)
+_WRITE_NAMES = frozenset({"set", "_apply", "set_pmos", "set_nmos",
+                          "set_ov_mode"})
+
+#: calls that are sanctioned on gating paths and never descended into:
+#: ``force`` is the silent bit-exact replay write
+_NO_TRAVERSE = frozenset({"force"})
+
+#: identifier segments that mark an RNG object
+def _is_rng_name(name: str) -> bool:
+    return name == "rng" or name.endswith("_rng") or name.endswith("_rngs")
+
+
+@dataclass
+class _Func:
+    module: str
+    qualname: str
+    cls: Optional[str]
+    node: ast.AST
+
+
+def _collect_functions(index: ModuleIndex, scan: Sequence[str]
+                       ) -> Tuple[Dict[Tuple[str, str], _Func],
+                                  Dict[str, List[_Func]]]:
+    by_qual: Dict[Tuple[str, str], _Func] = {}
+    by_name: Dict[str, List[_Func]] = {}
+
+    def add(info, node, cls: Optional[str]) -> None:
+        qual = f"{cls}.{node.name}" if cls else node.name
+        fn = _Func(info.relpath, qual, cls, node)
+        by_qual[(info.relpath, qual)] = fn
+        by_name.setdefault(node.name, []).append(fn)
+
+    for info in index.under(scan):
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add(info, node, None)
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        add(info, sub, node.name)
+    return by_qual, by_name
+
+
+def _rng_markers(node: ast.AST) -> List[Tuple[int, str]]:
+    markers = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and _is_rng_name(sub.attr):
+            markers.append((sub.lineno, sub.attr))
+        elif isinstance(sub, ast.Name) and _is_rng_name(sub.id) \
+                and isinstance(sub.ctx, ast.Load):
+            markers.append((sub.lineno, sub.id))
+    return markers
+
+
+def _write_markers(node: ast.AST) -> List[Tuple[int, str]]:
+    markers = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute) \
+                and sub.func.attr in _WRITE_NAMES:
+            markers.append((sub.lineno, sub.func.attr))
+    return markers
+
+
+def _direct_calls(node: ast.AST) -> List[Tuple[str, str]]:
+    """``(kind, name)`` for every call site: kind is ``self``, ``attr``
+    or ``bare``."""
+    calls = []
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Name):
+            calls.append(("bare", func.id))
+        elif isinstance(func, ast.Attribute):
+            kind = "self" if (isinstance(func.value, ast.Name)
+                              and func.value.id == "self") else "attr"
+            calls.append((kind, func.attr))
+    return calls
+
+
+def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
+    if not config.gating_roots:
+        return []
+    by_qual, by_name = _collect_functions(index, config.scan_paths)
+    findings: List[Finding] = []
+
+    # resolve the roots
+    queue: List[Tuple[_Func, str]] = []   # (function, path-so-far label)
+    for module, qualname in config.gating_roots:
+        fn = by_qual.get((module, qualname))
+        if fn is None:
+            findings.append(Finding(
+                "G03", module, 1,
+                f"gating root {module}:{qualname} cannot be resolved",
+                "update gating_roots in the lint configuration to the "
+                "renamed symbol"))
+            continue
+        queue.append((fn, qualname))
+
+    visited: Set[Tuple[str, str]] = set()
+    while queue:
+        fn, path = queue.pop(0)
+        key = (fn.module, fn.qualname)
+        if key in visited:
+            continue
+        visited.add(key)
+        for lineno, name in _rng_markers(fn.node):
+            findings.append(Finding(
+                "G01", fn.module, lineno,
+                f"RNG access ({name!r}) in {fn.qualname}, reachable "
+                f"from gating path [{path}]",
+                "gating paths must not draw from (or expose) RNG "
+                "state — move the draw out of the gated region"))
+        for lineno, name in _write_markers(fn.node):
+            findings.append(Finding(
+                "G02", fn.module, lineno,
+                f"dispatching write .{name}() in {fn.qualname}, "
+                f"reachable from gating path [{path}]",
+                "gating paths may schedule wakes or use Signal.force; "
+                "a dispatching write makes skipped edges observable"))
+        for kind, name in _direct_calls(fn.node):
+            if name in _NO_TRAVERSE:
+                continue
+            targets: List[_Func] = []
+            if kind == "self" and fn.cls is not None:
+                same_class = [cand for cand in by_name.get(name, [])
+                              if cand.module == fn.module
+                              and cand.cls == fn.cls]
+                targets = same_class or by_name.get(name, [])
+            elif kind == "bare":
+                same_module = [cand for cand in by_name.get(name, [])
+                               if cand.module == fn.module
+                               and cand.cls is None]
+                targets = same_module
+            else:
+                targets = by_name.get(name, [])
+            for target in targets:
+                if (target.module, target.qualname) not in visited:
+                    queue.append((target, f"{path} -> {target.qualname}"))
+    return findings

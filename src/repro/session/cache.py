@@ -141,6 +141,7 @@ def cache_key(config: SystemConfig, *, settle: Optional[float] = None,
     measured numbers.
     """
     encoded = encode_config(config)
+    # lint: nokey(trace: normalised out; a traced run upgrades the entry)
     encoded["trace"] = False
     payload = {
         "format": FORMAT_VERSION,
@@ -169,9 +170,15 @@ class ResultCache:
         usually represent this state as ``cache=None`` instead).
 
     ``max_bytes`` caps the on-disk size: every write prunes the store
-    back under the cap, evicting whole entries oldest-modification-first
-    (an LRU approximation — loads do not touch mtimes, so "oldest" means
-    least-recently *written*).  ``None`` means unbounded, the historical
+    back under the cap in two passes, oldest-modification-first (an LRU
+    approximation — loads do not touch mtimes, so "oldest" means
+    least-recently *written*).  Pass one drops embedded trace payloads
+    from entries — the scalar numbers survive, ``want_trace=True``
+    loads of a stripped entry become misses (and a traced re-run
+    re-upgrades it) — and only if the store is still over the cap does
+    pass two evict whole entries.  Waveforms dominate entry sizes by
+    ~100x, so capped caches degrade to scalar-only before losing
+    results entirely.  ``None`` means unbounded, the historical
     behaviour.
     """
 
@@ -341,7 +348,9 @@ class ResultCache:
         entries = []
         if not self.root.is_dir():
             return entries
-        for meta_path in self.root.glob("*/*.json"):
+        # sorted: glob order is filesystem-dependent, and mtime ties
+        # between entries would otherwise break in directory order
+        for meta_path in sorted(self.root.glob("*/*.json")):
             npz_path = meta_path.with_suffix(".npz")
             try:
                 meta_stat = meta_path.stat()
@@ -353,11 +362,52 @@ class ResultCache:
                             meta_stat.st_size + npz_stat.st_size))
         return entries
 
-    def prune(self, max_bytes: Optional[int] = None) -> int:
-        """Evict whole entries, oldest mtime first, until the store fits
-        in ``max_bytes`` (defaults to the cache's own cap).  Returns the
-        number of entries removed.  A ``readonly``/``off`` cache never
-        prunes."""
+    def _strip_trace(self, key: str) -> int:
+        """Drop the embedded trace payload from one entry, keeping the
+        scalar numbers (the entry reads exactly like an untraced write:
+        plain loads hit, ``want_trace=True`` loads miss, and a traced
+        re-run upgrades it again).  The entry's mtime is preserved — a
+        strip is reclamation, not a user write, so it must not make the
+        entry look recently used.  Returns the bytes reclaimed (0 for
+        untraced, missing, or unreadable entries)."""
+        meta_path, npz_path = self._paths(key)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+            if meta.get("format") != FORMAT_VERSION \
+                    or meta.get("trace") is None:
+                return 0
+            meta_stat = meta_path.stat()
+            npz_stat = npz_path.stat()
+            old_size = meta_stat.st_size + npz_stat.st_size
+            with np.load(npz_path) as data:
+                arrays = {name: data[name] for name in data.files
+                          if not name.startswith(_TRACE_PREFIX)}
+            del meta["trace"]
+            self._atomic_write(
+                npz_path, lambda fh: np.savez(fh, **arrays))
+            self._atomic_write(
+                meta_path,
+                lambda fh: fh.write(
+                    json.dumps(meta, sort_keys=True, indent=1).encode()))
+            os.utime(npz_path, (npz_stat.st_atime, npz_stat.st_mtime))
+            os.utime(meta_path, (meta_stat.st_atime, meta_stat.st_mtime))
+            return max(0, old_size - meta_path.stat().st_size
+                       - npz_path.stat().st_size)
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile):
+            return 0   # unreadable entries are pass two's problem
+
+    def prune(self, max_bytes: Optional[int] = None,
+              strip_traces: bool = True) -> int:
+        """Shrink the store under ``max_bytes`` (defaults to the cache's
+        own cap), oldest mtime first, in two passes: first drop trace
+        payloads from entries (:meth:`_strip_trace` — the scalar results
+        survive), then, only if still over the cap, evict whole entries.
+        Returns the number of whole entries removed (stripped entries
+        still count as present).  ``strip_traces=False`` restores the
+        historical evict-only behaviour.  A ``readonly``/``off`` cache
+        never prunes."""
         if not self.writable:
             return 0
         limit = max_bytes if max_bytes is not None else self.max_bytes
@@ -365,18 +415,27 @@ class ResultCache:
             return 0
         entries = sorted(self._entries())
         total = sum(size for _, _, size in entries)
+        if strip_traces:
+            for _mtime, key, _size in entries:
+                if total <= limit:
+                    break
+                total -= self._strip_trace(key)
         removed = 0
-        for _mtime, key, size in entries:
-            if total <= limit:
-                break
-            meta_path, npz_path = self._paths(key)
-            for path in (meta_path, npz_path):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-            total -= size
-            removed += 1
+        if total > limit:
+            # re-scan: pass one rewrote entry files and their sizes
+            entries = sorted(self._entries())
+            total = sum(size for _, _, size in entries)
+            for _mtime, key, size in entries:
+                if total <= limit:
+                    break
+                meta_path, npz_path = self._paths(key)
+                for path in (meta_path, npz_path):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                total -= size
+                removed += 1
         self._approx_bytes = total   # the scan just measured the truth
         return removed
 

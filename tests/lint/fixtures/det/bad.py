@@ -1,0 +1,39 @@
+"""Bad fixture: one of every determinism hazard, marked per line."""
+
+import random
+import time
+import datetime
+
+import numpy as np
+
+
+def draws():
+    a = random.gauss(0.0, 1.0)           # MARK:d01-random-gauss
+    b = np.random.standard_normal()      # MARK:d01-np-legacy
+    rng = np.random.default_rng()        # MARK:d01-unseeded-ctor
+    return a, b, rng.random()
+
+
+def clocks():
+    t0 = time.perf_counter()             # MARK:d02-perf-counter
+    stamp = datetime.datetime.now()      # MARK:d02-datetime-now
+    return t0, stamp
+
+
+def iterations(base):
+    out = []
+    for name in {"uv", "ov", "hl"}:      # MARK:d03-set-literal
+        out.append(name)
+    found = [p for p in base.glob("*.json")]   # MARK:d03-glob
+    for p in list(base.iterdir()):       # MARK:d03-wrapped-iterdir
+        out.append(p)
+    merged = set(out)
+    for item in merged.union(found):     # MARK:d03-set-union
+        out.append(item)
+    return out
+
+
+def orderings(objs):
+    objs.sort(key=id)                            # MARK:d04-sort-id
+    first = min(objs, key=lambda o: id(o))       # MARK:d04-min-lambda
+    return first

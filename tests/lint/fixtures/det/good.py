@@ -1,0 +1,31 @@
+"""Good fixture: the same jobs done deterministically."""
+
+import random
+
+import numpy as np
+
+
+def draws(seed):
+    local = random.Random(seed)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return local.gauss(0.0, 1.0), rng.standard_normal()
+
+
+def iterations(base):
+    out = []
+    for name in sorted({"uv", "ov", "hl"}):
+        out.append(name)
+    for p in sorted(base.glob("*.json")):
+        out.append(p)
+    return out
+
+
+def orderings(objs):
+    objs.sort(key=lambda o: o.name)
+    return min(objs, key=lambda o: o.seq)
+
+
+def suppressed(base):
+    # the one deliberate exception, reasoned in place
+    for p in base.iterdir():  # lint: ok(D03: order logged, never used)
+        p.touch()

@@ -1,0 +1,10 @@
+"""Bad fixture: a policy field with no config counterpart."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SteppingPolicy:
+    mode: str = "fixed"
+    dt: float = 1e-6
+    secret_gain: float = 2.0    # MARK:orphan-policy-field

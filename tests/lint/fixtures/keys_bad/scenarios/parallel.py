@@ -1,0 +1,9 @@
+"""Bad fixture: stale allowlist entries and an unkeyed field."""
+
+
+def lockstep_key(config):    # MARK:lockstep-key
+    # lint: nokey(seed: per-lane seeding)
+    # lint: nokey(ghost: field that never existed)
+    # lint: nokey(dt: stale entry, dt is keyed below)
+    # lint: nokey(stepping)
+    return (config.dt, config.n_phases, config.stepping)

@@ -1,0 +1,11 @@
+"""Bad fixture: a cache key that forgets two config fields."""
+
+FORMAT_VERSION = 1
+
+_FLOAT_FIELDS = ("v_final", "ripple")
+_INT_FIELDS = ()
+
+
+def cache_key(config):    # MARK:cache-key
+    return hash((FORMAT_VERSION, config.dt, config.n_phases,
+                 config.stepping))

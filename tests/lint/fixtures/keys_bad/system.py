@@ -1,0 +1,24 @@
+"""Bad fixture: a config dataclass with a deliberately unkeyed field."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class SystemConfig:
+    dt: float = 1e-6
+    n_phases: int = 2
+    stepping: str = "fixed"
+    seed: int = 0
+    unkeyed_knob: float = 0.0    # MARK:unkeyed-field
+
+
+@dataclass
+class RunResult:
+    v_final: float = 0.0
+    ripple: float = 0.0
+    extra_metric: float = 0.0    # MARK:unlisted-numeric
+    cycles: List[int] = field(default_factory=list)
+
+    def to_dict(self):
+        return {"v_final": self.v_final, "ripple": self.ripple}

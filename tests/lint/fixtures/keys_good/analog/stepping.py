@@ -1,0 +1,9 @@
+"""Good fixture: every policy field maps onto a config field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SteppingPolicy:
+    mode: str = "fixed"
+    dt: float = 1e-6

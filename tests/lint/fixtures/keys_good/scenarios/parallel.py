@@ -1,0 +1,6 @@
+"""Good fixture: explicit key plus a reasoned allowlist."""
+
+
+def lockstep_key(config):
+    # lint: nokey(seed: per-lane seeding, lanes stay independent)
+    return (config.dt, config.n_phases, config.stepping, config.trace)

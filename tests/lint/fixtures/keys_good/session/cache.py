@@ -1,0 +1,18 @@
+"""Good fixture: bulk-encoding cache key with a reasoned exception."""
+
+FORMAT_VERSION = 3
+
+_FLOAT_FIELDS = ("v_final", "ripple")
+_INT_FIELDS = ()
+
+
+def encode_config(config):
+    return {name: getattr(config, name)
+            for name in type(config).__dataclass_fields__}
+
+
+def cache_key(config):
+    encoded = encode_config(config)
+    # lint: nokey(trace: normalised out, does not change the numbers)
+    encoded["trace"] = False
+    return hash((FORMAT_VERSION, tuple(sorted(encoded.items()))))

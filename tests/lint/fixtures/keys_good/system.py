@@ -1,0 +1,23 @@
+"""Good fixture: every field keyed or reasoned away."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class SystemConfig:
+    dt: float = 1e-6
+    n_phases: int = 2
+    stepping: str = "fixed"
+    seed: int = 0
+    trace: bool = False
+
+
+@dataclass
+class RunResult:
+    v_final: float = 0.0
+    ripple: float = 0.0
+    cycles: List[int] = field(default_factory=list)
+
+    def to_dict(self):
+        return {"v_final": self.v_final, "ripple": self.ripple}

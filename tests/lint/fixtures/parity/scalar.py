@@ -1,0 +1,12 @@
+"""Parity fixture: the scalar side of a paired implementation."""
+
+
+class ScalarSolver:
+    def crossing_bound(self, level, slope):
+        if slope == 0.0:
+            return float("inf")
+        return level / slope
+
+
+def scalar_step(i, v, dt):
+    return i + v * dt

@@ -1,0 +1,12 @@
+"""Parity fixture: the vector side, kept op-for-op with the scalar."""
+
+
+class VectorSolver:
+    def lane_crossing_bound(self, lane, level, slope):
+        if slope == 0.0:
+            return float("inf")
+        return level / slope
+
+
+def vector_step(i, v, dt):
+    return i + v * dt

@@ -1,0 +1,30 @@
+"""Purity fixture: gating roots with reachable impurities, marked."""
+
+
+class GatedClock:
+    def suspend(self):
+        if self._pending is not None:
+            self._pending.cancel()
+        self._note()
+
+    def fast_forward(self, t):
+        self.signal.force(True)          # MARK:sanctioned-force
+        self.sim.schedule_at(t, self._rise)
+
+    def _note(self):
+        jitter = self.sim.rng.random()   # MARK:g01-rng-draw
+        return jitter
+
+    def _rise(self):
+        self.signal._apply(True)
+
+
+class GateController:
+    def _maybe_gate(self):
+        self._halt()
+
+    def _halt(self):
+        self.gate_sig.set(False)         # MARK:g02-signal-write
+
+    def _resume(self):
+        self.clk.fast_forward(self.sim.now)

@@ -1,0 +1,29 @@
+"""Purity fixture: a gating path that stays pure."""
+
+import math
+
+
+class PureClock:
+    def suspend(self):
+        if self._pending is not None:
+            self._pending.cancel()
+
+    def fast_forward(self, t):
+        at = self._next_at
+        while at < t:
+            at = at + self.period
+        self.signal.force(at >= t)
+        self._pending = self.sim.schedule_at(at, self._rise)
+
+    def _rise(self):
+        self.signal._apply(True)
+
+
+class PureController:
+    def _maybe_gate(self):
+        horizon = self.bound()
+        if horizon > 2.0 * self.period:
+            self.clk.suspend()
+
+    def bound(self):
+        return math.inf

@@ -1,0 +1,25 @@
+"""Shared plumbing for the lint rule tests."""
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.lint import Finding, LintReport
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def mark_line(path: Path, marker: str) -> int:
+    """1-based line number of the ``MARK:<name>`` comment in a fixture."""
+    for lineno, line in enumerate(path.read_text(encoding="utf-8")
+                                  .splitlines(), start=1):
+        if f"MARK:{marker}" in line:
+            return lineno
+    raise AssertionError(f"marker {marker!r} not found in {path}")
+
+
+def by_rule(report: LintReport) -> Dict[str, List[Finding]]:
+    grouped: Dict[str, List[Finding]] = {}
+    for finding in report.findings:
+        grouped.setdefault(finding.rule, []).append(finding)
+    return grouped

@@ -1,0 +1,131 @@
+"""The ISSUE acceptance gate: the real tree is lint-clean, and the
+advertised mutations each make the analyzer fail with an actionable
+file:line finding."""
+
+import shutil
+
+import pytest
+
+from repro.lint import default_config_for, run_lint
+from repro.lint.cli import main
+
+from .helpers import REPO, by_rule
+
+
+def test_real_tree_is_clean():
+    """Tier-1 gate: `python -m repro.lint src/` stays at zero findings."""
+    report = run_lint(default_config_for(REPO / "src"))
+    assert report.clean, "\n".join(f.render() for f in report.findings)
+    assert report.modules_scanned > 30
+
+
+def test_cli_exits_zero_on_real_tree(capsys):
+    assert main([str(REPO / "src"), "--quiet"]) == 0
+
+
+@pytest.fixture()
+def repo_copy(tmp_path):
+    """A mutable copy of src/repro plus the real lockfiles."""
+    shutil.copytree(REPO / "src" / "repro", tmp_path / "src" / "repro")
+    shutil.copytree(REPO / "tests" / "golden",
+                    tmp_path / "tests" / "golden")
+    return tmp_path
+
+
+def _edit(repo, relpath, old, new):
+    path = repo / "src" / "repro" / relpath
+    text = path.read_text(encoding="utf-8")
+    assert old in text, f"anchor drifted: {old!r} not in {relpath}"
+    path.write_text(text.replace(old, new), encoding="utf-8")
+
+
+def _lint(repo, families=None):
+    config = default_config_for(repo)
+    if families is None:
+        return run_lint(config)
+    return run_lint(config, families=families)
+
+
+def test_deleting_a_lockstep_key_field_fails_with_k02(repo_copy):
+    _edit(repo_copy, "scenarios/parallel.py",
+          "config.stepping, config.dt_min, config.dt_max, config.rtol,",
+          "config.stepping, config.dt_min, config.dt_max,")
+    report = _lint(repo_copy, families=("keys",))
+    k02 = by_rule(report).get("K02", [])
+    assert len(k02) == 1
+    finding = k02[0]
+    assert "rtol" in finding.message
+    assert finding.path == "scenarios/parallel.py"
+    assert finding.line > 0
+
+
+def test_dropping_a_cache_key_allowlist_entry_fails_with_k01(repo_copy):
+    """cache_key normalises `trace` out of the bulk encoding; without
+    the nokey annotation that is an unkeyed field."""
+    path = repo_copy / "src" / "repro" / "session" / "cache.py"
+    text = path.read_text(encoding="utf-8")
+    assert "lint: nokey(trace" in text
+    path.write_text(
+        "\n".join(line for line in text.splitlines()
+                  if "lint: nokey(trace" not in line) + "\n",
+        encoding="utf-8")
+    report = _lint(repo_copy, families=("keys",))
+    k01 = by_rule(report).get("K01", [])
+    assert len(k01) == 1
+    assert "trace" in k01[0].message
+    assert k01[0].path == "session/cache.py"
+
+
+def test_one_sided_parity_edit_fails_with_p01(repo_copy):
+    _edit(repo_copy, "analog/buck.py",
+          "currents0 = [p.current for p in self.phases]",
+          "currents0 = [p.current * 1.0 for p in self.phases]")
+    report = _lint(repo_copy, families=("parity",))
+    p01 = by_rule(report).get("P01", [])
+    assert len(p01) >= 1
+    finding = p01[0]
+    assert finding.path == "analog/buck.py"
+    assert "MultiphasePowerStage.step" in finding.message
+    assert "VectorizedPowerStage.step" in finding.message
+
+
+def test_runresult_growth_without_version_bump_fails_with_k03(repo_copy):
+    _edit(repo_copy, "system.py",
+          "    v_final: float",
+          "    v_final: float\n    brand_new_counter: int = 0")
+    report = _lint(repo_copy, families=("keys",))
+    k03 = by_rule(report).get("K03", [])
+    assert len(k03) == 1
+    assert "FORMAT_VERSION" in k03[0].message + k03[0].hint
+
+
+def test_unseeded_rng_in_scanned_code_fails_with_d01(repo_copy):
+    _edit(repo_copy, "scenarios/parallel.py",
+          "def lockstep_key(",
+          "def _jitter():\n"
+          "    import random\n"
+          "    return random.random()\n\n\n"
+          "def lockstep_key(")
+    report = _lint(repo_copy, families=("determinism",))
+    d01 = by_rule(report).get("D01", [])
+    assert len(d01) == 1
+    assert d01[0].path == "scenarios/parallel.py"
+
+
+def test_rng_on_gating_path_fails_with_g01(repo_copy):
+    _edit(repo_copy, "digital/clock.py",
+          "    def suspend(self",
+          "    def _gate_jitter(self):\n"
+          "        return self.sim.rng.random()\n\n"
+          "    def suspend(self")
+    _edit(repo_copy, "digital/clock.py",
+          "    def suspend(self) -> None:",
+          "    def suspend(self) -> None:\n        self._gate_jitter()")
+    report = _lint(repo_copy, families=("purity",))
+    # the name-based call graph over-approximates (the injected
+    # .random() call also drags in same-named methods elsewhere) —
+    # what matters is that the draw on the suspend path is reported
+    g01 = by_rule(report).get("G01", [])
+    ours = [f for f in g01 if f.path == "digital/clock.py"
+            and "Clock.suspend" in f.message]
+    assert ours, "\n".join(f.render() for f in g01)

@@ -1,0 +1,79 @@
+"""Rule family D on the determinism fixtures."""
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+from .helpers import FIXTURES, by_rule, mark_line
+
+BAD = FIXTURES / "det" / "bad.py"
+GOOD = FIXTURES / "det" / "good.py"
+
+
+def _report(filename, tmp_path):
+    config = LintConfig(root=FIXTURES / "det", scan_paths=(filename,),
+                        parity_pairs=(), gating_roots=(),
+                        locks_dir=tmp_path)
+    return run_lint(config, families=("determinism",))
+
+
+@pytest.fixture()
+def bad(tmp_path):
+    return _report("bad.py", tmp_path)
+
+
+#: (rule id, MARK name) — one hazard per line in the bad fixture
+EXPECTED = [
+    ("D01", "d01-random-gauss"),
+    ("D01", "d01-np-legacy"),
+    ("D01", "d01-unseeded-ctor"),
+    ("D02", "d02-perf-counter"),
+    ("D02", "d02-datetime-now"),
+    ("D03", "d03-set-literal"),
+    ("D03", "d03-glob"),
+    ("D03", "d03-wrapped-iterdir"),
+    ("D03", "d03-set-union"),
+    ("D04", "d04-sort-id"),
+    ("D04", "d04-min-lambda"),
+]
+
+
+@pytest.mark.parametrize("rule,marker", EXPECTED,
+                         ids=[m for _, m in EXPECTED])
+def test_each_hazard_fires_at_its_line(bad, rule, marker):
+    line = mark_line(BAD, marker)
+    hits = [f for f in bad.findings
+            if f.rule == rule and f.line == line]
+    assert hits, (f"expected {rule} at bad.py:{line} ({marker}); got "
+                  + "; ".join(f.render() for f in bad.findings))
+
+
+def test_no_extra_findings(bad):
+    assert len(bad.findings) == len(EXPECTED)
+    assert {f.path for f in bad.findings} == {"bad.py"}
+
+
+def test_rule_totals(bad):
+    grouped = by_rule(bad)
+    assert {r: len(v) for r, v in grouped.items()} == \
+        {"D01": 3, "D02": 2, "D03": 4, "D04": 2}
+
+
+def test_seeded_and_sorted_code_is_clean(tmp_path):
+    report = _report("good.py", tmp_path)
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_deliberate_exception_is_counted_not_dropped(tmp_path):
+    report = _report("good.py", tmp_path)
+    assert len(report.suppressed) == 1
+    sup = report.suppressed[0]
+    assert sup.finding.rule == "D03"
+    assert sup.reason == "order logged, never used"
+
+
+def test_sorted_wrapper_is_not_transparent(tmp_path):
+    """sorted(base.glob(...)) pins the order, so D03 must not fire —
+    the good fixture iterates a sorted glob on purpose."""
+    report = _report("good.py", tmp_path)
+    assert not any(f.rule == "D03" for f in report.findings)

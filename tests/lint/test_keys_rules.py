@@ -1,0 +1,173 @@
+"""Rule family K on the key-completeness fixtures."""
+
+import shutil
+
+import pytest
+
+from repro.lint import LintConfig, run_lint, update_locks
+from repro.lint.engine import find_def
+
+from .helpers import FIXTURES, by_rule, mark_line
+
+
+def _config(root, locks_dir) -> LintConfig:
+    # the fixture trees mirror the real module layout, so only the
+    # root, lockfile location, and (empty) pair/root registries move
+    return LintConfig(root=root, scan_paths=(), parity_pairs=(),
+                      gating_roots=(), locks_dir=locks_dir)
+
+
+@pytest.fixture()
+def bad_report(tmp_path):
+    config = _config(FIXTURES / "keys_bad", tmp_path)
+    update_locks(config)   # fresh locks: K03 stays quiet, the rest fires
+    return config, run_lint(config, families=("keys",))
+
+
+class TestBadFixture:
+    def test_unkeyed_field_fires_k01_for_cache_key(self, bad_report):
+        config, report = bad_report
+        k01 = by_rule(report)["K01"]
+        named = {f.message.split(" is not consumed")[0] for f in k01}
+        assert named == {"SystemConfig.seed", "SystemConfig.unkeyed_knob"}
+        line = mark_line(FIXTURES / "keys_bad/session/cache.py",
+                         "cache-key")
+        assert all(f.path == "session/cache.py" and f.line == line
+                   for f in k01)
+
+    def test_unkeyed_field_fires_k02_for_lockstep_key(self, bad_report):
+        _, report = bad_report
+        k02 = by_rule(report)["K02"]
+        assert len(k02) == 1
+        assert "unkeyed_knob" in k02[0].message
+        assert k02[0].path == "scenarios/parallel.py"
+        assert k02[0].line == mark_line(
+            FIXTURES / "keys_bad/scenarios/parallel.py", "lockstep-key")
+
+    def test_stale_allowlist_entries_fire_k06(self, bad_report):
+        _, report = bad_report
+        k06 = by_rule(report)["K06"]
+        messages = " | ".join(f.message for f in k06)
+        assert "'ghost'" in messages       # names a nonexistent field
+        assert "'dt'" in messages          # names a field that is keyed
+        assert len(k06) == 2
+        assert all(f.path == "scenarios/parallel.py" for f in k06)
+
+    def test_reasonless_annotation_fires_x01(self, bad_report):
+        _, report = bad_report
+        x01 = by_rule(report)["X01"]
+        assert len(x01) == 1
+        assert x01[0].path == "scenarios/parallel.py"
+
+    def test_unlisted_numeric_result_field_fires_k04(self, bad_report):
+        _, report = bad_report
+        k04 = by_rule(report)["K04"]
+        assert len(k04) == 1
+        assert "extra_metric" in k04[0].message
+        assert k04[0].line == mark_line(FIXTURES / "keys_bad/system.py",
+                                        "unlisted-numeric")
+
+    def test_orphan_policy_field_fires_k05(self, bad_report):
+        _, report = bad_report
+        k05 = by_rule(report)["K05"]
+        assert len(k05) == 1
+        assert "secret_gain" in k05[0].message
+        assert k05[0].line == mark_line(
+            FIXTURES / "keys_bad/analog/stepping.py",
+            "orphan-policy-field")
+
+    def test_every_finding_carries_a_hint(self, bad_report):
+        _, report = bad_report
+        assert report.findings
+        assert all(f.hint for f in report.findings)
+
+
+class TestGoodFixture:
+    def test_fully_keyed_tree_is_clean(self, tmp_path):
+        config = _config(FIXTURES / "keys_good", tmp_path)
+        update_locks(config)
+        report = run_lint(config, families=("keys",))
+        assert report.clean, [f.render() for f in report.findings]
+
+    def test_bulk_encode_with_normalized_field_needs_allowlist(
+            self, tmp_path):
+        """keys_good's cache_key consumes everything via encode_config
+        but normalises `trace` out — dropping the annotation must
+        reintroduce K01 for exactly that field."""
+        tree = tmp_path / "tree"
+        shutil.copytree(FIXTURES / "keys_good", tree)
+        cache = tree / "session/cache.py"
+        text = cache.read_text(encoding="utf-8")
+        cache.write_text(
+            "\n".join(line for line in text.splitlines()
+                      if "lint: nokey" not in line) + "\n",
+            encoding="utf-8")
+        config = _config(tree, tmp_path / "locks")
+        update_locks(config)
+        report = run_lint(config, families=("keys",))
+        k01 = by_rule(report).get("K01", [])
+        assert len(k01) == 1 and "trace" in k01[0].message
+
+
+class TestFormatLock:
+    def _tree(self, tmp_path):
+        tree = tmp_path / "tree"
+        shutil.copytree(FIXTURES / "keys_good", tree)
+        config = _config(tree, tmp_path / "locks")
+        update_locks(config)
+        assert run_lint(config, families=("keys",)).clean
+        return tree, config
+
+    def test_result_field_change_without_bump_fires_k03(self, tmp_path):
+        tree, config = self._tree(tmp_path)
+        system = tree / "system.py"
+        text = system.read_text(encoding="utf-8")
+        system.write_text(text.replace(
+            "    ripple: float = 0.0",
+            "    ripple: float = 0.0\n    label: str = \"\""),
+            encoding="utf-8")
+        report = run_lint(config, families=("keys",))
+        k03 = by_rule(report).get("K03", [])
+        assert len(k03) == 1
+        assert "FORMAT_VERSION" in k03[0].message + k03[0].hint
+
+    def test_bump_without_lock_refresh_still_fires_k03(self, tmp_path):
+        tree, config = self._tree(tmp_path)
+        cache = tree / "session/cache.py"
+        text = cache.read_text(encoding="utf-8")
+        cache.write_text(text.replace("FORMAT_VERSION = 3",
+                                      "FORMAT_VERSION = 4"),
+                         encoding="utf-8")
+        report = run_lint(config, families=("keys",))
+        k03 = by_rule(report).get("K03", [])
+        assert len(k03) == 1 and "stale" in k03[0].message
+
+    def test_update_locks_acks_the_change(self, tmp_path):
+        tree, config = self._tree(tmp_path)
+        cache = tree / "session/cache.py"
+        text = cache.read_text(encoding="utf-8")
+        cache.write_text(text.replace("FORMAT_VERSION = 3",
+                                      "FORMAT_VERSION = 4"),
+                         encoding="utf-8")
+        update_locks(config)
+        assert run_lint(config, families=("keys",)).clean
+
+    def test_missing_lock_is_reported(self, tmp_path):
+        tree = tmp_path / "tree"
+        shutil.copytree(FIXTURES / "keys_good", tree)
+        config = _config(tree, tmp_path / "never_written")
+        report = run_lint(config, families=("keys",))
+        k03 = by_rule(report).get("K03", [])
+        assert len(k03) == 1 and "missing" in k03[0].message
+
+
+class TestResolution:
+    def test_find_def_resolves_methods_and_functions(self):
+        import ast
+        tree = ast.parse(
+            "def top():\n    pass\n\n"
+            "class A:\n    def m(self):\n        pass\n")
+        assert find_def(tree, "top").name == "top"
+        assert find_def(tree, "A.m").name == "m"
+        assert find_def(tree, "A.missing") is None
+        assert find_def(tree, "B.m") is None

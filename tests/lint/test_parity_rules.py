@@ -1,0 +1,118 @@
+"""Rule family P on the paired scalar/vector fixtures."""
+
+import shutil
+
+import pytest
+
+from repro.lint import LintConfig, run_lint, update_locks
+
+from .helpers import FIXTURES, by_rule
+
+PAIRS = (
+    ("bound",
+     ("scalar.py", "ScalarSolver.crossing_bound"),
+     ("vector.py", "VectorSolver.lane_crossing_bound")),
+    ("step",
+     ("scalar.py", "scalar_step"),
+     ("vector.py", "vector_step")),
+)
+
+
+def _config(root, locks_dir):
+    return LintConfig(root=root, scan_paths=(), parity_pairs=PAIRS,
+                      gating_roots=(), locks_dir=locks_dir)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A mutable copy of the parity fixture with fresh locks."""
+    root = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "parity", root)
+    config = _config(root, tmp_path / "locks")
+    update_locks(config)
+    return root, config
+
+
+def _edit(root, filename, old, new):
+    path = root / filename
+    text = path.read_text(encoding="utf-8")
+    assert old in text, f"fixture drifted: {old!r} not in {filename}"
+    path.write_text(text.replace(old, new), encoding="utf-8")
+
+
+def test_locked_tree_is_clean(tree):
+    _, config = tree
+    report = run_lint(config, families=("parity",))
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_one_sided_edit_fires_p01_at_the_changed_def(tree):
+    root, config = tree
+    _edit(root, "vector.py", "return i + v * dt",
+          "return i + v * dt + 0.0")
+    report = run_lint(config, families=("parity",))
+    p01 = by_rule(report).get("P01", [])
+    assert len(p01) == 1
+    finding = p01[0]
+    assert finding.path == "vector.py"
+    # anchored at the edited def, naming the untouched twin
+    assert finding.line == 11   # `def vector_step(...)`
+    assert "vector_step" in finding.message
+    assert "scalar.py:scalar_step" in finding.message
+    assert "--update-locks" in finding.hint
+
+
+def test_mirrored_edit_without_lock_refresh_fires_p02(tree):
+    root, config = tree
+    _edit(root, "vector.py", "return i + v * dt",
+          "return i + v * dt + 0.0")
+    _edit(root, "scalar.py", "return i + v * dt",
+          "return i + v * dt + 0.0")
+    report = run_lint(config, families=("parity",))
+    grouped = by_rule(report)
+    assert len(grouped.get("P02", [])) == 1
+    assert "P01" not in grouped
+    # the ack clears it
+    update_locks(config)
+    assert run_lint(config, families=("parity",)).clean
+
+
+def test_comment_and_docstring_edits_do_not_trip_parity(tree):
+    root, config = tree
+    _edit(root, "scalar.py", "def scalar_step(i, v, dt):",
+          'def scalar_step(i, v, dt):\n    """Explicit Euler."""'
+          "\n    # forward difference")
+    report = run_lint(config, families=("parity",))
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_deleted_member_fires_p03(tree):
+    root, config = tree
+    _edit(root, "vector.py", "def vector_step(i, v, dt):",
+          "def vector_step_renamed(i, v, dt):")
+    report = run_lint(config, families=("parity",))
+    p03 = by_rule(report).get("P03", [])
+    assert len(p03) == 1
+    assert "vector.py:vector_step" in p03[0].message
+
+
+def test_missing_lockfile_fires_p03(tmp_path):
+    config = _config(FIXTURES / "parity", tmp_path / "never_written")
+    report = run_lint(config, families=("parity",))
+    p03 = by_rule(report).get("P03", [])
+    assert len(p03) == 1
+    assert "lockfile missing" in p03[0].message
+    assert "--update-locks" in p03[0].hint
+
+
+def test_pair_added_after_locking_fires_p03(tree, tmp_path):
+    root, config = tree
+    import dataclasses
+    extra = PAIRS + (("identity",
+                      ("scalar.py", "scalar_step"),
+                      ("vector.py", "vector_step")),)
+    grown = dataclasses.replace(config, parity_pairs=extra)
+    report = run_lint(grown, families=("parity",))
+    p03 = by_rule(report).get("P03", [])
+    assert len(p03) == 1
+    assert "'identity'" in p03[0].message

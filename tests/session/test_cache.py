@@ -256,25 +256,41 @@ class TestPruneEdgeCases:
     """ISSUE-5 satellite: prune() corner cases, including the larger
     traced entries."""
 
-    def test_single_entry_larger_than_cap_is_evicted(self, tmp_path):
-        """One oversized entry cannot fit under the cap: prune must
-        evict it (leaving an empty store) rather than loop or keep it."""
+    def test_oversized_traced_entry_is_stripped_not_evicted(self, tmp_path):
+        """A traced entry over the cap whose scalar payload fits is
+        stripped down to it — the result survives, the waveform goes."""
         cache = ResultCache(root=tmp_path)
         key = cache_key(_config())
         cache.store(key, _result(trace=_trace(n=4096)))
         assert cache.size_bytes() > 1024
-        assert cache.prune(max_bytes=1024) == 1
-        assert len(cache) == 0
+        assert cache.prune(max_bytes=1024) == 0   # nothing evicted
+        assert cache.size_bytes() <= 1024
+        assert cache.load(key) == _result()
         assert cache.load(key, want_trace=True) is None
 
-    def test_oversized_store_on_capped_cache_self_evicts(self, tmp_path):
-        """prune-on-store with an entry bigger than the whole cap leaves
-        the store empty but the write itself still returns the result
-        to the caller (the entry just doesn't persist)."""
-        cache = ResultCache(root=tmp_path, max_bytes=1024)
-        assert cache.store(cache_key(_config()), _result(trace=_trace(4096)))
+    def test_entry_larger_than_cap_even_stripped_is_evicted(self, tmp_path):
+        """When even the scalar payload cannot fit under the cap, prune
+        must evict the entry (leaving an empty store) rather than loop
+        or keep it."""
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result(trace=_trace(n=4096)))
+        assert cache._strip_trace(key) > 0
+        scalar_size = cache.size_bytes()
+        assert cache.prune(max_bytes=scalar_size // 2) == 1
         assert len(cache) == 0
+        assert cache.load(key) is None
+
+    def test_oversized_store_on_capped_cache_self_strips(self, tmp_path):
+        """prune-on-store with a traced entry bigger than the whole cap
+        keeps the scalar payload (it fits) and drops the waveform."""
+        cache = ResultCache(root=tmp_path, max_bytes=1024)
+        key = cache_key(_config())
+        assert cache.store(key, _result(trace=_trace(4096)))
+        assert len(cache) == 1
         assert cache.size_bytes() <= cache.max_bytes
+        assert cache.load(key) == _result()
+        assert cache.load(key, want_trace=True) is None
 
     def test_mtime_ties_break_deterministically_by_key(self, tmp_path):
         """Entries sharing one mtime are evicted in sorted-key order, so
@@ -318,8 +334,9 @@ class TestPruneEdgeCases:
 
     def test_prune_interacts_with_store_cap_for_traced_entries(
             self, tmp_path):
-        """A capped cache keeps only as many traced entries as fit,
-        newest first."""
+        """A capped cache keeps the waveforms of only as many traced
+        entries as fit, newest first — older entries degrade to their
+        scalar payload instead of being lost."""
         probe = ResultCache(root=tmp_path)
         probe.store(cache_key(_config()), _result(trace=_trace(n=1024)))
         entry = probe.size_bytes()
@@ -333,11 +350,111 @@ class TestPruneEdgeCases:
             for path in capped._paths(key):
                 os.utime(path, (1_000_000.0 + i, 1_000_000.0 + i))
             keys.append(key)
-        assert len(capped) == 2
+        # every scalar result is still served
+        assert len(capped) == 5
         assert capped.size_bytes() <= capped.max_bytes
+        for i, key in enumerate(keys):
+            assert capped.load(key) == _result()
+        # the newest entry kept its waveform, the oldest lost theirs
         loaded = capped.load(keys[-1], want_trace=True)
         assert loaded is not None
         assert loaded.trace == _trace(n=1024, seed=4)
+        assert capped.load(keys[0], want_trace=True) is None
+
+    def test_prune_strips_oldest_traces_before_evicting_anything(
+            self, tmp_path):
+        """Traced/untraced interplay: when dropping the old entry's
+        waveform is enough to fit the cap, nothing is evicted — the
+        untraced newcomers and the stripped entry all survive."""
+        cache = ResultCache(root=tmp_path)
+        traced_key = cache_key(_config())
+        cache.store(traced_key, _result(trace=_trace(n=2048)))
+        for path in cache._paths(traced_key):
+            os.utime(path, (1_000_000.0, 1_000_000.0))   # oldest
+        scalar_keys = []
+        for i in range(3):
+            key = cache_key(_config(seed=i + 1))
+            cache.store(key, _result())
+            for path in cache._paths(key):
+                os.utime(path, (2_000_000.0 + i, 2_000_000.0 + i))
+            scalar_keys.append(key)
+        # cap: all four scalar payloads fit, the waveform does not
+        cap = 5 * 1024
+        assert cache.size_bytes() > cap
+        assert cache.prune(max_bytes=cap) == 0
+        assert cache.size_bytes() <= cap
+        assert len(cache) == 4
+        assert cache.load(traced_key) == _result()
+        assert cache.load(traced_key, want_trace=True) is None
+        for key in scalar_keys:
+            assert cache.load(key) == _result()
+
+    def test_strip_preserves_entry_age_for_later_eviction(self, tmp_path):
+        """Stripping must not refresh an entry's mtime: the stripped
+        oldest entry is still the first to go when whole-entry eviction
+        does become necessary."""
+        cache = ResultCache(root=tmp_path)
+        old_key = cache_key(_config())
+        cache.store(old_key, _result(trace=_trace(n=1024)))
+        for path in cache._paths(old_key):
+            os.utime(path, (1_000_000.0, 1_000_000.0))
+        new_key = cache_key(_config(seed=1))
+        cache.store(new_key, _result())
+        for path in cache._paths(new_key):
+            os.utime(path, (2_000_000.0, 2_000_000.0))
+        assert cache._strip_trace(old_key) > 0
+        mtime = cache._paths(old_key)[0].stat().st_mtime
+        assert mtime == 1_000_000.0   # age preserved through the rewrite
+        # force whole-entry eviction: cap below one scalar entry x2
+        entry = cache.size_bytes() // 2
+        assert cache.prune(max_bytes=entry + entry // 2) == 1
+        assert cache.load(old_key) is None          # oldest evicted
+        assert cache.load(new_key) == _result()     # newest survives
+
+    def test_strip_is_idempotent_and_untraced_entries_unaffected(
+            self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        traced_key = cache_key(_config())
+        cache.store(traced_key, _result(trace=_trace(n=256)))
+        scalar_key = cache_key(_config(seed=1))
+        cache.store(scalar_key, _result())
+        assert cache._strip_trace(traced_key) > 0
+        assert cache._strip_trace(traced_key) == 0    # already stripped
+        assert cache._strip_trace(scalar_key) == 0    # nothing to strip
+        assert cache.load(traced_key) == _result()
+        assert cache.load(scalar_key) == _result()
+
+    def test_traced_rerun_reupgrades_a_stripped_entry(self, tmp_path):
+        """The stripped entry behaves exactly like an untraced write:
+        a traced re-run writes the waveform back under the same key."""
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result(trace=_trace(n=256)))
+        assert cache._strip_trace(key) > 0
+        assert cache.load(key, want_trace=True) is None
+        cache.store(key, _result(trace=_trace(n=256)))
+        assert cache.load(key, want_trace=True).trace == _trace(n=256)
+
+    def test_evict_only_prune_keeps_historical_behaviour(self, tmp_path):
+        """strip_traces=False restores whole-entry-only eviction."""
+        cache = ResultCache(root=tmp_path)
+        key = cache_key(_config())
+        cache.store(key, _result(trace=_trace(n=2048)))
+        assert cache.prune(max_bytes=1024, strip_traces=False) == 1
+        assert len(cache) == 0
+
+    def test_entries_enumeration_is_path_sorted(self, tmp_path):
+        """Regression for the repro.lint D03 finding: _entries() must
+        enumerate in sorted path order, not filesystem glob order, so
+        every downstream consumer is deterministic by construction."""
+        cache = ResultCache(root=tmp_path)
+        keys = []
+        for i in range(6):
+            key = cache_key(_config(seed=i))
+            cache.store(key, _result())
+            keys.append(key)
+        listed = [key for _mtime, key, _size in cache._entries()]
+        assert listed == sorted(keys)
 
 
 class TestCacheKey:
