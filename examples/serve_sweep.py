@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Sweep-as-a-service smoke: a real server process, driven over HTTP.
+
+Launches ``python -m repro.serve`` on an ephemeral port (API-key
+protected), builds the Fig. 7a quick-grid job payload (5 controllers x
+4 coils = 20 lanes) and submits it twice through the client CLI
+(``python -m repro.serve.client submit --follow``):
+
+- the **cold** job simulates every lane, streaming one SSE lane event
+  per scenario as it lands;
+- the **hot** job must be served entirely from the server's shared
+  result cache — every lane ``cached: true``, every number
+  bit-identical to the cold pass, zero recompute.
+
+Doubles as the CI serve-smoke step: ``--require-hot`` exits non-zero
+unless the hot job is 100% cache-hot and bit-identical, and
+``--bench-json`` writes the timing/counter summary the CI job uploads
+as ``BENCH_serve.json``.
+
+Run:  python examples/serve_sweep.py [--cache-dir D] [--workers N]
+                                     [--bench-json F] [--require-hot]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analog.coil import make_coil
+from repro.experiments.fig7 import controller_axis, default_l_values
+from repro.scenarios import Sweep
+from repro.serve import job_request
+from repro.sim.units import NS, UH, US
+
+#: the smoke server runs key-protected so the auth path is exercised too
+API_KEY = "ci-serve-smoke"
+
+
+def fig7a_quick_job() -> dict:
+    """The same grid ``run_fig7a(quick=True)`` sweeps, as a job payload."""
+    sweep = Sweep(base={"n_phases": 4, "r_load": 6.0, "sim_time": 10 * US,
+                        "dt": 1 * NS, "seed": 0}, name="fig7a")
+    coils = [(f"{l / UH:g}uH", {"coil": make_coil(l)})
+             for l in default_l_values(quick=True)]
+    sweep.grid(ctrl=controller_axis(), pt=coils)
+    return job_request(sweep=sweep, track_energy=False)
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p)
+    return env
+
+
+def start_server(cache_dir: str, workers):
+    cmd = [sys.executable, "-m", "repro.serve", "--port", "0",
+           "--cache-dir", cache_dir]
+    if workers:
+        cmd += ["--workers", str(workers)]
+    env = _env()
+    env["REPRO_SERVE_API_KEY"] = API_KEY
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    banner = proc.stdout.readline().strip()
+    try:
+        url = banner.split()[3]
+        assert url.startswith("http://")
+    except (IndexError, AssertionError):
+        proc.terminate()
+        raise RuntimeError(f"unexpected server banner: {banner!r}")
+    for _ in range(50):
+        if client(url, "health", check=False).returncode == 0:
+            return proc, url
+        if proc.poll() is not None:
+            raise RuntimeError("server exited during startup")
+        time.sleep(0.2)
+    proc.terminate()
+    raise RuntimeError("server never became healthy")
+
+
+def client(url: str, *args: str, api_key: str = API_KEY,
+           check: bool = True) -> subprocess.CompletedProcess:
+    cmd = [sys.executable, "-m", "repro.serve.client", "--url", url,
+           "--api-key", api_key, *args]
+    result = subprocess.run(cmd, env=_env(), capture_output=True, text=True)
+    if check and result.returncode != 0:
+        raise RuntimeError(f"client {args[0]} failed: {result.stderr}")
+    return result
+
+
+def submit(url: str, job_path: str, label: str):
+    """Submit + follow through the CLI; returns ({index: lane}, seconds)."""
+    t0 = time.perf_counter()
+    result = client(url, "submit", "--job-json", job_path, "--follow")
+    elapsed = time.perf_counter() - t0
+    events = [json.loads(line) for line in result.stdout.splitlines()]
+    if not events or events[-1].get("event") != "done":
+        raise RuntimeError(f"{label} job did not finish: {events[-1:]}")
+    lanes = {e["index"]: e for e in events if e.get("event") == "lane"}
+    cached = sum(1 for e in lanes.values() if e["cached"])
+    print(f"{label} job: {elapsed:6.2f} s  {len(lanes)} lanes, "
+          f"{cached} from cache")
+    return lanes, elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache-dir", default=None,
+                        help="server cache root (default: a temp dir)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation worker processes on the server")
+    parser.add_argument("--bench-json", default=None,
+                        help="write the timing/counter summary here")
+    parser.add_argument("--require-hot", action="store_true",
+                        help="fail unless the second job is 100%% "
+                             "cache-hot and bit-identical")
+    args = parser.parse_args()
+
+    tmp = None
+    if args.cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro_serve_")
+        args.cache_dir = tmp.name
+
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+        json.dump(fig7a_quick_job(), fh)
+        job_path = fh.name
+
+    proc, url = start_server(args.cache_dir, args.workers)
+    print(f"server up at {url}")
+    try:
+        # the key gates everything but liveness
+        assert client(url, "health", api_key="", check=False).returncode == 0
+        assert client(url, "stats", api_key="", check=False).returncode == 1
+
+        cold, cold_s = submit(url, job_path, "cold")
+        hot, hot_s = submit(url, job_path, "hot ")
+
+        stats = json.loads(client(url, "stats").stdout)
+        identical = (sorted(cold) == sorted(hot) and all(
+            cold[i]["result"] == hot[i]["result"] for i in cold))
+        hot_cached = sum(1 for e in hot.values() if e["cached"])
+        print(f"hot job: {hot_cached}/{len(hot)} lanes cache-hot; "
+              f"bit-identical: {identical}; "
+              f"server counters: {stats['hits']} hits / "
+              f"{stats['misses']} misses")
+
+        if args.bench_json:
+            summary = {
+                "lanes": len(cold), "cold_s": round(cold_s, 3),
+                "hot_s": round(hot_s, 3),
+                "speedup": round(cold_s / hot_s, 2) if hot_s else None,
+                "hot_cached_lanes": hot_cached,
+                "bit_identical": identical, "server_stats": stats,
+            }
+            with open(args.bench_json, "w", encoding="utf-8") as out:
+                json.dump(summary, out, indent=2, sort_keys=True)
+            print(f"wrote {args.bench_json}")
+
+        if args.require_hot and (hot_cached != len(hot) or not identical):
+            print("FAIL: hot job must be fully cache-hot and identical",
+                  file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+        os.unlink(job_path)
+        if tmp is not None:
+            tmp.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,13 @@ shard and cache exactly like untraced ones.  ``--require-hot`` exits
 non-zero unless *every* lane was served from cache (the CI traced-smoke
 step runs the script twice and requires the second pass to be hot).
 
+``--progress`` streams one line per lane as it lands (the
+``Session.sweep(on_result=...)`` hook — the same mechanism behind the
+sweep server's live SSE events): cache hits land first, fresh lanes in
+completion order when sharded.
+
 Run:  python examples/sweep.py [--workers N] [--cache] [--cache-dir D]
-                               [--trace] [--require-hot]
+                               [--trace] [--require-hot] [--progress]
 """
 
 import argparse
@@ -30,7 +35,22 @@ from repro.scenarios import Sweep, log_uniform, uniform
 from repro.sim import NS, US, fmt_si
 
 
-def grid_demo(session: Session, trace: bool) -> None:
+def progress_hook(total: int):
+    """A ``Session.sweep(on_result=...)`` hook printing one line per lane
+    as it lands (completion order under ``--workers N``, spec order
+    inline); cache hits land first and are marked."""
+    landed = [0]
+
+    def hook(index, point):
+        landed[0] += 1
+        source = "cache" if point.cached else "fresh"
+        print(f"  [{landed[0]:>2}/{total}] lane {index:<2} {source}  "
+              f"{point.spec.name}", flush=True)
+
+    return hook
+
+
+def grid_demo(session: Session, trace: bool, progress: bool) -> None:
     sweep = (Sweep(base={"n_phases": 4, "r_load": 6.0, "sim_time": 10 * US,
                          "dt": 1 * NS},
                    name="mini-fig7a")
@@ -38,7 +58,11 @@ def grid_demo(session: Session, trace: bool) -> None:
                          ("333MHz", {"controller": "sync",
                                      "fsm_frequency": 333e6})],
                    l_uh=[1.0, 4.7, 10.0]))
-    points = session.sweep(sweep, track_energy=False, trace=trace)
+    if progress:
+        print(f"grid sweep: {len(sweep)} lanes")
+    points = session.sweep(sweep, track_energy=False, trace=trace,
+                           on_result=progress_hook(len(sweep))
+                           if progress else None)
 
     print("grid sweep: peak coil current (controller x inductance)")
     for point in points:
@@ -52,14 +76,18 @@ def grid_demo(session: Session, trace: bool) -> None:
     print()
 
 
-def random_demo(session: Session, trace: bool) -> None:
+def random_demo(session: Session, trace: bool, progress: bool) -> None:
     sweep = (Sweep(base={"controller": "async", "n_phases": 4,
                          "sim_time": 10 * US, "dt": 1 * NS},
                    seed=2024, name="tolerance")
              .random(8,
                      l_uh=log_uniform(1.0, 10.0),
                      r_load=uniform(3.0, 15.0)))
-    points = session.sweep(sweep, track_energy=False, trace=trace)
+    if progress:
+        print(f"random sweep: {len(sweep)} lanes")
+    points = session.sweep(sweep, track_energy=False, trace=trace,
+                           on_result=progress_hook(len(sweep))
+                           if progress else None)
 
     print("random tolerance study (8 seeded draws, async controller)")
     worst = max(points, key=lambda p: p.result.peak_coil_current)
@@ -89,13 +117,16 @@ def main() -> int:
     parser.add_argument("--require-hot", action="store_true",
                         help="fail unless every lane was served from cache "
                              "(implies --cache; for the CI smoke re-run)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per lane as it lands "
+                             "(completion order with --workers N)")
     args = parser.parse_args()
     use_cache = args.cache or args.require_hot
     session = Session(workers=args.workers,
                       cache="readwrite" if use_cache else "off",
                       cache_dir=args.cache_dir)
-    grid_demo(session, args.trace)
-    random_demo(session, args.trace)
+    grid_demo(session, args.trace, args.progress)
+    random_demo(session, args.trace, args.progress)
     if use_cache:
         stats = session.cache_stats()
         print(f"cache: {stats['hits']} hits / {stats['misses']} misses "

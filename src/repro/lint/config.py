@@ -120,7 +120,7 @@ class LintConfig:
     #: and purity families — the result-producing modules
     scan_paths: Tuple[str, ...] = ("system.py", "sim", "analog", "digital",
                                    "a2a", "control", "scenarios", "session",
-                                   "trace")
+                                   "trace", "serve")
     parity_pairs: Tuple[Tuple[str, Tuple[str, str], Tuple[str, str]], ...] \
         = DEFAULT_PARITY_PAIRS
     gating_roots: Tuple[Tuple[str, str], ...] = DEFAULT_GATING_ROOTS

@@ -10,9 +10,13 @@ the key function's body.  The analysis is purely syntactic:
   key function;
 * bulk consumption — a helper called with the config argument whose
   body iterates ``__dataclass_fields__`` (the ``encode_config``
-  pattern) consumes *every* field, minus any the key function then
-  overwrites with a constant (``encoded["trace"] = False`` normalises
-  ``trace`` back out, so it needs an annotation).
+  pattern) consumes *every* field, minus any its own loop provably
+  filters away (``if name != "trace":`` around the body, ``if name ==
+  "trace": continue``, ``not in (...)`` guards, comprehension ``if``
+  clauses — those fields then need their own keying or annotation) and
+  minus any the key function then overwrites with a constant
+  (``encoded["trace"] = False`` normalises ``trace`` back out, so it
+  needs an annotation).
 
 Also here: ``SteppingPolicy`` fields must map onto keyed
 ``SystemConfig`` fields (K05), ``RunResult``'s numeric fields must
@@ -58,31 +62,134 @@ def _attr_reads(node: ast.AST, obj: str) -> Set[str]:
     return reads
 
 
-def _bulk_helpers(index: ModuleIndex) -> Set[str]:
-    """Names of top-level functions anywhere in the index whose body
-    touches ``__dataclass_fields__`` — calling one with the config
-    argument consumes every field."""
-    helpers: Set[str] = set()
+def _mentions_fields(node: ast.AST) -> bool:
+    return any(isinstance(sub, ast.Attribute)
+               and sub.attr == "__dataclass_fields__"
+               for sub in ast.walk(node))
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _guard_names(test: ast.AST, var: str, keep: bool) -> Optional[Set[str]]:
+    """Field names a loop-variable guard filters away, or ``None`` when
+    the condition is not a recognisable name filter.
+
+    ``keep=True`` reads the guard as "consume only when true" (the body
+    lives under the ``if``): exclusions come from ``var != "x"`` /
+    ``var not in (...)``, conjoined with ``and``.  ``keep=False`` reads
+    it as "skip when true" (an ``if ...: continue``): exclusions come
+    from ``var == "x"`` / ``var in (...)``, disjoined with ``or``.
+    """
+    if isinstance(test, ast.BoolOp):
+        wanted = ast.And if keep else ast.Or
+        if not isinstance(test.op, wanted):
+            return None
+        names: Set[str] = set()
+        for value in test.values:
+            sub = _guard_names(value, var, keep)
+            if sub is None:
+                return None
+            names |= sub
+        return names
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return None
+    op = test.ops[0]
+    left, right = test.left, test.comparators[0]
+    eq_op, in_op = (ast.NotEq, ast.NotIn) if keep else (ast.Eq, ast.In)
+    if isinstance(op, eq_op):
+        if isinstance(left, ast.Name) and left.id == var:
+            name = _const_str(right)
+        elif isinstance(right, ast.Name) and right.id == var:
+            name = _const_str(left)
+        else:
+            return None
+        return {name} if name is not None else None
+    if isinstance(op, in_op) and isinstance(left, ast.Name) \
+            and left.id == var \
+            and isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+        names = {_const_str(elt) for elt in right.elts}
+        return names if None not in names else None  # type: ignore
+    return None
+
+
+def _for_exclusions(loop: ast.For) -> Set[str]:
+    """Field names a ``for name in ...__dataclass_fields__`` loop
+    provably skips.  Two shapes count: the whole body under an
+    ``if name != "x":`` guard, and a leading ``if name == "x": continue``."""
+    var = loop.target.id  # caller checked the target is a plain Name
+    excluded: Set[str] = set()
+    for stmt in loop.body:
+        if not isinstance(stmt, ast.If):
+            continue
+        if not stmt.orelse and len(loop.body) == 1:
+            names = _guard_names(stmt.test, var, keep=True)
+            if names:
+                excluded |= names
+        if any(isinstance(s, ast.Continue) for s in stmt.body):
+            names = _guard_names(stmt.test, var, keep=False)
+            if names:
+                excluded |= names
+    return excluded
+
+
+def _bulk_helpers(index: ModuleIndex) -> Dict[str, Set[str]]:
+    """Top-level functions anywhere in the index whose body touches
+    ``__dataclass_fields__``, mapped to the field names their iteration
+    provably *skips* — calling one with the config argument consumes
+    every field except those.
+
+    An unfiltered iterator (the plain ``encode_config`` pattern) maps to
+    an empty set.  A helper with several field loops only skips a name
+    every loop skips (intersection): any loop that consumes the field
+    makes the helper consume it.
+    """
+    helpers: Dict[str, Set[str]] = {}
     for info in index.modules.values():
         for node in info.tree.body:
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
+            if not _mentions_fields(node):
+                continue
+            loop_sets: List[Set[str]] = []
             for sub in ast.walk(node):
-                if (isinstance(sub, ast.Attribute)
-                        and sub.attr == "__dataclass_fields__"):
-                    helpers.add(node.name)
-                    break
+                if isinstance(sub, ast.For) \
+                        and isinstance(sub.target, ast.Name) \
+                        and _mentions_fields(sub.iter):
+                    loop_sets.append(_for_exclusions(sub))
+                elif isinstance(sub, (ast.DictComp, ast.ListComp,
+                                      ast.SetComp, ast.GeneratorExp)):
+                    for gen in sub.generators:
+                        if not (isinstance(gen.target, ast.Name)
+                                and _mentions_fields(gen.iter)):
+                            continue
+                        excluded: Set[str] = set()
+                        for cond in gen.ifs:
+                            names = _guard_names(cond, gen.target.id,
+                                                 keep=True)
+                            if names:
+                                excluded |= names
+                        loop_sets.append(excluded)
+            skipped = loop_sets[0] if loop_sets else set()
+            for other in loop_sets[1:]:
+                skipped = skipped & other
+            helpers[node.name] = skipped
     return helpers
 
 
-def _key_consumption(func: ast.AST, param: str, helpers: Set[str]
-                     ) -> Tuple[Set[str], bool, Set[str]]:
-    """``(direct_reads, consumes_all, normalized_out)`` for one key
-    function: attribute reads of the config param, whether a bulk
-    helper is called on it, and which fields are overwritten with a
-    constant afterwards (normalised back out of the key)."""
+def _key_consumption(func: ast.AST, param: str, helpers: Dict[str, Set[str]]
+                     ) -> Tuple[Set[str], Optional[Set[str]], Set[str]]:
+    """``(direct_reads, bulk_excluded, normalized_out)`` for one key
+    function: attribute reads of the config param; the fields a bulk
+    helper called on it does *not* consume (``None`` when no bulk helper
+    is called at all — then only direct reads count); and which fields
+    are overwritten with a constant afterwards (normalised back out of
+    the key)."""
     direct = _attr_reads(func, param)
-    consumes_all = False
+    called: List[str] = []
     bulk_vars: Set[str] = set()
     for sub in ast.walk(func):
         if not isinstance(sub, ast.Call):
@@ -95,8 +202,13 @@ def _key_consumption(func: ast.AST, param: str, helpers: Set[str]
         if name not in helpers:
             continue
         if any(isinstance(a, ast.Name) and a.id == param for a in sub.args):
-            consumes_all = True
+            called.append(name)
+    consumes_all = bool(called)
+    excluded: Optional[Set[str]] = None
     if consumes_all:
+        excluded = set(helpers[called[0]])
+        for name in called[1:]:
+            excluded &= helpers[name]
         # variables bound to the bulk-encoded dict
         for sub in ast.walk(func):
             if (isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call)
@@ -118,7 +230,7 @@ def _key_consumption(func: ast.AST, param: str, helpers: Set[str]
                     and isinstance(index_node.value, str) \
                     and isinstance(sub.value, ast.Constant):
                 normalized.add(index_node.value)
-    return direct, consumes_all, normalized
+    return direct, excluded, normalized
 
 
 # ---------------------------------------------------------------------------
@@ -174,7 +286,7 @@ def lock_payload(config: LintConfig, index: ModuleIndex) -> Dict:
 def _check_one_key(config: LintConfig, index: ModuleIndex,
                    module: str, func_name: str, rule: str,
                    fields: Sequence[Tuple[str, int, ast.AST]],
-                   helpers: Set[str]) -> List[Finding]:
+                   helpers: Dict[str, Set[str]]) -> List[Finding]:
     findings: List[Finding] = []
     info = index.get(module)
     if info is None:
@@ -193,9 +305,12 @@ def _check_one_key(config: LintConfig, index: ModuleIndex,
                         "identify the config parameter",
                         "give the key function its config parameter")]
     param = func.args.args[0].arg
-    direct, consumes_all, normalized = _key_consumption(func, param, helpers)
+    direct, bulk_excluded, normalized = _key_consumption(func, param, helpers)
     field_names = {name for name, _, _ in fields}
-    consumed = (field_names | direct) if consumes_all else direct
+    if bulk_excluded is not None:
+        consumed = (field_names - bulk_excluded) | direct
+    else:
+        consumed = set(direct)
     consumed -= normalized
     entries, malformed = parse_nokey(
         info.lines, func.lineno, func.end_lineno or func.lineno)

@@ -35,7 +35,8 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Union
+from typing import (Any, Callable, List, Mapping, Optional, Sequence,
+                    Union)
 
 import numpy as np
 
@@ -260,6 +261,12 @@ class SweepPoint:
     config: SystemConfig
     result: RunResult
     handle: Optional[object] = None   #: ScenarioLane or BuckSystem when kept
+    #: served without simulating: a cache hit, an in-flight dedupe against
+    #: a concurrent sweep, or a duplicate spec within this sweep
+    cached: bool = False
+    #: the scenario's content cache key (set when the session caches; the
+    #: sweep server hands it to clients for GET-by-key fetches)
+    key: Optional[str] = None
 
 
 def _as_specs(specs: Specs) -> List[ScenarioSpec]:
@@ -303,8 +310,9 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
                    settle: Optional[float] = None,
                    keep: bool = False, track_energy: bool = True,
                    workers: Optional[int] = None,
-                   max_lanes_per_shard: Optional[int] = None
-                   ) -> List[SweepPoint]:
+                   max_lanes_per_shard: Optional[int] = None,
+                   on_result: Optional[Callable[[int, SweepPoint], None]]
+                   = None) -> List[SweepPoint]:
     """Execute pre-expanded (spec, config) pairs and return one
     :class:`SweepPoint` per spec — the engine core behind
     :meth:`repro.session.Session.sweep`.
@@ -340,6 +348,15 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
         split into chunks of at most this many lanes (per-lane seeding
         keeps results identical).  Default: even split over ``workers``
         when sharding, no splitting inline.
+    on_result:
+        Per-lane landing hook, ``on_result(index, point)`` with ``index``
+        into ``spec_list``.  Invoked on the calling thread as each lane's
+        result lands: per lane after each batch inline, per lane of each
+        *finished shard* when sharded (completion order, not spec order —
+        the sharded path switches from ``pool.map`` to ``as_completed``
+        so a slow shard never delays another shard's callbacks).  The
+        hook only observes results; the returned list is bit-identical
+        with or without it.
     """
     if backend not in ("vector", "scalar"):
         raise ValueError("backend must be 'vector' or 'scalar'")
@@ -353,22 +370,28 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
             "to keep handles")
     spec_list = list(spec_list)
     configs = list(configs)
+    points: List[Optional[SweepPoint]] = [None] * len(spec_list)
+
+    def _land(i: int, point: SweepPoint) -> None:
+        points[i] = point
+        if on_result is not None:
+            on_result(i, point)
 
     if parallel:
-        results = run_sweep_parallel(
+        run_sweep_parallel(
             spec_list, configs, backend=backend, settle=settle,
             track_energy=track_energy, workers=workers,
-            max_lanes_per_shard=max_lanes_per_shard)
-        return [SweepPoint(spec, cfg, result)
-                for spec, cfg, result in zip(spec_list, configs, results)]
+            max_lanes_per_shard=max_lanes_per_shard,
+            on_result=lambda i, result: _land(
+                i, SweepPoint(spec_list[i], configs[i], result)))
+        return points  # type: ignore[return-value]
 
-    points: List[Optional[SweepPoint]] = [None] * len(spec_list)
     if backend == "scalar":
         for i, (spec, cfg) in enumerate(zip(spec_list, configs)):
             system = BuckSystem(cfg)
             result = system.measure(settle=settle)
-            points[i] = SweepPoint(spec, cfg, result,
-                                   system if keep else None)
+            _land(i, SweepPoint(spec, cfg, result,
+                                system if keep else None))
         return points  # type: ignore[return-value]
 
     for plan in plan_batches(configs, max_lanes_per_shard):
@@ -378,8 +401,8 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
                             track_energy=track_energy)
         results = batch.run(settle=settle)
         for lane_no, i in enumerate(indices):
-            points[i] = SweepPoint(spec_list[i], configs[i], results[lane_no],
-                                   batch.lanes[lane_no] if keep else None)
+            _land(i, SweepPoint(spec_list[i], configs[i], results[lane_no],
+                                batch.lanes[lane_no] if keep else None))
     return points  # type: ignore[return-value]
 
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, TypeVar)
@@ -218,15 +218,22 @@ def run_sweep_parallel(specs: Sequence[ScenarioSpec],
                        settle: Optional[float] = None,
                        track_energy: bool = True,
                        workers: int = 2,
-                       max_lanes_per_shard: Optional[int] = None
-                       ) -> List[RunResult]:
+                       max_lanes_per_shard: Optional[int] = None,
+                       on_result: Optional[Callable[[int, RunResult], None]]
+                       = None) -> List[RunResult]:
     """Shard the sweep across worker processes; results in spec order.
 
     ``max_lanes_per_shard`` defaults to an even split of the whole sweep
     over ``workers`` (so one homogeneous batch fans out across the pool).
     The reassembled results are bit-identical to the inline path: lanes
-    are seeded independently of batch composition and ``pool.map``
-    returns shards in submission order.
+    are seeded independently of batch composition and shards are indexed
+    by their plan, so completion order cannot perturb placement.
+
+    ``on_result(index, result)`` is invoked on the calling thread for
+    every lane of each shard as that shard *completes* (futures consumed
+    via ``as_completed``), so progress flows even while slower shards
+    are still running; callback order across shards is completion order,
+    never spec order.  The returned list is unaffected by the hook.
     """
     if workers < 2:
         raise ValueError("run_sweep_parallel needs workers >= 2; "
@@ -244,9 +251,15 @@ def run_sweep_parallel(specs: Sequence[ScenarioSpec],
     ]
     results: List[Optional[RunResult]] = [None] * len(configs)
     with ProcessPoolExecutor(max_workers=min(workers, len(plans))) as pool:
-        for plan, shard in zip(plans, pool.map(_run_shard, work)):
+        futures = {pool.submit(_run_shard, unit): plan
+                   for plan, unit in zip(plans, work)}
+        for future in as_completed(futures):
+            plan = futures[future]
+            shard = future.result()
             for index, result in zip(plan.indices, shard):
                 results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
     return results  # type: ignore[return-value]
 
 

@@ -1,0 +1,79 @@
+"""Launcher: ``python -m repro.serve`` runs a sweep server until ^C.
+
+The flags mirror :class:`~repro.session.Session`'s knobs (backend,
+simulation workers, cache mode/location/cap) plus the server's own
+(bind address, job pool size, API keys).  The cache defaults to
+``readwrite`` under ``.repro_cache/`` — a server without a cache would
+recompute every lane, which defeats the point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..session import Session
+from .auth import ENV_KEY, ENV_KEY_FILE, ApiKeyAuth
+from .server import SweepServer
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-running sweep server over a shared Session.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback only)")
+    parser.add_argument("--port", type=int, default=8732,
+                        help="listen port; 0 picks an ephemeral port")
+    parser.add_argument("--backend", choices=("vector", "scalar"),
+                        default="vector")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation worker processes per sweep "
+                             "(default: inline)")
+    parser.add_argument("--job-workers", type=int, default=2,
+                        help="concurrent jobs (default: 2)")
+    parser.add_argument("--cache", default="readwrite",
+                        choices=("readwrite", "readonly"),
+                        help="cache mode (default: readwrite)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root (default: $REPRO_CACHE_DIR or "
+                             ".repro_cache/)")
+    parser.add_argument("--cache-max-mb", type=float, default=None,
+                        help="on-disk cache cap; prunes oldest first")
+    parser.add_argument("--api-key", action="append", default=None,
+                        metavar="KEY",
+                        help=f"accepted API key (repeatable; also "
+                             f"${ENV_KEY})")
+    parser.add_argument("--api-key-file", default=None,
+                        help=f"file of keys, one per line (also "
+                             f"${ENV_KEY_FILE})")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request")
+    args = parser.parse_args(argv)
+
+    max_bytes = (int(args.cache_max_mb * 1024 * 1024)
+                 if args.cache_max_mb is not None else None)
+    session = Session(backend=args.backend, workers=args.workers,
+                      cache=args.cache, cache_dir=args.cache_dir,
+                      cache_max_bytes=max_bytes)
+    auth = ApiKeyAuth(keys=args.api_key, key_file=args.api_key_file)
+    server = SweepServer(session=session, host=args.host, port=args.port,
+                         job_workers=args.job_workers, auth=auth,
+                         verbose=args.verbose)
+    mode = ("OPEN (no API keys configured)" if auth.open
+            else "API-key protected")
+    print(f"repro-serve listening on {server.url}  [{mode}]", flush=True)
+    print(f"  session: {session!r}", flush=True)
+    print(f"  cache:   {session.cache.root}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""API-key authentication for the sweep server.
+
+Keys are opaque strings compared in constant time
+(:func:`hmac.compare_digest`).  They reach the server three ways, in
+precedence order:
+
+1. explicit ``keys=[...]`` (the launcher's repeatable ``--api-key``);
+2. ``REPRO_SERVE_API_KEY`` — a single key in the environment;
+3. ``REPRO_SERVE_API_KEY_FILE`` (or the launcher's ``--api-key-file``) —
+   one key per line, blank lines and ``#`` comments ignored, so a
+   deployment can mount a key list without putting secrets in argv.
+
+With no keys configured the server runs **open** (every request
+authorized) — convenient for localhost development, loudly flagged by
+the launcher banner.  Clients send the key as ``Authorization: Bearer
+<key>`` or ``X-API-Key: <key>``; :meth:`ApiKeyAuth.authorize` accepts
+either.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+from pathlib import Path
+from typing import Iterable, List, Mapping, Optional
+
+ENV_KEY = "REPRO_SERVE_API_KEY"
+ENV_KEY_FILE = "REPRO_SERVE_API_KEY_FILE"
+
+
+def load_key_file(path) -> List[str]:
+    """Keys from a file, one per line; blanks and ``#`` comments skipped."""
+    keys = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.append(line)
+    return keys
+
+
+class ApiKeyAuth:
+    """The server's key set and request-header check."""
+
+    def __init__(self, keys: Optional[Iterable[str]] = None,
+                 key_file: Optional[str] = None,
+                 env: Optional[Mapping[str, str]] = None):
+        env = os.environ if env is None else env
+        resolved: List[str] = [k for k in (keys or []) if k]
+        env_key = env.get(ENV_KEY, "").strip()
+        if env_key:
+            resolved.append(env_key)
+        env_file = key_file or env.get(ENV_KEY_FILE, "").strip()
+        if env_file:
+            resolved.extend(load_key_file(env_file))
+        self._keys = tuple(dict.fromkeys(resolved))   # dedupe, keep order
+
+    @property
+    def open(self) -> bool:
+        """True when no keys are configured: every request is authorized."""
+        return not self._keys
+
+    def authorize(self, headers: Mapping[str, str]) -> bool:
+        """Check a request's ``Authorization: Bearer`` / ``X-API-Key``."""
+        if self.open:
+            return True
+        presented = None
+        bearer = headers.get("Authorization", "")
+        if bearer.startswith("Bearer "):
+            presented = bearer[len("Bearer "):].strip()
+        if presented is None:
+            presented = headers.get("X-API-Key", "").strip() or None
+        if presented is None:
+            return False
+        return any(hmac.compare_digest(presented, key) for key in self._keys)
+
+    def __repr__(self) -> str:
+        state = "open" if self.open else f"{len(self._keys)} key(s)"
+        return f"ApiKeyAuth({state})"

@@ -1,0 +1,179 @@
+"""Job lifecycle for the sweep server.
+
+A :class:`Job` is one submitted sweep: its specs, a monotonically
+growing event log (one ``lane`` event per landed scenario plus one
+terminal ``done``/``failed`` event), and a condition variable so any
+number of SSE streams can block on "events past index N".  Every event
+is appended *before* waiters wake, and events are never mutated after
+append — a follower that connects late replays the full log and then
+continues live, seeing exactly the same sequence as one that connected
+before the job started.
+
+:class:`JobManager` owns the worker pool.  Each job runs
+``session.sweep(..., on_result=...)`` on one pool thread; per-lane
+concurrency inside a job is the session's own ``workers`` setting, and
+cross-job dedupe of identical uncached configs is the session's
+in-flight registry — the manager adds nothing to the concurrency story
+beyond "jobs run in parallel against one shared session".
+
+Job ``defaults`` are merged *below* each spec's overrides before
+submission (the same layering :class:`~repro.session.Session` applies
+to its own ``defaults``), so the enumerated configs — and therefore the
+cache keys — match an inline ``Session(defaults=...)`` sweep.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..scenarios.spec import ScenarioSpec
+from ..session import Session
+from .protocol import JobOptions
+
+#: job lifecycle states, in order
+STATES = ("queued", "running", "done", "failed")
+
+
+class Job:
+    """One submitted sweep and its append-only event log."""
+
+    def __init__(self, specs: Sequence[ScenarioSpec], options: JobOptions):
+        self.id = secrets.token_hex(8)
+        self.specs = list(specs)
+        self.options = options
+        # wall-clock submission stamp, reporting only — never keyed on
+        self.created = time.time()  # lint: ok(D02: job metadata, not results)
+        self.state = "queued"
+        self.error: Optional[str] = None
+        self.cached = 0
+        self.computed = 0
+        self._events: List[Dict[str, Any]] = []
+        self._cond = threading.Condition()
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    # ------------------------------------------------------------------
+    # Event log (append-only; readers replay + follow)
+    # ------------------------------------------------------------------
+    def append(self, event: Dict[str, Any]) -> None:
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def events_since(self, start: int,
+                     timeout: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Events past index ``start``; blocks until at least one exists
+        or the job is finished (then returns whatever remains, possibly
+        nothing).  ``timeout`` bounds one wait; on expiry the (possibly
+        empty) slice is returned so callers can emit keep-alives."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: len(self._events) > start or self.finished,
+                timeout=timeout)
+            return self._events[start:]
+
+    def set_state(self, state: str, error: Optional[str] = None) -> None:
+        if state not in STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        with self._cond:
+            self.state = state
+            self.error = error
+            self._cond.notify_all()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The job's summary form (job listings and status polls)."""
+        with self._cond:
+            return {
+                "id": self.id,
+                "state": self.state,
+                "error": self.error,
+                "total": self.total,
+                "landed": self.cached + self.computed,
+                "cached": self.cached,
+                "computed": self.computed,
+                "created": self.created,
+            }
+
+
+class JobManager:
+    """Run jobs against one shared session on a bounded thread pool."""
+
+    def __init__(self, session: Session, workers: int = 2):
+        if workers < 1:
+            raise ValueError("need at least one job worker")
+        self.session = session
+        self.workers = workers
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="serve-job")
+
+    # ------------------------------------------------------------------
+    def submit(self, specs: Sequence[ScenarioSpec],
+               options: JobOptions) -> Job:
+        """Queue one sweep; returns immediately with the :class:`Job`."""
+        if options.defaults:
+            specs = [ScenarioSpec(name=spec.name,
+                                  overrides={**options.defaults,
+                                             **spec.overrides},
+                                  seed=spec.seed)
+                     for spec in specs]
+        job = Job(specs, options)
+        with self._lock:
+            self._jobs[job.id] = job
+        self._pool.submit(self._run, job)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _run(self, job: Job) -> None:
+        job.set_state("running")
+
+        def land(index: int, point) -> None:
+            if point.cached:
+                job.cached += 1
+            else:
+                job.computed += 1
+            job.append({
+                "event": "lane",
+                "index": index,
+                "spec": point.spec.name,
+                "key": point.key,
+                "cached": point.cached,
+                "result": point.result.to_dict(),
+            })
+
+        try:
+            job.append({"event": "start", "job": job.id, "total": job.total})
+            self.session.sweep(job.specs, settle=job.options.settle,
+                               trace=job.options.trace,
+                               track_energy=job.options.track_energy,
+                               on_result=land)
+        except Exception:
+            job.set_state("failed", error=traceback.format_exc(limit=20))
+            job.append({"event": "failed", "error": job.error})
+        else:
+            job.set_state("done")
+            job.append({"event": "done", "cached": job.cached,
+                        "computed": job.computed, "total": job.total})

@@ -1,0 +1,238 @@
+"""Wire forms for the sweep server: job specs in, results out.
+
+A job submission is JSON with either (or both of)
+
+``"specs"``
+    A list of encoded :class:`~repro.scenarios.spec.ScenarioSpec`
+    payloads — exactly the :func:`repro.scenarios.parallel.encode_spec`
+    form the process sharder already uses, so model objects (coil, load
+    profile, controller params) travel as tagged primitive dicts and
+    every value is JSON-safe.  This is what the client library sends: it
+    expands a :class:`~repro.scenarios.spec.Sweep` locally and ships the
+    spec list.
+``"sweep"``
+    A declarative sweep: ``{"name", "seed", "base", "blocks": [...]}``
+    with grid / random / point blocks (``"grid": {axes}`` is shorthand
+    for one grid block).  The server expands it through the same
+    :class:`Sweep` builder used in-process, so a hand-written curl
+    payload enumerates identical specs (and therefore identical cache
+    keys) to a client-side expansion.
+
+plus the sweep-level options (``defaults``, ``settle``, ``trace``,
+``track_energy``) collected into :class:`JobOptions`.
+
+Results travel as :meth:`~repro.system.RunResult.to_dict` payloads —
+floats round-trip exactly through JSON's shortest-repr encoding, so a
+client-side :meth:`RunResult.from_dict` is bit-identical to the
+server-side result.  Malformed submissions raise :class:`ProtocolError`,
+which the server maps to HTTP 400 with the message in the body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..scenarios.parallel import decode_spec, decode_value, encode_spec
+from ..scenarios.spec import (ScenarioSpec, Sweep, choice, log_uniform,
+                              uniform)
+
+#: distribution constructors admissible in declarative ``random`` blocks
+DISTRIBUTIONS = {
+    "uniform": uniform,
+    "log_uniform": log_uniform,
+    "choice": choice,
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed job payload (HTTP 400 at the server boundary)."""
+
+
+# ---------------------------------------------------------------------------
+# Spec lists (the client library's form)
+# ---------------------------------------------------------------------------
+def specs_to_jsonable(specs: Sequence[ScenarioSpec]) -> List[Dict[str, Any]]:
+    """Encode specs for the ``"specs"`` submission field."""
+    return [encode_spec(spec) for spec in specs]
+
+
+def specs_from_jsonable(payload: Any) -> List[ScenarioSpec]:
+    if not isinstance(payload, list):
+        raise ProtocolError('"specs" must be a list of spec payloads')
+    specs = []
+    for i, entry in enumerate(payload):
+        if not isinstance(entry, Mapping) or "name" not in entry:
+            raise ProtocolError(f'"specs"[{i}] is not a spec payload '
+                                '(expected {"name", "overrides", "seed"})')
+        try:
+            specs.append(decode_spec({
+                "name": entry["name"],
+                "overrides": dict(entry.get("overrides") or {}),
+                "seed": entry.get("seed"),
+            }))
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ProtocolError(f'"specs"[{i}]: {exc}') from exc
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Declarative sweeps (the curl-friendly form)
+# ---------------------------------------------------------------------------
+def _decode_axis_value(value: Any) -> Any:
+    """One grid-axis element: plain value, override mapping, or a
+    ``[label, mapping]`` pair (JSON's spelling of the labelled tuple)."""
+    if (isinstance(value, list) and len(value) == 2
+            and isinstance(value[0], str) and isinstance(value[1], Mapping)):
+        return (value[0], {k: decode_value(v) for k, v in value[1].items()})
+    if isinstance(value, Mapping):
+        return {k: decode_value(v) for k, v in value.items()}
+    return decode_value(value)
+
+
+def _decode_draw(name: str, spec: Any):
+    if not isinstance(spec, Mapping) or "dist" not in spec:
+        raise ProtocolError(
+            f'random draw {name!r} must be {{"dist": <name>, ...params}}')
+    kind = spec["dist"]
+    ctor = DISTRIBUTIONS.get(kind)
+    if ctor is None:
+        raise ProtocolError(
+            f'random draw {name!r}: unknown distribution {kind!r} '
+            f'(have {sorted(DISTRIBUTIONS)})')
+    params = {k: v for k, v in spec.items() if k != "dist"}
+    try:
+        return ctor(**params)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f'random draw {name!r}: {exc}') from exc
+
+
+def sweep_from_jsonable(payload: Any) -> Sweep:
+    """Build a :class:`Sweep` from its declarative JSON form."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError('"sweep" must be an object')
+    base = {k: decode_value(v)
+            for k, v in dict(payload.get("base") or {}).items()}
+    try:
+        sweep = Sweep(base=base, seed=int(payload.get("seed", 0)),
+                      name=str(payload.get("name", "sweep")))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f'"sweep": {exc}') from exc
+    blocks = payload.get("blocks")
+    if blocks is None:
+        blocks = []
+        if "grid" in payload:
+            blocks.append({"kind": "grid", "axes": payload["grid"]})
+    if not isinstance(blocks, list):
+        raise ProtocolError('"sweep"."blocks" must be a list')
+    for b, block in enumerate(blocks):
+        if not isinstance(block, Mapping) or "kind" not in block:
+            raise ProtocolError(f'"sweep"."blocks"[{b}] needs a "kind"')
+        kind = block["kind"]
+        try:
+            if kind == "grid":
+                axes = block.get("axes")
+                if not isinstance(axes, Mapping) or not axes:
+                    raise ProtocolError("grid block needs non-empty "
+                                        '"axes"')
+                sweep.grid(**{
+                    name: [_decode_axis_value(v) for v in values]
+                    for name, values in axes.items()})
+            elif kind == "random":
+                draws = block.get("draws")
+                if not isinstance(draws, Mapping) or not draws:
+                    raise ProtocolError("random block needs non-empty "
+                                        '"draws"')
+                sweep.random(int(block.get("n", 1)),
+                             **{name: _decode_draw(name, d)
+                                for name, d in draws.items()})
+            elif kind == "point":
+                overrides = {k: decode_value(v)
+                             for k, v in dict(block.get("overrides")
+                                              or {}).items()}
+                sweep.point(name=block.get("name"), **overrides)
+            else:
+                raise ProtocolError(f"unknown block kind {kind!r} "
+                                    "(grid / random / point)")
+        except ProtocolError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f'"sweep"."blocks"[{b}] ({kind}): {exc}') from exc
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Whole jobs
+# ---------------------------------------------------------------------------
+@dataclass
+class JobOptions:
+    """Sweep-level options riding along with a submission."""
+
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    settle: Optional[float] = None
+    trace: bool = False
+    track_energy: bool = True
+
+
+def job_request(specs: Optional[Sequence[ScenarioSpec]] = None,
+                sweep: Optional[Any] = None,
+                defaults: Optional[Mapping[str, Any]] = None,
+                settle: Optional[float] = None, trace: bool = False,
+                track_energy: bool = True) -> Dict[str, Any]:
+    """Build a submission payload (the client-side encoder).
+
+    ``sweep`` may be a :class:`Sweep` (expanded locally into ``specs``)
+    or an already-declarative dict (shipped as-is).
+    """
+    payload: Dict[str, Any] = {}
+    if isinstance(sweep, Sweep):
+        specs = list(specs or []) + sweep.specs()
+        sweep = None
+    if specs:
+        payload["specs"] = specs_to_jsonable(list(specs))
+    if sweep is not None:
+        payload["sweep"] = sweep
+    if defaults:
+        payload["defaults"] = dict(defaults)
+    if settle is not None:
+        payload["settle"] = settle
+    if trace:
+        payload["trace"] = True
+    if not track_energy:
+        payload["track_energy"] = False
+    return payload
+
+
+def decode_job(payload: Any) -> Tuple[List[ScenarioSpec], JobOptions]:
+    """Parse one submission into ``(specs, options)``.
+
+    Raises :class:`ProtocolError` on anything malformed — including an
+    empty job, which cannot be meaningfully submitted.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("job payload must be a JSON object")
+    unknown = set(payload) - {"specs", "sweep", "defaults", "settle",
+                              "trace", "track_energy"}
+    if unknown:
+        raise ProtocolError(f"unknown job fields {sorted(unknown)}")
+    specs: List[ScenarioSpec] = []
+    if "specs" in payload:
+        specs.extend(specs_from_jsonable(payload["specs"]))
+    if "sweep" in payload:
+        specs.extend(sweep_from_jsonable(payload["sweep"]).specs())
+    if not specs:
+        raise ProtocolError('job needs "specs" and/or "sweep" with at '
+                            "least one scenario")
+    defaults = payload.get("defaults") or {}
+    if not isinstance(defaults, Mapping):
+        raise ProtocolError('"defaults" must be an object')
+    settle = payload.get("settle")
+    if settle is not None and not isinstance(settle, (int, float)):
+        raise ProtocolError('"settle" must be a number (seconds) or null')
+    options = JobOptions(
+        defaults={k: decode_value(v) for k, v in dict(defaults).items()},
+        settle=float(settle) if settle is not None else None,
+        trace=bool(payload.get("trace", False)),
+        track_energy=bool(payload.get("track_energy", True)))
+    return specs, options

@@ -1,0 +1,51 @@
+"""Server-Sent Events framing: the streaming half of the wire protocol.
+
+One event = a ``event:`` line naming the type, one ``data:`` line
+carrying a JSON payload, and a blank line.  The format is deliberately
+the plain SSE subset every browser ``EventSource`` and ``curl -N``
+understands; both ends here are stdlib (:mod:`http.server` writes it,
+:mod:`urllib.request` reads it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional
+
+
+def format_event(event: str, data: Any) -> bytes:
+    """One wire-ready SSE frame: ``event`` type + JSON ``data`` payload."""
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return f"event: {event}\ndata: {payload}\n\n".encode("utf-8")
+
+
+def iter_events(stream) -> Iterator[Dict[str, Any]]:
+    """Parse SSE frames from a binary line stream (an open HTTP response).
+
+    Yields one dict per frame: the JSON-decoded ``data`` payload with the
+    frame's ``event`` type merged in under ``"event"`` (the payloads here
+    never carry a conflicting key).  Comment lines (``:`` prefix) and
+    unknown fields are skipped per the SSE spec; the iterator ends when
+    the server closes the stream.
+    """
+    event: Optional[str] = None
+    data_lines = []
+    for raw in stream:
+        line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+        if line.startswith(":"):
+            continue
+        if line == "":
+            if data_lines:
+                payload = json.loads("\n".join(data_lines))
+                if not isinstance(payload, dict):
+                    payload = {"data": payload}
+                if event is not None:
+                    payload.setdefault("event", event)
+                yield payload
+            event = None
+            data_lines = []
+            continue
+        if line.startswith("event:"):
+            event = line[len("event:"):].strip()
+        elif line.startswith("data:"):
+            data_lines.append(line[len("data:"):].lstrip())

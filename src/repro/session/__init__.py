@@ -18,6 +18,7 @@ from .cache import (
     code_fingerprint,
     module_fingerprint,
 )
+from .inflight import InFlightRegistry
 from .session import (
     Scenario,
     Session,
@@ -30,5 +31,5 @@ __all__ = [
     "Session", "Scenario",
     "default_session", "set_default_session", "session_from_env",
     "ResultCache", "cache_key", "code_fingerprint", "module_fingerprint",
-    "DEFAULT_CACHE_DIR", "FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR", "FORMAT_VERSION", "InFlightRegistry",
 ]

@@ -26,11 +26,35 @@ The cache is shared by value, not by process: the parallel sharder's
 per-lane results are written back individually, so a re-run of an
 identical sweep at *any* worker count is served entirely from cache,
 bit-identical to the cold run (``tests/session/test_session.py``).
+
+Concurrency contract (the sweep server shares one cache directory
+between many worker threads and processes):
+
+* **Readers are lock-free.**  :meth:`ResultCache.load` takes no lock and
+  tolerates every in-flight write: entries are published with atomic
+  ``os.replace`` renames, so a reader sees either no entry, the previous
+  whole entry, or the new whole entry — never a torn file.  A reader
+  that catches an entry between its npz and json halves (they are
+  replaced npz-first) can at worst observe a *miss* (e.g. a sidecar
+  advertising a trace the rewritten npz no longer carries raises inside
+  ``np.load`` and is swallowed), never a wrong result — both halves are
+  derived from the same content-addressed key, so any whole-file
+  combination serves identical numbers.
+* **Stores never lock either.**  Two processes storing the same key
+  race benignly: last rename wins, and both wrote the same content.
+* **Compaction is single-writer.**  :meth:`prune` / :meth:`clear` (and
+  the trace-strip pass inside prune) serialize on an advisory lockfile
+  (``<root>/.writer.lock``) so two pruners cannot interleave their
+  scan/delete cycles, and eviction re-checks each entry's mtime right
+  before unlinking — an entry re-stored after the scan (fresh mtime) is
+  skipped, so compaction never deletes a result another worker just
+  wrote back (``tests/session/test_cache_concurrency.py``).
 """
 
 from __future__ import annotations
 
 import ast
+import contextlib
 import hashlib
 import json
 import os
@@ -41,6 +65,11 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
+
+try:                              # pragma: no cover - platform availability
+    import fcntl
+except ImportError:               # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..scenarios.parallel import encode_config
 from ..system import RunResult, SystemConfig
@@ -313,6 +342,30 @@ class ResultCache:
                 self.prune()
         return True
 
+    @contextlib.contextmanager
+    def _writer_lock(self):
+        """Advisory inter-process lock serializing the compaction paths
+        (``prune`` / ``clear``).  Plain stores and loads never take it —
+        they are safe under the atomic-replace protocol on their own.
+        Uses ``fcntl.flock`` on a lockfile inside the cache root (held
+        for the duration of the ``with`` block, released even on error);
+        on platforms without ``fcntl`` the lock degrades to a no-op,
+        which only loses the pruner-vs-pruner serialization, not
+        correctness of any individual operation."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.root / ".writer.lock",
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
     @staticmethod
     def _atomic_write(path: Path, write) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".")
@@ -369,7 +422,10 @@ class ResultCache:
         re-run upgrades it again).  The entry's mtime is preserved — a
         strip is reclamation, not a user write, so it must not make the
         entry look recently used.  Returns the bytes reclaimed (0 for
-        untraced, missing, or unreadable entries)."""
+        untraced, missing, or unreadable entries).  Only called from
+        :meth:`prune`, i.e. under the single-writer lockfile; the
+        rewrite itself stays atomic-replace so lock-free readers are
+        unaffected."""
         meta_path, npz_path = self._paths(key)
         try:
             with open(meta_path, "r", encoding="utf-8") as fh:
@@ -407,12 +463,23 @@ class ResultCache:
         Returns the number of whole entries removed (stripped entries
         still count as present).  ``strip_traces=False`` restores the
         historical evict-only behaviour.  A ``readonly``/``off`` cache
-        never prunes."""
+        never prunes.
+
+        Concurrency: the whole pass runs under the single-writer
+        lockfile (two pruners serialize), and every eviction re-checks
+        the entry's mtime immediately before unlinking — a concurrent
+        ``store`` refreshes the mtime, so an entry re-written after the
+        scan is no longer "oldest" and is skipped rather than deleted
+        mid-store."""
         if not self.writable:
             return 0
         limit = max_bytes if max_bytes is not None else self.max_bytes
         if limit is None:
             return 0
+        with self._writer_lock():
+            return self._prune_locked(limit, strip_traces)
+
+    def _prune_locked(self, limit: int, strip_traces: bool) -> int:
         entries = sorted(self._entries())
         total = sum(size for _, _, size in entries)
         if strip_traces:
@@ -425,10 +492,19 @@ class ResultCache:
             # re-scan: pass one rewrote entry files and their sizes
             entries = sorted(self._entries())
             total = sum(size for _, _, size in entries)
-            for _mtime, key, size in entries:
+            for mtime, key, size in entries:
                 if total <= limit:
                     break
                 meta_path, npz_path = self._paths(key)
+                try:
+                    current = max(meta_path.stat().st_mtime,
+                                  npz_path.stat().st_mtime)
+                except OSError:
+                    total -= size    # concurrently evicted elsewhere
+                    continue
+                if current > mtime:
+                    # re-stored since the scan: fresh again, not evictable
+                    continue
                 for path in (meta_path, npz_path):
                     try:
                         path.unlink()
@@ -440,17 +516,20 @@ class ResultCache:
         return removed
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.  Runs
+        under the single-writer lockfile like :meth:`prune` (a clear is
+        compaction to zero)."""
         removed = 0
-        for key in list(self.keys()):
-            meta_path, npz_path = self._paths(key)
-            for path in (meta_path, npz_path):
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-            removed += 1
-        self._approx_bytes = None
+        with self._writer_lock():
+            for key in list(self.keys()):
+                meta_path, npz_path = self._paths(key)
+                for path in (meta_path, npz_path):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                removed += 1
+            self._approx_bytes = None
         return removed
 
     def __repr__(self) -> str:

@@ -27,6 +27,7 @@ ablation benches) all accept ``session=``; the module-level
 from __future__ import annotations
 
 import os
+import threading
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     TypeVar, Union)
 
@@ -36,6 +37,7 @@ from ..scenarios.parallel import pool_map, workers_from_env
 from ..scenarios.spec import ScenarioSpec
 from ..system import BuckSystem, RunResult, SystemConfig
 from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+from .inflight import InFlightRegistry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -118,6 +120,15 @@ class Session:
         #: scenarios served from / recomputed past the cache, cumulative
         self.cache_hits = 0
         self.cache_misses = 0
+        #: lanes served by waiting on a *concurrent* sweep's in-flight
+        #: computation of the same key (a subset of ``cache_hits``)
+        self.inflight_waits = 0
+        # Sessions are thread-shareable: the sweep server runs many jobs
+        # against one session, so counter updates take a lock and misses
+        # coordinate through the in-flight registry (each unique uncached
+        # key is computed by exactly one concurrent sweep).
+        self._counter_lock = threading.Lock()
+        self._inflight = InFlightRegistry()
 
     @staticmethod
     def _resolve_cache(cache: Union[str, ResultCache, None],
@@ -171,9 +182,17 @@ class Session:
                              trace=trace)
         return point.result
 
+    def _count(self, hits: int = 0, misses: int = 0, waits: int = 0) -> None:
+        with self._counter_lock:
+            self.cache_hits += hits
+            self.cache_misses += misses
+            self.inflight_waits += waits
+
     def sweep(self, specs: Specs, *, settle: Optional[float] = None,
               trace: bool = False, keep: bool = False,
-              track_energy: bool = True) -> List[SweepPoint]:
+              track_energy: bool = True,
+              on_result: Optional[Callable[[int, SweepPoint], None]] = None
+              ) -> List[SweepPoint]:
         """Run every scenario and return one :class:`SweepPoint` per
         spec, in spec order.
 
@@ -190,43 +209,154 @@ class Session:
         it, and execution and cache lookup both follow the resolved
         per-lane value.  ``keep=True`` bypasses the cache: live handles
         cannot be rehydrated from disk.
+
+        ``on_result(index, point)`` is invoked on the calling thread as
+        each lane *lands* — immediately for cache hits, then per lane as
+        fresh results complete (batch order inline, shard completion
+        order with ``workers=N``); a lane's cache write-back happens
+        before its callback, so a landed lane's entry is already
+        servable by key.  The hook observes progress only: the returned
+        list is bit-identical with or without it, and an exception it
+        raises aborts the sweep without corrupting the cache.
+
+        Sessions are thread-shareable.  Concurrent ``sweep`` calls on
+        one session (the sweep server's job threads) dedupe in-flight
+        work through a per-session registry: each unique uncached key is
+        claimed by exactly one call, the others wait and are then served
+        from the entry the owner wrote back (counted as hits, with
+        ``inflight_waits`` tracking the subset that waited).  Duplicate
+        keys *within* one sweep are likewise computed once.  A waiter
+        whose owner failed — or whose entry is unusable (not written
+        back, or written without the waveforms this lane needs) — falls
+        back to computing the lane itself.
         """
         spec_list = _as_specs(specs)
         configs = [spec.to_config(trace=trace, **self.defaults)
                    for spec in spec_list]
 
         cache = self.cache if (self.cache is not None and not keep) else None
-        points: List[Optional[SweepPoint]] = [None] * len(spec_list)
-        keys: List[Optional[str]] = [None] * len(spec_list)
-        misses = list(range(len(spec_list)))
-        if cache is not None:
-            misses = []
-            for i, (spec, cfg) in enumerate(zip(spec_list, configs)):
-                keys[i] = cache_key(cfg, settle=settle, backend=self.backend,
-                                    track_energy=track_energy)
-                # the per-lane *resolved* trace field governs execution
-                # (a spec/config override wins over the sweep-level
-                # default), so the cache lookup must follow it too
-                result = cache.load(keys[i], want_trace=cfg.trace)
-                if result is not None:
-                    self.cache_hits += 1
-                    points[i] = SweepPoint(spec, cfg, result)
-                else:
-                    self.cache_misses += 1
-                    misses.append(i)
+        if cache is None:
+            return _execute_sweep(
+                spec_list, configs, backend=self.backend, settle=settle,
+                keep=keep, track_energy=track_energy, workers=self.workers,
+                max_lanes_per_shard=self.max_lanes_per_shard,
+                on_result=on_result)
 
-        if misses:
-            fresh = _execute_sweep(
-                [spec_list[i] for i in misses],
-                [configs[i] for i in misses],
-                backend=self.backend, settle=settle, keep=keep,
-                track_energy=track_energy, workers=self.workers,
-                max_lanes_per_shard=self.max_lanes_per_shard)
-            for i, point in zip(misses, fresh):
+        points: List[Optional[SweepPoint]] = [None] * len(spec_list)
+        keys: List[str] = [
+            cache_key(cfg, settle=settle, backend=self.backend,
+                      track_energy=track_energy) for cfg in configs]
+
+        def _serve(i: int, result: RunResult) -> None:
+            points[i] = SweepPoint(spec_list[i], configs[i], result,
+                                   cached=True, key=keys[i])
+            if on_result is not None:
+                on_result(i, points[i])
+
+        misses: List[int] = []
+        for i, cfg in enumerate(configs):
+            # the per-lane *resolved* trace field governs execution
+            # (a spec/config override wins over the sweep-level
+            # default), so the cache lookup must follow it too
+            result = cache.load(keys[i], want_trace=cfg.trace)
+            if result is not None:
+                self._count(hits=1)
+                _serve(i, result)
+            else:
+                misses.append(i)
+        if not misses:
+            return points  # type: ignore[return-value]
+
+        # Partition the misses.  Dedupe identity is (key, resolved trace):
+        # trace is normalised out of the cache key, but a traced lane
+        # cannot be served by an untraced computation of the same config.
+        leaders: List[int] = []
+        followers: Dict[int, List[int]] = {}
+        waiters: List[int] = []
+        events: Dict[str, threading.Event] = {}
+        leader_of: Dict[Any, int] = {}
+        for i in misses:
+            ident = (keys[i], configs[i].trace)
+            if ident in leader_of:
+                followers.setdefault(leader_of[ident], []).append(i)
+                continue
+            if keys[i] in events:
+                waiters.append(i)
+                continue
+            event = self._inflight.claim(keys[i])
+            if event is None:
+                leader_of[ident] = i
+                leaders.append(i)
+            else:
+                events[keys[i]] = event
+                waiters.append(i)
+
+        def _execute(indices: Sequence[int], landed) -> None:
+            _execute_sweep([spec_list[i] for i in indices],
+                           [configs[i] for i in indices],
+                           backend=self.backend, settle=settle, keep=keep,
+                           track_energy=track_energy, workers=self.workers,
+                           max_lanes_per_shard=self.max_lanes_per_shard,
+                           on_result=landed)
+
+        try:
+            if leaders:
+                self._count(misses=len(leaders))
+
+                def _fresh(pos: int, point: SweepPoint) -> None:
+                    i = leaders[pos]
+                    point.key = keys[i]
+                    points[i] = point
+                    try:
+                        if cache.writable:
+                            cache.store(keys[i], point.result,
+                                        meta={"spec": spec_list[i].name})
+                    finally:
+                        # wake concurrent sweeps waiting on this key (the
+                        # entry — if writable — is already on disk)
+                        self._inflight.release(keys[i])
+                    if on_result is not None:
+                        on_result(i, point)
+                    for dup in followers.get(i, ()):
+                        self._count(hits=1)
+                        _serve(dup, point.result)
+
+                _execute(leaders, _fresh)
+        finally:
+            # release claims for lanes that never landed (mid-sweep
+            # failure), so waiters in other threads fall back instead of
+            # blocking forever
+            for ident, i in leader_of.items():
+                if points[i] is None:
+                    self._inflight.release(keys[i])
+
+        recompute: List[int] = []
+        for i in waiters:
+            events[keys[i]].wait()
+            result = cache.load(keys[i], want_trace=configs[i].trace)
+            if result is not None:
+                self._count(hits=1, waits=1)
+                _serve(i, result)
+            else:
+                recompute.append(i)
+
+        if recompute:
+            # the in-flight owner failed or its entry is unusable for
+            # this lane: compute locally, unconditionally (no second
+            # claim round — correctness over a rare duplicate compute)
+            self._count(misses=len(recompute))
+
+            def _again(pos: int, point: SweepPoint) -> None:
+                i = recompute[pos]
+                point.key = keys[i]
                 points[i] = point
-                if cache is not None and cache.writable:
+                if cache.writable:
                     cache.store(keys[i], point.result,
                                 meta={"spec": spec_list[i].name})
+                if on_result is not None:
+                    on_result(i, point)
+
+            _execute(recompute, _again)
         return points  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -267,6 +397,7 @@ class Session:
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "inflight_waits": self.inflight_waits,
             "mode": self.cache.mode if self.cache is not None else "off",
             "root": str(self.cache.root) if self.cache is not None else None,
         }

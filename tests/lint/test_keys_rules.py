@@ -109,6 +109,123 @@ class TestGoodFixture:
         assert len(k01) == 1 and "trace" in k01[0].message
 
 
+class TestFilteredBulkEncode:
+    """K01 models *filtered* bulk encoders: a helper whose
+    ``__dataclass_fields__`` loop skips a field (``if name != ...``,
+    ``if name == ...: continue``, ``not in (...)``, comprehension
+    ``if``) does not consume that field — it must then be keyed
+    directly or carry its own ``nokey`` annotation."""
+
+    HEADER = ('"""Fixture cache module."""\n\n'
+              "FORMAT_VERSION = 3\n\n"
+              '_FLOAT_FIELDS = ("v_final", "ripple")\n'
+              "_INT_FIELDS = ()\n\n\n")
+    KEY_FUNC = ("def cache_key(config):\n"
+                "    encoded = encode_config(config)\n"
+                "    return hash((FORMAT_VERSION,"
+                " tuple(sorted(encoded.items()))))\n")
+
+    def _report(self, tmp_path, encode_src, key_src=None):
+        tree = tmp_path / "tree"
+        shutil.copytree(FIXTURES / "keys_good", tree)
+        (tree / "session/cache.py").write_text(
+            self.HEADER + encode_src + "\n\n" + (key_src or self.KEY_FUNC),
+            encoding="utf-8")
+        config = _config(tree, tmp_path / "locks")
+        update_locks(config)
+        return run_lint(config, families=("keys",))
+
+    def test_comprehension_filter_excludes_the_field(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def encode_config(config):\n"
+            "    return {name: getattr(config, name)\n"
+            "            for name in type(config).__dataclass_fields__\n"
+            '            if name != "trace"}\n')
+        k01 = by_rule(report).get("K01", [])
+        assert len(k01) == 1 and "SystemConfig.trace" in k01[0].message
+
+    def test_guarded_loop_body_excludes_the_field(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def encode_config(config):\n"
+            "    out = {}\n"
+            "    for name in type(config).__dataclass_fields__:\n"
+            '        if name != "trace":\n'
+            "            out[name] = getattr(config, name)\n"
+            "    return out\n")
+        k01 = by_rule(report).get("K01", [])
+        assert len(k01) == 1 and "SystemConfig.trace" in k01[0].message
+
+    def test_continue_guard_excludes_the_field(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def encode_config(config):\n"
+            "    out = {}\n"
+            "    for name in type(config).__dataclass_fields__:\n"
+            '        if name == "seed":\n'
+            "            continue\n"
+            "        out[name] = getattr(config, name)\n"
+            "    return out\n")
+        k01 = by_rule(report).get("K01", [])
+        assert len(k01) == 1 and "SystemConfig.seed" in k01[0].message
+
+    def test_not_in_tuple_excludes_every_named_field(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def encode_config(config):\n"
+            "    return {name: getattr(config, name)\n"
+            "            for name in type(config).__dataclass_fields__\n"
+            '            if name not in ("trace", "seed")}\n')
+        k01 = by_rule(report).get("K01", [])
+        named = {f.message.split(" is not consumed")[0] for f in k01}
+        assert named == {"SystemConfig.trace", "SystemConfig.seed"}
+
+    def test_annotation_still_accounts_for_excluded_field(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def encode_config(config):\n"
+            "    return {name: getattr(config, name)\n"
+            "            for name in type(config).__dataclass_fields__\n"
+            '            if name != "trace"}\n',
+            key_src=("def cache_key(config):\n"
+                     "    encoded = encode_config(config)\n"
+                     "    # lint: nokey(trace: waveforms only, never"
+                     " changes the measured numbers)\n"
+                     "    return hash((FORMAT_VERSION,"
+                     " tuple(sorted(encoded.items()))))\n"))
+        assert report.clean, [f.render() for f in report.findings]
+
+    def test_direct_read_rescues_excluded_field(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def encode_config(config):\n"
+            "    return {name: getattr(config, name)\n"
+            "            for name in type(config).__dataclass_fields__\n"
+            '            if name != "trace"}\n',
+            key_src=("def cache_key(config):\n"
+                     "    encoded = encode_config(config)\n"
+                     "    return hash((FORMAT_VERSION, config.trace,"
+                     " tuple(sorted(encoded.items()))))\n"))
+        assert report.clean, [f.render() for f in report.findings]
+
+    def test_unfiltered_second_loop_cancels_the_exclusion(self, tmp_path):
+        # helper iterates twice; the second pass consumes every field,
+        # so the helper as a whole skips nothing (intersection)
+        report = self._report(
+            tmp_path,
+            "def encode_config(config):\n"
+            "    out = {}\n"
+            "    for name in type(config).__dataclass_fields__:\n"
+            '        if name == "trace":\n'
+            "            continue\n"
+            "        out[name] = getattr(config, name)\n"
+            "    for name in type(config).__dataclass_fields__:\n"
+            "        out.setdefault(name, getattr(config, name))\n"
+            "    return out\n")
+        assert report.clean, [f.render() for f in report.findings]
+
+
 class TestFormatLock:
     def _tree(self, tmp_path):
         tree = tmp_path / "tree"

@@ -1,0 +1,54 @@
+"""API-key resolution and request authorization."""
+
+from repro.serve.auth import ENV_KEY, ENV_KEY_FILE, ApiKeyAuth, load_key_file
+
+
+class TestKeyResolution:
+    def test_no_keys_means_open(self):
+        auth = ApiKeyAuth(env={})
+        assert auth.open
+        assert auth.authorize({})   # everything allowed
+
+    def test_env_key(self):
+        auth = ApiKeyAuth(env={ENV_KEY: " sekrit "})
+        assert not auth.open
+        assert auth.authorize({"Authorization": "Bearer sekrit"})
+        assert not auth.authorize({"Authorization": "Bearer wrong"})
+
+    def test_key_file_skips_blanks_and_comments(self, tmp_path):
+        path = tmp_path / "keys.txt"
+        path.write_text("# deploy keys\n\nalpha\n  beta  \n# old: gamma\n",
+                        encoding="utf-8")
+        assert load_key_file(path) == ["alpha", "beta"]
+        auth = ApiKeyAuth(env={ENV_KEY_FILE: str(path)})
+        assert auth.authorize({"X-API-Key": "alpha"})
+        assert auth.authorize({"X-API-Key": "beta"})
+        assert not auth.authorize({"X-API-Key": "gamma"})
+
+    def test_explicit_keys_combine_with_env(self, tmp_path):
+        path = tmp_path / "keys.txt"
+        path.write_text("filekey\n", encoding="utf-8")
+        auth = ApiKeyAuth(keys=["flagkey"], key_file=str(path),
+                          env={ENV_KEY: "envkey"})
+        for key in ("flagkey", "envkey", "filekey"):
+            assert auth.authorize({"Authorization": f"Bearer {key}"})
+
+
+class TestAuthorize:
+    def test_either_header_is_accepted(self):
+        auth = ApiKeyAuth(keys=["k1"], env={})
+        assert auth.authorize({"Authorization": "Bearer k1"})
+        assert auth.authorize({"X-API-Key": "k1"})
+
+    def test_missing_or_malformed_headers_are_rejected(self):
+        auth = ApiKeyAuth(keys=["k1"], env={})
+        assert not auth.authorize({})
+        assert not auth.authorize({"Authorization": "k1"})   # no Bearer
+        assert not auth.authorize({"X-API-Key": ""})
+
+    def test_bearer_wins_over_x_api_key(self):
+        # a wrong Bearer is not rescued by a correct X-API-Key: the
+        # explicit Authorization header is the one checked
+        auth = ApiKeyAuth(keys=["k1"], env={})
+        assert not auth.authorize({"Authorization": "Bearer bad",
+                                   "X-API-Key": "k1"})

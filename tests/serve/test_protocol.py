@@ -1,0 +1,154 @@
+"""Wire forms: spec lists, declarative sweeps, job decoding, SSE framing."""
+
+import io
+import json
+
+import pytest
+
+from repro.analog.coil import make_coil
+from repro.scenarios import ScenarioSpec, Sweep, log_uniform, uniform
+from repro.serve.protocol import (JobOptions, ProtocolError, decode_job,
+                                  job_request, specs_from_jsonable,
+                                  specs_to_jsonable, sweep_from_jsonable)
+from repro.serve.sse import format_event, iter_events
+from repro.sim import NS, US
+
+
+def _json_round_trip(payload):
+    """Force the payload through real JSON, like the HTTP boundary does."""
+    return json.loads(json.dumps(payload))
+
+
+class TestSpecLists:
+    def test_round_trip_preserves_specs_exactly(self):
+        specs = [
+            ScenarioSpec(name="a", overrides={"fsm_frequency": 333e6,
+                                              "n_phases": 4}),
+            ScenarioSpec(name="b", overrides={"controller": "async",
+                                              "l_uh": 4.7}, seed=7),
+        ]
+        decoded = specs_from_jsonable(
+            _json_round_trip(specs_to_jsonable(specs)))
+        assert decoded == specs
+
+    def test_model_objects_survive_the_json_boundary(self):
+        coil = make_coil(2.2)
+        specs = [ScenarioSpec(name="c", overrides={"coil": coil})]
+        decoded = specs_from_jsonable(
+            _json_round_trip(specs_to_jsonable(specs)))
+        assert decoded[0].overrides["coil"] == coil
+
+    def test_malformed_entries_raise_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            specs_from_jsonable({"not": "a list"})
+        with pytest.raises(ProtocolError):
+            specs_from_jsonable([{"overrides": {}}])   # no name
+        with pytest.raises(ProtocolError):
+            # unknown override key surfaces as a 400, not a server error
+            specs_from_jsonable([{"name": "x", "seed": None,
+                                  "overrides": {"bogus_knob": 1}}])
+
+
+class TestDeclarativeSweeps:
+    BASE = {"n_phases": 2, "r_load": 6.0, "sim_time": 2e-6, "dt": 1e-9,
+            "seed": 0}
+
+    def test_grid_block_matches_local_sweep_expansion(self):
+        local = Sweep(base=dict(self.BASE), name="g").grid(
+            ctrl=[("ASYNC", {"controller": "async"}),
+                  ("333MHz", {"controller": "sync",
+                              "fsm_frequency": 333e6})],
+            l_uh=[1.0, 4.7])
+        payload = _json_round_trip({
+            "name": "g", "base": self.BASE,
+            "grid": {"ctrl": [["ASYNC", {"controller": "async"}],
+                              ["333MHz", {"controller": "sync",
+                                          "fsm_frequency": 333e6}]],
+                     "l_uh": [1.0, 4.7]}})
+        assert sweep_from_jsonable(payload).specs() == local.specs()
+
+    def test_random_block_reproduces_seeded_draws(self):
+        local = Sweep(base=dict(self.BASE), seed=11, name="r").random(
+            4, l_uh=log_uniform(1.0, 10.0), r_load=uniform(3.0, 15.0))
+        payload = _json_round_trip({
+            "name": "r", "seed": 11, "base": self.BASE,
+            "blocks": [{"kind": "random", "n": 4,
+                        "draws": {"l_uh": {"dist": "log_uniform",
+                                           "lo": 1.0, "hi": 10.0},
+                                  "r_load": {"dist": "uniform",
+                                             "lo": 3.0, "hi": 15.0}}}]})
+        assert sweep_from_jsonable(payload).specs() == local.specs()
+
+    def test_point_block_and_block_list(self):
+        local = (Sweep(base=dict(self.BASE), name="p")
+                 .grid(l_uh=[1.0, 4.7]).point(name="extra", r_load=12.0))
+        payload = _json_round_trip({
+            "name": "p", "base": self.BASE,
+            "blocks": [{"kind": "grid", "axes": {"l_uh": [1.0, 4.7]}},
+                       {"kind": "point", "name": "extra",
+                        "overrides": {"r_load": 12.0}}]})
+        assert sweep_from_jsonable(payload).specs() == local.specs()
+
+    @pytest.mark.parametrize("payload", [
+        "not an object",
+        {"blocks": [{"axes": {}}]},                      # kind missing
+        {"blocks": [{"kind": "grid", "axes": {}}]},      # empty axes
+        {"blocks": [{"kind": "mystery"}]},               # unknown kind
+        {"blocks": [{"kind": "random", "n": 2,
+                     "draws": {"l_uh": {"dist": "gaussian"}}}]},
+        {"blocks": [{"kind": "random", "n": 2, "draws": {}}]},
+    ])
+    def test_malformed_sweeps_raise_protocol_error(self, payload):
+        with pytest.raises(ProtocolError):
+            sweep_from_jsonable(payload)
+
+
+class TestJobDecoding:
+    def test_job_request_round_trips_through_decode(self):
+        sweep = Sweep(base={"n_phases": 2, "sim_time": 2 * US, "dt": 1 * NS},
+                      name="j").grid(l_uh=[1.0, 4.7])
+        payload = _json_round_trip(job_request(
+            sweep=sweep, settle=1e-6, track_energy=False,
+            defaults={"r_load": 6.0}))
+        specs, options = decode_job(payload)
+        assert specs == sweep.specs()
+        assert options == JobOptions(defaults={"r_load": 6.0}, settle=1e-6,
+                                     trace=False, track_energy=False)
+
+    def test_specs_and_sweep_concatenate(self):
+        extra = ScenarioSpec(name="solo", overrides={"l_uh": 10.0})
+        payload = {
+            "specs": specs_to_jsonable([extra]),
+            "sweep": {"name": "s", "base": {"n_phases": 2},
+                      "grid": {"l_uh": [1.0]}},
+        }
+        specs, _ = decode_job(_json_round_trip(payload))
+        assert [s.name for s in specs] == ["solo", "s[l_uh=1]"]
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        [],
+        {},                                             # empty job
+        {"sweep": {"name": "x", "base": {}}, "bogus": 1},
+        {"specs": [], "settle": "soon"},
+        {"specs": [], "defaults": "nope"},
+    ])
+    def test_malformed_jobs_raise_protocol_error(self, payload):
+        with pytest.raises(ProtocolError):
+            decode_job(payload)
+
+
+class TestSSE:
+    def test_format_and_parse_round_trip(self):
+        frames = (format_event("lane", {"index": 3, "cached": True})
+                  + b": keep-alive\n\n"
+                  + format_event("done", {"total": 4}))
+        events = list(iter_events(io.BytesIO(frames)))
+        assert events == [{"event": "lane", "index": 3, "cached": True},
+                          {"event": "done", "total": 4}]
+
+    def test_partial_trailing_frame_is_dropped(self):
+        stream = io.BytesIO(format_event("lane", {"index": 0})
+                            + b"event: done\ndata: {\"total\":")
+        events = list(iter_events(stream))
+        assert [e["event"] for e in events] == ["lane"]

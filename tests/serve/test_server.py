@@ -1,0 +1,197 @@
+"""End-to-end acceptance for the sweep server.
+
+The headline test drives two concurrent clients with overlapping grids
+through a real HTTP server on an ephemeral port and proves the
+shared-cache contract: every unique config is simulated exactly once
+(hit/miss counters), results are bit-identical to an inline
+``Session.sweep``, and the SSE stream delivers exactly one event per
+lane in completion order.
+"""
+
+import threading
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, Sweep
+from repro.serve import ApiKeyAuth, ServeClient, ServeError, SweepServer
+from repro.session import Session
+from repro.sim import NS, US
+
+BASE = {"n_phases": 2, "r_load": 6.0, "sim_time": 2 * US, "dt": 1 * NS,
+        "seed": 0}
+
+
+def _grid(name, freqs, l_values):
+    return Sweep(base=dict(BASE), name=name).grid(fsm_frequency=freqs,
+                                                  l_uh=l_values)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    session = Session(cache="readwrite", cache_dir=str(tmp_path / "cache"))
+    with SweepServer(session=session, job_workers=2) as srv:
+        yield srv
+
+
+class TestAcceptance:
+    def test_concurrent_overlapping_clients_share_every_compute(
+            self, server):
+        # 4 + 4 lanes, one shared config (333 MHz, 4.7 uH) -> 7 unique
+        sweeps = [_grid("a", [1e8, 333e6], [1.0, 4.7]),
+                  _grid("b", [333e6, 1e9], [4.7, 10.0])]
+        lanes = [None, None]
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def run_client(slot):
+            try:
+                client = ServeClient(server.url)
+                barrier.wait()
+                snapshot = client.submit(sweep=sweeps[slot],
+                                         track_energy=False)
+                lanes[slot] = client.wait(snapshot["id"])
+            except Exception as exc:   # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run_client, args=(slot,))
+                   for slot in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not errors, errors
+        assert all(lane is not None for lane in lanes)
+
+        # exactly one simulation per unique config, provable by counters
+        session = server.session
+        assert session.cache_misses == 7
+        assert session.cache_hits == 1
+        # the overlap lane was either served from the finished entry or
+        # waited on the other job's in-flight compute — never recomputed
+        assert session.inflight_waits <= 1
+
+        # one SSE event per lane, every index exactly once
+        for slot, sweep in enumerate(sweeps):
+            indices = [event["index"] for event in lanes[slot]]
+            assert sorted(indices) == list(range(len(sweep)))
+            assert len(indices) == len(set(indices))
+
+        # bit-identical to an inline, uncached Session.sweep
+        inline = Session(cache="off")
+        for slot, sweep in enumerate(sweeps):
+            points = inline.sweep(sweep, track_energy=False)
+            by_index = {e["index"]: e for e in lanes[slot]}
+            for i, point in enumerate(points):
+                assert by_index[i]["run"].to_dict() == \
+                    point.result.to_dict()
+
+    def test_second_submission_is_fully_cache_hot(self, server):
+        client = ServeClient(server.url)
+        sweep = _grid("hot", [1e8], [1.0, 4.7])
+        cold = client.run_sweep(sweep=sweep, track_energy=False)
+        assert [e["cached"] for e in cold] == [False, False]
+        hot = client.run_sweep(sweep=sweep, track_energy=False)
+        assert [e["cached"] for e in hot] == [True, True]
+        assert [e["run"].to_dict() for e in hot] == \
+            [e["run"].to_dict() for e in cold]
+
+    def test_duplicate_specs_within_one_job_compute_once(self, server):
+        client = ServeClient(server.url)
+        spec = ScenarioSpec(name="dup", overrides=dict(BASE, l_uh=1.0))
+        snapshot = client.submit(specs=[spec, spec], track_energy=False)
+        lanes = client.wait(snapshot["id"])
+        assert server.session.cache_misses == 1
+        final = client.job(snapshot["id"])
+        assert (final["computed"], final["cached"]) == (1, 1)
+        assert lanes[0]["run"].to_dict() == lanes[1]["run"].to_dict()
+
+
+class TestRoutes:
+    def test_fetch_by_key_serves_without_recompute(self, server):
+        client = ServeClient(server.url)
+        [lane] = client.run_sweep(
+            specs=[ScenarioSpec(name="one", overrides=dict(BASE))],
+            track_energy=False)
+        misses_before = server.session.cache_misses
+        fetched = client.result(lane["key"])
+        assert fetched.to_dict() == lane["run"].to_dict()
+        assert server.session.cache_misses == misses_before
+
+    def test_missing_result_is_404(self, server):
+        client = ServeClient(server.url)
+        with pytest.raises(ServeError) as err:
+            client.result("0" * 64)
+        assert err.value.code == 404
+
+    def test_unknown_job_is_404(self, server):
+        client = ServeClient(server.url)
+        with pytest.raises(ServeError) as err:
+            client.job("deadbeef")
+        assert err.value.code == 404
+
+    def test_malformed_submission_is_400(self, server):
+        client = ServeClient(server.url)
+        with pytest.raises(ServeError) as err:
+            client.submit(payload={"sweep": {"blocks": [{"kind": "nope"}]}})
+        assert err.value.code == 400
+        with pytest.raises(ServeError) as err:
+            client.submit(payload={})
+        assert err.value.code == 400
+
+    def test_follow_replays_finished_jobs_identically(self, server):
+        client = ServeClient(server.url)
+        snapshot = client.submit(sweep=_grid("replay", [1e8], [1.0, 4.7]),
+                                 track_energy=False)
+        live = [(e["event"], e.get("index")) for e in
+                client.follow(snapshot["id"])]
+        replay = [(e["event"], e.get("index")) for e in
+                  client.follow(snapshot["id"])]
+        assert live == replay
+        assert live[0][0] == "start" and live[-1][0] == "done"
+        assert [x for x in live if x[0] == "lane"] == \
+            [("lane", 0), ("lane", 1)]
+
+    def test_stats_and_jobs_listing(self, server):
+        client = ServeClient(server.url)
+        client.run_sweep(specs=[ScenarioSpec(name="s",
+                                             overrides=dict(BASE))],
+                         track_energy=False)
+        stats = client.stats()
+        assert stats["misses"] == 1 and stats["mode"] == "readwrite"
+        assert stats["jobs"]["total"] == 1
+        [job] = client.jobs()
+        assert job["state"] == "done" and job["total"] == 1
+
+    def test_traced_job_carries_waveforms_end_to_end(self, server):
+        client = ServeClient(server.url)
+        [lane] = client.run_sweep(
+            specs=[ScenarioSpec(name="traced", overrides=dict(BASE))],
+            trace=True, track_energy=False)
+        assert lane["run"].trace is not None
+        fetched = client.result(lane["key"], trace=True)
+        assert fetched.trace is not None
+        assert fetched.to_dict() == lane["run"].to_dict()
+
+
+class TestAuth:
+    def test_api_key_gates_every_route_but_health(self, tmp_path):
+        session = Session(cache="readwrite",
+                          cache_dir=str(tmp_path / "cache"))
+        auth = ApiKeyAuth(keys=["sekrit"], env={})
+        with SweepServer(session=session, auth=auth) as srv:
+            anon = ServeClient(srv.url, api_key="")
+            assert anon.health()["ok"]          # liveness stays open
+            for call in (anon.jobs, anon.stats,
+                         lambda: anon.submit(specs=[ScenarioSpec(
+                             name="x", overrides=dict(BASE))])):
+                with pytest.raises(ServeError) as err:
+                    call()
+                assert err.value.code == 401
+
+            wrong = ServeClient(srv.url, api_key="guess")
+            with pytest.raises(ServeError) as err:
+                wrong.jobs()
+            assert err.value.code == 401
+
+            good = ServeClient(srv.url, api_key="sekrit")
+            assert good.jobs() == []

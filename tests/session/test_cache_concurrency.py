@@ -1,0 +1,200 @@
+"""Multi-process stress for the concurrent-safe ResultCache.
+
+N writer processes, M reader processes, and a pruner hammer one cache
+directory.  The invariants under test are the cache's concurrency
+contract (see the module docstring of :mod:`repro.session.cache`):
+
+* **no torn reads** — a reader sees a miss or the exact expected
+  content for that key, never a mangled result;
+* **no lost entries** — with an uncapped pruner, every key written is
+  loadable afterwards;
+* **prune never deletes mid-store** — entries re-stored during a prune
+  scan survive, and the end state contains no half-entries (json
+  without npz or vice versa).
+
+Results are synthetic and derived deterministically from the key index,
+so any cross-contamination between entries is detectable.
+"""
+
+import hashlib
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.session import ResultCache
+from repro.system import RunResult
+from repro.trace import TraceSet
+
+N_KEYS = 12
+N_WRITERS = 3
+N_READERS = 3
+ROUNDS = 6          # store rounds per writer
+READS = 200         # load attempts per reader
+
+
+def _key(i: int) -> str:
+    return hashlib.sha256(f"stress-{i}".encode()).hexdigest()
+
+
+def _result(i: int, traced: bool) -> RunResult:
+    trace = None
+    if traced:
+        trace = (TraceSet()
+                 .add_grid("t", np.linspace(0.0, 1e-6, 64))
+                 .add_channel("v_load",
+                              np.full(64, float(i), dtype=np.float64),
+                              grid="t"))
+    return RunResult(controller=f"ctl{i}", v_final=1.0 + i,
+                     peak_coil_current=0.25 * i, ripple=0.001 * i,
+                     coil_loss_w=1e-6 * i, efficiency=0.5 + 0.01 * i,
+                     ov_events=i, cycles=[i, i + 1, i + 2],
+                     metastable_events=i % 3, solver_ticks=100 + i,
+                     trace=trace)
+
+
+def _matches(result: RunResult, i: int) -> bool:
+    expected = _result(i, traced=False)
+    got = result.to_dict()
+    got.pop("trace", None)
+    return got == expected.to_dict()
+
+
+def _writer(root: str, seed: int, errors) -> None:
+    cache = ResultCache(root=root)
+    rng = np.random.default_rng(seed)
+    for round_no in range(ROUNDS):
+        for i in rng.permutation(N_KEYS):
+            i = int(i)
+            # traced and untraced stores interleave: strip/evict passes
+            # race against both shapes
+            traced = (i + round_no + seed) % 3 == 0
+            if not cache.store(_key(i), _result(i, traced)):
+                errors.put(f"writer {seed}: store refused for key {i}")
+                return
+
+
+def _reader(root: str, seed: int, errors) -> None:
+    cache = ResultCache(root=root, mode="readonly")
+    rng = np.random.default_rng(seed)
+    for _ in range(READS):
+        i = int(rng.integers(N_KEYS))
+        result = cache.load(_key(i))
+        if result is None:
+            continue          # a miss is always legal mid-write
+        if not _matches(result, i):
+            errors.put(f"reader {seed}: torn/foreign content for key {i}")
+            return
+        traced = cache.load(_key(i), want_trace=True)
+        if traced is not None:
+            if traced.trace is None \
+                    or traced.trace.values("v_load")[0] != float(i):
+                errors.put(f"reader {seed}: wrong trace for key {i}")
+                return
+
+
+def _pruner(root: str, limit: int, errors) -> None:
+    cache = ResultCache(root=root)
+    for _ in range(40):
+        try:
+            cache.prune(max_bytes=limit, strip_traces=True)
+        except Exception as exc:   # noqa: BLE001 - surfaced via the queue
+            errors.put(f"pruner: {exc!r}")
+            return
+
+
+def _run_processes(targets) -> list:
+    ctx = multiprocessing.get_context("spawn")
+    errors = ctx.Queue()
+    procs = [ctx.Process(target=fn, args=args + (errors,))
+             for fn, args in targets]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=300)
+    alive = [p for p in procs if p.is_alive()]
+    for p in alive:
+        p.terminate()
+    assert not alive, "stress processes deadlocked"
+    out = []
+    while not errors.empty():
+        out.append(errors.get())
+    return out
+
+
+def _assert_no_half_entries(root: str) -> None:
+    cache = ResultCache(root=root)
+    json_stems = {p.with_suffix("") for p in cache.root.glob("*/*.json")}
+    npz_stems = {p.with_suffix("") for p in cache.root.glob("*/*.npz")}
+    assert json_stems == npz_stems, "half-written entry left on disk"
+
+
+@pytest.mark.parametrize("capped", [False, True],
+                         ids=["uncapped", "capped-pruner"])
+def test_writers_readers_and_pruner_share_one_directory(tmp_path, capped):
+    root = str(tmp_path / "cache")
+    # seed one full round so readers have something to hit immediately
+    seeded = ResultCache(root=root)
+    for i in range(N_KEYS):
+        seeded.store(_key(i), _result(i, traced=i % 3 == 0))
+
+    # a tight cap forces real evictions; the uncapped variant proves
+    # no entry is ever lost without eviction pressure
+    limit = 6 * 1024 if capped else 1 << 40
+    targets = (
+        [(_writer, (root, seed)) for seed in range(N_WRITERS)]
+        + [(_reader, (root, 1000 + seed)) for seed in range(N_READERS)]
+        + [(_pruner, (root, limit))]
+    )
+    errors = _run_processes(targets)
+    assert not errors, errors
+
+    _assert_no_half_entries(root)
+    cache = ResultCache(root=root)
+    if not capped:
+        # nothing was over the cap, so nothing may have been evicted:
+        # every key loads and carries exactly its own content
+        for i in range(N_KEYS):
+            result = cache.load(_key(i))
+            assert result is not None, f"entry {i} lost without eviction"
+            assert _matches(result, i)
+    else:
+        # eviction is allowed to drop entries, never to corrupt them
+        for i in range(N_KEYS):
+            result = cache.load(_key(i))
+            assert result is None or _matches(result, i)
+
+
+def test_concurrent_pruners_serialize_on_the_writer_lock(tmp_path):
+    root = str(tmp_path / "cache")
+    cache = ResultCache(root=root)
+    for i in range(N_KEYS):
+        cache.store(_key(i), _result(i, traced=True))
+    errors = _run_processes([(_pruner, (root, 4 * 1024)),
+                             (_pruner, (root, 4 * 1024))])
+    assert not errors, errors
+    _assert_no_half_entries(root)
+    # whatever survived is intact
+    survivor = ResultCache(root=root)
+    for i in range(N_KEYS):
+        result = survivor.load(_key(i))
+        assert result is None or _matches(result, i)
+
+
+def test_store_during_prune_survives(tmp_path):
+    """An entry re-stored while a prune pass is scanning must not be
+    deleted mid-store: the eviction loop re-checks mtimes."""
+    root = str(tmp_path / "cache")
+    cache = ResultCache(root=root)
+    for i in range(N_KEYS):
+        cache.store(_key(i), _result(i, traced=True))
+
+    # interleave: a writer re-stores every key while a pruner evicts hard
+    targets = [(_writer, (root, 99)), (_pruner, (root, 2 * 1024))]
+    errors = _run_processes(targets)
+    assert not errors, errors
+    _assert_no_half_entries(root)
+    for i in range(N_KEYS):
+        result = cache.load(_key(i))
+        assert result is None or _matches(result, i)
