@@ -4,8 +4,11 @@
 Writes a tiny package into a temp directory with one of each violation
 the analyzer knows about — an unkeyed config field, a one-sided parity
 edit, an unseeded RNG draw, a wall-clock read, unordered iteration,
-id()-ordering, and an RNG draw on a clock-gating path — runs the
-analyzer over it, and prints the findings grouped by rule family.
+id()-ordering, an RNG draw on a clock-gating path, an unguarded write
+to a `guarded_by` attribute, a lock-order inversion, a blocking call
+under a lock, a set flowing (through variables) into a wire encoding,
+and a one-sided wire-field addition — runs the analyzer over it, and
+prints the findings grouped by rule family.
 
 Nothing here touches the real tree (which is lint-clean; that is a
 tier-1 test).  Use this to see what each finding looks like before you
@@ -66,6 +69,7 @@ def cache_key(config):
     return (config.dt, config.n_phases, config.stepping)
 ''',
     "scenarios/parallel.py": '''\
+import json
 import random
 import time
 
@@ -85,6 +89,57 @@ def shard(specs, pool_dir):
         specs.append(name)
     specs.sort(key=id)                  # address order -> D04
     return t0, jitter
+
+
+def manifest(specs):
+    names = set(s.name for s in specs)
+    payload = {"names": list(names)}    # taint survives the literal
+    return json.dumps(payload)          # set order on the wire -> D05
+''',
+    "session/telemetry.py": '''\
+import threading
+import time
+
+
+class Telemetry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        # lint: guarded_by(self._lock: bumped from worker threads)
+        self.count = 0
+
+    def bump(self):
+        self.count += 1                 # lock not held -> L01
+
+    def flush(self):
+        with self._lock:
+            time.sleep(0.1)             # blocking under a lock -> L03
+            with self._cond:
+                self._cond.notify_all()
+
+    def drain(self):
+        with self._cond:
+            with self._lock:            # reverse nesting -> L02
+                return self.count
+''',
+    "serve/jobs.py": '''\
+def snapshot(job):
+    return {"event": "state", "id": job.id, "state": job.state}
+''',
+    "serve/client.py": '''\
+def follow(events):
+    for event in events:
+        print(event["id"], event["state"])
+''',
+    "serve/protocol.py": '''\
+def job_request(specs):
+    payload = {}
+    payload["specs"] = [s.name for s in specs]
+    return payload
+
+
+def decode_job(payload):
+    return payload["specs"]
 ''',
     "analog/solver.py": '''\
 class AnalogSolver:
@@ -127,6 +182,9 @@ def build_tree(root: Path) -> LintConfig:
               "VectorizedSolver.lane_crossing_bound")),
         ),
         gating_roots=(("digital/clock.py", "Clock.suspend"),),
+        # the miniature serve layer emits via module-level dict
+        # literals only — no Job.snapshot method here
+        wire_emit_functions=(),
         locks_dir=root / "locks",
     )
 
@@ -134,9 +192,10 @@ def build_tree(root: Path) -> LintConfig:
 def main() -> None:
     with tempfile.TemporaryDirectory(prefix="lint_demo_") as tmp:
         config = build_tree(Path(tmp))
-        # lock the current state, then make the two post-lock edits the
-        # lockfiles exist to catch: a one-sided parity change (P01) and
-        # a RunResult layout change without a FORMAT_VERSION bump (K03)
+        # lock the current state, then make the post-lock edits the
+        # lockfiles exist to catch: a one-sided parity change (P01), a
+        # RunResult layout change without a FORMAT_VERSION bump (K03),
+        # and a wire field the server emits but no reader consumes (W01)
         update_locks(config)
         solver = Path(tmp) / "analog/solver.py"
         solver.write_text(solver.read_text(encoding="utf-8").replace(
@@ -145,6 +204,10 @@ def main() -> None:
         system.write_text(system.read_text(encoding="utf-8").replace(
             "    cycles: List[int] = None",
             "    cycles: List[int] = None\n    note: str = \"\""),
+            encoding="utf-8")
+        jobs = Path(tmp) / "serve/jobs.py"
+        jobs.write_text(jobs.read_text(encoding="utf-8").replace(
+            '"state": job.state}', '"state": job.state, "eta": 0}'),
             encoding="utf-8")
 
         report = run_lint(config)

@@ -2,10 +2,14 @@
 
 Exit codes: ``0`` clean, ``1`` findings, ``2`` usage/configuration
 error.  ``--json FILE`` writes the machine-readable report (CI uploads
-it as an artifact); ``--update-locks`` regenerates the parity and
-serialization-format lockfiles — the explicit ack for intentional
-paired edits and format bumps; ``--explain RULE`` prints the catalog
-entry with a miniature bad example.
+it as an artifact); ``--sarif FILE`` writes a SARIF 2.1.0 log for
+GitHub code-scanning annotations; ``--bench-json FILE`` records the
+analyzer's own wall time and finding counts (the perf-trajectory
+artifact); ``--update-locks`` regenerates the parity,
+serialization-format, and wire-schema lockfiles — the explicit ack for
+intentional paired edits, format bumps, and protocol changes;
+``--explain RULE`` prints the catalog entry with a miniature bad
+example.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -34,10 +39,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", default=None,
         help="write the JSON report to FILE ('-' for stdout)")
     parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="write a SARIF 2.1.0 log to FILE (GitHub code-scanning "
+             "annotations)")
+    parser.add_argument(
+        "--bench-json", metavar="FILE", default=None,
+        help="record the analyzer's wall time and finding counts to "
+             "FILE (perf-trajectory artifact)")
+    parser.add_argument(
         "--update-locks", action="store_true",
-        help="regenerate tests/golden/{parity,format}_lock.json from "
-             "the current tree (the explicit ack for paired edits and "
-             "FORMAT_VERSION bumps)")
+        help="regenerate tests/golden/{parity,format,wire}_lock.json "
+             "from the current tree (the explicit ack for paired "
+             "edits, FORMAT_VERSION bumps, and wire-schema changes)")
     parser.add_argument(
         "--explain", metavar="RULE", default=None,
         help="print the catalog entry for one rule id (e.g. K01) and "
@@ -95,7 +108,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     families = tuple(args.family) if args.family else FAMILIES
+    t0 = time.perf_counter()
     report = run_lint(config, families)
+    wall_s = time.perf_counter() - t0
+
+    if args.bench_json is not None:
+        by_rule: dict = {}
+        for finding in report.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        bench = {
+            "bench": "lint_self_run",
+            "wall_s": round(wall_s, 4),
+            "modules_scanned": report.modules_scanned,
+            "families": list(report.families),
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "by_rule": by_rule,
+        }
+        Path(args.bench_json).write_text(
+            json.dumps(bench, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    if args.sarif is not None:
+        from .sarif import write_sarif
+        write_sarif(Path(args.sarif), report, config)
 
     if args.json is not None:
         payload = json.dumps(report.to_dict(), indent=1, sort_keys=True)

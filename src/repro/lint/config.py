@@ -15,6 +15,14 @@ allowlist stays self-documenting:
     Suppressions are counted and carried in the JSON report, never
     silently dropped.
 
+``# lint: guarded_by(self._lock: reason)``
+    Placed on an attribute-initializing assignment (``self._events =
+    []`` in ``__init__``); declares that every later read/write of that
+    attribute must happen while ``with self._lock:`` is held (rule
+    L01).  The lock is named as the access expression used at the use
+    sites — ``self._lock``, ``self._cond``, or the factory form
+    ``self._writer_lock()``.
+
 :class:`LintConfig` names every repo-specific anchor (which module holds
 the config dataclass, which functions are the keys, which callables are
 gating roots, where the lockfiles live) so the test suite can point the
@@ -124,6 +132,25 @@ class LintConfig:
     parity_pairs: Tuple[Tuple[str, Tuple[str, str], Tuple[str, str]], ...] \
         = DEFAULT_PARITY_PAIRS
     gating_roots: Tuple[Tuple[str, str], ...] = DEFAULT_GATING_ROOTS
+    #: modules whose JSON/SSE dict literals are the *server-side* wire
+    #: surface (every dict literal with a constant "event" key, plus
+    #: literals passed to the handler's ``_json``)
+    wire_emit_modules: Tuple[str, ...] = ("serve/jobs.py", "serve/sse.py",
+                                          "serve/server.py")
+    #: named functions whose return dict literals / subscript stores are
+    #: also server emissions: ``(module, qualname)``
+    wire_emit_functions: Tuple[Tuple[str, str], ...] = (
+        ("serve/jobs.py", "Job.snapshot"),)
+    #: modules whose constant-key subscript loads / ``.get()`` calls are
+    #: the *client-side* reads
+    wire_reader_modules: Tuple[str, ...] = ("serve/client.py",)
+    #: the submission direction: the client-side encoder (its constant
+    #: subscript stores are fields the client sends) and the
+    #: server-side decoder (its reads + known-field set literal)
+    wire_submit_encoder: Tuple[str, str] = ("serve/protocol.py",
+                                            "job_request")
+    wire_submit_decoder: Tuple[str, str] = ("serve/protocol.py",
+                                            "decode_job")
     #: directory holding parity_lock.json / format_lock.json
     locks_dir: Path = Path("tests/golden")
 
@@ -134,6 +161,10 @@ class LintConfig:
     @property
     def format_lock_path(self) -> Path:
         return Path(self.locks_dir) / "format_lock.json"
+
+    @property
+    def wire_lock_path(self) -> Path:
+        return Path(self.locks_dir) / "wire_lock.json"
 
     def with_root(self, root: Path) -> "LintConfig":
         return replace(self, root=Path(root))
@@ -218,3 +249,24 @@ def has_bare_suppression(line_text: str) -> bool:
     """The ``ok(`` marker is present but doesn't parse (X01 material)."""
     return bool(_OK_BARE_RE.search(line_text)) \
         and parse_suppression(line_text) is None
+
+
+_GUARD_RE = re.compile(
+    r"#\s*lint:\s*guarded_by\(\s*([A-Za-z_][A-Za-z0-9_.]*(?:\(\))?)"
+    r"\s*:\s*(.+)\)\s*$")
+_GUARD_BARE_RE = re.compile(r"#\s*lint:\s*guarded_by\(")
+
+
+def parse_guarded_by(line_text: str) -> Optional[Tuple[str, str]]:
+    """``(lock_expr, reason)`` if the line carries a well-formed
+    ``# lint: guarded_by(self._lock: reason)`` marker, else ``None``."""
+    match = _GUARD_RE.search(line_text)
+    if match:
+        return match.group(1), match.group(2).strip()
+    return None
+
+
+def has_bare_guard(line_text: str) -> bool:
+    """The ``guarded_by(`` marker is present but doesn't parse."""
+    return bool(_GUARD_BARE_RE.search(line_text)) \
+        and parse_guarded_by(line_text) is None

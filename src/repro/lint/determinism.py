@@ -1,38 +1,47 @@
 """Rule family D: sources of run-to-run nondeterminism.
 
 Scans the result-producing modules (``scan_paths`` in the
-configuration) for the four classic ways bit-identity dies:
+configuration) for the classic ways bit-identity dies:
 
 * **D01** — randomness from interpreter-global state: module-level
   ``random.*`` draws, legacy ``np.random.*`` draws, and zero-argument
   ``Random()`` / ``default_rng()`` / ``PCG64()`` constructions.  All
-  simulation randomness must flow from a seeded generator.
+  simulation randomness must flow from a seeded generator.  Flagged at
+  the draw/construction site — the hazard is the call itself.
 * **D02** — wall-clock reads (``time.time``/``perf_counter``/
   ``monotonic``, ``datetime.now``); these belong in ``benchmarks/``.
-* **D03** — iteration whose order the platform picks: ``for`` /
-  comprehension loops directly over set literals, ``set()``/
-  ``frozenset()`` calls, set-algebra results, or directory listings
-  (``glob``/``rglob``/``iterdir``/``scandir``/``listdir``) without a
-  ``sorted(...)`` wrapper.  ``list(...)``/``tuple(...)``/
-  ``enumerate(...)``/``reversed(...)`` wrappers are transparent — they
-  preserve the unordered order, so the inner expression is still
-  checked.
+* **D03** — iteration whose order the platform picks.  Dataflow-aware
+  since v2: the :mod:`~repro.lint.dataflow` lattice tracks set/
+  listing-tainted values through assignment chains, transparent
+  wrappers (``list``/``tuple``/``enumerate``/``reversed``/``iter``),
+  comprehensions, dict views, set algebra, container mutation, and one
+  level of same-module helper returns — so ``pending = set(x); for p
+  in pending:`` is caught, not just the literal ``for p in set(x):``.
+  ``sorted(...)`` clears the taint.
 * **D04** — ordering by ``id()`` (allocation address): ``key=id`` or a
   ``key=lambda`` calling ``id()`` in ``sorted``/``sort``/``min``/
   ``max``.
+* **D05** — a tainted value (set/listing *or* RNG/wall-clock) reaching
+  a key or serialization sink: ``cache_key``/``lockstep_key`` calls,
+  ``json.dumps``/``json.dump``, ``hashlib`` digests, and the SSE
+  encoder ``format_event``.  Set order inside a cache key means the
+  same config hashes differently between runs — cache misses at best,
+  colliding entries at worst.
 
-The checks are syntactic by design: they cannot see a set flowing
-through a variable, but every rule they do fire on is a real,
-mechanically fixable hazard — and the suppression syntax
-(``# lint: ok(D03: reason)``) documents the deliberate exceptions.
+D01/D02 stay call-site rules on purpose: a global-state draw in
+result-producing code is a hazard whether or not the value provably
+reaches a sink this release.  Their *values* still feed the taint
+lattice, so one that lands in a cache key is additionally a D05.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from .config import LintConfig
+from .dataflow import (ALL_TAGS, ORDER_TAGS, TAG_LISTING, TAG_RNG, TAG_SET,
+                       TAG_TIME, FunctionFlow, dataflow_for, own_exprs)
 from .engine import ModuleIndex, ModuleInfo, dotted_name
 from .findings import Finding
 
@@ -66,15 +75,25 @@ _CLOCK_CALLS = frozenset({
 _LISTING_METHODS = frozenset({"glob", "rglob", "iglob", "iterdir",
                               "scandir", "listdir"})
 
-_TRANSPARENT_WRAPPERS = frozenset({"list", "tuple", "enumerate", "reversed",
-                                   "iter"})
+_HASH_CTORS = frozenset({"sha256", "sha1", "sha512", "md5", "blake2b",
+                         "blake2s"})
+
+_TAG_DESC = {
+    TAG_SET: "set order",
+    TAG_LISTING: "filesystem listing order",
+    TAG_RNG: "an unseeded RNG value",
+    TAG_TIME: "a wall-clock value",
+}
 
 
 def _ctor_unseeded(call: ast.Call, name: str) -> bool:
     return name in _SEEDABLE_CTORS and not call.args and not call.keywords
 
 
-class _Visitor(ast.NodeVisitor):
+# ---------------------------------------------------------------------------
+# D01 / D02 / D04: call-site rules (syntactic on purpose)
+# ---------------------------------------------------------------------------
+class _CallSiteVisitor(ast.NodeVisitor):
     def __init__(self, info: ModuleInfo):
         self.info = info
         self.findings: List[Finding] = []
@@ -89,7 +108,6 @@ class _Visitor(ast.NodeVisitor):
                                      getattr(node, "lineno", 1), message,
                                      hint))
 
-    # -- D01 / D02 --------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         dotted = dotted_name(node.func)
         if dotted is not None:
@@ -134,7 +152,6 @@ class _Visitor(ast.NodeVisitor):
         self._check_id_ordering(node)
         self.generic_visit(node)
 
-    # -- D04 --------------------------------------------------------------
     def _check_id_ordering(self, node: ast.Call) -> None:
         name = None
         if isinstance(node.func, ast.Name):
@@ -160,59 +177,121 @@ class _Visitor(ast.NodeVisitor):
                            "order by a stable attribute (name, sequence "
                            "number) instead of id()")
 
-    # -- D03 --------------------------------------------------------------
-    def _unordered_reason(self, node: ast.AST) -> Optional[str]:
-        while (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id in _TRANSPARENT_WRAPPERS and node.args):
-            node = node.args[0]
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return "a set literal/comprehension"
-        if isinstance(node, ast.Call):
-            if isinstance(node.func, ast.Name) \
-                    and node.func.id in ("set", "frozenset"):
-                return f"{node.func.id}(...)"
-            if isinstance(node.func, ast.Attribute):
-                attr = node.func.attr
-                if attr in _LISTING_METHODS:
-                    return f".{attr}(...) (filesystem order)"
-                if attr in ("union", "intersection", "difference",
+
+# ---------------------------------------------------------------------------
+# D03 / D05: dataflow sinks
+# ---------------------------------------------------------------------------
+def _describe(expr: ast.expr, tags: FrozenSet[str], flow: FunctionFlow,
+              node_index: int) -> str:
+    """Human description of why ``expr`` is unordered/nondeterministic."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set literal/comprehension"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            if func.id in ("set", "frozenset"):
+                return f"{func.id}(...)"
+            if func.id in ("list", "tuple", "enumerate", "reversed",
+                           "iter") and expr.args:
+                return _describe(expr.args[0], tags, flow, node_index)
+        if isinstance(func, ast.Attribute):
+            if func.attr in _LISTING_METHODS:
+                return f".{func.attr}(...) (filesystem order)"
+            if func.attr in ("union", "intersection", "difference",
                             "symmetric_difference"):
-                    return f"a set-algebra result (.{attr}())"
-        return None
+                return f"a set-algebra result (.{func.attr}())"
+    if isinstance(expr, ast.Name):
+        born = sorted({d.lineno for d in flow.defs_of(node_index, expr.id)
+                       if d.value is not None})
+        where = f" (defined at line {', '.join(map(str, born))})" \
+            if born else ""
+        desc = ", ".join(sorted(_TAG_DESC[t] for t in tags))
+        return f"{expr.id!r}, which carries {desc}{where}"
+    desc = ", ".join(sorted(_TAG_DESC[t] for t in tags))
+    return f"a value carrying {desc}"
 
-    def _check_iter(self, iter_node: ast.AST) -> None:
-        reason = self._unordered_reason(iter_node)
-        if reason is not None:
-            self._emit("D03", iter_node,
-                       f"iteration over {reason} — order is platform-"
-                       "dependent",
-                       "wrap the iterable in sorted(...) to pin the "
-                       "order")
 
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node.iter)
-        self.generic_visit(node)
+def _sink_name(call: ast.Call) -> Optional[str]:
+    """The D05 sink label for a call, or None."""
+    func = call.func
+    dotted = dotted_name(func)
+    name = func.id if isinstance(func, ast.Name) else \
+        func.attr if isinstance(func, ast.Attribute) else None
+    if dotted in ("json.dumps", "json.dump"):
+        return dotted
+    if name in ("cache_key", "lockstep_key", "format_event"):
+        return name
+    if name in _HASH_CTORS and (dotted is None
+                                or dotted.startswith("hashlib.")
+                                or dotted == name):
+        return f"hashlib.{name}" if name else None
+    return None
 
-    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
-        self._check_iter(node.iter)
-        self.generic_visit(node)
 
-    def _visit_comp(self, node) -> None:
-        for gen in node.generators:
-            self._check_iter(gen.iter)
-        self.generic_visit(node)
+class _DataflowChecker:
+    def __init__(self, info: ModuleInfo):
+        self.info = info
+        self.findings: List[Finding] = []
 
-    visit_ListComp = _visit_comp
-    visit_SetComp = _visit_comp
-    visit_DictComp = _visit_comp
-    visit_GeneratorExp = _visit_comp
+    def run(self) -> List[Finding]:
+        for unit, flow in dataflow_for(self.info).flows():
+            for node in flow.nodes:
+                env = flow.env_in[node.index]
+                stmt = node.stmt
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    self._check_iter(stmt.iter, flow, node.index, env)
+                for expr in own_exprs(stmt):
+                    for sub in ast.walk(expr):
+                        if isinstance(sub, (ast.ListComp, ast.SetComp,
+                                            ast.DictComp,
+                                            ast.GeneratorExp)):
+                            for gen in sub.generators:
+                                self._check_iter(gen.iter, flow,
+                                                 node.index, env)
+                        elif isinstance(sub, ast.Call):
+                            self._check_sink(sub, flow, node.index, env)
+        return self.findings
+
+    def _check_iter(self, iter_expr: ast.expr, flow: FunctionFlow,
+                    node_index: int, env: Dict[str, FrozenSet[str]]
+                    ) -> None:
+        if isinstance(iter_expr, (ast.List, ast.Tuple, ast.Dict)):
+            # the literal's own iteration order is deterministic even
+            # when its *elements* are tainted (those are D05's problem)
+            return
+        tags = flow.eval_tags(iter_expr, env) & ORDER_TAGS
+        if not tags:
+            return
+        what = _describe(iter_expr, tags, flow, node_index)
+        self.findings.append(Finding(
+            "D03", self.info.relpath, iter_expr.lineno,
+            f"iteration over {what} — order is platform-dependent",
+            "wrap the iterable in sorted(...) to pin the order"))
+
+    def _check_sink(self, call: ast.Call, flow: FunctionFlow,
+                    node_index: int, env: Dict[str, FrozenSet[str]]
+                    ) -> None:
+        sink = _sink_name(call)
+        if sink is None:
+            return
+        for arg in list(call.args) + [kw.value for kw in call.keywords
+                                      if kw.arg != "sort_keys"]:
+            tags = flow.eval_tags(arg, env) & ALL_TAGS
+            if not tags:
+                continue
+            what = _describe(arg, tags, flow, node_index)
+            self.findings.append(Finding(
+                "D05", self.info.relpath, call.lineno,
+                f"nondeterministic value flowing into {sink}(): {what}",
+                "sort/canonicalize the value before it reaches the "
+                "key or wire encoder"))
 
 
 def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
     findings: List[Finding] = []
     for info in index.under(config.scan_paths):
-        visitor = _Visitor(info)
+        visitor = _CallSiteVisitor(info)
         visitor.visit(info.tree)
         findings.extend(visitor.findings)
+        findings.extend(_DataflowChecker(info).run())
     return findings

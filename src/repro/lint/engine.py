@@ -7,9 +7,9 @@ requested families, applies ``# lint: ok(RULE: reason)`` suppressions,
 and returns a :class:`LintReport` with deterministic finding order.
 
 Also home to the lockfile plumbing: :func:`update_locks` regenerates
-``tests/golden/parity_lock.json`` and ``format_lock.json`` — the
-explicit ack for intentional parity edits and serialization-format
-bumps.
+``tests/golden/parity_lock.json``, ``format_lock.json``, and
+``wire_lock.json`` — the explicit ack for intentional parity edits,
+serialization-format bumps, and wire-schema changes.
 """
 
 from __future__ import annotations
@@ -68,6 +68,11 @@ def build_index(config: LintConfig) -> Tuple[ModuleIndex, List[Finding]]:
     wanted.update(member[0] for _, a, b in config.parity_pairs
                   for member in (a, b))
     wanted.update(module for module, _ in config.gating_roots)
+    wanted.update(config.wire_emit_modules)
+    wanted.update(config.wire_reader_modules)
+    wanted.update(module for module, _ in config.wire_emit_functions)
+    wanted.update((config.wire_submit_encoder[0],
+                   config.wire_submit_decoder[0]))
     for entry in sorted(wanted):
         path = root / entry
         if path.is_file():
@@ -239,11 +244,13 @@ def run_lint(config: LintConfig,
     """Run the requested rule families over one shared tree walk."""
     index, findings = build_index(config)
     # imported here so the rule modules can use engine helpers freely
-    from . import determinism, keys, parity, purity
+    from . import determinism, keys, locks, parity, purity, wire
     runners = {
         "keys": keys.check,
         "parity": parity.check,
         "determinism": determinism.check,
+        "locks": locks.check,
+        "wire": wire.check,
         "purity": purity.check,
     }
     for family in families:
@@ -282,12 +289,18 @@ def update_locks(config: LintConfig) -> Dict[str, str]:
     hard = [f for f in findings if f.rule == "X00"]
     if hard:
         raise RuntimeError("cannot update locks: " + hard[0].render())
-    from . import keys, parity
+    from . import keys, parity, wire
     parity_payload = parity.lock_payload(config, index)
     write_lock(config.parity_lock_path, parity_payload)
     format_payload = keys.lock_payload(config, index)
     write_lock(config.format_lock_path, format_payload)
-    return {
+    written = {
         "parity_lock": str(config.parity_lock_path),
         "format_lock": str(config.format_lock_path),
     }
+    wire_payload = wire.lock_payload(config, index)
+    if any(wire_payload[d]["writes"] or wire_payload[d]["reads"]
+           for d in wire_payload):
+        write_lock(config.wire_lock_path, wire_payload)
+        written["wire_lock"] = str(config.wire_lock_path)
+    return written

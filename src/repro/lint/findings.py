@@ -45,8 +45,8 @@ class Rule:
     bad_example: str = ""
 
 
-#: the four rule families, in report order
-FAMILIES = ("keys", "parity", "determinism", "purity")
+#: the rule families, in report order
+FAMILIES = ("keys", "parity", "determinism", "locks", "wire", "purity")
 
 RULES: Dict[str, Rule] = {r.id: r for r in (
     Rule(
@@ -189,13 +189,19 @@ RULES: Dict[str, Rule] = {r.id: r for r in (
         "Iteration over an unordered collection or directory listing",
         "set/frozenset iteration order is hash-seed dependent and "
         "glob/iterdir/listdir order is filesystem dependent; either "
-        "can flow into event scheduling or result assembly.  Wrap the "
-        "iterable in sorted(...) to pin the order.",
+        "can flow into event scheduling or result assembly.  The check "
+        "is dataflow-aware: the unordered value is tracked through "
+        "assignments, list()/tuple()/enumerate() wrappers, "
+        "comprehensions, dict views, and one level of helper returns, "
+        "and flagged wherever it is iterated.  Wrap the iterable in "
+        "sorted(...) to pin the order (sorted() clears the taint).",
         bad_example=(
             "for name in {\"a\", \"b\"}:          # D03\n"
             "    schedule(name)\n"
-            "for p in path.glob(\"*.json\"):      # D03\n"
-            "    load(p)\n"),
+            "pending = set(work)\n"
+            "queue = list(pending)\n"
+            "for item in queue:                  # D03 (via dataflow)\n"
+            "    schedule(item)\n"),
     ),
     Rule(
         "D04", "determinism",
@@ -206,6 +212,99 @@ RULES: Dict[str, Rule] = {r.id: r for r in (
         bad_example=(
             "listeners.sort(key=id)              # D04\n"
             "first = min(events, key=lambda e: id(e))  # D04\n"),
+    ),
+    Rule(
+        "D05", "determinism",
+        "Nondeterministic value flowing into a cache key or wire encoder",
+        "A value carrying set/listing/RNG/wall-clock taint that reaches "
+        "cache_key/lockstep_key, json.dumps, a hashlib digest, or the "
+        "SSE encoder makes the content address or wire payload differ "
+        "between bit-identical runs — cache misses at best, silent "
+        "entry collisions at worst.  Sort (or otherwise canonicalize) "
+        "the value before it reaches the key.",
+        bad_example=(
+            "tags = set(encoded)            # unordered\n"
+            "payload[\"fields\"] = list(tags)\n"
+            "json.dumps(payload)            # D05: set order in the key\n"),
+    ),
+    Rule(
+        "L01", "locks",
+        "Guarded attribute accessed without its lock",
+        "An attribute declared `# lint: guarded_by(self._lock: reason)` "
+        "is read or written on a path where the CFG shows self._lock is "
+        "not held — a data race once any second thread exists.  Only "
+        "__init__/__post_init__ (object not yet shared) are exempt.",
+        bad_example=(
+            "class Log:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        # lint: guarded_by(self._lock: appended by workers)\n"
+            "        self._events = []\n"
+            "    def add(self, e):\n"
+            "        self._events.append(e)   # L01: lock not held\n"),
+    ),
+    Rule(
+        "L02", "locks",
+        "Inconsistent lock acquisition order",
+        "Two locks acquired in opposite nesting orders on different "
+        "paths (directly or through a called method) can deadlock the "
+        "moment both paths run concurrently; re-acquiring a "
+        "non-reentrant lock already held deadlocks immediately.  Pick "
+        "one global order and release before calling into code that "
+        "takes the other lock.",
+        bad_example=(
+            "def a(self):\n"
+            "    with self._lock:\n"
+            "        with self._cond: ...\n"
+            "def b(self):\n"
+            "    with self._cond:\n"
+            "        with self._lock: ...   # L02: inverted vs a()\n"),
+    ),
+    Rule(
+        "L03", "locks",
+        "Blocking call or suspension while holding a lock",
+        "time.sleep, Future.result, thread/process .join, socket I/O, "
+        "and generator yields while holding a lock stall every thread "
+        "that needs it (and a yield can hold it across arbitrary "
+        "caller code).  Condition.wait/wait_for on the *same* (sole) "
+        "held lock is the sanctioned exception — it releases while "
+        "waiting.  Compute first, then take the lock.",
+        bad_example=(
+            "with self._lock:\n"
+            "    time.sleep(0.1)            # L03\n"
+            "    data = future.result()     # L03\n"),
+    ),
+    Rule(
+        "W01", "wire",
+        "Server emits a wire field the client never reads",
+        "A field added to a server JSON/SSE payload that no client-side "
+        "reader consumes (and that tests/golden/wire_lock.json does not "
+        "ack) is one-sided protocol drift: either the client half of "
+        "the feature is missing, or the field is dead weight on every "
+        "event.  Read it in serve/client.py, or ack the intentional "
+        "one-sidedness with `python -m repro.lint --update-locks`.",
+        bad_example=(
+            "job.append({\"event\": \"lane\", \"shard\": 0, ...})\n"
+            "# client never reads \"shard\" -> W01\n"),
+    ),
+    Rule(
+        "W02", "wire",
+        "Client reads a wire field the server never emits",
+        "The client decodes a field no server code path writes — it "
+        "will always get the .get() default (or KeyError).  Emit the "
+        "field server-side, or ack a deliberately optional field with "
+        "`--update-locks`.",
+        bad_example=(
+            "event.get(\"shard\")   # server never emits \"shard\" -> W02\n"),
+    ),
+    Rule(
+        "W03", "wire",
+        "Wire-schema lockfile stale or missing",
+        "Both halves of the protocol moved together (or a field was "
+        "retired), but tests/golden/wire_lock.json still records the "
+        "old schema — the next one-sided edit would be judged against "
+        "a stale baseline.  Ack the schema change with "
+        "`python -m repro.lint --update-locks`.",
     ),
     Rule(
         "G01", "purity",

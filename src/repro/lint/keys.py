@@ -4,10 +4,12 @@ The repo's cache-soundness contract is that every ``SystemConfig``
 field either flows into :func:`repro.session.cache.cache_key` and
 :func:`repro.scenarios.parallel.lockstep_key`, or is *declared* outside
 them with a reasoned ``# lint: nokey(field: reason)`` annotation inside
-the key function's body.  The analysis is purely syntactic:
+the key function's body.  Consumption is resolved on the shared
+dataflow core (:mod:`repro.lint.dataflow`):
 
 * direct consumption — ``config.<field>`` attribute reads inside the
-  key function;
+  key function, including reads through a flow-sensitive *must-alias*
+  of the parameter (``cfg = config; ... cfg.field``);
 * bulk consumption — a helper called with the config argument whose
   body iterates ``__dataclass_fields__`` (the ``encode_config``
   pattern) consumes *every* field, minus any its own loop provably
@@ -32,6 +34,7 @@ import ast
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .config import LintConfig, parse_nokey
+from .dataflow import CodeUnit, FunctionFlow, own_exprs
 from .engine import (ModuleIndex, find_class, find_def, node_fingerprint,
                      read_lock)
 from .findings import Finding
@@ -49,17 +52,6 @@ def dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, int, ast.AST]]:
                                                           ast.Name):
             fields.append((node.target.id, node.lineno, node.annotation))
     return fields
-
-
-def _attr_reads(node: ast.AST, obj: str) -> Set[str]:
-    """Names read as ``<obj>.<name>`` anywhere under ``node``."""
-    reads: Set[str] = set()
-    for sub in ast.walk(node):
-        if (isinstance(sub, ast.Attribute)
-                and isinstance(sub.value, ast.Name)
-                and sub.value.id == obj):
-            reads.add(sub.attr)
-    return reads
 
 
 def _mentions_fields(node: ast.AST) -> bool:
@@ -183,26 +175,52 @@ def _bulk_helpers(index: ModuleIndex) -> Dict[str, Set[str]]:
 def _key_consumption(func: ast.AST, param: str, helpers: Dict[str, Set[str]]
                      ) -> Tuple[Set[str], Optional[Set[str]], Set[str]]:
     """``(direct_reads, bulk_excluded, normalized_out)`` for one key
-    function: attribute reads of the config param; the fields a bulk
-    helper called on it does *not* consume (``None`` when no bulk helper
-    is called at all — then only direct reads count); and which fields
-    are overwritten with a constant afterwards (normalised back out of
-    the key)."""
-    direct = _attr_reads(func, param)
+    function: attribute reads of the config param — resolved on the
+    dataflow CFG, so a read through a *must-alias* (``cfg = config``
+    followed by ``cfg.field``, where every definition reaching the read
+    is that rebinding) counts too; the fields a bulk helper called on it
+    (or on a must-alias of it) does *not* consume (``None`` when no bulk
+    helper is called at all — then only direct reads count); and which
+    fields are overwritten with a constant afterwards (normalised back
+    out of the key).
+
+    Must-alias, not may-alias, keeps the check sound: a name that is
+    only *sometimes* the config never hides an unkeyed field.
+    """
+    args = func.args
+    flow = FunctionFlow(CodeUnit(
+        func.name, func, func.body,
+        tuple(a.arg for a in (args.posonlyargs + args.args
+                              + args.kwonlyargs))))
+
+    def _is_param(expr: ast.AST, node_index: int) -> bool:
+        if not isinstance(expr, ast.Name):
+            return False
+        if expr.id == param:
+            return True
+        defs = flow.defs_of(node_index, expr.id)
+        return bool(defs) and all(
+            d.value is not None and isinstance(d.value, ast.Name)
+            and d.value.id == param for d in defs)
+
+    direct: Set[str] = set()
     called: List[str] = []
     bulk_vars: Set[str] = set()
-    for sub in ast.walk(func):
-        if not isinstance(sub, ast.Call):
-            continue
-        name = None
-        if isinstance(sub.func, ast.Name):
-            name = sub.func.id
-        elif isinstance(sub.func, ast.Attribute):
-            name = sub.func.attr
-        if name not in helpers:
-            continue
-        if any(isinstance(a, ast.Name) and a.id == param for a in sub.args):
-            called.append(name)
+    for node in flow.nodes:
+        for expr in own_exprs(node.stmt):
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Attribute) \
+                        and _is_param(sub.value, node.index):
+                    direct.add(sub.attr)
+                elif isinstance(sub, ast.Call):
+                    name = None
+                    if isinstance(sub.func, ast.Name):
+                        name = sub.func.id
+                    elif isinstance(sub.func, ast.Attribute):
+                        name = sub.func.attr
+                    if name in helpers and any(
+                            _is_param(a, node.index) for a in sub.args):
+                        called.append(name)
     consumes_all = bool(called)
     excluded: Optional[Set[str]] = None
     if consumes_all:

@@ -1,0 +1,469 @@
+"""Rule family L: lock discipline over the CFG's held-lock stacks.
+
+* **L01** — an attribute declared ``# lint: guarded_by(self._lock:
+  reason)`` (on its initializing assignment) is read or written on a
+  statement whose CFG node does not hold that lock.  ``__init__``/
+  ``__post_init__`` are exempt — the object is not shared yet.
+* **L02** — lock-order consistency: every ``with <lock>:`` nested under
+  other held locks contributes an acquisition edge ``outer -> inner``
+  (including one level of edges through called methods, with receivers
+  resolved by def-use chains and ``__init__`` attribute types); a cycle
+  in that digraph is a deadlock waiting for concurrency, and
+  re-acquiring a lock already held deadlocks a non-reentrant primitive
+  immediately.
+* **L03** — no blocking call or generator suspension while holding a
+  lock: ``time.sleep``, ``Future.result``, ``.join`` (non-string
+  receiver), socket ``sendall``/``recv``/``accept``, ``urlopen``,
+  subprocess spawns, and ``yield``/``await``.  ``Condition.wait``/
+  ``wait_for`` on the *sole* held lock is sanctioned — it releases the
+  lock while waiting; waiting on one lock while holding another is
+  still flagged.
+
+Lock identities are normalized so edges line up across methods:
+``self._lock`` inside class ``C`` becomes ``C._lock`` (likewise the
+factory form ``C._writer_lock()``); an unresolvable receiver keeps a
+``?.`` prefix, which still detects inversions between the same two
+syntactic locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .config import LintConfig, has_bare_guard, parse_guarded_by
+from .dataflow import (CodeUnit, FunctionFlow, dataflow_for, lock_name_of,
+                       own_exprs)
+from .engine import ModuleIndex, ModuleInfo, dotted_name
+from .findings import Finding
+
+#: methods exempt from L01 — the object is under construction
+_CTOR_METHODS = ("__init__", "__post_init__")
+
+_BLOCKING_DOTTED = frozenset({
+    "time.sleep", "os.system", "subprocess.run", "subprocess.call",
+    "subprocess.check_call", "subprocess.check_output",
+})
+_BLOCKING_ATTRS = frozenset({"result", "sendall", "recv", "accept",
+                             "urlopen"})
+_WAIT_ATTRS = frozenset({"wait", "wait_for"})
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """One parsed guarded_by declaration."""
+
+    cls: str
+    attr: str
+    lock: str        #: the access expression, e.g. ``self._cond``
+    reason: str
+    line: int
+
+
+@dataclass(frozen=True)
+class _Acq:
+    """One lock acquisition site: ``inner`` taken while ``outer`` held."""
+
+    outer: str
+    inner: str
+    relpath: str
+    line: int
+    via: str         #: "" for a direct `with`, else the callee qualname
+
+
+# ---------------------------------------------------------------------------
+# Guard collection
+# ---------------------------------------------------------------------------
+def _class_spans(info: ModuleInfo) -> List[Tuple[str, ast.ClassDef]]:
+    return [(node.name, node) for node in ast.walk(info.tree)
+            if isinstance(node, ast.ClassDef)]
+
+
+def _self_attr_assign_at(cls: ast.ClassDef, lineno: int) -> Optional[str]:
+    """The ``self.<attr>`` bound by an Assign/AnnAssign starting at
+    ``lineno`` (or the next line, for markers on their own line)."""
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)) \
+                and node.lineno in (lineno, lineno + 1):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    return target.attr
+    return None
+
+
+def collect_guards(info: ModuleInfo) -> Tuple[List[GuardDecl],
+                                              List[Finding]]:
+    guards: List[GuardDecl] = []
+    findings: List[Finding] = []
+    spans = _class_spans(info)
+    for lineno, text in enumerate(info.lines, start=1):
+        if has_bare_guard(text):
+            findings.append(Finding(
+                "X01", info.relpath, lineno,
+                "malformed guarded_by marker (expected "
+                "`# lint: guarded_by(self._lock: reason)`)",
+                "name the lock expression and a non-empty reason"))
+            continue
+        parsed = parse_guarded_by(text)
+        if parsed is None:
+            continue
+        lock, reason = parsed
+        owner = None
+        for name, cls in spans:
+            if cls.lineno <= lineno <= (cls.end_lineno or cls.lineno):
+                if _self_attr_assign_at(cls, lineno):
+                    owner = (name, _self_attr_assign_at(cls, lineno))
+        if owner is None:
+            findings.append(Finding(
+                "X01", info.relpath, lineno,
+                "guarded_by marker not attached to a self-attribute "
+                "assignment",
+                "place it on (or directly above) the `self.<attr> = ...` "
+                "line inside the class"))
+            continue
+        guards.append(GuardDecl(owner[0], owner[1], lock, reason, lineno))
+    return guards, findings
+
+
+# ---------------------------------------------------------------------------
+# Identity normalization and receiver resolution
+# ---------------------------------------------------------------------------
+class _ClassRegistry:
+    """Classes across the scanned modules + their __init__ attr types."""
+
+    def __init__(self, index: ModuleIndex, scan: Sequence[str]):
+        self.classes: Dict[str, Tuple[ModuleInfo, ast.ClassDef]] = {}
+        for info in index.under(scan):
+            for name, cls in _class_spans(info):
+                self.classes.setdefault(name, (info, cls))
+        self._attr_types: Dict[str, Dict[str, str]] = {}
+
+    def attr_types(self, cls_name: str) -> Dict[str, str]:
+        """``self.<attr> -> ClassName`` from constructor assignments."""
+        cached = self._attr_types.get(cls_name)
+        if cached is not None:
+            return cached
+        out: Dict[str, str] = {}
+        entry = self.classes.get(cls_name)
+        if entry is not None:
+            _, cls = entry
+            for node in cls.body:
+                if isinstance(node, ast.FunctionDef) \
+                        and node.name == "__init__":
+                    for sub in ast.walk(node):
+                        if not isinstance(sub, ast.Assign):
+                            continue
+                        for target in sub.targets:
+                            if (isinstance(target, ast.Attribute)
+                                    and isinstance(target.value, ast.Name)
+                                    and target.value.id == "self"
+                                    and isinstance(sub.value, ast.Call)
+                                    and isinstance(sub.value.func, ast.Name)
+                                    and sub.value.func.id in self.classes):
+                                out[target.attr] = sub.value.func.id
+        self._attr_types[cls_name] = out
+        return out
+
+
+def _normalize_lock(lock: str, cls: Optional[str],
+                    registry: _ClassRegistry) -> str:
+    """Map a syntactic lock expression to a global identity."""
+    suffix = ""
+    if lock.endswith("()"):
+        lock, suffix = lock[:-2], "()"
+    parts = lock.split(".")
+    if parts[0] == "self" and cls is not None:
+        if len(parts) == 3:
+            # self.<attr>.<lock>: resolve the attribute's class
+            owner = registry.attr_types(cls).get(parts[1])
+            if owner is not None:
+                return f"{owner}.{parts[2]}{suffix}"
+            return f"?.{parts[2]}{suffix}"
+        return f"{cls}.{'.'.join(parts[1:])}{suffix}"
+    if len(parts) == 1:
+        return f"?.{parts[0]}{suffix}"
+    return f"?.{parts[-1]}{suffix}"
+
+
+def _resolve_receiver(recv: ast.expr, cls: Optional[str],
+                      flow: FunctionFlow, node_index: int,
+                      registry: _ClassRegistry) -> Optional[str]:
+    """Class name of a call receiver, via __init__ attribute types
+    (``self.log``) or reaching definitions (``log = EventLog(...)``)."""
+    if isinstance(recv, ast.Attribute) and isinstance(recv.value, ast.Name) \
+            and recv.value.id == "self" and cls is not None:
+        return registry.attr_types(cls).get(recv.attr)
+    if isinstance(recv, ast.Name):
+        classes = set()
+        for d in flow.defs_of(node_index, recv.id):
+            if (d.value is not None and isinstance(d.value, ast.Call)
+                    and isinstance(d.value.func, ast.Name)
+                    and d.value.func.id in registry.classes):
+                classes.add(d.value.func.id)
+        if len(classes) == 1:
+            return classes.pop()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Acquisition summaries (what locks does each method take, at any depth)
+# ---------------------------------------------------------------------------
+def _acquired_in(unit: CodeUnit, cls: Optional[str],
+                 registry: _ClassRegistry) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(unit.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                name = lock_name_of(item.context_expr)
+                if name is not None:
+                    out.add(_normalize_lock(name, cls, registry))
+    return out
+
+
+def _unit_class(unit: CodeUnit) -> Optional[str]:
+    parts = unit.name.split(".")
+    return parts[0] if len(parts) >= 2 else None
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    scan = config.scan_paths
+    registry = _ClassRegistry(index, scan)
+
+    # method -> locks it acquires anywhere (one level of call summaries)
+    summaries: Dict[str, Set[str]] = {}
+    module_flows: List[Tuple[ModuleInfo, List[Tuple[CodeUnit,
+                                                    FunctionFlow]]]] = []
+    guards_by_cls: Dict[str, List[GuardDecl]] = {}
+    for info in index.under(scan):
+        guards, guard_findings = collect_guards(info)
+        findings.extend(guard_findings)
+        for guard in guards:
+            guards_by_cls.setdefault(guard.cls, []).append(guard)
+        flows = dataflow_for(info).flows()
+        module_flows.append((info, flows))
+        for unit, _ in flows:
+            if unit.name == "<module>":
+                continue
+            acquired = _acquired_in(unit, _unit_class(unit), registry)
+            if acquired:
+                summaries[unit.name] = acquired
+
+    acqs: List[_Acq] = []
+    for info, flows in module_flows:
+        for unit, flow in flows:
+            cls = _unit_class(unit)
+            findings.extend(_check_unit(
+                info, unit, flow, cls, registry, guards_by_cls,
+                summaries, acqs))
+
+    findings.extend(_check_lock_order(acqs))
+    return findings
+
+
+def _check_unit(info: ModuleInfo, unit: CodeUnit, flow: FunctionFlow,
+                cls: Optional[str], registry: _ClassRegistry,
+                guards_by_cls: Dict[str, List[GuardDecl]],
+                summaries: Dict[str, Set[str]],
+                acqs: List[_Acq]) -> List[Finding]:
+    findings: List[Finding] = []
+    method = unit.name.split(".")[-1]
+    guards = {g.attr: g for g in guards_by_cls.get(cls or "", [])}
+    check_l01 = bool(guards) and method not in _CTOR_METHODS
+
+    for node in flow.nodes:
+        held = node.held_locks
+        held_norm = [_normalize_lock(h, cls, registry) for h in held]
+
+        # -- acquisition edges + immediate re-acquire (L02) ------------
+        if isinstance(node.stmt, (ast.With, ast.AsyncWith)):
+            stack = list(held)
+            for item in node.stmt.items:
+                name = lock_name_of(item.context_expr)
+                if name is None:
+                    continue
+                inner = _normalize_lock(name, cls, registry)
+                for outer in stack:
+                    outer_norm = _normalize_lock(outer, cls, registry)
+                    if outer_norm == inner:
+                        findings.append(Finding(
+                            "L02", info.relpath, node.stmt.lineno,
+                            f"lock {name} acquired while already held — "
+                            "a non-reentrant primitive deadlocks here",
+                            "restructure so each lock is taken once per "
+                            "call path (or split the critical section)"))
+                    else:
+                        acqs.append(_Acq(outer_norm, inner, info.relpath,
+                                         node.stmt.lineno, ""))
+                stack.append(name)
+
+        for expr in own_exprs(node.stmt):
+            for sub in ast.walk(expr):
+                # -- L01: guarded self-attribute access ----------------
+                if (check_l01 and isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                        and sub.attr in guards):
+                    guard = guards[sub.attr]
+                    if guard.lock not in held:
+                        findings.append(Finding(
+                            "L01", info.relpath, sub.lineno,
+                            f"guarded attribute self.{guard.attr} "
+                            f"accessed without {guard.lock} held "
+                            f"(guarded_by declared at line {guard.line})",
+                            f"wrap the access in `with {guard.lock}:` — "
+                            f"declared reason: {guard.reason}"))
+                if not isinstance(sub, ast.Call):
+                    continue
+                # -- call-summary acquisition edges (L02) --------------
+                if held:
+                    callee_locks = _callee_locks(
+                        sub, cls, flow, node.index, registry, summaries)
+                    if callee_locks:
+                        callee, locks = callee_locks
+                        for outer in held_norm:
+                            for inner in locks:
+                                if inner != outer:
+                                    acqs.append(_Acq(
+                                        outer, inner, info.relpath,
+                                        sub.lineno, callee))
+                                else:
+                                    findings.append(Finding(
+                                        "L02", info.relpath, sub.lineno,
+                                        f"call to {callee}() re-acquires "
+                                        f"{inner}, already held here",
+                                        "release the lock before calling "
+                                        "into code that takes it"))
+                # -- L03: blocking while holding -----------------------
+                if held:
+                    findings.extend(_check_blocking(
+                        info, sub, held, held_norm, cls, registry))
+        if held:
+            for expr in own_exprs(node.stmt):
+                for sub in ast.walk(expr):
+                    if isinstance(sub, (ast.Yield, ast.YieldFrom,
+                                        ast.Await)):
+                        findings.append(Finding(
+                            "L03", info.relpath,
+                            getattr(sub, "lineno", node.stmt.lineno),
+                            f"suspension point while holding "
+                            f"{', '.join(held)} — the lock stays held "
+                            "across arbitrary caller code",
+                            "yield outside the critical section (copy "
+                            "what you need under the lock first)"))
+    return findings
+
+
+def _callee_locks(call: ast.Call, cls: Optional[str], flow: FunctionFlow,
+                  node_index: int, registry: _ClassRegistry,
+                  summaries: Dict[str, Set[str]]
+                  ) -> Optional[Tuple[str, Set[str]]]:
+    """(callee qualname, locks it acquires) for resolvable method calls."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if isinstance(func.value, ast.Name) and func.value.id == "self" \
+            and cls is not None:
+        qual = f"{cls}.{func.attr}"
+        locks = summaries.get(qual)
+        return (qual, locks) if locks else None
+    owner = _resolve_receiver(func.value, cls, flow, node_index, registry)
+    if owner is not None:
+        qual = f"{owner}.{func.attr}"
+        locks = summaries.get(qual)
+        return (qual, locks) if locks else None
+    return None
+
+
+def _check_blocking(info: ModuleInfo, call: ast.Call,
+                    held: Tuple[str, ...], held_norm: List[str],
+                    cls: Optional[str],
+                    registry: _ClassRegistry) -> List[Finding]:
+    func = call.func
+    dotted = dotted_name(func)
+    label: Optional[str] = None
+    if dotted is not None and dotted in _BLOCKING_DOTTED:
+        label = f"{dotted}()"
+    elif isinstance(func, ast.Attribute):
+        attr = func.attr
+        if attr in _WAIT_ATTRS:
+            recv = dotted_name(func.value)
+            if recv is not None:
+                recv_norm = _normalize_lock(recv, cls, registry)
+                others = [h for h, hn in zip(held, held_norm)
+                          if h != recv and hn != recv_norm]
+            else:
+                others = list(held)
+            if others:
+                label = (f".{attr}() on {recv or 'a condition'} while "
+                         f"also holding {', '.join(others)}")
+        elif attr == "join":
+            if not (isinstance(func.value, ast.Constant)
+                    and isinstance(func.value.value, str)):
+                label = ".join()"
+        elif attr in _BLOCKING_ATTRS:
+            label = f".{attr}()"
+    if label is None:
+        return []
+    return [Finding(
+        "L03", info.relpath, call.lineno,
+        f"blocking call {label} while holding {', '.join(held)}",
+        "compute/wait first, then take the lock (hold locks only "
+        "around shared-state reads and writes)")]
+
+
+# ---------------------------------------------------------------------------
+# L02: cycle detection over the acquisition digraph
+# ---------------------------------------------------------------------------
+def _check_lock_order(acqs: List[_Acq]) -> List[Finding]:
+    edges: Dict[Tuple[str, str], _Acq] = {}
+    for acq in sorted(acqs, key=lambda a: (a.relpath, a.line)):
+        edges.setdefault((acq.outer, acq.inner), acq)
+    succs: Dict[str, List[str]] = {}
+    for outer, inner in edges:
+        succs.setdefault(outer, []).append(inner)
+
+    def _path(src: str, dst: str) -> Optional[List[Tuple[str, str]]]:
+        """Edge path src -> ... -> dst (BFS, deterministic order)."""
+        queue: List[Tuple[str, List[Tuple[str, str]]]] = [(src, [])]
+        seen = {src}
+        while queue:
+            node, path = queue.pop(0)
+            for nxt in sorted(succs.get(node, [])):
+                step = path + [(node, nxt)]
+                if nxt == dst:
+                    return step
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((nxt, step))
+        return None
+
+    findings: List[Finding] = []
+    reported: Set[frozenset] = set()
+    for (outer, inner), acq in sorted(edges.items()):
+        back = _path(inner, outer)
+        if back is None:
+            continue
+        cycle_nodes = frozenset([outer, inner]
+                                + [n for edge in back for n in edge])
+        if cycle_nodes in reported:
+            continue
+        reported.add(cycle_nodes)
+        back_acq = edges[back[-1]]
+        via = f" (via {acq.via}())" if acq.via else ""
+        findings.append(Finding(
+            "L02", acq.relpath, acq.line,
+            f"lock order inversion: {acq.outer} -> {acq.inner} "
+            f"here{via}, but the reverse order is taken at "
+            f"{back_acq.relpath}:{back_acq.line}",
+            "pick one global acquisition order for these locks and "
+            "release before calling into code that takes the other"))
+    return findings

@@ -20,7 +20,13 @@ edges, i.e. the synchronous call chains.
 Resolution is name-based (``self.f()`` prefers a method of the same
 class; other attribute calls match any same-named method in the scan
 set), which over-approximates the reachable set — exactly the right
-direction for a soundness check.
+direction for a soundness check.  One sharpening rides on the shared
+dataflow index: a ``self.<attr>.method()`` call whose receiver type is
+pinned by a constructor assignment (``self.attr = ClassName(...)`` in
+``__init__``) resolves to exactly that class's method, so an unrelated
+same-named method elsewhere in the tree no longer drags its RNG or
+signal writes onto the gating path.  Receivers the map cannot type keep
+the over-approximating fallback.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from .config import LintConfig
 from .engine import ModuleIndex
 from .findings import Finding
+from .locks import _ClassRegistry
 
 #: dispatching write calls (observable side effects)
 _WRITE_NAMES = frozenset({"set", "_apply", "set_pmos", "set_nmos",
@@ -98,20 +105,27 @@ def _write_markers(node: ast.AST) -> List[Tuple[int, str]]:
     return markers
 
 
-def _direct_calls(node: ast.AST) -> List[Tuple[str, str]]:
-    """``(kind, name)`` for every call site: kind is ``self``, ``attr``
-    or ``bare``."""
+def _direct_calls(node: ast.AST) -> List[Tuple[str, str, Optional[str]]]:
+    """``(kind, name, recv_attr)`` for every call site: kind is
+    ``self``, ``attr`` or ``bare``; ``recv_attr`` is the attribute name
+    when the receiver is ``self.<attr>`` (typable via ``__init__``)."""
     calls = []
     for sub in ast.walk(node):
         if not isinstance(sub, ast.Call):
             continue
         func = sub.func
         if isinstance(func, ast.Name):
-            calls.append(("bare", func.id))
+            calls.append(("bare", func.id, None))
         elif isinstance(func, ast.Attribute):
-            kind = "self" if (isinstance(func.value, ast.Name)
-                              and func.value.id == "self") else "attr"
-            calls.append((kind, func.attr))
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                calls.append(("self", func.attr, None))
+            else:
+                recv_attr = None
+                if isinstance(func.value, ast.Attribute) \
+                        and isinstance(func.value.value, ast.Name) \
+                        and func.value.value.id == "self":
+                    recv_attr = func.value.attr
+                calls.append(("attr", func.attr, recv_attr))
     return calls
 
 
@@ -119,6 +133,7 @@ def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
     if not config.gating_roots:
         return []
     by_qual, by_name = _collect_functions(index, config.scan_paths)
+    registry = _ClassRegistry(index, config.scan_paths)
     findings: List[Finding] = []
 
     # resolve the roots
@@ -155,7 +170,7 @@ def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
                 f"reachable from gating path [{path}]",
                 "gating paths may schedule wakes or use Signal.force; "
                 "a dispatching write makes skipped edges observable"))
-        for kind, name in _direct_calls(fn.node):
+        for kind, name, recv_attr in _direct_calls(fn.node):
             if name in _NO_TRAVERSE:
                 continue
             targets: List[_Func] = []
@@ -170,7 +185,12 @@ def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
                                and cand.cls is None]
                 targets = same_module
             else:
-                targets = by_name.get(name, [])
+                owner = None
+                if recv_attr is not None and fn.cls is not None:
+                    owner = registry.attr_types(fn.cls).get(recv_attr)
+                typed = [cand for cand in by_name.get(name, [])
+                         if owner is not None and cand.cls == owner]
+                targets = typed or by_name.get(name, [])
             for target in targets:
                 if (target.module, target.qualname) not in visited:
                     queue.append((target, f"{path} -> {target.qualname}"))

@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One run, one ``repro.lint`` tool entry: every catalog rule becomes a
+``reportingDescriptor`` and every finding a ``result`` with a physical
+location, so ``github/codeql-action/upload-sarif`` renders findings as
+inline PR annotations.  Suppressed findings are carried with a
+``suppressions`` entry (kind ``inSource``) instead of being dropped,
+matching the JSON report's contract that suppressions stay visible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from .config import LintConfig
+from .engine import LintReport
+from .findings import Finding, RULES
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptor(rule_id: str) -> Dict:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "name": rule.title.replace(" ", ""),
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": "error"},
+        "properties": {"family": rule.family},
+    }
+
+
+def _result(finding: Finding, base: str, rule_index: Dict[str, int],
+            suppressed_reason: str = "") -> Dict:
+    uri = f"{base}/{finding.path}" if base else finding.path
+    out: Dict = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": "error",
+        "message": {"text": f"{finding.message} — hint: {finding.hint}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri,
+                                     "uriBaseId": "%SRCROOT%"},
+                "region": {"startLine": max(finding.line, 1)},
+            },
+        }],
+    }
+    if suppressed_reason:
+        out["suppressions"] = [{"kind": "inSource",
+                                "justification": suppressed_reason}]
+    return out
+
+
+def sarif_payload(report: LintReport, config: LintConfig) -> Dict:
+    """The SARIF log object for one analyzer run."""
+    # uris must be repo-relative for code-scanning annotations to land
+    try:
+        base = Path(config.root).resolve().relative_to(
+            Path.cwd().resolve()).as_posix()
+    except ValueError:
+        base = ""
+    if base == ".":
+        base = ""
+    used = sorted({f.rule for f in report.findings}
+                  | {s.finding.rule for s in report.suppressed})
+    rules = [_rule_descriptor(r) for r in used if r in RULES]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results: List[Dict] = [
+        _result(f, base, rule_index) for f in report.findings
+        if f.rule in rule_index]
+    results += [
+        _result(s.finding, base, rule_index, suppressed_reason=s.reason)
+        for s in report.suppressed if s.finding.rule in rule_index]
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.lint",
+                "rules": rules,
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def write_sarif(path: Path, report: LintReport,
+                config: LintConfig) -> None:
+    payload = json.dumps(sarif_payload(report, config), indent=1,
+                         sort_keys=True)
+    Path(path).write_text(payload + "\n", encoding="utf-8")

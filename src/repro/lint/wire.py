@@ -1,0 +1,294 @@
+"""Rule family W: wire-schema drift between server and client.
+
+The serve stack's JSON protocol has two directions:
+
+* **downstream** — fields the server writes (SSE event dict literals in
+  ``serve/jobs.py``/``serve/sse.py``, ``_json(...)`` response payloads
+  in ``serve/server.py``, and ``Job.snapshot``'s return literal) vs the
+  fields the client reads (constant-key subscripts and ``.get()`` calls
+  in ``serve/client.py``);
+* **submit** — fields the client encoder ``job_request`` stores vs the
+  fields the server decoder ``decode_job`` reads (including its
+  known-fields set literal).
+
+Both field sets are locked in ``tests/golden/wire_lock.json``.  After a
+lock bump, a *new* field written on one side and never consumed on the
+other is one-sided drift: **W01** (writer-side) / **W02**
+(reader-side).  Consistent two-sided changes — or retired fields —
+just need a lock refresh: **W03**, acked with ``--update-locks``
+exactly like the parity and format locks.
+
+Extraction is deliberately literal-based: dynamically built payloads
+(``session.cache_stats()`` passthroughs) are invisible to it, which is
+fine — the rule exists to catch the common drift mode, a field added to
+one side's literal and forgotten on the other.  On fixture trees where
+no wire module resolves, the family is silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import LintConfig
+from .engine import ModuleIndex, find_def
+from .findings import Finding
+
+#: ``.get`` receivers that are not wire payloads
+_NON_WIRE_RECEIVERS = ("os.environ",)
+
+Site = Tuple[str, int]     # (relpath, line)
+
+
+@dataclass
+class WireSchema:
+    """Current field sets, each field mapped to its first source site."""
+
+    writes: Dict[str, Dict[str, Site]] = field(default_factory=dict)
+    reads: Dict[str, Dict[str, Site]] = field(default_factory=dict)
+    missing: List[Finding] = field(default_factory=list)
+
+    def any_surface(self) -> bool:
+        return bool(self.writes or self.reads or self.missing)
+
+
+def _const_keys(literal: ast.Dict) -> List[Tuple[str, int]]:
+    out = []
+    for key in literal.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            out.append((key.value, key.lineno))
+    return out
+
+
+def _record(bucket: Dict[str, Site], relpath: str,
+            pairs: List[Tuple[str, int]]) -> None:
+    for name, line in pairs:
+        bucket.setdefault(name, (relpath, line))
+
+
+def _is_event_literal(literal: ast.Dict) -> bool:
+    return any(name == "event" for name, _ in _const_keys(literal))
+
+
+def _emit_literals(tree: ast.Module) -> List[Tuple[ast.Dict, bool]]:
+    """(dict literal, is_emission) for every literal in an emit module:
+    emissions are event dicts anywhere plus args of ``_json(...)``."""
+    json_args = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func,
+                                                     ast.Attribute) \
+                and node.func.attr == "_json":
+            for arg in node.args:
+                json_args.add(id(arg))
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Dict):
+            out.append((node, _is_event_literal(node)
+                        or id(node) in json_args))
+    return out
+
+
+def _function_writes(func_node: ast.AST) -> List[Tuple[str, int]]:
+    """Const keys of return dict literals + const subscript stores."""
+    pairs: List[Tuple[str, int]] = []
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            pairs.extend(_const_keys(node.value))
+        elif (isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Store)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)):
+            pairs.append((node.slice.value, node.lineno))
+    return pairs
+
+
+def _function_reads(func_node: ast.AST) -> List[Tuple[str, int]]:
+    """Const subscript loads, ``.get()`` consts, and known-field set
+    literals inside one decoder function."""
+    pairs: List[Tuple[str, int]] = []
+    for node in ast.walk(func_node):
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)):
+            pairs.append((node.slice.value, node.lineno))
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get" and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            pairs.append((node.args[0].value, node.lineno))
+        elif isinstance(node, ast.Set):
+            for elt in node.elts:
+                if isinstance(elt, ast.Constant) \
+                        and isinstance(elt.value, str):
+                    pairs.append((elt.value, elt.lineno))
+    return pairs
+
+
+def _module_reads(tree: ast.Module) -> List[Tuple[str, int]]:
+    """Client-side reads: const subscript loads + ``.get()`` consts.
+    ``.pop`` is excluded (the client's own bookkeeping keys, e.g. the
+    decoded ``"run"``, are not wire fields)."""
+    pairs: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)):
+            pairs.append((node.slice.value, node.lineno))
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get" and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            recv = ast.unparse(node.func.value) \
+                if hasattr(ast, "unparse") else ""
+            if recv not in _NON_WIRE_RECEIVERS:
+                pairs.append((node.args[0].value, node.lineno))
+    return pairs
+
+
+def extract(config: LintConfig, index: ModuleIndex) -> WireSchema:
+    schema = WireSchema()
+    down_w: Dict[str, Site] = {}
+    down_r: Dict[str, Site] = {}
+    up_w: Dict[str, Site] = {}
+    up_r: Dict[str, Site] = {}
+
+    for relpath in config.wire_emit_modules:
+        info = index.get(relpath)
+        if info is None:
+            continue
+        for literal, is_emission in _emit_literals(info.tree):
+            if is_emission:
+                _record(down_w, relpath, _const_keys(literal))
+    for relpath, qual in config.wire_emit_functions:
+        info = index.get(relpath)
+        if info is None:
+            continue
+        node = find_def(info.tree, qual)
+        if node is None:
+            schema.missing.append(Finding(
+                "X00", relpath, 1,
+                f"wire emit function {qual!r} not found",
+                "update wire_emit_functions in the lint configuration"))
+            continue
+        _record(down_w, relpath, _function_writes(node))
+    for relpath in config.wire_reader_modules:
+        info = index.get(relpath)
+        if info is None:
+            continue
+        _record(down_r, relpath, _module_reads(info.tree))
+
+    enc_rel, enc_qual = config.wire_submit_encoder
+    dec_rel, dec_qual = config.wire_submit_decoder
+    enc_info = index.get(enc_rel)
+    dec_info = index.get(dec_rel)
+    if enc_info is not None:
+        node = find_def(enc_info.tree, enc_qual)
+        if node is None:
+            schema.missing.append(Finding(
+                "X00", enc_rel, 1,
+                f"wire submit encoder {enc_qual!r} not found",
+                "update wire_submit_encoder in the lint configuration"))
+        else:
+            _record(up_w, enc_rel, _function_writes(node))
+    if dec_info is not None:
+        node = find_def(dec_info.tree, dec_qual)
+        if node is None:
+            schema.missing.append(Finding(
+                "X00", dec_rel, 1,
+                f"wire submit decoder {dec_qual!r} not found",
+                "update wire_submit_decoder in the lint configuration"))
+        else:
+            _record(up_r, dec_rel, _function_reads(node))
+
+    if down_w:
+        schema.writes["downstream"] = down_w
+    if down_r:
+        schema.reads["downstream"] = down_r
+    if up_w:
+        schema.writes["submit"] = up_w
+    if up_r:
+        schema.reads["submit"] = up_r
+    return schema
+
+
+# ---------------------------------------------------------------------------
+# Lock + check
+# ---------------------------------------------------------------------------
+def lock_payload(config: LintConfig, index: ModuleIndex) -> Dict:
+    schema = extract(config, index)
+    payload: Dict[str, Dict[str, List[str]]] = {}
+    for direction in ("downstream", "submit"):
+        payload[direction] = {
+            "writes": sorted(schema.writes.get(direction, {})),
+            "reads": sorted(schema.reads.get(direction, {})),
+        }
+    return payload
+
+
+_WRITER = {"downstream": "server", "submit": "client"}
+_READER = {"downstream": "client", "submit": "server"}
+
+
+def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
+    from .engine import read_lock
+    schema = extract(config, index)
+    if not schema.any_surface():
+        return []          # fixture tree without a serve stack
+    findings = list(schema.missing)
+    anchor = config.wire_submit_decoder[0]
+    lock = read_lock(config.wire_lock_path)
+    if lock is None:
+        findings.append(Finding(
+            "W03", anchor, 1,
+            f"wire-schema lockfile missing ({config.wire_lock_path})",
+            "generate it with `python -m repro.lint --update-locks`"))
+        return findings
+
+    for direction in ("downstream", "submit"):
+        writes = schema.writes.get(direction, {})
+        reads = schema.reads.get(direction, {})
+        locked = lock.get(direction, {})
+        locked_w = set(locked.get("writes", ()))
+        locked_r = set(locked.get("reads", ()))
+        writer, reader = _WRITER[direction], _READER[direction]
+        stale: List[str] = []
+        for name in sorted(set(writes) - locked_w):
+            if name in reads:
+                stale.append(f"+{writer}:{name}")
+                continue
+            path, line = writes[name]
+            findings.append(Finding(
+                "W01", path, line,
+                f"{writer} writes wire field {name!r} ({direction}) "
+                f"that the {reader} never reads",
+                f"consume it on the {reader} side, or ack the one-sided "
+                "field with `python -m repro.lint --update-locks`"))
+        for name in sorted(set(reads) - locked_r):
+            if name in writes:
+                stale.append(f"+{reader}:{name}")
+                continue
+            path, line = reads[name]
+            findings.append(Finding(
+                "W02", path, line,
+                f"{reader} reads wire field {name!r} ({direction}) "
+                f"that the {writer} never writes",
+                f"emit it on the {writer} side, or ack the deliberately "
+                "optional field with `python -m repro.lint "
+                "--update-locks`"))
+        stale.extend(f"-{writer}:{n}" for n in sorted(locked_w
+                                                      - set(writes)))
+        stale.extend(f"-{reader}:{n}" for n in sorted(locked_r
+                                                      - set(reads)))
+        if stale:
+            findings.append(Finding(
+                "W03", anchor, 1,
+                f"wire lock is stale for the {direction} direction "
+                f"({', '.join(stale)})",
+                "ack the schema change with `python -m repro.lint "
+                "--update-locks`"))
+    return findings

@@ -124,11 +124,18 @@ class ServeClient:
 
     def wait(self, job_id: str) -> List[Dict[str, Any]]:
         """Follow to completion; returns the lane events in arrival
-        order.  Raises :class:`ServeError` if the job failed."""
+        order.  Raises :class:`ServeError` if the job failed, or if the
+        server's bounded event log already evicted part of the replay
+        (a ``truncated`` frame) — a clipped lane list would silently
+        look like a smaller sweep."""
         lanes = []
         for event in self.follow(job_id):
             if event.get("event") == "lane":
                 lanes.append(event)
+            elif event.get("event") == "truncated":
+                raise ServeError(
+                    410, f"event replay truncated: {event.get('dropped')} "
+                         "event(s) evicted before this follower connected")
             elif event.get("event") == "failed":
                 raise ServeError(500, event.get("error", "job failed"))
         return lanes

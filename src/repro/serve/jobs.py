@@ -1,13 +1,13 @@
 """Job lifecycle for the sweep server.
 
-A :class:`Job` is one submitted sweep: its specs, a monotonically
-growing event log (one ``lane`` event per landed scenario plus one
-terminal ``done``/``failed`` event), and a condition variable so any
-number of SSE streams can block on "events past index N".  Every event
-is appended *before* waiters wake, and events are never mutated after
-append — a follower that connects late replays the full log and then
-continues live, seeing exactly the same sequence as one that connected
-before the job started.
+A :class:`Job` is one submitted sweep: its specs, a *bounded* event log
+(one ``lane`` event per landed scenario plus one terminal ``done``/
+``failed`` event, buffered in an :class:`~repro.serve.sse.EventLog`),
+and progress counters guarded by the job's own lock.  Events are never
+mutated after append; a follower that connects while the whole log is
+still retained replays exactly the sequence a live follower saw, and
+one that connects after eviction gets an explicit ``truncated`` marker
+first — never a silently clipped replay.
 
 :class:`JobManager` owns the worker pool.  Each job runs
 ``session.sweep(..., on_result=...)`` on one pool thread; per-lane
@@ -34,26 +34,35 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..scenarios.spec import ScenarioSpec
 from ..session import Session
 from .protocol import JobOptions
+from .sse import DEFAULT_MAX_EVENTS, EventLog
 
 #: job lifecycle states, in order
 STATES = ("queued", "running", "done", "failed")
 
+#: events that end an SSE stream (the job can produce nothing after them)
+TERMINAL_EVENTS = ("done", "failed")
+
 
 class Job:
-    """One submitted sweep and its append-only event log."""
+    """One submitted sweep: bounded event log + locked progress state."""
 
-    def __init__(self, specs: Sequence[ScenarioSpec], options: JobOptions):
+    def __init__(self, specs: Sequence[ScenarioSpec], options: JobOptions,
+                 max_events: int = DEFAULT_MAX_EVENTS):
         self.id = secrets.token_hex(8)
         self.specs = list(specs)
         self.options = options
         # wall-clock submission stamp, reporting only — never keyed on
         self.created = time.time()  # lint: ok(D02: job metadata, not results)
+        self.log = EventLog(max_events=max_events)
+        self._lock = threading.Lock()
+        # lint: guarded_by(self._lock: set by the worker, read by snapshots)
         self.state = "queued"
+        # lint: guarded_by(self._lock: written with state on failure)
         self.error: Optional[str] = None
+        # lint: guarded_by(self._lock: bumped per lane from session workers)
         self.cached = 0
+        # lint: guarded_by(self._lock: bumped per lane from session workers)
         self.computed = 0
-        self._events: List[Dict[str, Any]] = []
-        self._cond = threading.Condition()
 
     @property
     def total(self) -> int:
@@ -61,39 +70,55 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        return self.state in ("done", "failed")
+        with self._lock:
+            return self.state in TERMINAL_EVENTS
 
     # ------------------------------------------------------------------
-    # Event log (append-only; readers replay + follow)
+    # Event log (bounded append; readers replay + follow via self.log)
     # ------------------------------------------------------------------
     def append(self, event: Dict[str, Any]) -> None:
-        with self._cond:
-            self._events.append(event)
-            self._cond.notify_all()
+        self.log.append(event)
+        if event.get("event") in TERMINAL_EVENTS:
+            self.log.close()
 
-    def events_since(self, start: int,
-                     timeout: Optional[float] = None) -> List[Dict[str, Any]]:
-        """Events past index ``start``; blocks until at least one exists
-        or the job is finished (then returns whatever remains, possibly
-        nothing).  ``timeout`` bounds one wait; on expiry the (possibly
-        empty) slice is returned so callers can emit keep-alives."""
-        with self._cond:
-            self._cond.wait_for(
-                lambda: len(self._events) > start or self.finished,
-                timeout=timeout)
-            return self._events[start:]
+    def land(self, index: int, point) -> None:
+        """Record one landed lane: counters under the lock, then the
+        event append (which takes the log's own condition) outside it —
+        the two locks are never held together."""
+        with self._lock:
+            if point.cached:
+                self.cached += 1
+            else:
+                self.computed += 1
+        self.append({
+            "event": "lane",
+            "index": index,
+            "spec": point.spec.name,
+            "key": point.key,
+            "cached": point.cached,
+            "result": point.result.to_dict(),
+        })
+
+    def finish(self) -> None:
+        """Terminal success: flip the state, then emit ``done`` carrying
+        the final counters (read under the lock, appended outside it)."""
+        self.set_state("done")
+        with self._lock:
+            cached, computed = self.cached, self.computed
+        self.append({"event": "done", "cached": cached,
+                     "computed": computed, "total": self.total})
 
     def set_state(self, state: str, error: Optional[str] = None) -> None:
         if state not in STATES:
             raise ValueError(f"unknown job state {state!r}")
-        with self._cond:
+        with self._lock:
             self.state = state
             self.error = error
-            self._cond.notify_all()
 
     def snapshot(self) -> Dict[str, Any]:
         """The job's summary form (job listings and status polls)."""
-        with self._cond:
+        dropped = self.log.dropped
+        with self._lock:
             return {
                 "id": self.id,
                 "state": self.state,
@@ -103,19 +128,23 @@ class Job:
                 "cached": self.cached,
                 "computed": self.computed,
                 "created": self.created,
+                "dropped_events": dropped,
             }
 
 
 class JobManager:
     """Run jobs against one shared session on a bounded thread pool."""
 
-    def __init__(self, session: Session, workers: int = 2):
+    def __init__(self, session: Session, workers: int = 2,
+                 max_events: int = DEFAULT_MAX_EVENTS):
         if workers < 1:
             raise ValueError("need at least one job worker")
         self.session = session
         self.workers = workers
-        self._jobs: Dict[str, Job] = {}
+        self.max_events = max_events
         self._lock = threading.Lock()
+        # lint: guarded_by(self._lock: registered/listed from any thread)
+        self._jobs: Dict[str, Job] = {}
         self._pool = ThreadPoolExecutor(max_workers=workers,
                                         thread_name_prefix="serve-job")
 
@@ -129,7 +158,7 @@ class JobManager:
                                              **spec.overrides},
                                   seed=spec.seed)
                      for spec in specs]
-        job = Job(specs, options)
+        job = Job(specs, options, max_events=self.max_events)
         with self._lock:
             self._jobs[job.id] = job
         self._pool.submit(self._run, job)
@@ -149,31 +178,15 @@ class JobManager:
     # ------------------------------------------------------------------
     def _run(self, job: Job) -> None:
         job.set_state("running")
-
-        def land(index: int, point) -> None:
-            if point.cached:
-                job.cached += 1
-            else:
-                job.computed += 1
-            job.append({
-                "event": "lane",
-                "index": index,
-                "spec": point.spec.name,
-                "key": point.key,
-                "cached": point.cached,
-                "result": point.result.to_dict(),
-            })
-
         try:
             job.append({"event": "start", "job": job.id, "total": job.total})
             self.session.sweep(job.specs, settle=job.options.settle,
                                trace=job.options.trace,
                                track_energy=job.options.track_energy,
-                               on_result=land)
+                               on_result=job.land)
         except Exception:
-            job.set_state("failed", error=traceback.format_exc(limit=20))
-            job.append({"event": "failed", "error": job.error})
+            err = traceback.format_exc(limit=20)
+            job.set_state("failed", error=err)
+            job.append({"event": "failed", "error": err})
         else:
-            job.set_state("done")
-            job.append({"event": "done", "cached": job.cached,
-                        "computed": job.computed, "total": job.total})
+            job.finish()

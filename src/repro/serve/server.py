@@ -9,7 +9,9 @@ when keys are configured — see :mod:`repro.serve.auth`):
                           ``202`` with the job snapshot
 ``GET  /v1/jobs``         list job snapshots
 ``GET  /v1/jobs/<id>``    one job snapshot
-``GET  /v1/jobs/<id>/events``  SSE stream: full event replay, then live
+``GET  /v1/jobs/<id>/events``  SSE stream: event replay (prefixed by an
+                          explicit ``truncated`` marker when the bounded
+                          log already evicted early events), then live
                           per-lane events until the terminal ``done`` /
                           ``failed`` frame
 ``GET  /v1/results/<key>``     any cached result by content key, zero
@@ -36,12 +38,9 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..session import Session
 from .auth import ApiKeyAuth
-from .jobs import JobManager
+from .jobs import TERMINAL_EVENTS, JobManager
 from .protocol import ProtocolError, decode_job
 from .sse import format_event
-
-#: events that end an SSE stream (the job can produce nothing after them)
-TERMINAL_EVENTS = ("done", "failed")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -168,14 +167,13 @@ class _Handler(BaseHTTPRequestHandler):
         cursor = 0
         try:
             while True:
-                batch = job.events_since(cursor, timeout=15.0)
+                cursor, batch = job.log.events_since(cursor, timeout=15.0)
                 if not batch:
-                    if job.finished:
+                    if job.log.closed:
                         return
                     self.wfile.write(b": keep-alive\n\n")
                     self.wfile.flush()
                     continue
-                cursor += len(batch)
                 for event in batch:
                     payload = dict(event)
                     kind = payload.pop("event", "message")

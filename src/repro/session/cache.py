@@ -59,6 +59,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import zipfile
 from functools import lru_cache
 from pathlib import Path
@@ -225,7 +226,12 @@ class ResultCache:
         # Running on-disk size estimate for capped caches: initialised by
         # one directory scan on the first write, then advanced per store,
         # so store() only rescans (via prune) when the cap is actually
-        # crossed instead of stat-ing every entry on every write.
+        # crossed instead of stat-ing every entry on every write.  The
+        # server's worker threads share one cache object, so the estimate
+        # gets its own in-process lock (the flock in _writer_lock is
+        # inter-process and only covers compaction).
+        self._approx_lock = threading.Lock()
+        # lint: guarded_by(self._approx_lock: advanced by concurrent stores)
         self._approx_bytes: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -328,17 +334,22 @@ class ResultCache:
             lambda fh: fh.write(
                 json.dumps(payload, sort_keys=True, indent=1).encode()))
         if self.max_bytes is not None:
-            if self._approx_bytes is None:
-                # first capped write this process: one scan (covers the
-                # entry just written and anything from earlier processes)
-                self._approx_bytes = self.size_bytes()
-            else:
-                try:
-                    self._approx_bytes += (meta_path.stat().st_size
-                                           + npz_path.stat().st_size)
-                except OSError:
-                    pass   # concurrently evicted; the next prune rescans
-            if self._approx_bytes > self.max_bytes:
+            with self._approx_lock:
+                if self._approx_bytes is None:
+                    # first capped write this process: one scan (covers
+                    # the entry just written and anything from earlier
+                    # processes)
+                    self._approx_bytes = self.size_bytes()
+                else:
+                    try:
+                        self._approx_bytes += (meta_path.stat().st_size
+                                               + npz_path.stat().st_size)
+                    except OSError:
+                        pass   # concurrently evicted; next prune rescans
+                need_prune = self._approx_bytes > self.max_bytes
+            # prune() takes the inter-process writer flock; never hold
+            # the in-process estimate lock across that wait
+            if need_prune:
                 self.prune()
         return True
 
@@ -512,7 +523,8 @@ class ResultCache:
                         pass
                 total -= size
                 removed += 1
-        self._approx_bytes = total   # the scan just measured the truth
+        with self._approx_lock:
+            self._approx_bytes = total   # the scan just measured the truth
         return removed
 
     def clear(self) -> int:
@@ -529,7 +541,8 @@ class ResultCache:
                     except OSError:
                         continue
                 removed += 1
-            self._approx_bytes = None
+            with self._approx_lock:
+                self._approx_bytes = None
         return removed
 
     def __repr__(self) -> str:

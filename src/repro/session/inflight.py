@@ -28,6 +28,7 @@ class InFlightRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        # lint: guarded_by(self._lock: claimed/released from sweep threads)
         self._claims: Dict[str, threading.Event] = {}
 
     def claim(self, key: str) -> Optional[threading.Event]:

@@ -117,17 +117,20 @@ class Session:
         self.gating = gating
         self.max_lanes_per_shard = max_lanes_per_shard
         self.cache = self._resolve_cache(cache, cache_dir, cache_max_bytes)
-        #: scenarios served from / recomputed past the cache, cumulative
-        self.cache_hits = 0
-        self.cache_misses = 0
-        #: lanes served by waiting on a *concurrent* sweep's in-flight
-        #: computation of the same key (a subset of ``cache_hits``)
-        self.inflight_waits = 0
         # Sessions are thread-shareable: the sweep server runs many jobs
         # against one session, so counter updates take a lock and misses
         # coordinate through the in-flight registry (each unique uncached
         # key is computed by exactly one concurrent sweep).
         self._counter_lock = threading.Lock()
+        #: scenarios served from / recomputed past the cache, cumulative
+        # lint: guarded_by(self._counter_lock: bumped by concurrent sweeps)
+        self.cache_hits = 0
+        # lint: guarded_by(self._counter_lock: bumped by concurrent sweeps)
+        self.cache_misses = 0
+        #: lanes served by waiting on a *concurrent* sweep's in-flight
+        #: computation of the same key (a subset of ``cache_hits``)
+        # lint: guarded_by(self._counter_lock: bumped by concurrent sweeps)
+        self.inflight_waits = 0
         self._inflight = InFlightRegistry()
 
     @staticmethod
@@ -393,11 +396,16 @@ class Session:
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, Any]:
-        """Counters plus the cache location/mode, for logging."""
+        """Counters plus the cache location/mode, for logging.  Reads
+        the counters under the lock so a stats poll racing a sweep sees
+        one consistent snapshot."""
+        with self._counter_lock:
+            hits, misses = self.cache_hits, self.cache_misses
+            waits = self.inflight_waits
         return {
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-            "inflight_waits": self.inflight_waits,
+            "hits": hits,
+            "misses": misses,
+            "inflight_waits": waits,
             "mode": self.cache.mode if self.cache is not None else "off",
             "root": str(self.cache.root) if self.cache is not None else None,
         }

@@ -1,5 +1,6 @@
 """Bad fixture: one of every determinism hazard, marked per line."""
 
+import json
 import random
 import time
 import datetime
@@ -37,3 +38,21 @@ def orderings(objs):
     objs.sort(key=id)                            # MARK:d04-sort-id
     first = min(objs, key=lambda o: id(o))       # MARK:d04-min-lambda
     return first
+
+
+def through_variable(work):
+    # the set order hazard crosses two assignments before the loop:
+    # the iter expression is a plain Name, invisible to any checker
+    # that only inspects the iterated expression's own syntax
+    pending = set(work)
+    queue = list(pending)
+    out = []
+    for item in queue:                   # MARK:d03-through-variable
+        out.append(item)
+    return out
+
+
+def tainted_key(config):
+    fields = set(config)
+    payload = {"fields": list(fields)}
+    return json.dumps(payload, sort_keys=True)   # MARK:d05-set-into-dumps

@@ -1,0 +1,56 @@
+"""Bad fixture: one of every lock-discipline hazard, marked per line."""
+
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        # lint: guarded_by(self._lock: bumped from worker threads)
+        self.value = 0
+
+    def bump(self):
+        self.value += 1                  # MARK:l01-unguarded-write
+
+    def read(self):
+        with self._lock:
+            return self.value
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+
+    def forwards(self):
+        with self._lock:
+            with self._cond:             # MARK:l02-forward-edge
+                pass
+
+    def backwards(self):
+        with self._cond:
+            with self._lock:             # MARK:l02-inversion
+                pass
+
+    def reenter(self):
+        with self._lock:
+            with self._lock:             # MARK:l02-reacquire
+                pass
+
+    def naps(self):
+        with self._lock:
+            time.sleep(0.1)              # MARK:l03-sleep
+
+    def drains(self, sock):
+        with self._lock:
+            return sock.recv(4096)       # MARK:l03-recv
+
+    def streams(self, items):
+        with self._lock:
+            for item in items:
+                yield item               # MARK:l03-yield
+
+    def crosses(self, other):
+        with self._lock:
+            self._cond.wait()            # MARK:l03-wait-other-held

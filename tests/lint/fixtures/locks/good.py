@@ -1,0 +1,69 @@
+"""Good fixture: disciplined locking the L family must not flag."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        # lint: guarded_by(self._lock: bumped from worker threads)
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def snapshot(self):
+        with self._lock:
+            copied = self.value
+        return copied
+
+
+class Queue:
+    def __init__(self):
+        self._cond = threading.Condition()
+        # lint: guarded_by(self._cond: produced and consumed concurrently)
+        self._items = []
+
+    def put(self, item):
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def take(self):
+        with self._cond:
+            # waiting on the sole held lock releases it: sanctioned
+            self._cond.wait_for(lambda: bool(self._items))
+            return self._items.pop(0)
+
+    def drain(self):
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+        # the yield happens outside the critical section
+        for item in items:
+            yield item
+
+
+class Pipeline:
+    """Consistent nesting order everywhere: no inversion."""
+
+    def __init__(self):
+        self.stage_lock = threading.Lock()
+        self.io_lock = threading.Lock()
+
+    def one_way(self):
+        with self.stage_lock:
+            with self.io_lock:
+                pass
+
+    def same_way(self):
+        with self.stage_lock:
+            with self.io_lock:
+                pass
+
+
+def plain_resources(path):
+    # `with open(...)` is a resource manager, not a lock: no L rules
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()

@@ -129,3 +129,92 @@ def test_rng_on_gating_path_fails_with_g01(repo_copy):
     ours = [f for f in g01 if f.path == "digital/clock.py"
             and "Clock.suspend" in f.message]
     assert ours, "\n".join(f.render() for f in g01)
+
+
+def test_unguarded_write_to_guarded_attr_fails_with_l01(repo_copy):
+    """Moving the append outside the critical section leaves a declared
+    guarded_by attribute written without its lock."""
+    _edit(repo_copy, "serve/sse.py",
+          "    def append(self, event: Dict[str, Any]) -> None:\n"
+          "        with self._cond:\n"
+          "            self._events.append(event)",
+          "    def append(self, event: Dict[str, Any]) -> None:\n"
+          "        self._events.append(event)\n"
+          "        with self._cond:")
+    report = _lint(repo_copy, families=("locks",))
+    l01 = by_rule(report).get("L01", [])
+    assert len(l01) == 1
+    finding = l01[0]
+    assert finding.path == "serve/sse.py"
+    assert finding.line > 0
+    assert "_events" in finding.message
+    assert "self._cond" in finding.message
+
+
+def test_swapped_lock_nesting_fails_with_l02(repo_copy):
+    """Job._lock and EventLog._cond are never held together by design;
+    nesting them in both orders is an inversion."""
+    _edit(repo_copy, "serve/jobs.py",
+          "        with self._lock:\n"
+          "            if point.cached:\n"
+          "                self.cached += 1\n"
+          "            else:\n"
+          "                self.computed += 1\n"
+          "        self.append({",
+          "        with self._lock:\n"
+          "            if point.cached:\n"
+          "                self.cached += 1\n"
+          "            else:\n"
+          "                self.computed += 1\n"
+          "            self.log.append({\"event\": \"probe\"})\n"
+          "        self.append({")
+    _edit(repo_copy, "serve/jobs.py",
+          "    def set_state(",
+          "    def _probe(self):\n"
+          "        with self.log._cond:\n"
+          "            with self._lock:\n"
+          "                return self.state\n\n"
+          "    def set_state(")
+    report = _lint(repo_copy, families=("locks",))
+    l02 = by_rule(report).get("L02", [])
+    inversions = [f for f in l02 if "inversion" in f.message]
+    assert inversions, "\n".join(f.render() for f in report.findings)
+    finding = inversions[0]
+    assert finding.path == "serve/jobs.py"
+    assert finding.line > 0
+    # both acquisition sites are named so the fix is actionable
+    assert "Job._lock" in finding.message
+    assert "EventLog._cond" in finding.message
+
+
+def test_set_through_variable_into_cache_key_fails_with_d05(repo_copy):
+    """A set flows through a variable and a dict literal into the
+    canonical cache-key encoding — pure dataflow, no set() at the sink."""
+    _edit(repo_copy, "session/cache.py",
+          "    encoded = encode_config(config)",
+          "    encoded = encode_config(config)\n"
+          "    tracked = set(encoded)\n"
+          "    encoded[\"tracked_fields\"] = list(tracked)")
+    report = _lint(repo_copy, families=("determinism",))
+    d05 = by_rule(report).get("D05", [])
+    assert len(d05) == 1
+    finding = d05[0]
+    assert finding.path == "session/cache.py"
+    assert finding.line > 0
+    assert "set" in finding.message
+
+
+def test_one_sided_sse_field_addition_fails_with_w01(repo_copy):
+    """A new field in the lane event that no reader consumes and the
+    lockfile does not acknowledge is wire drift."""
+    _edit(repo_copy, "serve/jobs.py",
+          '            "cached": point.cached,',
+          '            "cached": point.cached,\n'
+          '            "shard": 0,')
+    report = _lint(repo_copy, families=("wire",))
+    w01 = by_rule(report).get("W01", [])
+    assert len(w01) == 1
+    finding = w01[0]
+    assert finding.path == "serve/jobs.py"
+    assert finding.line > 0
+    assert "'shard'" in finding.message

@@ -33,8 +33,10 @@ EXPECTED = [
     ("D03", "d03-glob"),
     ("D03", "d03-wrapped-iterdir"),
     ("D03", "d03-set-union"),
+    ("D03", "d03-through-variable"),
     ("D04", "d04-sort-id"),
     ("D04", "d04-min-lambda"),
+    ("D05", "d05-set-into-dumps"),
 ]
 
 
@@ -56,7 +58,21 @@ def test_no_extra_findings(bad):
 def test_rule_totals(bad):
     grouped = by_rule(bad)
     assert {r: len(v) for r, v in grouped.items()} == \
-        {"D01": 3, "D02": 2, "D03": 4, "D04": 2}
+        {"D01": 3, "D02": 2, "D03": 5, "D04": 2, "D05": 1}
+
+
+def test_through_variable_case_is_invisible_to_syntax_alone():
+    """The pinned ROADMAP case: the flagged loop iterates a *plain
+    Name* — two assignments away from the ``set()`` — so any checker
+    that only inspects the iterated expression's own syntax (the v1
+    analyzer) provably cannot flag it."""
+    import ast
+    line = mark_line(BAD, "d03-through-variable")
+    tree = ast.parse(BAD.read_text(encoding="utf-8"))
+    loops = [n for n in ast.walk(tree)
+             if isinstance(n, ast.For) and n.iter.lineno == line]
+    assert len(loops) == 1
+    assert isinstance(loops[0].iter, ast.Name)
 
 
 def test_seeded_and_sorted_code_is_clean(tmp_path):

@@ -288,3 +288,60 @@ class TestResolution:
         assert find_def(tree, "A.m").name == "m"
         assert find_def(tree, "A.missing") is None
         assert find_def(tree, "B.m") is None
+
+
+class TestAliasResolution:
+    """Consumption is resolved on the dataflow CFG: reads and bulk
+    calls through a flow-sensitive must-alias of the config parameter
+    count; a may-alias (rebound on some path) never hides a field."""
+
+    ENCODE = ("def encode_config(config):\n"
+              "    return {name: getattr(config, name)\n"
+              "            for name in type(config).__dataclass_fields__}\n")
+
+    def _report(self, tmp_path, key_src):
+        tree = tmp_path / "tree"
+        shutil.copytree(FIXTURES / "keys_good", tree)
+        (tree / "session/cache.py").write_text(
+            TestFilteredBulkEncode.HEADER + self.ENCODE + "\n\n" + key_src,
+            encoding="utf-8")
+        config = _config(tree, tmp_path / "locks")
+        update_locks(config)
+        return run_lint(config, families=("keys",))
+
+    def test_reads_through_a_must_alias_count(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def cache_key(config):\n"
+            "    cfg = config\n"
+            "    parts = (cfg.dt, cfg.n_phases, cfg.stepping, cfg.seed)\n"
+            "    # lint: nokey(trace: replay flag, never keyed)\n"
+            "    return hash((FORMAT_VERSION, parts))\n")
+        assert "K01" not in by_rule(report), [
+            f.render() for f in report.findings]
+
+    def test_bulk_helper_called_on_an_alias_counts(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def cache_key(config):\n"
+            "    cfg = config\n"
+            "    encoded = encode_config(cfg)\n"
+            "    return hash((FORMAT_VERSION,"
+            " tuple(sorted(encoded.items()))))\n")
+        assert "K01" not in by_rule(report), [
+            f.render() for f in report.findings]
+
+    def test_may_alias_does_not_hide_unkeyed_fields(self, tmp_path):
+        report = self._report(
+            tmp_path,
+            "def cache_key(config, alt=None):\n"
+            "    cfg = config\n"
+            "    if alt is not None:\n"
+            "        cfg = alt\n"
+            "    parts = (cfg.dt, cfg.n_phases, cfg.stepping, cfg.seed)\n"
+            "    # lint: nokey(trace: replay flag, never keyed)\n"
+            "    return hash((FORMAT_VERSION, parts))\n")
+        k01 = by_rule(report).get("K01", [])
+        assert {f.message.split()[0] for f in k01} == {
+            "SystemConfig.dt", "SystemConfig.n_phases",
+            "SystemConfig.stepping", "SystemConfig.seed"}

@@ -81,3 +81,48 @@ def test_unresolvable_root_fires_g03(tmp_path):
 def test_no_roots_configured_is_a_noop(tmp_path):
     report = _report(("gatemod.py",), (), tmp_path)
     assert report.clean
+
+
+def test_typed_receiver_skips_unrelated_same_named_method(tmp_path):
+    """`self.meter.sample()` resolves through the __init__ attr-type
+    map to CleanMeter.sample only; the RNG-drawing NoisyProbe.sample on
+    an unrelated class must not be dragged onto the gating path.  An
+    untyped receiver keeps the over-approximating fallback and reports
+    the draw."""
+    mod = tmp_path / "typedmod.py"
+    mod.write_text(
+        "class NoisyProbe:\n"
+        "    def sample(self, sim):\n"
+        "        return sim.rng.random()\n"
+        "\n\n"
+        "class CleanMeter:\n"
+        "    def sample(self, sim):\n"
+        "        return sim.now\n"
+        "\n\n"
+        "class TypedClock:\n"
+        "    def __init__(self):\n"
+        "        self.meter = CleanMeter()\n"
+        "\n"
+        "    def suspend(self, sim):\n"
+        "        return self.meter.sample(sim)\n"
+        "\n\n"
+        "class UntypedClock:\n"
+        "    def __init__(self, meter):\n"
+        "        self.meter = meter\n"
+        "\n"
+        "    def suspend(self, sim):\n"
+        "        return self.meter.sample(sim)\n",
+        encoding="utf-8")
+
+    def gated_by(qualname):
+        config = LintConfig(root=tmp_path, scan_paths=("typedmod.py",),
+                            parity_pairs=(),
+                            gating_roots=(("typedmod.py", qualname),),
+                            locks_dir=tmp_path / "locks")
+        return run_lint(config, families=("purity",))
+
+    typed = gated_by("TypedClock.suspend")
+    assert typed.clean, [f.render() for f in typed.findings]
+    untyped = gated_by("UntypedClock.suspend")
+    g01 = by_rule(untyped).get("G01", [])
+    assert any("NoisyProbe.sample" in f.message for f in g01)

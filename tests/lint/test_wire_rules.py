@@ -1,0 +1,149 @@
+"""Rule family W on a synthetic two-sided serve tree."""
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.engine import build_index, write_lock
+from repro.lint.wire import extract, lock_payload
+
+from .helpers import by_rule
+
+_JOBS = '''
+class Job:
+    def snapshot(self):
+        return {"id": self.id, "state": self.state}
+
+
+def emit(manager):
+    return {"event": "lane", "index": 0, "result": {}}
+'''
+
+_CLIENT = '''
+def follow(events):
+    for event in events:
+        print(event["index"], event.get("state"))
+'''
+
+_PROTOCOL = '''
+def job_request(specs):
+    payload = {}
+    payload["specs"] = [s.name for s in specs]
+    payload["settle"] = None
+    return payload
+
+
+def decode_job(payload):
+    known = {"specs", "settle"}
+    return payload["specs"], payload.get("settle")
+'''
+
+
+def _tree(tmp_path, jobs=_JOBS, client=_CLIENT, protocol=_PROTOCOL):
+    serve = tmp_path / "serve"
+    serve.mkdir(exist_ok=True)
+    (serve / "jobs.py").write_text(jobs, encoding="utf-8")
+    (serve / "client.py").write_text(client, encoding="utf-8")
+    (serve / "protocol.py").write_text(protocol, encoding="utf-8")
+    return LintConfig(
+        root=tmp_path, scan_paths=("serve",),
+        parity_pairs=(), gating_roots=(),
+        wire_emit_modules=("serve/jobs.py",),
+        wire_emit_functions=(("serve/jobs.py", "Job.snapshot"),),
+        wire_reader_modules=("serve/client.py",),
+        wire_submit_encoder=("serve/protocol.py", "job_request"),
+        wire_submit_decoder=("serve/protocol.py", "decode_job"),
+        locks_dir=tmp_path / "golden")
+
+
+def _lock(config):
+    index, _ = build_index(config)
+    write_lock(config.wire_lock_path, lock_payload(config, index))
+
+
+def _wire(config):
+    return run_lint(config, families=("wire",))
+
+
+def test_extraction_sees_both_directions(tmp_path):
+    config = _tree(tmp_path)
+    index, _ = build_index(config)
+    schema = extract(config, index)
+    assert set(schema.writes["downstream"]) == {"event", "index", "result",
+                                                "id", "state"}
+    assert set(schema.reads["downstream"]) == {"index", "state"}
+    assert set(schema.writes["submit"]) == {"specs", "settle"}
+    assert set(schema.reads["submit"]) == {"specs", "settle"}
+
+
+def test_missing_lock_is_w03(tmp_path):
+    report = _wire(_tree(tmp_path))
+    [w03] = by_rule(report)["W03"]
+    assert "lockfile missing" in w03.message
+    assert "--update-locks" in w03.hint
+
+
+def test_locked_tree_is_clean(tmp_path):
+    config = _tree(tmp_path)
+    _lock(config)
+    report = _wire(config)
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_new_one_sided_write_is_w01(tmp_path):
+    config = _tree(tmp_path)
+    _lock(config)
+    config = _tree(tmp_path, jobs=_JOBS.replace(
+        '"index": 0,', '"index": 0, "shard": 0,'))
+    report = _wire(config)
+    [w01] = by_rule(report)["W01"]
+    assert "'shard'" in w01.message
+    assert w01.path == "serve/jobs.py"
+    assert w01.line > 0
+    assert "W03" not in by_rule(report)
+
+
+def test_new_one_sided_read_is_w02(tmp_path):
+    config = _tree(tmp_path)
+    _lock(config)
+    config = _tree(tmp_path, client=_CLIENT.replace(
+        'event.get("state")', 'event.get("state"), event.get("eta")'))
+    report = _wire(config)
+    [w02] = by_rule(report)["W02"]
+    assert "'eta'" in w02.message
+    assert w02.path == "serve/client.py"
+
+
+def test_consistent_two_sided_change_is_only_stale_lock(tmp_path):
+    config = _tree(tmp_path)
+    _lock(config)
+    config = _tree(
+        tmp_path,
+        jobs=_JOBS.replace('"index": 0,', '"index": 0, "shard": 0,'),
+        client=_CLIENT.replace('event["index"]',
+                               'event["index"], event["shard"]'))
+    report = _wire(config)
+    grouped = by_rule(report)
+    assert "W01" not in grouped and "W02" not in grouped
+    [w03] = grouped["W03"]
+    assert "stale" in w03.message
+    assert "shard" in w03.message
+
+
+def test_retired_field_is_stale_lock_not_drift(tmp_path):
+    config = _tree(tmp_path)
+    _lock(config)
+    config = _tree(tmp_path, jobs=_JOBS.replace('"result": {}', '"ok": 1'))
+    report = _wire(config)
+    grouped = by_rule(report)
+    # "ok" is new-and-unread -> W01; dropping "result" is lock staleness
+    assert [f.rule for f in grouped.get("W01", [])] == ["W01"]
+    assert any("result" in f.message for f in grouped["W03"])
+
+
+def test_update_locks_round_trips(tmp_path):
+    config = _tree(tmp_path)
+    _lock(config)
+    payload = lock_payload(config, build_index(config)[0])
+    assert payload["downstream"]["writes"] == sorted(
+        ["event", "index", "result", "id", "state"])
+    assert payload["submit"]["reads"] == ["settle", "specs"]

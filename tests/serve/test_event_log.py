@@ -1,0 +1,170 @@
+"""The bounded event log: eviction, truncation markers, cursors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.jobs import Job, TERMINAL_EVENTS
+from repro.serve.protocol import JobOptions
+from repro.serve.sse import DEFAULT_MAX_EVENTS, EventLog
+
+
+def _drain(log, start=0):
+    cursor, batch = log.events_since(start, timeout=0.0)
+    return cursor, batch
+
+
+class TestEventLog:
+    def test_append_and_replay_in_order(self):
+        log = EventLog()
+        for i in range(5):
+            log.append({"event": "lane", "index": i})
+        cursor, batch = _drain(log)
+        assert cursor == 5
+        assert [e["index"] for e in batch] == [0, 1, 2, 3, 4]
+
+    def test_cursor_resumes_where_it_left_off(self):
+        log = EventLog()
+        log.append({"event": "a"})
+        cursor, batch = _drain(log)
+        log.append({"event": "b"})
+        cursor, batch = _drain(log, cursor)
+        assert [e["event"] for e in batch] == ["b"]
+        assert cursor == 2
+
+    def test_overflow_evicts_from_the_front(self):
+        log = EventLog(max_events=3)
+        for i in range(7):
+            log.append({"index": i})
+        assert log.dropped == 4
+        _, batch = _drain(log, 4)
+        assert [e["index"] for e in batch] == [4, 5, 6]
+
+    def test_late_replay_leads_with_truncation_marker(self):
+        log = EventLog(max_events=3)
+        for i in range(7):
+            log.append({"index": i})
+        cursor, batch = _drain(log, 0)
+        marker = batch[0]
+        assert marker["event"] == "truncated"
+        assert marker["dropped"] == 4
+        assert marker["next"] == 4
+        assert [e["index"] for e in batch[1:]] == [4, 5, 6]
+        assert cursor == 7
+
+    def test_partial_truncation_counts_only_the_readers_loss(self):
+        log = EventLog(max_events=3)
+        for i in range(7):
+            log.append({"index": i})
+        _, batch = _drain(log, 2)     # reader had already seen 0 and 1
+        assert batch[0]["event"] == "truncated"
+        assert batch[0]["dropped"] == 2
+        assert [e["index"] for e in batch[1:]] == [4, 5, 6]
+
+    def test_retained_cursor_gets_no_marker(self):
+        log = EventLog(max_events=3)
+        for i in range(7):
+            log.append({"index": i})
+        _, batch = _drain(log, 5)
+        assert [e["index"] for e in batch] == [5, 6]
+        assert all(e.get("event") != "truncated" for e in batch)
+
+    def test_close_wakes_a_blocked_reader(self):
+        log = EventLog()
+        got = {}
+
+        def reader():
+            got["result"] = log.events_since(0, timeout=10.0)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        log.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got["result"] == (0, [])
+        assert log.closed
+
+    def test_timeout_returns_empty_batch_for_keepalives(self):
+        log = EventLog()
+        t0 = time.monotonic()
+        cursor, batch = log.events_since(0, timeout=0.05)
+        assert time.monotonic() - t0 < 5.0
+        assert (cursor, batch) == (0, [])
+
+    def test_needs_room_for_at_least_one_event(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)
+
+    def test_default_bound_is_generous(self):
+        assert DEFAULT_MAX_EVENTS >= 1024
+
+
+class TestJobLog:
+    def _job(self, max_events=DEFAULT_MAX_EVENTS):
+        return Job([], JobOptions(), max_events=max_events)
+
+    def test_terminal_event_closes_the_log(self):
+        job = self._job()
+        job.append({"event": "start"})
+        assert not job.log.closed
+        job.append({"event": "done"})
+        assert job.log.closed
+
+    def test_failed_is_terminal_too(self):
+        job = self._job()
+        job.append({"event": "failed", "error": "boom"})
+        assert job.log.closed
+        assert set(TERMINAL_EVENTS) == {"done", "failed"}
+
+    def test_snapshot_reports_dropped_events(self):
+        job = self._job(max_events=2)
+        for i in range(5):
+            job.append({"event": "lane", "index": i})
+        snap = job.snapshot()
+        assert snap["dropped_events"] == 3
+
+    def test_snapshot_without_drops_reports_zero(self):
+        job = self._job()
+        job.append({"event": "start"})
+        assert job.snapshot()["dropped_events"] == 0
+
+
+class TestTruncationEndToEnd:
+    """A follower that misses the retained window sees the marker over
+    real HTTP, and the safe client verb refuses the clipped replay."""
+
+    def test_late_follower_of_a_tiny_log(self, tmp_path):
+        from repro.serve import ServeClient, ServeError, SweepServer
+        from repro.session import Session
+        from repro.scenarios import Sweep
+        from repro.sim import NS, US
+
+        session = Session(cache="readwrite",
+                          cache_dir=str(tmp_path / "cache"))
+        with SweepServer(session=session, job_workers=1) as server:
+            server.manager.max_events = 2
+            client = ServeClient(server.url)
+            sweep = Sweep(base={"n_phases": 2, "r_load": 6.0,
+                                "sim_time": 2 * US, "dt": 1 * NS,
+                                "seed": 0},
+                          name="tiny").grid(fsm_frequency=[1e8, 333e6],
+                                            l_uh=[1.0, 4.7])
+            snapshot = client.submit(sweep=sweep, track_energy=False)
+            deadline = time.monotonic() + 60.0
+            while client.job(snapshot["id"])["state"] not in ("done",
+                                                              "failed"):
+                assert time.monotonic() < deadline, "job never finished"
+                time.sleep(0.05)
+            # 4 lanes + start + done = 6 events through a 2-slot log
+            final = client.job(snapshot["id"])
+            assert final["state"] == "done"
+            assert final["dropped_events"] == 4
+            events = list(client.follow(snapshot["id"]))
+            assert events[0]["event"] == "truncated"
+            assert events[0]["dropped"] == 4
+            assert events[-1]["event"] == "done"
+            with pytest.raises(ServeError) as exc:
+                client.wait(snapshot["id"])
+            assert "truncated" in str(exc.value)
