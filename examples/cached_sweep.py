@@ -14,11 +14,18 @@ cache directory:
 Doubles as the CI cache-smoke step: ``--require-hot`` exits non-zero
 unless the hot pass hits >= 90% and reproduces the cold pass exactly.
 
+With the observability layer enabled (the default), ``--receipt-out``
+writes the hot pass's sweep receipt (config hashes, code fingerprint,
+hit ratio, phase wall times) and ``--trace-out`` its Chrome trace-event
+timeline (load in ``chrome://tracing`` / Perfetto).
+
 Run:  python examples/cached_sweep.py [--cache-dir D] [--workers N]
-                                      [--require-hot]
+                                      [--require-hot] [--receipt-out F]
+                                      [--trace-out F]
 """
 
 import argparse
+import json
 import sys
 import time
 
@@ -38,7 +45,7 @@ def run_pass(label: str, cache_dir: str, workers):
     total = stats["hits"] + stats["misses"]
     print(f"{label} pass: {elapsed:6.2f} s  "
           f"{stats['hits']}/{total} served from cache")
-    return result, stats
+    return result, stats, session
 
 
 def main() -> int:
@@ -50,16 +57,29 @@ def main() -> int:
     parser.add_argument("--require-hot", action="store_true",
                         help="fail unless the second pass hits >= 90%% "
                              "and matches the first bit-for-bit")
+    parser.add_argument("--receipt-out", default=None,
+                        help="write the hot pass's sweep receipt here")
+    parser.add_argument("--trace-out", default=None,
+                        help="write the hot pass's Chrome trace JSON here")
     args = parser.parse_args()
 
-    cold, _ = run_pass("cold", args.cache_dir, args.workers)
-    hot, stats = run_pass("hot ", args.cache_dir, args.workers)
+    cold, _, _ = run_pass("cold", args.cache_dir, args.workers)
+    hot, stats, session = run_pass("hot ", args.cache_dir, args.workers)
 
     identical = cold.series == hot.series
     total = stats["hits"] + stats["misses"]
     hit_rate = stats["hits"] / total if total else 0.0
     print(f"hot pass hit rate: {hit_rate:.0%}; "
           f"series bit-identical: {identical}")
+
+    if args.receipt_out:
+        with open(args.receipt_out, "w", encoding="utf-8") as fh:
+            json.dump(session.last_receipt(), fh, indent=1, sort_keys=True)
+        print(f"wrote {args.receipt_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(session.last_trace_events(), fh)
+        print(f"wrote {args.trace_out}")
 
     if args.require_hot and (hit_rate < HOT_HIT_FLOOR or not identical):
         print(f"FAIL: expected >= {HOT_HIT_FLOOR:.0%} hits and identical "

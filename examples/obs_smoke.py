@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Observability smoke: receipts, traces, and provable inertness.
+
+Runs the Fig. 7a quick grid (5 controllers x 4 coils = 20 scenarios)
+twice — once with the ``repro.obs`` layer disabled (``REPRO_OBS=off``
+semantics) and once enabled — against separate cache directories, and
+checks the ISSUE-10 inertness contract:
+
+- the two passes are **bit-identical**: same series, same cache keys
+  (instrumentation must never leak into results or content hashes);
+- the enabled pass yields a **receipt** whose phase wall times sum to
+  the sweep total, plus a Chrome-trace timeline with worker-side spans
+  re-parented under the coordinator's sweep span.
+
+Doubles as the CI obs-smoke step: ``--receipt-out``/``--trace-out``
+write the artifacts CI uploads, and ``--bench-json`` records the
+instrumentation overhead (enabled vs disabled wall clock) as
+``BENCH_obs.json``.  The overhead number is informational here — the
+<= 2% gate lives in ``benchmarks/test_bench_obs.py`` under
+``REPRO_REQUIRE_SPEEDUP=1``, where timing assertions belong.
+
+Run:  python examples/obs_smoke.py [--workers N] [--receipt-out F]
+                                   [--trace-out F] [--bench-json F]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro import Session, obs
+from repro.experiments import run_fig7a
+
+
+def run_pass(enabled: bool, cache_dir: str, workers):
+    obs.set_enabled(enabled)
+    try:
+        session = Session(workers=workers, cache="readwrite",
+                          cache_dir=cache_dir)
+        t0 = time.perf_counter()
+        result = run_fig7a(quick=True, session=session)
+        elapsed = time.perf_counter() - t0
+    finally:
+        obs.set_enabled(None)
+    label = "obs on " if enabled else "obs off"
+    print(f"{label} pass: {elapsed:6.2f} s")
+    return result, session, elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the grid across N worker processes")
+    parser.add_argument("--receipt-out", default=None,
+                        help="write the enabled pass's sweep receipt here")
+    parser.add_argument("--trace-out", default=None,
+                        help="write Chrome trace-event JSON here "
+                             "(load in chrome://tracing or Perfetto)")
+    parser.add_argument("--bench-json", default=None,
+                        help="write the overhead summary here")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro_obs_") as tmp:
+        off, off_session, off_s = run_pass(False, f"{tmp}/off", args.workers)
+        on, on_session, on_s = run_pass(True, f"{tmp}/on", args.workers)
+        off_keys = sorted(off_session.cache.keys())
+        on_keys = sorted(on_session.cache.keys())
+        receipt = on_session.last_receipt()
+        events = on_session.last_trace_events()
+        spans = on_session.last_trace_spans()
+
+    identical = on.series == off.series and on_keys == off_keys
+    phase_sum = sum(receipt["phases"].values())
+    phases_ok = abs(phase_sum - receipt["wall_s"]) <= 0.10 * receipt["wall_s"]
+    shard_spans = [s for s in spans if s.name == "shard.run"]
+    root = next(s for s in spans if s.name == "session.sweep")
+    reparented = all(s.parent_id == root.span_id for s in shard_spans)
+    overhead = (on_s - off_s) / off_s if off_s else 0.0
+
+    print(f"bit-identical on/off: {identical} "
+          f"({len(on_keys)} cache keys)")
+    print(f"receipt: {receipt['n_lanes']} lanes, "
+          f"hit ratio {receipt['cache']['hit_ratio']:.0%}, "
+          f"phases sum {phase_sum:.2f} s of {receipt['wall_s']:.2f} s wall")
+    print(f"timeline: {len(spans)} spans, {len(shard_spans)} worker shards "
+          f"re-parented under the sweep root: {reparented}")
+    print(f"instrumentation overhead: {overhead:+.1%} wall")
+
+    if args.receipt_out:
+        with open(args.receipt_out, "w", encoding="utf-8") as fh:
+            json.dump(receipt, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.receipt_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(events, fh)
+        print(f"wrote {args.trace_out}")
+    if args.bench_json:
+        summary = {
+            "lanes": receipt["n_lanes"],
+            "obs_off_s": round(off_s, 3),
+            "obs_on_s": round(on_s, 3),
+            "overhead_frac": round(overhead, 4),
+            "bit_identical": identical,
+            "phases_partition_wall": phases_ok,
+            "spans": len(spans),
+            "worker_shards": len(shard_spans),
+        }
+        with open(args.bench_json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.bench_json}")
+
+    ok = identical and phases_ok and reparented
+    if args.workers:
+        ok = ok and bool(shard_spans)
+    if not ok:
+        print("FAIL: observability inertness contract violated",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ protected), builds the Fig. 7a quick-grid job payload (5 controllers x
   result cache — every lane ``cached: true``, every number
   bit-identical to the cold pass, zero recompute.
 
+The obs smoke rides along: ``GET /v1/metrics`` must answer with a
+parseable Prometheus text exposition carrying >= 10 named series, and
+the hot job's ``done`` event must embed its sweep receipt.
+
 Doubles as the CI serve-smoke step: ``--require-hot`` exits non-zero
 unless the hot job is 100% cache-hot and bit-identical, and
 ``--bench-json`` writes the timing/counter summary the CI job uploads
@@ -28,9 +32,11 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 
 from repro.analog.coil import make_coil
+from repro.obs import parse_prometheus_text
 from repro.experiments.fig7 import controller_axis, default_l_values
 from repro.scenarios import Sweep
 from repro.serve import job_request
@@ -94,6 +100,16 @@ def client(url: str, *args: str, api_key: str = API_KEY,
     return result
 
 
+def scrape_metrics(url: str) -> dict:
+    """GET /v1/metrics and parse the Prometheus exposition."""
+    request = urllib.request.Request(
+        url + "/v1/metrics",
+        headers={"Authorization": f"Bearer {API_KEY}"})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.headers["Content-Type"].startswith("text/plain")
+        return parse_prometheus_text(response.read().decode("utf-8"))
+
+
 def submit(url: str, job_path: str, label: str):
     """Submit + follow through the CLI; returns ({index: lane}, seconds)."""
     t0 = time.perf_counter()
@@ -150,6 +166,15 @@ def main() -> int:
               f"server counters: {stats['hits']} hits / "
               f"{stats['misses']} misses")
 
+        # obs smoke: the metrics exposition must parse with a healthy
+        # series catalogue, and stats must carry the SSE drop totals
+        samples = scrape_metrics(url)
+        metric_names = {series.split("{")[0] for series in samples}
+        assert len(metric_names) >= 10, sorted(metric_names)
+        assert samples["repro_obs_enabled"] == 1
+        print(f"/v1/metrics: {len(metric_names)} named series, "
+              f"{stats['jobs']['dropped_events']} SSE events dropped")
+
         if args.bench_json:
             summary = {
                 "lanes": len(cold), "cold_s": round(cold_s, 3),
@@ -157,6 +182,7 @@ def main() -> int:
                 "speedup": round(cold_s / hot_s, 2) if hot_s else None,
                 "hot_cached_lanes": hot_cached,
                 "bit_identical": identical, "server_stats": stats,
+                "metric_series": len(samples),
             }
             with open(args.bench_json, "w", encoding="utf-8") as out:
                 json.dump(summary, out, indent=2, sort_keys=True)

@@ -128,7 +128,15 @@ class LintConfig:
     #: and purity families — the result-producing modules
     scan_paths: Tuple[str, ...] = ("system.py", "sim", "analog", "digital",
                                    "a2a", "control", "scenarios", "session",
-                                   "trace", "serve")
+                                   "trace", "serve", "obs")
+    #: modules (top-level package dirs or module files, relative to
+    #: root) whose *job* is wall-clock measurement: D02 does not fire in
+    #: them, and D05 findings whose taint is wall-clock alone are
+    #: dropped there.  Module-scoped on purpose — per-line ``# lint:
+    #: ok`` spam in an observability package would bury real findings.
+    #: Rule D06 separately proves nothing observability-derived reaches
+    #: the cache/lockstep keys.
+    wallclock_modules: Tuple[str, ...] = ("obs",)
     parity_pairs: Tuple[Tuple[str, Tuple[str, str], Tuple[str, str]], ...] \
         = DEFAULT_PARITY_PAIRS
     gating_roots: Tuple[Tuple[str, str], ...] = DEFAULT_GATING_ROOTS

@@ -51,6 +51,11 @@ TAG_LISTING = "fs-order"
 TAG_RNG = "unseeded-rng"
 #: value came from the wall clock
 TAG_TIME = "wall-clock"
+#: value came out of the observability layer (``obs.*`` calls) —
+#: deliberately NOT in :data:`ALL_TAGS`: obs values are fine on wire
+#: and hash sinks in general (receipts are hashed and serialized), but
+#: rule D06 forbids them in ``cache_key``/``lockstep_key`` specifically
+TAG_OBS = "obs-value"
 
 #: tags whose hazard is *iteration order* (D03 sinks)
 ORDER_TAGS = frozenset({TAG_SET, TAG_LISTING})
@@ -561,6 +566,8 @@ class FunctionFlow:
             if dotted is not None:
                 if dotted in _CLOCK_CALLS:
                     return frozenset({TAG_TIME})
+                if dotted.startswith("obs.") or ".obs." in dotted:
+                    return frozenset({TAG_OBS})
                 parts = dotted.split(".")
                 if (len(parts) == 2 and parts[0] == "random"
                         and parts[1] in _RANDOM_DRAWS):

@@ -27,11 +27,22 @@ configuration) for the classic ways bit-identity dies:
   encoder ``format_event``.  Set order inside a cache key means the
   same config hashes differently between runs — cache misses at best,
   colliding entries at worst.
+* **D06** — an observability-layer value (anything out of an ``obs.*``
+  call: span timings, counters, receipts) reaching ``cache_key`` or
+  ``lockstep_key``.  Obs values are *allowed* on wire/hash sinks in
+  general — receipts are serialized and hashed by design — but they
+  must never influence content addresses or batch grouping, or the
+  ``REPRO_OBS`` kill switch would change results.
 
 D01/D02 stay call-site rules on purpose: a global-state draw in
 result-producing code is a hazard whether or not the value provably
 reaches a sink this release.  Their *values* still feed the taint
 lattice, so one that lands in a cache key is additionally a D05.
+
+Modules named in ``LintConfig.wallclock_modules`` (the observability
+package) are exempt from D02, and from D05 findings whose taint is the
+wall clock alone — module-scoped, because per-line suppressions in a
+package whose whole job is timing would bury real findings.
 """
 
 from __future__ import annotations
@@ -40,8 +51,9 @@ import ast
 from typing import Dict, FrozenSet, List, Optional
 
 from .config import LintConfig
-from .dataflow import (ALL_TAGS, ORDER_TAGS, TAG_LISTING, TAG_RNG, TAG_SET,
-                       TAG_TIME, FunctionFlow, dataflow_for, own_exprs)
+from .dataflow import (ALL_TAGS, ORDER_TAGS, TAG_LISTING, TAG_OBS, TAG_RNG,
+                       TAG_SET, TAG_TIME, FunctionFlow, dataflow_for,
+                       own_exprs)
 from .engine import ModuleIndex, ModuleInfo, dotted_name
 from .findings import Finding
 
@@ -83,7 +95,11 @@ _TAG_DESC = {
     TAG_LISTING: "filesystem listing order",
     TAG_RNG: "an unseeded RNG value",
     TAG_TIME: "a wall-clock value",
+    TAG_OBS: "an observability-layer value",
 }
+
+#: the cache-soundness key sinks rule D06 protects from obs taint
+_KEY_SINKS = frozenset({"cache_key", "lockstep_key"})
 
 
 def _ctor_unseeded(call: ast.Call, name: str) -> bool:
@@ -94,8 +110,10 @@ def _ctor_unseeded(call: ast.Call, name: str) -> bool:
 # D01 / D02 / D04: call-site rules (syntactic on purpose)
 # ---------------------------------------------------------------------------
 class _CallSiteVisitor(ast.NodeVisitor):
-    def __init__(self, info: ModuleInfo):
+    def __init__(self, info: ModuleInfo, allow_wallclock: bool = False):
         self.info = info
+        #: module-scoped D02 exemption (``LintConfig.wallclock_modules``)
+        self.allow_wallclock = allow_wallclock
         self.findings: List[Finding] = []
         self.has_random_import = any(
             isinstance(node, ast.Import)
@@ -132,18 +150,20 @@ class _CallSiteVisitor(ast.NodeVisitor):
                                f"{dotted}() constructed without a seed",
                                "pass an explicit seed (or SeedSequence)")
             elif dotted in _CLOCK_CALLS:
-                self._emit("D02", node,
-                           f"wall-clock read {dotted}() in simulation "
-                           "code",
-                           "move timing to benchmarks/, or derive time "
-                           "from the simulator clock")
+                if not self.allow_wallclock:
+                    self._emit("D02", node,
+                               f"wall-clock read {dotted}() in simulation "
+                               "code",
+                               "move timing to benchmarks/, or derive time "
+                               "from the simulator clock")
             elif (parts[-1] in ("now", "utcnow", "today")
                     and ("datetime" in parts[:-1] or "date" in parts[:-1])):
-                self._emit("D02", node,
-                           f"wall-clock read {dotted}() in simulation "
-                           "code",
-                           "pass timestamps in explicitly; simulation "
-                           "output must not depend on the wall clock")
+                if not self.allow_wallclock:
+                    self._emit("D02", node,
+                               f"wall-clock read {dotted}() in simulation "
+                               "code",
+                               "pass timestamps in explicitly; simulation "
+                               "output must not depend on the wall clock")
         elif isinstance(node.func, ast.Name) \
                 and _ctor_unseeded(node, node.func.id):
             self._emit("D01", node,
@@ -229,8 +249,12 @@ def _sink_name(call: ast.Call) -> Optional[str]:
 
 
 class _DataflowChecker:
-    def __init__(self, info: ModuleInfo):
+    def __init__(self, info: ModuleInfo, allow_wallclock: bool = False):
         self.info = info
+        #: in wall-clock modules, D05 findings whose taint is the wall
+        #: clock *alone* are expected (timing is those modules' job);
+        #: any other taint still fires
+        self.allow_wallclock = allow_wallclock
         self.findings: List[Finding] = []
 
     def run(self) -> List[Finding]:
@@ -276,7 +300,19 @@ class _DataflowChecker:
             return
         for arg in list(call.args) + [kw.value for kw in call.keywords
                                       if kw.arg != "sort_keys"]:
-            tags = flow.eval_tags(arg, env) & ALL_TAGS
+            raw = flow.eval_tags(arg, env)
+            if sink in _KEY_SINKS and TAG_OBS in raw:
+                what = _describe(arg, frozenset({TAG_OBS}), flow,
+                                 node_index)
+                self.findings.append(Finding(
+                    "D06", self.info.relpath, call.lineno,
+                    f"observability value flowing into {sink}(): {what}",
+                    "keys must be derived from configs and code only; "
+                    "obs timings/counters may never influence cache or "
+                    "lock-step identity"))
+            tags = raw & ALL_TAGS
+            if self.allow_wallclock:
+                tags -= {TAG_TIME}
             if not tags:
                 continue
             what = _describe(arg, tags, flow, node_index)
@@ -287,11 +323,21 @@ class _DataflowChecker:
                 "key or wire encoder"))
 
 
+def _in_wallclock_module(relpath: str, config: LintConfig) -> bool:
+    """True when ``relpath`` lives under one of the configured
+    wall-clock modules (a package directory or a module file)."""
+    for mod in config.wallclock_modules:
+        if relpath == mod or relpath.startswith(mod.rstrip("/") + "/"):
+            return True
+    return False
+
+
 def check(config: LintConfig, index: ModuleIndex) -> List[Finding]:
     findings: List[Finding] = []
     for info in index.under(config.scan_paths):
-        visitor = _CallSiteVisitor(info)
+        allow = _in_wallclock_module(info.relpath, config)
+        visitor = _CallSiteVisitor(info, allow_wallclock=allow)
         visitor.visit(info.tree)
         findings.extend(visitor.findings)
-        findings.extend(_DataflowChecker(info).run())
+        findings.extend(_DataflowChecker(info, allow_wallclock=allow).run())
     return findings

@@ -179,7 +179,11 @@ RULES: Dict[str, Rule] = {r.id: r for r in (
         "Wall-clock time in simulation code",
         "time.time/perf_counter/monotonic and datetime.now belong in "
         "benchmarks/, never in result-producing modules — anything "
-        "derived from them differs between runs by construction.",
+        "derived from them differs between runs by construction.  "
+        "Modules whose *job* is timing (LintConfig.wallclock_modules, "
+        "e.g. repro.obs) are exempt as a whole rather than via per-line "
+        "suppressions; rule D06 separately walls their values off from "
+        "the cache keys.",
         bad_example=(
             "import time\n"
             "t0 = time.perf_counter()   # D02 outside benchmarks/\n"),
@@ -226,6 +230,21 @@ RULES: Dict[str, Rule] = {r.id: r for r in (
             "tags = set(encoded)            # unordered\n"
             "payload[\"fields\"] = list(tags)\n"
             "json.dumps(payload)            # D05: set order in the key\n"),
+    ),
+    Rule(
+        "D06", "determinism",
+        "Observability value flowing into a cache or lock-step key",
+        "Anything produced by the obs layer (span timings, counters, "
+        "receipts — every obs.* call) is measurement, not identity: if "
+        "it reaches cache_key or lockstep_key, toggling REPRO_OBS (or "
+        "mere timing jitter) changes content addresses and batch "
+        "grouping, breaking the bit-identity contract the differential "
+        "tests lock.  Keys are derived from configs and code "
+        "fingerprints only.",
+        bad_example=(
+            "stamp = obs.now()\n"
+            "key = cache_key(cfg, settle, backend, energy, stamp)  "
+            "# D06\n"),
     ),
     Rule(
         "L01", "locks",

@@ -1,0 +1,137 @@
+"""Export surfaces: Prometheus text exposition and Chrome trace events.
+
+* :func:`prometheus_text` renders the registry in text exposition
+  format 0.0.4 (the format every Prometheus scraper speaks) — served by
+  the sweep server at ``GET /v1/metrics``.  Output is deterministic:
+  families and series are emitted in sorted order.
+* :func:`parse_prometheus_text` is the minimal inverse used by the CI
+  smoke and the tests: sample lines back into a ``{series: value}``
+  map, erroring on malformed lines — "the exposition parses" is an
+  assertable property, not a hope.
+* :func:`chrome_trace_events` converts spans into the Chrome
+  trace-event JSON array form (``"X"`` complete events, microsecond
+  timestamps) loadable in ``chrome://tracing`` / Perfetto.  Worker
+  spans keep their real pid, so a sharded sweep renders as one
+  coordinator track plus one track per worker process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .metrics import GLOBAL, MetricsRegistry, _render_labels
+from .spans import Span, enabled
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    snap = (registry or GLOBAL).snapshot()
+    lines: List[str] = []
+    for name in sorted(snap):
+        family = snap[name]
+        kind = family["kind"]
+        if family["help"]:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        series = family["series"]
+        for label in sorted(series):
+            value = series[label]
+            if kind == "histogram":
+                cumulative = 0
+                bounds = [*family["bounds"], float("inf")]
+                for bound, count in zip(bounds, value["buckets"]):
+                    cumulative += count
+                    le = "+Inf" if bound == float("inf") else _fmt(bound)
+                    lines.append(
+                        f"{name}_bucket{_with_le(label, le)} {cumulative}")
+                lines.append(f"{name}_sum{label} {_fmt(value['sum'])}")
+                lines.append(f"{name}_count{label} {value['count']}")
+            else:
+                lines.append(f"{name}{label} {_fmt(value)}")
+    # surface the kill switch itself so scrapes can tell "off" from
+    # "idle" (set at render time: the gauge is truthful even when
+    # nothing else ran)
+    state = 1 if enabled() else 0
+    lines.append("# TYPE repro_obs_enabled gauge")
+    lines.append(f"repro_obs_enabled {state}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _with_le(label: str, le: str) -> str:
+    if not label:
+        return '{le="' + le + '"}'
+    return label[:-1] + ',le="' + le + '"}'
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Sample lines back into ``{"name{labels}": value}``.
+
+    Raises :class:`ValueError` on any malformed sample line, so "the
+    exposition parses" is a real assertion.  Comment lines must be
+    well-formed ``# HELP`` / ``# TYPE`` markers.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 2)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            continue
+        series, _, raw = line.rpartition(" ")
+        if not series:
+            raise ValueError(f"line {lineno}: no value on {line!r}")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {raw!r}") from None
+        if series.count("{") != series.count("}"):
+            raise ValueError(f"line {lineno}: unbalanced labels {series!r}")
+        samples[series] = value
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events
+# ---------------------------------------------------------------------------
+def chrome_trace_events(spans: Sequence[Union[Span, Dict[str, Any]]]
+                        ) -> List[Dict[str, Any]]:
+    """Spans as Chrome trace-event JSON objects (the array form).
+
+    One ``"X"`` (complete) event per span, with microsecond epoch
+    timestamps, the recording pid/tid, and the span/parent ids in
+    ``args`` so tooling (and the tests) can rebuild the parent chain.
+    Process-name metadata events label the coordinator and each worker
+    track.
+    """
+    events: List[Dict[str, Any]] = []
+    seen_procs: Dict[int, Optional[str]] = {}
+    normalized = [s if isinstance(s, Span) else Span.from_dict(s)
+                  for s in spans]
+    for span in sorted(normalized, key=lambda s: (s.start, s.span_id)):
+        seen_procs.setdefault(span.pid, span.worker)
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": max(0.0, span.end - span.start) * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": {**span.attrs, "span_id": span.span_id,
+                     "parent_id": span.parent_id, "worker": span.worker},
+        })
+    meta = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": worker or "coordinator"},
+    } for pid, worker in sorted(seen_procs.items())]
+    return meta + events

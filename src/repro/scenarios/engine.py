@@ -40,6 +40,7 @@ from typing import (Any, Callable, List, Mapping, Optional, Sequence,
 
 import numpy as np
 
+from .. import obs
 from ..analog.gate_driver import GateDriverBank
 from ..analog.stepping import SteppingPolicy
 from ..control.async_controller import AsyncMultiphaseController
@@ -388,21 +389,28 @@ def _execute_sweep(spec_list: Sequence[ScenarioSpec],
 
     if backend == "scalar":
         for i, (spec, cfg) in enumerate(zip(spec_list, configs)):
-            system = BuckSystem(cfg)
-            result = system.measure(settle=settle)
+            with obs.span("lane.compute", index=i, spec=spec.name,
+                          backend="scalar",
+                          metric="repro_lane_compute_seconds"):
+                system = BuckSystem(cfg)
+                result = system.measure(settle=settle)
             _land(i, SweepPoint(spec, cfg, result,
                                 system if keep else None))
         return points  # type: ignore[return-value]
 
     for plan in plan_batches(configs, max_lanes_per_shard):
         indices = plan.indices
-        batch = VectorBatch([spec_list[i] for i in indices],
-                            [configs[i] for i in indices],
-                            track_energy=track_energy)
-        results = batch.run(settle=settle)
+        with obs.span("batch.run", lanes=len(indices), backend="vector",
+                      metric="repro_lane_compute_seconds"):
+            batch = VectorBatch([spec_list[i] for i in indices],
+                                [configs[i] for i in indices],
+                                track_energy=track_energy)
+            results = batch.run(settle=settle)
         for lane_no, i in enumerate(indices):
-            _land(i, SweepPoint(spec_list[i], configs[i], results[lane_no],
-                                batch.lanes[lane_no] if keep else None))
+            with obs.span("lane.collect", index=i, spec=spec_list[i].name):
+                _land(i, SweepPoint(spec_list[i], configs[i],
+                                    results[lane_no],
+                                    batch.lanes[lane_no] if keep else None))
     return points  # type: ignore[return-value]
 
 

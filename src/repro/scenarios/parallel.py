@@ -39,6 +39,7 @@ from dataclasses import asdict, dataclass
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, TypeVar)
 
+from .. import obs
 from ..analog.coil import Coil
 from ..analog.load import LoadProfile
 from ..analog.sensors import BuckReferences
@@ -195,21 +196,62 @@ class _ShardWork:
     track_energy: bool
     specs: List[Dict[str, Any]]
     configs: List[Dict[str, Any]]
+    #: shard number and original sweep indices — observability labels
+    #: only; results are placed by the coordinator's plan, never these
+    shard: int = 0
+    indices: Tuple[int, ...] = ()
 
 
-def _run_shard(work: _ShardWork) -> List[RunResult]:
-    """Worker entry point: rebuild the batch and run it to completion."""
+def _run_shard(work: _ShardWork) -> Tuple[List[RunResult],
+                                          List[Dict[str, Any]],
+                                          Dict[str, Any]]:
+    """Worker entry point: rebuild the batch and run it to completion.
+
+    Returns ``(results, spans, metrics_delta)``: the per-lane results
+    plus the worker-side observability payload — exported spans from a
+    fresh worker trace and the counter/histogram movement since the
+    shard started (forked workers inherit the parent's counts; the
+    baseline keeps the delta clean).  Both extras are empty when the
+    kill switch is off.
+    """
     # Imported lazily: engine imports this module for the shared planner.
+    from .. import obs
     from ..system import BuckSystem
     from .engine import VectorBatch
 
     specs = [decode_spec(s) for s in work.specs]
     configs = [decode_config(c) for c in work.configs]
-    if work.backend == "scalar":
-        return [BuckSystem(cfg).measure(settle=work.settle)
-                for cfg in configs]
-    batch = VectorBatch(specs, configs, track_energy=work.track_energy)
-    return batch.run(settle=work.settle)
+    base = obs.metrics_baseline()
+    with obs.new_trace() as tr:
+        with obs.span("shard.run", shard=work.shard, lanes=len(specs),
+                      backend=work.backend,
+                      metric="repro_shard_seconds"):
+            if work.backend == "scalar":
+                results = []
+                for lane_no, cfg in enumerate(configs):
+                    index = (work.indices[lane_no]
+                             if lane_no < len(work.indices) else lane_no)
+                    with obs.span("lane.compute", index=index,
+                                  spec=specs[lane_no].name,
+                                  backend="scalar",
+                                  metric="repro_lane_compute_seconds"):
+                        results.append(
+                            BuckSystem(cfg).measure(settle=work.settle))
+            else:
+                with obs.span("batch.run", lanes=len(specs),
+                              backend="vector",
+                              metric="repro_lane_compute_seconds"):
+                    batch = VectorBatch(specs, configs,
+                                        track_energy=work.track_energy)
+                    results = batch.run(settle=work.settle)
+                for lane_no, spec in enumerate(specs):
+                    index = (work.indices[lane_no]
+                             if lane_no < len(work.indices) else lane_no)
+                    with obs.span("lane.collect", index=index,
+                                  spec=spec.name):
+                        pass
+        spans = tr.export() if tr is not None else []
+    return results, spans, obs.metrics_delta(base)
 
 
 def run_sweep_parallel(specs: Sequence[ScenarioSpec],
@@ -246,20 +288,24 @@ def run_sweep_parallel(specs: Sequence[ScenarioSpec],
     work = [
         _ShardWork(backend=backend, settle=settle, track_energy=track_energy,
                    specs=[encode_spec(specs[i]) for i in plan.indices],
-                   configs=[encode_config(configs[i]) for i in plan.indices])
-        for plan in plans
+                   configs=[encode_config(configs[i]) for i in plan.indices],
+                   shard=shard_no, indices=plan.indices)
+        for shard_no, plan in enumerate(plans)
     ]
     results: List[Optional[RunResult]] = [None] * len(configs)
     with ProcessPoolExecutor(max_workers=min(workers, len(plans))) as pool:
-        futures = {pool.submit(_run_shard, unit): plan
+        futures = {pool.submit(_run_shard, unit): (plan, unit.shard)
                    for plan, unit in zip(plans, work)}
         for future in as_completed(futures):
-            plan = futures[future]
-            shard = future.result()
+            plan, shard_no = futures[future]
+            shard, spans, delta = future.result()
+            obs.adopt_spans(spans, worker=f"shard-{shard_no}")
+            obs.merge_metrics(delta)
             for index, result in zip(plan.indices, shard):
-                results[index] = result
-                if on_result is not None:
-                    on_result(index, result)
+                with obs.span("lane.land", index=index, shard=shard_no):
+                    results[index] = result
+                    if on_result is not None:
+                        on_result(index, result)
     return results  # type: ignore[return-value]
 
 

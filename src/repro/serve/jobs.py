@@ -31,6 +31,7 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..scenarios.spec import ScenarioSpec
 from ..session import Session
 from .protocol import JobOptions
@@ -99,14 +100,18 @@ class Job:
             "result": point.result.to_dict(),
         })
 
-    def finish(self) -> None:
+    def finish(self, receipt: Optional[Dict[str, Any]] = None) -> None:
         """Terminal success: flip the state, then emit ``done`` carrying
-        the final counters (read under the lock, appended outside it)."""
+        the final counters (read under the lock, appended outside it)
+        and, when observability is on, the sweep's receipt."""
         self.set_state("done")
         with self._lock:
             cached, computed = self.cached, self.computed
-        self.append({"event": "done", "cached": cached,
-                     "computed": computed, "total": self.total})
+        event = {"event": "done", "cached": cached,
+                 "computed": computed, "total": self.total}
+        if receipt is not None:
+            event["receipt"] = receipt
+        self.append(event)
 
     def set_state(self, state: str, error: Optional[str] = None) -> None:
         if state not in STATES:
@@ -161,6 +166,7 @@ class JobManager:
         job = Job(specs, options, max_events=self.max_events)
         with self._lock:
             self._jobs[job.id] = job
+        obs.counter("repro_serve_jobs_total", state="queued").inc()
         self._pool.submit(self._run, job)
         return job
 
@@ -178,15 +184,22 @@ class JobManager:
     # ------------------------------------------------------------------
     def _run(self, job: Job) -> None:
         job.set_state("running")
+        obs.counter("repro_serve_jobs_total", state="running").inc()
         try:
             job.append({"event": "start", "job": job.id, "total": job.total})
-            self.session.sweep(job.specs, settle=job.options.settle,
-                               trace=job.options.trace,
-                               track_energy=job.options.track_energy,
-                               on_result=job.land)
+            # each job records into its own trace, so the sweep attaches
+            # its receipt here rather than to another job's timeline
+            with obs.new_trace() as tr:
+                self.session.sweep(job.specs, settle=job.options.settle,
+                                   trace=job.options.trace,
+                                   track_energy=job.options.track_energy,
+                                   on_result=job.land)
+                receipt = tr.receipt if tr is not None else None
         except Exception:
             err = traceback.format_exc(limit=20)
             job.set_state("failed", error=err)
+            obs.counter("repro_serve_jobs_total", state="failed").inc()
             job.append({"event": "failed", "error": err})
         else:
-            job.finish()
+            job.finish(receipt)
+            obs.counter("repro_serve_jobs_total", state="done").inc()

@@ -17,7 +17,8 @@ when keys are configured — see :mod:`repro.serve.auth`):
 ``GET  /v1/results/<key>``     any cached result by content key, zero
                           recompute (``?trace=1`` to require waveforms);
                           ``404`` when absent
-``GET  /v1/stats``        session cache counters + job totals
+``GET  /v1/stats``        session cache/sweep aggregates + job totals
+``GET  /v1/metrics``      Prometheus text exposition of the obs registry
 ========================  ===================================================
 
 Concurrency model: :class:`~http.server.ThreadingHTTPServer` gives every
@@ -36,11 +37,25 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from .. import obs
 from ..session import Session
 from .auth import ApiKeyAuth
 from .jobs import TERMINAL_EVENTS, JobManager
 from .protocol import ProtocolError, decode_job
 from .sse import format_event
+
+
+def _route_family(path: str) -> str:
+    """Collapse per-job/per-key paths into bounded label values, so the
+    request counter cannot grow a series per job id."""
+    if path.startswith("/v1/jobs/"):
+        return ("/v1/jobs/<id>/events" if path.endswith("/events")
+                else "/v1/jobs/<id>")
+    if path.startswith("/v1/results/"):
+        return "/v1/results/<key>"
+    if path in ("/v1/health", "/v1/jobs", "/v1/stats", "/v1/metrics"):
+        return path
+    return "other"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -83,6 +98,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
         path, query = self._route()
         manager: JobManager = self.server.manager  # type: ignore
+        obs.counter("repro_serve_requests_total",
+                    route=_route_family(path)).inc()
         if path == "/v1/health":
             self._json(200, {"ok": True,
                              "open": self.server.auth.open,  # type: ignore
@@ -90,9 +107,14 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if not self._authorized():
             return
-        if path == "/v1/jobs":
-            self._json(200, {"jobs": [job.snapshot()
-                                      for job in manager.jobs()]})
+        if path == "/v1/metrics":
+            body = obs.prometheus_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         if path == "/v1/stats":
             stats = manager.session.cache_stats()
@@ -100,8 +122,13 @@ class _Handler(BaseHTTPRequestHandler):
             stats["jobs"] = {
                 "total": len(jobs),
                 "finished": sum(1 for j in jobs if j.finished),
+                "dropped_events": sum(j.log.dropped for j in jobs),
             }
             self._json(200, stats)
+            return
+        if path == "/v1/jobs":
+            self._json(200, {"jobs": [job.snapshot()
+                                      for job in manager.jobs()]})
             return
         if path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]
@@ -121,6 +148,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         path, _ = self._route()
+        obs.counter("repro_serve_requests_total",
+                    route=_route_family(path)).inc()
         if not self._authorized():
             return
         if path != "/v1/jobs":

@@ -20,6 +20,8 @@ import json
 import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from .. import obs
+
 #: default per-job event-log bound; at ~1 KiB per lane event this caps a
 #: job's replay memory near 4 MiB while keeping every realistic sweep
 #: (tier-1 sweeps are tens of lanes) far from truncation
@@ -55,6 +57,8 @@ class EventLog:
                 del self._events[:overflow]
                 self._dropped += overflow
             self._cond.notify_all()
+        if overflow > 0:
+            obs.counter("repro_sse_events_dropped_total").inc(overflow)
 
     def close(self) -> None:
         """No more events will arrive; wake every blocked reader."""

@@ -72,6 +72,7 @@ try:                              # pragma: no cover - platform availability
 except ImportError:               # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+from .. import obs
 from ..scenarios.parallel import encode_config
 from ..system import RunResult, SystemConfig
 
@@ -264,6 +265,17 @@ class ResultCache:
         """
         if not self.readable:
             return None
+        with obs.span("cache.load", key=key[:12],
+                      metric="repro_cache_load_seconds") as sp:
+            result = self._load_entry(key, want_trace)
+            outcome = "hit" if result is not None else "miss"
+            if sp is not None:
+                sp["outcome"] = outcome
+            obs.counter("repro_cache_load_total", outcome=outcome).inc()
+        return result
+
+    def _load_entry(self, key: str,
+                    want_trace: bool = False) -> Optional[RunResult]:
         meta_path, npz_path = self._paths(key)
         try:
             with open(meta_path, "r", encoding="utf-8") as fh:
@@ -307,6 +319,15 @@ class ResultCache:
         be served from cache without re-simulating."""
         if not self.writable:
             return False
+        with obs.span("cache.store", key=key[:12],
+                      traced=result.trace is not None,
+                      metric="repro_cache_store_seconds"):
+            self._store_entry(key, result, meta)
+        obs.counter("repro_cache_store_total").inc()
+        return True
+
+    def _store_entry(self, key: str, result: RunResult,
+                     meta: Optional[Mapping[str, Any]]) -> None:
         meta_path, npz_path = self._paths(key)
         meta_path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -351,7 +372,6 @@ class ResultCache:
             # the in-process estimate lock across that wait
             if need_prune:
                 self.prune()
-        return True
 
     @contextlib.contextmanager
     def _writer_lock(self):

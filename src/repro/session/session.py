@@ -28,15 +28,17 @@ from __future__ import annotations
 
 import os
 import threading
+from pathlib import Path
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
-                    TypeVar, Union)
+                    Tuple, TypeVar, Union)
 
+from .. import obs
 from ..analog.stepping import GATING_MODES, STEPPING_MODES
 from ..scenarios.engine import Specs, SweepPoint, _as_specs, _execute_sweep
 from ..scenarios.parallel import pool_map, workers_from_env
 from ..scenarios.spec import ScenarioSpec
 from ..system import BuckSystem, RunResult, SystemConfig
-from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key, code_fingerprint
 from .inflight import InFlightRegistry
 
 T = TypeVar("T")
@@ -131,7 +133,31 @@ class Session:
         #: computation of the same key (a subset of ``cache_hits``)
         # lint: guarded_by(self._counter_lock: bumped by concurrent sweeps)
         self.inflight_waits = 0
+        # Per-RunResult kernel/solver counters, aggregated per landed
+        # lane so stats pollers (GET /v1/stats) see sweep-wide totals
+        # without walking results.  Same lock as the cache counters:
+        # one acquisition snapshots everything consistently.
+        # lint: guarded_by(self._counter_lock: bumped per landed lane)
+        self.sweeps_total = 0
+        # lint: guarded_by(self._counter_lock: bumped per landed lane)
+        self.lanes_total = 0
+        # lint: guarded_by(self._counter_lock: bumped per landed lane)
+        self.solver_ticks_total = 0
+        # lint: guarded_by(self._counter_lock: bumped per landed lane)
+        self.events_delivered_total = 0
+        # lint: guarded_by(self._counter_lock: bumped per landed lane)
+        self.clock_edges_simulated_total = 0
+        # lint: guarded_by(self._counter_lock: bumped per landed lane)
+        self.clock_edges_skipped_total = 0
         self._inflight = InFlightRegistry()
+        # Observability artifacts of the most recent sweep (guarded by
+        # their own lock: a stats poller must never contend with the
+        # counter hot path).
+        self._obs_lock = threading.Lock()
+        # lint: guarded_by(self._obs_lock: published at sweep end)
+        self._last_spans: List[obs.Span] = []
+        # lint: guarded_by(self._obs_lock: published at sweep end)
+        self._last_receipt: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def _resolve_cache(cache: Union[str, ResultCache, None],
@@ -190,6 +216,20 @@ class Session:
             self.cache_hits += hits
             self.cache_misses += misses
             self.inflight_waits += waits
+        if waits:
+            obs.counter("repro_inflight_waits_total").inc(waits)
+
+    def _land_stats(self, result: RunResult) -> None:
+        """Fold one landed lane's kernel/solver counters into the
+        session aggregates (one lock acquisition; every landing path —
+        cache hit, fresh compute, in-flight wait, no-cache — funnels
+        through here exactly once per lane)."""
+        with self._counter_lock:
+            self.lanes_total += 1
+            self.solver_ticks_total += result.solver_ticks
+            self.events_delivered_total += result.events_delivered
+            self.clock_edges_simulated_total += result.clock_edges_simulated
+            self.clock_edges_skipped_total += result.clock_edges_skipped
 
     def sweep(self, specs: Specs, *, settle: Optional[float] = None,
               trace: bool = False, keep: bool = False,
@@ -234,16 +274,84 @@ class Session:
         back to computing the lane itself.
         """
         spec_list = _as_specs(specs)
+        if not obs.enabled():
+            points, _, _ = self._sweep_body(
+                spec_list, settle=settle, trace=trace, keep=keep,
+                track_energy=track_energy, on_result=on_result,
+                clock=None, observe=None)
+            return points
+        with obs.ensure_trace() as tr:
+            clock = obs.PhaseClock()
+            t0 = obs.now()
+            lane_log: Dict[int, float] = {}
+
+            def _observe(i: int, point: SweepPoint) -> None:
+                # per-lane landing offset from sweep start (coordinator
+                # thread; covers every lane at any worker count)
+                lane_log[i] = obs.now() - t0
+
+            with obs.span("session.sweep", lanes=len(spec_list),
+                          backend=self.backend, workers=self.workers or 0,
+                          metric="repro_sweep_seconds"):
+                points, keys, waits = self._sweep_body(
+                    spec_list, settle=settle, trace=trace, keep=keep,
+                    track_energy=track_energy, on_result=on_result,
+                    clock=clock, observe=_observe)
+                clock.tick("finalize")
+                self._finish_receipt(tr, clock, spec_list, points, keys,
+                                     waits, lane_log)
+            with self._obs_lock:
+                self._last_spans = tr.spans()
+        obs.gauge("repro_workers").set(self.workers or 0)
+        return points
+
+    def _sweep_body(self, spec_list: List[ScenarioSpec], *,
+                    settle: Optional[float], trace: bool, keep: bool,
+                    track_energy: bool,
+                    on_result: Optional[Callable[[int, SweepPoint], None]],
+                    clock: Optional[obs.PhaseClock],
+                    observe: Optional[Callable[[int, SweepPoint], None]]
+                    ) -> Tuple[List[SweepPoint], Optional[List[str]], int]:
+        """The sweep core: returns ``(points, cache keys or None,
+        in-flight wait count)`` for the observability shell.  ``clock``
+        segments the phases; both hooks are ``None`` when the kill
+        switch is off, leaving this path free of clock reads."""
+
+        def tick(name: str) -> None:
+            if clock is not None:
+                clock.tick(name)
+
+        tick("plan")
+        with self._counter_lock:
+            self.sweeps_total += 1
+        obs.counter("repro_sweeps_total").inc()
         configs = [spec.to_config(trace=trace, **self.defaults)
                    for spec in spec_list]
 
+        user_cb = on_result
+
+        def landed(i: int, point: SweepPoint) -> None:
+            # every landing path funnels through here exactly once per
+            # lane: session aggregates always, obs hooks when enabled,
+            # then the caller's hook
+            self._land_stats(point.result)
+            obs.counter("repro_lanes_total",
+                        source="cache" if point.cached else "computed").inc()
+            if observe is not None:
+                observe(i, point)
+            if user_cb is not None:
+                user_cb(i, point)
+
+        on_result = landed
+
         cache = self.cache if (self.cache is not None and not keep) else None
         if cache is None:
+            tick("execute")
             return _execute_sweep(
                 spec_list, configs, backend=self.backend, settle=settle,
                 keep=keep, track_energy=track_energy, workers=self.workers,
                 max_lanes_per_shard=self.max_lanes_per_shard,
-                on_result=on_result)
+                on_result=on_result), None, 0
 
         points: List[Optional[SweepPoint]] = [None] * len(spec_list)
         keys: List[str] = [
@@ -256,6 +364,7 @@ class Session:
             if on_result is not None:
                 on_result(i, points[i])
 
+        tick("lookup")
         misses: List[int] = []
         for i, cfg in enumerate(configs):
             # the per-lane *resolved* trace field governs execution
@@ -268,7 +377,7 @@ class Session:
             else:
                 misses.append(i)
         if not misses:
-            return points  # type: ignore[return-value]
+            return points, keys, 0  # type: ignore[return-value]
 
         # Partition the misses.  Dedupe identity is (key, resolved trace):
         # trace is normalised out of the cache key, but a traced lane
@@ -288,6 +397,7 @@ class Session:
                 continue
             event = self._inflight.claim(keys[i])
             if event is None:
+                obs.counter("repro_inflight_claims_total").inc()
                 leader_of[ident] = i
                 leaders.append(i)
             else:
@@ -302,6 +412,7 @@ class Session:
                            max_lanes_per_shard=self.max_lanes_per_shard,
                            on_result=landed)
 
+        tick("execute")
         try:
             if leaders:
                 self._count(misses=len(leaders))
@@ -333,17 +444,23 @@ class Session:
                 if points[i] is None:
                     self._inflight.release(keys[i])
 
+        waited = 0
         recompute: List[int] = []
+        if waiters:
+            tick("wait")
         for i in waiters:
-            events[keys[i]].wait()
+            with obs.span("inflight.wait", key=keys[i][:12]):
+                events[keys[i]].wait()
             result = cache.load(keys[i], want_trace=configs[i].trace)
             if result is not None:
                 self._count(hits=1, waits=1)
+                waited += 1
                 _serve(i, result)
             else:
                 recompute.append(i)
 
         if recompute:
+            tick("execute")
             # the in-flight owner failed or its entry is unusable for
             # this lane: compute locally, unconditionally (no second
             # claim round — correctness over a rare duplicate compute)
@@ -360,7 +477,82 @@ class Session:
                     on_result(i, point)
 
             _execute(recompute, _again)
-        return points  # type: ignore[return-value]
+        return points, keys, waited  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Observability: receipts + trace export
+    # ------------------------------------------------------------------
+    def _finish_receipt(self, tr: obs.Trace, clock: obs.PhaseClock,
+                        spec_list: List[ScenarioSpec],
+                        points: List[SweepPoint],
+                        keys: Optional[List[str]], waits: int,
+                        lane_log: Dict[int, float]) -> Dict[str, Any]:
+        """Assemble (and, when the cache is writable, persist) this
+        sweep's receipt; attach it to the trace so a serve job wrapping
+        the sweep gets its own receipt race-free."""
+        total = clock.stop()
+        hits = sum(1 for p in points if p.cached)
+        counters = {"solver_ticks": 0, "events_delivered": 0,
+                    "clock_edges_simulated": 0, "clock_edges_skipped": 0}
+        for point in points:
+            for name in counters:
+                counters[name] += getattr(point.result, name)
+        lanes = [{"index": i,
+                  "spec": spec_list[i].name,
+                  "key": keys[i] if keys is not None else None,
+                  "cached": point.cached,
+                  "landed_s": lane_log.get(i)}
+                 for i, point in enumerate(points)]
+        sweep_id = obs.sweep_id_for(
+            keys if keys is not None else [s.name for s in spec_list])
+        root: Optional[Path] = None
+        path: Optional[str] = None
+        if self.cache is not None and self.cache.writable:
+            root = Path(self.cache.root)
+            path = str(obs.receipt_path(root, sweep_id))
+        receipt = obs.build_receipt(
+            sweep_id=sweep_id, backend=self.backend, workers=self.workers,
+            specs=[s.name for s in spec_list], keys=keys,
+            fingerprint=code_fingerprint(),
+            cache_stats={
+                "mode": self.cache.mode if self.cache is not None else "off",
+                "hits": hits, "misses": len(points) - hits,
+                "inflight_waits": waits,
+                "hit_ratio": hits / len(points) if points else 0.0,
+            },
+            phases=clock.phases, wall_s=total, counters=counters,
+            lanes=lanes,
+            artifacts={
+                "cache_root": str(root) if root is not None else None,
+                "receipt_path": path,
+            })
+        if root is not None:
+            with obs.span("receipt.write", sweep_id=sweep_id):
+                obs.write_receipt(root, receipt)
+        tr.receipt = receipt
+        with self._obs_lock:
+            self._last_receipt = receipt
+        return receipt
+
+    def last_receipt(self) -> Optional[Dict[str, Any]]:
+        """The most recent sweep's receipt (``None`` before any sweep or
+        with ``REPRO_OBS=off``): resolved-config hashes, code
+        fingerprint, cache hit ratio, per-phase wall times, worker
+        count, and artifact paths.  See README "Observability"."""
+        with self._obs_lock:
+            return self._last_receipt
+
+    def last_trace_spans(self) -> List[obs.Span]:
+        """The most recent sweep's spans (coordinator + adopted worker
+        spans), empty with ``REPRO_OBS=off``."""
+        with self._obs_lock:
+            return list(self._last_spans)
+
+    def last_trace_events(self) -> List[Dict[str, Any]]:
+        """The most recent sweep's timeline as Chrome trace-event JSON
+        objects — ``json.dump`` the list and load it in
+        ``chrome://tracing`` or Perfetto."""
+        return obs.chrome_trace_events(self.last_trace_spans())
 
     # ------------------------------------------------------------------
     # Waveform-level access (live systems, never cached)
@@ -396,18 +588,32 @@ class Session:
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, Any]:
-        """Counters plus the cache location/mode, for logging.  Reads
-        the counters under the lock so a stats poll racing a sweep sees
-        one consistent snapshot."""
+        """Counters plus the cache location/mode, for logging and the
+        sweep server's ``GET /v1/stats``.  *Every* counter — cache,
+        in-flight, and the per-lane kernel/solver aggregates — is read
+        in one acquisition of the counter lock, so a stats poll racing a
+        sweep sees one consistent snapshot, never a hits/misses pair
+        from two different moments."""
         with self._counter_lock:
             hits, misses = self.cache_hits, self.cache_misses
             waits = self.inflight_waits
+            sweeps, lanes = self.sweeps_total, self.lanes_total
+            ticks = self.solver_ticks_total
+            delivered = self.events_delivered_total
+            edges_sim = self.clock_edges_simulated_total
+            edges_skip = self.clock_edges_skipped_total
         return {
             "hits": hits,
             "misses": misses,
             "inflight_waits": waits,
             "mode": self.cache.mode if self.cache is not None else "off",
             "root": str(self.cache.root) if self.cache is not None else None,
+            "sweeps": sweeps,
+            "lanes": lanes,
+            "solver_ticks": ticks,
+            "events_delivered": delivered,
+            "clock_edges_simulated": edges_sim,
+            "clock_edges_skipped": edges_skip,
         }
 
     def __repr__(self) -> str:

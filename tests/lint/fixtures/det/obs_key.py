@@ -1,0 +1,34 @@
+"""Fixture for rule D06 and the wall-clock module allowlist.
+
+Scanned twice by the tests: once as a normal module (D02 fires on the
+perf_counter read) and once listed in ``wallclock_modules`` (D02 is
+exempt; D06 still fires — the allowlist never covers key sinks).
+"""
+
+import json
+import time
+
+from nowhere import cache_key, lockstep_key, obs
+
+
+def stamp_into_cache_key(cfg):
+    stamp = obs.now()
+    return cache_key(cfg, None, "vector", True, stamp)  # MARK:d06-cache-key
+
+
+def duration_into_lockstep_key(cfg):
+    with obs.span("x") as sp:
+        pass
+    dur = obs.histogram("repro_sweep_seconds")
+    return lockstep_key(cfg, dur)        # MARK:d06-lockstep-key
+
+
+def receipts_may_serialize_obs_values():
+    # obs values on wire/hash sinks are fine (receipts are JSON by
+    # design) — TAG_OBS is deliberately not a D05 taint
+    payload = {"created": obs.now()}
+    return json.dumps(payload, sort_keys=True)
+
+
+def wallclock_read():
+    return time.perf_counter()           # MARK:d02-wallclock

@@ -4,7 +4,7 @@ import pytest
 
 from repro.lint import LintConfig, run_lint
 
-from .helpers import FIXTURES, by_rule, mark_line
+from .helpers import FIXTURES, REPO, by_rule, mark_line
 
 BAD = FIXTURES / "det" / "bad.py"
 GOOD = FIXTURES / "det" / "good.py"
@@ -93,3 +93,66 @@ def test_sorted_wrapper_is_not_transparent(tmp_path):
     the good fixture iterates a sorted glob on purpose."""
     report = _report("good.py", tmp_path)
     assert not any(f.rule == "D03" for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
+# D06 + the wall-clock module allowlist (the obs_key fixture)
+# ---------------------------------------------------------------------------
+OBS_KEY = FIXTURES / "det" / "obs_key.py"
+
+
+def _obs_report(tmp_path, allow=False):
+    config = LintConfig(root=FIXTURES / "det", scan_paths=("obs_key.py",),
+                        parity_pairs=(), gating_roots=(),
+                        wallclock_modules=(("obs_key.py",) if allow else ()),
+                        locks_dir=tmp_path)
+    return run_lint(config, families=("determinism",))
+
+
+class TestD06AndWallclockAllowlist:
+    def test_obs_value_into_cache_key_fires(self, tmp_path):
+        report = _obs_report(tmp_path)
+        line = mark_line(OBS_KEY, "d06-cache-key")
+        assert any(f.rule == "D06" and f.line == line
+                   for f in report.findings), \
+            [f.render() for f in report.findings]
+
+    def test_obs_value_into_lockstep_key_fires(self, tmp_path):
+        report = _obs_report(tmp_path)
+        line = mark_line(OBS_KEY, "d06-lockstep-key")
+        assert any(f.rule == "D06" and f.line == line
+                   for f in report.findings)
+
+    def test_obs_values_on_wire_sinks_are_not_d05(self, tmp_path):
+        """Receipts serialize obs values by design: TAG_OBS must not
+        count as D05 taint on json.dumps."""
+        report = _obs_report(tmp_path)
+        assert not any(f.rule == "D05" for f in report.findings), \
+            [f.render() for f in report.findings]
+
+    def test_wallclock_fires_outside_allowlist(self, tmp_path):
+        report = _obs_report(tmp_path, allow=False)
+        line = mark_line(OBS_KEY, "d02-wallclock")
+        assert any(f.rule == "D02" and f.line == line
+                   for f in report.findings)
+
+    def test_allowlist_exempts_d02_module_wide(self, tmp_path):
+        report = _obs_report(tmp_path, allow=True)
+        assert not any(f.rule == "D02" for f in report.findings)
+
+    def test_allowlist_never_covers_d06(self, tmp_path):
+        """The allowlist waives wall-clock *reads*, not key-sink flows:
+        both D06 findings must survive it."""
+        report = _obs_report(tmp_path, allow=True)
+        assert sum(1 for f in report.findings if f.rule == "D06") == 2
+
+    def test_repo_obs_package_is_covered_and_clean(self, tmp_path):
+        """The real config scans repro/obs under the allowlist; the
+        shipped package must produce no determinism findings."""
+        root = REPO / "src" / "repro"
+        config = LintConfig(root=root, scan_paths=("obs",),
+                            parity_pairs=(), gating_roots=(),
+                            locks_dir=tmp_path)
+        assert "obs" in LintConfig().wallclock_modules
+        report = run_lint(config, families=("determinism",))
+        assert report.clean, [f.render() for f in report.findings]

@@ -1,0 +1,128 @@
+"""The ISSUE-10 acceptance: observability is provably inert.
+
+One fig7a quick grid, run twice — ``REPRO_OBS`` on and off — must be
+bit-identical in results *and* cache keys; the on-run must additionally
+yield a coherent receipt (phase wall times summing to the sweep total
+within 10%), a Chrome-exportable timeline with at least one span per
+lane including worker-side spans re-parented under the coordinator's
+sweep span, and a ``/v1/metrics`` exposition with >= 10 named series.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import Session, obs
+from repro.experiments import run_fig7a
+from repro.serve.server import SweepServer
+
+
+@pytest.fixture(scope="module")
+def differential(tmp_path_factory):
+    """The fig7a quick grid computed twice: obs on, obs off."""
+    runs = {}
+    for mode in ("on", "off"):
+        obs.set_enabled(mode == "on")
+        try:
+            session = Session(
+                cache="readwrite", workers=2,
+                cache_dir=str(tmp_path_factory.mktemp(f"cache-{mode}")))
+            result = run_fig7a(quick=True, session=session)
+        finally:
+            obs.set_enabled(None)
+        runs[mode] = {
+            "series": result.series,
+            "keys": sorted(session.cache.keys()),
+            "receipt": session.last_receipt(),
+            "spans": session.last_trace_spans(),
+            "events": session.last_trace_events(),
+        }
+    return runs
+
+
+class TestBitIdentity:
+    def test_results_identical_on_vs_off(self, differential):
+        on, off = differential["on"], differential["off"]
+        assert on["series"].keys() == off["series"].keys()
+        for label in on["series"]:
+            assert on["series"][label] == off["series"][label], label
+
+    def test_cache_keys_identical_on_vs_off(self, differential):
+        assert differential["on"]["keys"] == differential["off"]["keys"]
+        assert len(differential["on"]["keys"]) == 20
+
+    def test_off_run_is_bare(self, differential):
+        off = differential["off"]
+        assert off["receipt"] is None
+        assert off["spans"] == []
+        assert off["events"] == []
+
+
+class TestOnRunReceipt:
+    def test_phases_sum_to_wall_within_10_percent(self, differential):
+        receipt = differential["on"]["receipt"]
+        assert receipt is not None
+        total = sum(receipt["phases"].values())
+        assert total == pytest.approx(receipt["wall_s"], rel=0.10)
+
+    def test_receipt_covers_the_grid(self, differential):
+        receipt = differential["on"]["receipt"]
+        assert receipt["n_lanes"] == 20
+        assert receipt["workers"] == 2
+        assert receipt["cache"]["misses"] == 20
+        assert sorted(receipt["keys"]) == differential["on"]["keys"]
+        assert all(lane["landed_s"] is not None
+                   for lane in receipt["lanes"])
+
+
+class TestOnRunTimeline:
+    def test_at_least_one_span_per_lane(self, differential):
+        spans = differential["on"]["spans"]
+        per_lane = [s for s in spans
+                    if s.name in ("lane.compute", "lane.collect",
+                                  "lane.land")]
+        lanes = {s.attrs.get("index") for s in per_lane}
+        assert lanes >= set(range(20))
+
+    def test_worker_spans_reparented_under_sweep_root(self, differential):
+        spans = differential["on"]["spans"]
+        by_id = {s.span_id: s for s in spans}
+        assert len(by_id) == len(spans)   # adoption never collides ids
+        root = next(s for s in spans if s.name == "session.sweep")
+        shard_spans = [s for s in spans if s.name == "shard.run"]
+        assert len(shard_spans) >= 2
+        assert all(s.worker is not None for s in shard_spans)
+        assert all(s.parent_id == root.span_id for s in shard_spans)
+        worker_lane_spans = [s for s in spans
+                             if s.worker is not None
+                             and s.name in ("lane.compute", "lane.collect")]
+        assert worker_lane_spans
+        # every span chains up to the single sweep root
+        for span in spans:
+            cursor = span
+            while cursor.parent_id is not None:
+                cursor = by_id[cursor.parent_id]
+            assert cursor.span_id == root.span_id or cursor is root
+
+    def test_chrome_export_is_loadable(self, differential):
+        events = differential["on"]["events"]
+        payload = json.loads(json.dumps(events))
+        slices = [e for e in payload if e["ph"] == "X"]
+        assert len(slices) == len(differential["on"]["spans"])
+        procs = {e["pid"] for e in payload if e["ph"] == "M"}
+        assert len(procs) >= 2   # coordinator + worker tracks
+
+
+class TestMetricsSurface:
+    def test_v1_metrics_exposes_ten_named_series(self, tmp_path):
+        session = Session(cache="readwrite",
+                          cache_dir=str(tmp_path / "cache"))
+        with SweepServer(session=session) as server:
+            with urllib.request.urlopen(server.url + "/v1/metrics") as resp:
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                text = resp.read().decode("utf-8")
+        samples = obs.parse_prometheus_text(text)
+        names = {series.split("{")[0] for series in samples}
+        assert len(names) >= 10
+        assert samples["repro_obs_enabled"] == 1

@@ -195,3 +195,77 @@ class TestAuth:
 
             good = ServeClient(srv.url, api_key="sekrit")
             assert good.jobs() == []
+
+
+class TestObservability:
+    """The obs surface of the serve layer: receipts ride the ``done``
+    event, ``/v1/stats`` carries sweep aggregates and SSE drop totals,
+    and ``/v1/metrics`` speaks Prometheus (satellites 1 and 5)."""
+
+    def test_done_event_carries_the_sweep_receipt(self, server):
+        client = ServeClient(server.url)
+        snapshot = client.submit(sweep=_grid("rcpt", [1e8], [1.0, 4.7]),
+                                 track_energy=False)
+        done = [e for e in client.follow(snapshot["id"])
+                if e["event"] == "done"][-1]
+        receipt = done.get("receipt")
+        assert receipt is not None
+        assert receipt["kind"] == "sweep-receipt"
+        assert receipt["n_lanes"] == done["total"] == 2
+        assert receipt["cache"]["hits"] + receipt["cache"]["misses"] == 2
+        assert len(receipt["keys"]) == 2
+
+    def test_receipt_replays_with_the_event_log(self, server):
+        client = ServeClient(server.url)
+        snapshot = client.submit(sweep=_grid("rcpt2", [1e8], [2.0]),
+                                 track_energy=False)
+        first = [e for e in client.follow(snapshot["id"])
+                 if e["event"] == "done"][-1]
+        replay = [e for e in client.follow(snapshot["id"])
+                  if e["event"] == "done"][-1]
+        assert replay["receipt"] == first["receipt"]
+
+    def test_done_event_omits_receipt_when_obs_disabled(self, tmp_path):
+        from repro import obs
+        obs.set_enabled(False)
+        try:
+            session = Session(cache="readwrite",
+                              cache_dir=str(tmp_path / "cache"))
+            with SweepServer(session=session, job_workers=1) as srv:
+                client = ServeClient(srv.url)
+                snapshot = client.submit(
+                    specs=[ScenarioSpec(name="dark",
+                                        overrides=dict(BASE))],
+                    track_energy=False)
+                done = [e for e in client.follow(snapshot["id"])
+                        if e["event"] == "done"][-1]
+            assert "receipt" not in done
+        finally:
+            obs.set_enabled(None)
+
+    def test_stats_carries_aggregates_and_dropped_events(self, server):
+        client = ServeClient(server.url)
+        client.run_sweep(specs=[ScenarioSpec(name="agg",
+                                             overrides=dict(BASE))],
+                         track_energy=False)
+        stats = client.stats()
+        assert stats["jobs"]["dropped_events"] == 0
+        assert stats["sweeps"] >= 1
+        assert stats["lanes"] >= 1
+        assert stats["solver_ticks"] > 0
+        assert stats["events_delivered"] > 0
+        assert stats["clock_edges_simulated"] >= 0
+        assert stats["clock_edges_skipped"] >= 0
+
+    def test_metrics_endpoint_counts_requests_by_route_family(self, server):
+        import urllib.request
+        from repro import obs
+        client = ServeClient(server.url)
+        client.stats()
+        with urllib.request.urlopen(server.url + "/v1/metrics") as resp:
+            text = resp.read().decode("utf-8")
+        samples = obs.parse_prometheus_text(text)
+        stats_hits = [v for series, v in samples.items()
+                      if series.startswith("repro_serve_requests_total")
+                      and 'route="/v1/stats"' in series]
+        assert stats_hits and stats_hits[0] >= 1
